@@ -1,0 +1,112 @@
+//! Criterion micro-benchmarks for the substrates: reverse-walk sampling,
+//! forward process, full realizations, cover solvers, and `V_max`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use raf_core::{vmax_exact, vmax_loose};
+use raf_cover::{ChlamtacPortfolio, CoverInstance, GreedyMarginal, MpuSolver, SmallestSets};
+use raf_datasets::{sample_pairs, synthetic, Dataset, PairSamplerConfig};
+use raf_graph::{CsrGraph, NodeId};
+use raf_model::process::run_process;
+use raf_model::realization::Realization;
+use raf_model::reverse::sample_target_path;
+use raf_model::sampler::sample_pool;
+use raf_model::{FriendingInstance, InvitationSet};
+
+fn standin(dataset: Dataset, scale: f64) -> CsrGraph {
+    synthetic::generate(dataset, scale, 7).unwrap().to_csr()
+}
+
+fn screened_instance(csr: &CsrGraph) -> FriendingInstance<'_> {
+    let pairs = sample_pairs(
+        csr,
+        &PairSamplerConfig { pairs: 1, screen_samples: 1_000, seed: 5, ..Default::default() },
+    );
+    let p = pairs.first().expect("screened pair");
+    FriendingInstance::new(csr, NodeId::new(p.s as usize), NodeId::new(p.t as usize)).unwrap()
+}
+
+fn bench_reverse_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reverse_walk");
+    for (name, dataset, scale) in
+        [("wiki", Dataset::Wiki, 0.02), ("hepth", Dataset::HepTh, 0.01)]
+    {
+        let csr = standin(dataset, scale);
+        let instance = screened_instance(&csr);
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+            b.iter(|| sample_target_path(&instance, &mut rng))
+        });
+    }
+    group.finish();
+}
+
+fn bench_forward_process(c: &mut Criterion) {
+    let csr = standin(Dataset::Wiki, 0.02);
+    let instance = screened_instance(&csr);
+    let all = InvitationSet::full(csr.node_count());
+    c.bench_function("forward_process_full_invitations", |b| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        b.iter(|| run_process(&instance, &all, &mut rng))
+    });
+}
+
+fn bench_full_realization(c: &mut Criterion) {
+    let csr = standin(Dataset::Wiki, 0.02);
+    c.bench_function("full_realization_sample", |b| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        b.iter(|| Realization::sample(&csr, &mut rng))
+    });
+}
+
+fn bench_pool(c: &mut Criterion) {
+    let csr = standin(Dataset::HepTh, 0.01);
+    let instance = screened_instance(&csr);
+    c.bench_function("pool_10k_walks", |b| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        b.iter(|| sample_pool(&instance, 10_000, &mut rng))
+    });
+}
+
+fn bench_cover_solvers(c: &mut Criterion) {
+    // A realistic RAF-shaped instance: overlapping path sets.
+    let csr = standin(Dataset::Wiki, 0.02);
+    let instance = screened_instance(&csr);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+    let pool = sample_pool(&instance, 30_000, &mut rng);
+    let sets: Vec<Vec<u32>> = pool
+        .type1_paths
+        .iter()
+        .map(|tp| tp.nodes.iter().map(|v| v.index() as u32).collect())
+        .collect();
+    let m = sets.len().max(1);
+    let inst = CoverInstance::new(csr.node_count(), sets).unwrap();
+    let p = (m * 3 / 10).max(1);
+    let mut group = c.benchmark_group("cover_solvers");
+    group.bench_function("greedy", |b| b.iter(|| GreedyMarginal::new().solve(&inst, p).unwrap()));
+    group.bench_function("smallest", |b| b.iter(|| SmallestSets::new().solve(&inst, p).unwrap()));
+    group.bench_function("portfolio", |b| {
+        b.iter(|| ChlamtacPortfolio::new().solve(&inst, p).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_vmax(c: &mut Criterion) {
+    let csr = standin(Dataset::HepTh, 0.02);
+    let instance = screened_instance(&csr);
+    let mut group = c.benchmark_group("vmax");
+    group.bench_function("exact_block_cut_tree", |b| b.iter(|| vmax_exact(&instance)));
+    group.bench_function("loose_reachability", |b| b.iter(|| vmax_loose(&instance)));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_reverse_sampling,
+    bench_forward_process,
+    bench_full_realization,
+    bench_pool,
+    bench_cover_solvers,
+    bench_vmax,
+);
+criterion_main!(benches);

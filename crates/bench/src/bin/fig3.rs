@@ -1,0 +1,34 @@
+//! Regenerates the paper's Fig. 3 (one panel per dataset).
+//! Set `AF_CSV_DIR` to also write `fig3_<dataset>.csv`.
+
+use raf_bench::csv::{f, CsvTable};
+use raf_bench::experiments::fig3;
+use raf_bench::ExperimentConfig;
+
+fn main() {
+    let config = ExperimentConfig::from_env();
+    for &dataset in &config.datasets {
+        let points = fig3::run(&config, dataset);
+        fig3::print(dataset, &points);
+        println!();
+        if let Ok(dir) = std::env::var("AF_CSV_DIR") {
+            let mut csv =
+                CsvTable::new(["alpha", "pmax", "raf", "hd", "sp", "mean_size", "pairs"]);
+            for p in &points {
+                csv.push_row([
+                    f(p.alpha),
+                    f(p.pmax),
+                    f(p.raf),
+                    f(p.hd),
+                    f(p.sp),
+                    f(p.mean_size),
+                    p.pairs.to_string(),
+                ]);
+            }
+            let path = std::path::Path::new(&dir)
+                .join(format!("fig3_{}.csv", dataset.spec().file_stem));
+            csv.write_to_path(&path).expect("write fig3 csv");
+            eprintln!("wrote {}", path.display());
+        }
+    }
+}

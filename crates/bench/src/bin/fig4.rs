@@ -1,0 +1,28 @@
+//! Regenerates the paper's Fig. 4 (RAF vs HighDegree ratio curves).
+//! Set `AF_CSV_DIR` to also write `fig4_<dataset>.csv`.
+
+use raf_bench::csv::{f, CsvTable};
+use raf_bench::experiments::fig45::{self, RatioBaseline};
+use raf_bench::ExperimentConfig;
+
+fn main() {
+    let config = ExperimentConfig::from_env();
+    for &dataset in &config.datasets {
+        let (curve, raw) = fig45::run(&config, dataset, RatioBaseline::HighDegree);
+        fig45::print(dataset, RatioBaseline::HighDegree, &curve, raw);
+        println!();
+        if let Ok(dir) = std::env::var("AF_CSV_DIR") {
+            let mut csv = CsvTable::new(["prob_ratio_bin", "avg_size_ratio"]);
+            for (mid, mean) in curve.bin_midpoints.iter().zip(&curve.mean_size_ratio) {
+                csv.push_row([
+                    f(*mid),
+                    mean.map(f).unwrap_or_default(),
+                ]);
+            }
+            let path = std::path::Path::new(&dir)
+                .join(format!("fig4_{}.csv", dataset.spec().file_stem));
+            csv.write_to_path(&path).expect("write fig4 csv");
+            eprintln!("wrote {}", path.display());
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! Regenerates the paper's Fig. 6 (probability vs realization count).
+//! Set `AF_CSV_DIR` to also write `fig6.csv`.
+
+use raf_bench::csv::{f, CsvTable};
+use raf_bench::experiments::fig6;
+use raf_bench::ExperimentConfig;
+
+fn main() {
+    let config = ExperimentConfig::from_env();
+    // The paper shows a single Wiki pair; we default to the first
+    // configured dataset.
+    let dataset = config.datasets[0];
+    let points = fig6::run(&config, dataset);
+    fig6::print(dataset, &points);
+    if let Ok(dir) = std::env::var("AF_CSV_DIR") {
+        let mut csv = CsvTable::new(["realizations", "invitation_size", "probability"]);
+        for p in &points {
+            csv.push_row([
+                p.realizations.to_string(),
+                p.invitation_size.to_string(),
+                f(p.probability),
+            ]);
+        }
+        let path = std::path::Path::new(&dir).join("fig6.csv");
+        csv.write_to_path(&path).expect("write fig6.csv");
+        eprintln!("wrote {}", path.display());
+    }
+}

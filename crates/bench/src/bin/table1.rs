@@ -1,0 +1,27 @@
+//! Regenerates the paper's Table I. `AF_SCALE=1.0` for full size.
+//! Set `AF_CSV_DIR` to also write `table1.csv`.
+
+use raf_bench::csv::CsvTable;
+use raf_bench::experiments::table1;
+use raf_bench::ExperimentConfig;
+
+fn main() {
+    let config = ExperimentConfig::from_env();
+    let rows = table1::run(&config);
+    table1::print(&rows, config.scale);
+    if let Ok(dir) = std::env::var("AF_CSV_DIR") {
+        let mut csv = CsvTable::new(["dataset", "nodes", "edges", "avg_degree", "source"]);
+        for r in &rows {
+            csv.push_row([
+                r.name.clone(),
+                r.nodes.to_string(),
+                r.edges.to_string(),
+                format!("{:.4}", r.avg_degree),
+                if r.synthetic { "synthetic".into() } else { "real".to_string() },
+            ]);
+        }
+        let path = std::path::Path::new(&dir).join("table1.csv");
+        csv.write_to_path(&path).expect("write table1.csv");
+        eprintln!("wrote {}", path.display());
+    }
+}

@@ -1,0 +1,27 @@
+//! Regenerates the paper's Table II (V_max vs RAF at alpha = 0.1).
+//! Set `AF_CSV_DIR` to also write `table2.csv`.
+
+use raf_bench::csv::{f, CsvTable};
+use raf_bench::experiments::table2;
+use raf_bench::ExperimentConfig;
+
+fn main() {
+    let config = ExperimentConfig::from_env();
+    let rows: Vec<_> = config.datasets.iter().map(|&d| table2::run(&config, d)).collect();
+    table2::print(&rows);
+    if let Ok(dir) = std::env::var("AF_CSV_DIR") {
+        let mut csv = CsvTable::new(["dataset", "avg_vmax", "avg_raf", "avg_ratio", "pairs"]);
+        for r in &rows {
+            csv.push_row([
+                r.name.clone(),
+                f(r.avg_vmax),
+                f(r.avg_raf),
+                f(r.avg_ratio),
+                r.pairs.to_string(),
+            ]);
+        }
+        let path = std::path::Path::new(&dir).join("table2.csv");
+        csv.write_to_path(&path).expect("write table2.csv");
+        eprintln!("wrote {}", path.display());
+    }
+}

@@ -1,0 +1,136 @@
+//! Minimal CSV writing for experiment outputs (plot-ready files).
+//!
+//! `serde_json`/`csv` are not in the approved dependency set, so this is
+//! a small RFC-4180-subset writer: numeric and simple string cells,
+//! quoting only when needed.
+
+use std::io::Write;
+use std::path::Path;
+
+/// A CSV table: header plus rows of stringified cells.
+#[derive(Debug, Clone, Default)]
+pub struct CsvTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl CsvTable {
+    /// Creates a table with the given column names.
+    pub fn new<I: IntoIterator<Item = S>, S: Into<String>>(header: I) -> Self {
+        CsvTable { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row; the cell count must match the header.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length differs from the header length.
+    pub fn push_row<I: IntoIterator<Item = S>, S: Into<String>>(&mut self, row: I) {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.header.len(), "row/header arity mismatch");
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether there are no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Serializes to a writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates IO failures.
+    pub fn write_to<W: Write>(&self, mut w: W) -> std::io::Result<()> {
+        writeln!(w, "{}", self.header.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","))?;
+        for row in &self.rows {
+            writeln!(w, "{}", row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","))?;
+        }
+        Ok(())
+    }
+
+    /// Writes to a file path, creating parent directories.
+    ///
+    /// # Errors
+    ///
+    /// Propagates IO failures.
+    pub fn write_to_path(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let file = std::fs::File::create(path)?;
+        self.write_to(std::io::BufWriter::new(file))
+    }
+}
+
+fn escape(cell: &str) -> String {
+    if cell.contains([',', '"', '\n']) {
+        format!("\"{}\"", cell.replace('"', "\"\""))
+    } else {
+        cell.to_string()
+    }
+}
+
+/// Convenience formatter for float cells (fixed precision, plot-safe).
+pub fn f(v: f64) -> String {
+    format!("{v:.6}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_simple_table() {
+        let mut t = CsvTable::new(["alpha", "raf"]);
+        t.push_row(["0.1", "0.034"]);
+        t.push_row(["0.2", "0.036"]);
+        let mut out = Vec::new();
+        t.write_to(&mut out).unwrap();
+        let s = String::from_utf8(out).unwrap();
+        assert_eq!(s, "alpha,raf\n0.1,0.034\n0.2,0.036\n");
+    }
+
+    #[test]
+    fn escapes_special_cells() {
+        let mut t = CsvTable::new(["name"]);
+        t.push_row(["a,b"]);
+        t.push_row(["say \"hi\""]);
+        let mut out = Vec::new();
+        t.write_to(&mut out).unwrap();
+        let s = String::from_utf8(out).unwrap();
+        assert!(s.contains("\"a,b\""));
+        assert!(s.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_checked() {
+        let mut t = CsvTable::new(["a", "b"]);
+        t.push_row(["only one"]);
+    }
+
+    #[test]
+    fn roundtrip_file() {
+        let path = std::env::temp_dir().join("raf_bench_csv_test/out.csv");
+        let mut t = CsvTable::new(["x"]);
+        t.push_row([f(1.5)]);
+        t.write_to_path(&path).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "x\n1.500000\n");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut t = CsvTable::new(["x"]);
+        assert!(t.is_empty());
+        t.push_row(["1"]);
+        assert_eq!(t.len(), 1);
+    }
+}

@@ -1,0 +1,50 @@
+//! Shared helpers: dataset loading + pair screening for one experiment.
+
+use crate::ExperimentConfig;
+use raf_datasets::{load_dataset, sample_pairs, Dataset, PairSamplerConfig, SampledPair};
+use raf_graph::CsrGraph;
+
+/// A dataset prepared for experimentation: the CSR snapshot and the
+/// screened pairs.
+pub struct PreparedDataset {
+    /// Which dataset.
+    pub dataset: Dataset,
+    /// The graph snapshot.
+    pub csr: CsrGraph,
+    /// Screened `(s, t)` pairs with `p_max ≥ 0.01`.
+    pub pairs: Vec<SampledPair>,
+}
+
+/// Loads `dataset` at the configured scale and screens pairs per the
+/// paper's protocol.
+///
+/// # Panics
+///
+/// Panics when the dataset cannot be generated — experiment binaries
+/// treat that as fatal.
+pub fn prepare(config: &ExperimentConfig, dataset: Dataset) -> PreparedDataset {
+    let loaded = load_dataset(dataset, config.scale, config.seed, &config.data_dir)
+        .expect("dataset generation cannot fail with validated configs");
+    let csr = loaded.graph.to_csr();
+    let pair_cfg = PairSamplerConfig {
+        pairs: config.pairs,
+        screen_samples: 2_000,
+        seed: config.seed.wrapping_mul(31).wrapping_add(7),
+        ..Default::default()
+    };
+    let pairs = sample_pairs(&csr, &pair_cfg);
+    PreparedDataset { dataset, csr, pairs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prepares_pairs() {
+        let cfg = ExperimentConfig { pairs: 3, scale: 0.01, ..Default::default() };
+        let prep = prepare(&cfg, Dataset::Wiki);
+        assert!(!prep.pairs.is_empty());
+        assert!(prep.csr.node_count() > 0);
+    }
+}

@@ -1,0 +1,9 @@
+//! One module per paper artifact. Each exposes a `run` returning
+//! structured results and a `print` emitting the paper-style rows.
+
+pub mod common;
+pub mod fig3;
+pub mod fig45;
+pub mod fig6;
+pub mod table1;
+pub mod table2;

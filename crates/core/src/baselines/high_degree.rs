@@ -1,0 +1,101 @@
+//! The High-Degree (HD) baseline.
+
+use super::{is_candidate, Baseline};
+use raf_model::{FriendingInstance, InvitationSet};
+
+/// HD "selects the nodes with the highest degree" (Sec. IV-A): after the
+/// mandatory target, candidates are added in decreasing degree order (ties
+/// toward lower id, deterministic).
+///
+/// The paper observes HD "can hardly" connect `s` and `t` on large
+/// graphs — high-degree hubs need not form a path — which Figs. 3–4
+/// quantify; the same collapse reproduces on the synthetic stand-ins.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HighDegree;
+
+impl HighDegree {
+    /// Creates the baseline.
+    pub fn new() -> Self {
+        HighDegree
+    }
+}
+
+impl Baseline for HighDegree {
+    fn build(&self, instance: &FriendingInstance<'_>, size: usize) -> InvitationSet {
+        let g = instance.graph();
+        let n = g.node_count();
+        let mut inv = InvitationSet::empty(n);
+        if size == 0 {
+            return inv;
+        }
+        inv.insert(instance.target());
+        if inv.len() >= size {
+            return inv;
+        }
+        let mut candidates: Vec<_> = g
+            .nodes()
+            .filter(|&v| v != instance.target() && is_candidate(instance, v))
+            .collect();
+        candidates.sort_by_key(|&v| (std::cmp::Reverse(g.degree(v)), v));
+        for v in candidates {
+            if inv.len() >= size {
+                break;
+            }
+            inv.insert(v);
+        }
+        inv
+    }
+
+    fn name(&self) -> &'static str {
+        "high-degree"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raf_graph::{GraphBuilder, NodeId, WeightScheme};
+
+    #[test]
+    fn picks_hubs_first() {
+        // Node 3 is the hub (degree 4), node 5 has degree 2, leaves 1.
+        let mut b = GraphBuilder::new();
+        b.add_edges(vec![(0, 1), (3, 1), (3, 2), (3, 5), (3, 6), (5, 4), (4, 6)]).unwrap();
+        let g = b.build(WeightScheme::UniformByDegree).unwrap().to_csr();
+        let instance = FriendingInstance::new(&g, NodeId::new(0), NodeId::new(4)).unwrap();
+        let inv = HighDegree::new().build(&instance, 2);
+        assert!(inv.contains(NodeId::new(4))); // target
+        assert!(inv.contains(NodeId::new(3))); // hub
+    }
+
+    #[test]
+    fn size_zero_is_empty() {
+        let mut b = GraphBuilder::new();
+        b.add_edges(vec![(0, 1), (1, 2)]).unwrap();
+        let g = b.build(WeightScheme::UniformByDegree).unwrap().to_csr();
+        let instance = FriendingInstance::new(&g, NodeId::new(0), NodeId::new(2)).unwrap();
+        assert!(HighDegree::new().build(&instance, 0).is_empty());
+    }
+
+    #[test]
+    fn exhausts_candidates_gracefully() {
+        let mut b = GraphBuilder::new();
+        b.add_edges(vec![(0, 1), (1, 2)]).unwrap();
+        let g = b.build(WeightScheme::UniformByDegree).unwrap().to_csr();
+        let instance = FriendingInstance::new(&g, NodeId::new(0), NodeId::new(2)).unwrap();
+        // Only candidate is t itself (node 2): s=0 and seed=1 excluded.
+        let inv = HighDegree::new().build(&instance, 10);
+        assert_eq!(inv.len(), 1);
+    }
+
+    #[test]
+    fn deterministic() {
+        let mut b = GraphBuilder::new();
+        b.add_edges(vec![(0, 1), (1, 2), (2, 3), (3, 4), (2, 5), (5, 4)]).unwrap();
+        let g = b.build(WeightScheme::UniformByDegree).unwrap().to_csr();
+        let instance = FriendingInstance::new(&g, NodeId::new(0), NodeId::new(4)).unwrap();
+        let a = HighDegree::new().build(&instance, 3);
+        let b2 = HighDegree::new().build(&instance, 3);
+        assert_eq!(a, b2);
+    }
+}

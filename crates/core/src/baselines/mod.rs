@@ -1,0 +1,63 @@
+//! Baseline invitation strategies from the paper's evaluation (Sec. IV):
+//! High-Degree (HD), Shortest-Path (SP), and a random-invitation control.
+//!
+//! Every baseline builds invitation sets of a prescribed size so the
+//! experiments can compare algorithms at equal budget (Fig. 3) or grow a
+//! baseline until it matches RAF's acceptance probability (Figs. 4–5).
+//! All baselines always invite the target `t` (an invitation set without
+//! `t` has `f(I) = 0`) and never "invite" `s` or existing friends `N_s`.
+
+mod high_degree;
+mod random_invite;
+mod shortest_path;
+
+pub use high_degree::HighDegree;
+pub use random_invite::RandomInvite;
+pub use shortest_path::ShortestPath;
+
+use raf_model::{FriendingInstance, InvitationSet};
+
+/// A baseline invitation-set builder.
+pub trait Baseline {
+    /// Builds an invitation set with **at most** `size` members (fewer
+    /// when the strategy runs out of candidates). The target `t` is always
+    /// included and counts toward `size`.
+    fn build(&self, instance: &FriendingInstance<'_>, size: usize) -> InvitationSet;
+
+    /// Human-readable name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Shared helper: the candidate filter all baselines apply — never invite
+/// the initiator or an existing friend.
+pub(crate) fn is_candidate(instance: &FriendingInstance<'_>, v: raf_graph::NodeId) -> bool {
+    v != instance.initiator() && !instance.is_seed(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raf_graph::{GraphBuilder, NodeId, WeightScheme};
+
+    #[test]
+    fn all_baselines_include_target_and_respect_size() {
+        let mut b = GraphBuilder::new();
+        b.add_edges(vec![(0, 1), (1, 2), (2, 3), (3, 4), (1, 5), (5, 4), (2, 6)]).unwrap();
+        let g = b.build(WeightScheme::UniformByDegree).unwrap().to_csr();
+        let instance = FriendingInstance::new(&g, NodeId::new(0), NodeId::new(4)).unwrap();
+        let baselines: Vec<Box<dyn Baseline>> = vec![
+            Box::new(HighDegree::new()),
+            Box::new(ShortestPath::new()),
+            Box::new(RandomInvite::with_seed(7)),
+        ];
+        for baseline in &baselines {
+            for size in 1..=5 {
+                let inv = baseline.build(&instance, size);
+                assert!(inv.len() <= size, "{} overshot", baseline.name());
+                assert!(inv.contains(NodeId::new(4)), "{} dropped target", baseline.name());
+                assert!(!inv.contains(NodeId::new(0)), "{} invited s", baseline.name());
+                assert!(!inv.contains(NodeId::new(1)), "{} invited a seed", baseline.name());
+            }
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! The Shortest-Path (SP) baseline.
+
+use super::{is_candidate, Baseline};
+use raf_model::{FriendingInstance, InvitationSet};
+
+/// SP "fills the invitation set by adding the nodes on the shortest paths
+/// from s to t; if more invited nodes are needed, SP will select the next
+/// shortest path disjoint from those that have been selected" (Sec. IV-A).
+///
+/// Paths are consumed shortest-first; within a path, nodes are added from
+/// the `t` end backwards (the nodes closest to the target are the scarce
+/// resource). `s` and existing friends are skipped — they need no
+/// invitation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ShortestPath;
+
+impl ShortestPath {
+    /// Creates the baseline.
+    pub fn new() -> Self {
+        ShortestPath
+    }
+}
+
+impl Baseline for ShortestPath {
+    fn build(&self, instance: &FriendingInstance<'_>, size: usize) -> InvitationSet {
+        let g = instance.graph();
+        let n = g.node_count();
+        let mut inv = InvitationSet::empty(n);
+        if size == 0 {
+            return inv;
+        }
+        inv.insert(instance.target());
+        if inv.len() >= size {
+            return inv;
+        }
+        // A generous path budget: every disjoint path consumes ≥ 1
+        // distinct interior node (or is the direct edge), so `size + 1`
+        // paths always suffice to fill `size` slots.
+        let paths = successive_disjoint_paths_csr(instance, size + 1);
+        'outer: for path in paths {
+            for &v in path.iter().rev() {
+                if is_candidate(instance, v) {
+                    inv.insert(v);
+                    if inv.len() >= size {
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        inv
+    }
+
+    fn name(&self) -> &'static str {
+        "shortest-path"
+    }
+}
+
+/// Successive interior-disjoint BFS shortest paths computed directly on
+/// the CSR snapshot.
+fn successive_disjoint_paths_csr(
+    instance: &FriendingInstance<'_>,
+    max_paths: usize,
+) -> Vec<Vec<raf_graph::NodeId>> {
+    use raf_graph::NodeId;
+    use std::collections::VecDeque;
+    let g = instance.graph();
+    let n = g.node_count();
+    let (s, t) = (instance.initiator(), instance.target());
+    let mut blocked = vec![false; n];
+    let mut allow_direct = true;
+    let mut paths = Vec::new();
+    for _ in 0..max_paths {
+        // BFS avoiding blocked interiors.
+        let mut parent: Vec<Option<NodeId>> = vec![None; n];
+        let mut visited = vec![false; n];
+        let mut queue = VecDeque::new();
+        visited[s.index()] = true;
+        queue.push_back(s);
+        let mut found = false;
+        'bfs: while let Some(v) = queue.pop_front() {
+            for &u in g.neighbors(v) {
+                if visited[u.index()] {
+                    continue;
+                }
+                if u == t {
+                    if v == s && !allow_direct {
+                        continue;
+                    }
+                    parent[u.index()] = Some(v);
+                    found = true;
+                    break 'bfs;
+                }
+                if blocked[u.index()] {
+                    continue;
+                }
+                visited[u.index()] = true;
+                parent[u.index()] = Some(v);
+                queue.push_back(u);
+            }
+        }
+        if !found {
+            break;
+        }
+        let mut path = vec![t];
+        let mut cur = t;
+        while let Some(p) = parent[cur.index()] {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        if path.len() <= 2 {
+            allow_direct = false;
+        }
+        for &v in &path[1..path.len() - 1] {
+            blocked[v.index()] = true;
+        }
+        paths.push(path);
+    }
+    paths
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raf_graph::{GraphBuilder, NodeId, WeightScheme};
+
+    /// Two routes 0→5: 0-1-5 (short) and 0-2-3-4-5 (long).
+    fn two_routes() -> raf_graph::CsrGraph {
+        let mut b = GraphBuilder::new();
+        b.add_edges(vec![(0, 1), (1, 5), (0, 2), (2, 3), (3, 4), (4, 5)]).unwrap();
+        b.build(WeightScheme::UniformByDegree).unwrap().to_csr()
+    }
+
+    #[test]
+    fn takes_short_route_first() {
+        let g = two_routes();
+        let instance = FriendingInstance::new(&g, NodeId::new(0), NodeId::new(5)).unwrap();
+        // Budget 2: target + the short route's interior (node 1 is a seed?
+        // N_0 = {1, 2}: both route entries are seeds!). The path 0-1-5 has
+        // interior {1} which is a seed, so SP must fall through to t only,
+        // then the longer route's interiors 3, 4.
+        let inv = ShortestPath::new().build(&instance, 3);
+        assert!(inv.contains(NodeId::new(5)));
+        assert!(!inv.contains(NodeId::new(1)));
+        assert!(inv.contains(NodeId::new(4)));
+        assert!(inv.contains(NodeId::new(3)));
+    }
+
+    #[test]
+    fn covers_whole_route_with_enough_budget() {
+        // Lengthen route A so its interior is not all seeds:
+        // 0-1-6-5 and 0-2-3-4-5.
+        let mut b = GraphBuilder::new();
+        b.add_edges(vec![(0, 1), (1, 6), (6, 5), (0, 2), (2, 3), (3, 4), (4, 5)]).unwrap();
+        let g = b.build(WeightScheme::UniformByDegree).unwrap().to_csr();
+        let instance = FriendingInstance::new(&g, NodeId::new(0), NodeId::new(5)).unwrap();
+        let inv = ShortestPath::new().build(&instance, 2);
+        // Short route 0-1-6-5: interior candidates {6} (1 is a seed).
+        assert!(inv.contains(NodeId::new(5)));
+        assert!(inv.contains(NodeId::new(6)));
+        assert_eq!(inv.len(), 2);
+    }
+
+    #[test]
+    fn grows_into_second_route() {
+        let mut b = GraphBuilder::new();
+        b.add_edges(vec![(0, 1), (1, 6), (6, 5), (0, 2), (2, 3), (3, 4), (4, 5)]).unwrap();
+        let g = b.build(WeightScheme::UniformByDegree).unwrap().to_csr();
+        let instance = FriendingInstance::new(&g, NodeId::new(0), NodeId::new(5)).unwrap();
+        let inv = ShortestPath::new().build(&instance, 4);
+        // After route A (t, 6), budget flows into route B's interiors
+        // nearest t first: 4, then 3.
+        assert!(inv.contains(NodeId::new(4)));
+        assert!(inv.contains(NodeId::new(3)));
+        assert!(!inv.contains(NodeId::new(2)));
+    }
+
+    #[test]
+    fn disconnected_gives_target_only() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1).unwrap();
+        b.add_edge(2, 3).unwrap();
+        let g = b.build(WeightScheme::UniformByDegree).unwrap().to_csr();
+        let instance = FriendingInstance::new(&g, NodeId::new(0), NodeId::new(3)).unwrap();
+        let inv = ShortestPath::new().build(&instance, 5);
+        assert_eq!(inv.to_vec(), vec![NodeId::new(3)]);
+    }
+}

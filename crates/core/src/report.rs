@@ -1,0 +1,161 @@
+//! Serializable result records shared by the experiment binaries.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-(s, t)-pair evaluation record — one row of raw data behind the
+/// paper's Figs. 3–5 and Table II.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PairReport {
+    /// Initiator node id.
+    pub s: u32,
+    /// Target node id.
+    pub t: u32,
+    /// Monte-Carlo `p_max` estimate for the pair.
+    pub pmax: f64,
+    /// `|I_RAF|`.
+    pub raf_size: usize,
+    /// Estimated `f(I_RAF)`.
+    pub raf_probability: f64,
+    /// Estimated `f(I_HD)` at `|I_HD| = |I_RAF|`.
+    pub hd_probability: f64,
+    /// Estimated `f(I_SP)` at `|I_SP| = |I_RAF|`.
+    pub sp_probability: f64,
+    /// `|V_max|` for the pair.
+    pub vmax_size: usize,
+}
+
+/// Aggregate over many pairs: the averages the paper reports.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct AggregateReport {
+    /// Number of pairs aggregated.
+    pub pairs: usize,
+    /// Mean `p_max`.
+    pub mean_pmax: f64,
+    /// Mean `f(I_RAF)`.
+    pub mean_raf: f64,
+    /// Mean `f(I_HD)`.
+    pub mean_hd: f64,
+    /// Mean `f(I_SP)`.
+    pub mean_sp: f64,
+    /// Mean `|I_RAF|`.
+    pub mean_raf_size: f64,
+    /// Mean `|V_max|`.
+    pub mean_vmax_size: f64,
+}
+
+impl AggregateReport {
+    /// Aggregates a slice of pair reports (empty input → zeroed report).
+    pub fn from_pairs(pairs: &[PairReport]) -> Self {
+        let n = pairs.len();
+        if n == 0 {
+            return Self::default();
+        }
+        let nf = n as f64;
+        AggregateReport {
+            pairs: n,
+            mean_pmax: pairs.iter().map(|p| p.pmax).sum::<f64>() / nf,
+            mean_raf: pairs.iter().map(|p| p.raf_probability).sum::<f64>() / nf,
+            mean_hd: pairs.iter().map(|p| p.hd_probability).sum::<f64>() / nf,
+            mean_sp: pairs.iter().map(|p| p.sp_probability).sum::<f64>() / nf,
+            mean_raf_size: pairs.iter().map(|p| p.raf_size as f64).sum::<f64>() / nf,
+            mean_vmax_size: pairs.iter().map(|p| p.vmax_size as f64).sum::<f64>() / nf,
+        }
+    }
+
+    /// Mean `|V_max| / |I_RAF|` — Table II's bottom row.
+    pub fn vmax_ratio(&self) -> f64 {
+        if self.mean_raf_size == 0.0 {
+            0.0
+        } else {
+            self.mean_vmax_size / self.mean_raf_size
+        }
+    }
+}
+
+/// A binned ratio curve — the Figs. 4–5 presentation: x = probability
+/// ratio bin midpoint, y = average size ratio within the bin.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RatioCurve {
+    /// Bin midpoints on the probability-ratio axis (0.2, 0.4, …, 1.0).
+    pub bin_midpoints: Vec<f64>,
+    /// Mean size ratio per bin (`None` = empty bin).
+    pub mean_size_ratio: Vec<Option<f64>>,
+}
+
+impl RatioCurve {
+    /// Builds the paper's five-bin curve from raw `(prob_ratio,
+    /// size_ratio)` observations.
+    pub fn five_bins(observations: &[(f64, f64)]) -> Self {
+        let edges = [0.0, 0.3, 0.5, 0.7, 0.9, f64::INFINITY];
+        let mids = vec![0.2, 0.4, 0.6, 0.8, 1.0];
+        let mut sums = vec![0.0; 5];
+        let mut counts = vec![0usize; 5];
+        for &(pr, sr) in observations {
+            for b in 0..5 {
+                if pr >= edges[b] && pr < edges[b + 1] {
+                    sums[b] += sr;
+                    counts[b] += 1;
+                    break;
+                }
+            }
+        }
+        let mean = sums
+            .iter()
+            .zip(&counts)
+            .map(|(&s, &c)| if c == 0 { None } else { Some(s / c as f64) })
+            .collect();
+        RatioCurve { bin_midpoints: mids, mean_size_ratio: mean }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair(pm: f64, raf: f64, hd: f64, sp: f64, size: usize, vm: usize) -> PairReport {
+        PairReport {
+            s: 0,
+            t: 1,
+            pmax: pm,
+            raf_size: size,
+            raf_probability: raf,
+            hd_probability: hd,
+            sp_probability: sp,
+            vmax_size: vm,
+        }
+    }
+
+    #[test]
+    fn aggregate_means() {
+        let pairs = vec![pair(0.2, 0.18, 0.1, 0.15, 10, 30), pair(0.4, 0.38, 0.2, 0.35, 20, 60)];
+        let agg = AggregateReport::from_pairs(&pairs);
+        assert_eq!(agg.pairs, 2);
+        assert!((agg.mean_pmax - 0.3).abs() < 1e-12);
+        assert!((agg.mean_raf_size - 15.0).abs() < 1e-12);
+        assert!((agg.mean_vmax_size - 45.0).abs() < 1e-12);
+        assert!((agg.vmax_ratio() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aggregate_empty() {
+        let agg = AggregateReport::from_pairs(&[]);
+        assert_eq!(agg.pairs, 0);
+        assert_eq!(agg.vmax_ratio(), 0.0);
+    }
+
+    #[test]
+    fn ratio_curve_binning() {
+        let obs = vec![(0.25, 2.0), (0.28, 4.0), (0.95, 10.0), (1.0, 20.0)];
+        let curve = RatioCurve::five_bins(&obs);
+        assert_eq!(curve.mean_size_ratio[0], Some(3.0)); // 0.25, 0.28 → bin 1
+        assert_eq!(curve.mean_size_ratio[1], None);
+        assert_eq!(curve.mean_size_ratio[4], Some(15.0)); // 0.95, 1.0
+    }
+
+    #[test]
+    fn ratio_curve_empty() {
+        let curve = RatioCurve::five_bins(&[]);
+        assert!(curve.mean_size_ratio.iter().all(|m| m.is_none()));
+        assert_eq!(curve.bin_midpoints.len(), 5);
+    }
+}

@@ -1,0 +1,249 @@
+//! `V_max` — the unique minimum invitation set achieving `p_max`
+//! (Lemma 7; the polynomial `α = 1` special case of Sec. III-C).
+//!
+//! A node `u` belongs to `V_max` iff `u ∉ {s} ∪ N_s` and some **type-1
+//! backward path** `t(g)` contains `u` — equivalently, some simple path
+//! from `t` to a neighbor of `N_s`, avoiding `N_s` and `s` internally,
+//! passes through `u`. Two computations are provided:
+//!
+//! * [`vmax_exact`] — via the block-cut tree of the seed-free graph with a
+//!   virtual super-target attached to every node adjacent to `N_s`
+//!   (simple-path membership is exactly "union of blocks on the block-cut
+//!   tree path");
+//! * [`vmax_loose`] — the forward∩backward reachability heuristic the
+//!   paper's "simple graph search" phrasing suggests; it over-approximates
+//!   on graphs with cut vertices (e.g. lollipops), which a unit test
+//!   demonstrates.
+
+use raf_graph::{BlockCutTree, NodeId};
+use raf_model::{FriendingInstance, InvitationSet};
+
+/// Exact `V_max` via the block-cut tree. Returns the invitation set
+/// (which always contains `t` when non-empty); an empty set means the
+/// target is unreachable (`p_max = 0`).
+///
+/// ```
+/// use raf_core::vmax_exact;
+/// use raf_graph::{GraphBuilder, NodeId, WeightScheme};
+/// use raf_model::FriendingInstance;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // 0 - 1 - 2 - 3: from s = 0, V_max = {2, 3}.
+/// let mut b = GraphBuilder::new();
+/// b.add_edges(vec![(0, 1), (1, 2), (2, 3)])?;
+/// let g = b.build(WeightScheme::UniformByDegree)?.to_csr();
+/// let inst = FriendingInstance::new(&g, NodeId::new(0), NodeId::new(3))?;
+/// let vm = vmax_exact(&inst);
+/// assert_eq!(vm.to_vec(), vec![NodeId::new(2), NodeId::new(3)]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn vmax_exact(instance: &FriendingInstance<'_>) -> InvitationSet {
+    let g = instance.graph();
+    let n = g.node_count();
+    let s = instance.initiator();
+    let t = instance.target();
+
+    // Build H': the graph on V \ (N_s ∪ {s}) plus a virtual node T* (id n)
+    // adjacent to every retained node that neighbors a seed. Simple t–T*
+    // paths in H' are exactly the type-1 backward paths plus T*.
+    let keep = |v: NodeId| -> bool { !instance.is_seed(v) && v != s };
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n + 1];
+    let star = n as u32;
+    for v in g.nodes() {
+        if !keep(v) {
+            continue;
+        }
+        let vi = v.index() as u32;
+        let mut seed_adjacent = false;
+        for &u in g.neighbors(v) {
+            if instance.is_seed(u) {
+                seed_adjacent = true;
+            } else if keep(u) && u.index() > v.index() {
+                adj[v.index()].push(u.index() as u32);
+                adj[u.index()].push(vi);
+            }
+        }
+        if seed_adjacent {
+            adj[v.index()].push(star);
+            adj[n].push(vi);
+        }
+    }
+    let bct = BlockCutTree::build(&adj);
+    let on_paths = bct.simple_path_vertices(&adj, t.index() as u32, star);
+    let mut set = InvitationSet::empty(n);
+    for &v in &on_paths {
+        if v != star {
+            set.insert(NodeId::new(v as usize));
+        }
+    }
+    set
+}
+
+/// The loose reachability variant: nodes reachable from `t` within the
+/// seed-free graph that can also reach a seed-adjacent node. Always a
+/// superset of [`vmax_exact`].
+pub fn vmax_loose(instance: &FriendingInstance<'_>) -> InvitationSet {
+    let g = instance.graph();
+    let n = g.node_count();
+    let s = instance.initiator();
+    let t = instance.target();
+    let keep = |v: NodeId| -> bool { !instance.is_seed(v) && v != s };
+
+    // BFS from t in the seed-free graph.
+    let mut from_t = vec![false; n];
+    if keep(t) {
+        let mut queue = std::collections::VecDeque::new();
+        from_t[t.index()] = true;
+        queue.push_back(t);
+        while let Some(v) = queue.pop_front() {
+            for &u in g.neighbors(v) {
+                if keep(u) && !from_t[u.index()] {
+                    from_t[u.index()] = true;
+                    queue.push_back(u);
+                }
+            }
+        }
+    }
+    // In the undirected seed-free component, reaching t implies reaching
+    // every seed-adjacent node of that component; membership additionally
+    // requires the component to touch the seeds at all.
+    let component_touches_seeds = from_t.iter().enumerate().any(|(i, &r)| {
+        r && g.neighbors(NodeId::new(i)).iter().any(|&u| instance.is_seed(u))
+    });
+    let mut set = InvitationSet::empty(n);
+    if component_touches_seeds {
+        for (i, &r) in from_t.iter().enumerate() {
+            if r {
+                set.insert(NodeId::new(i));
+            }
+        }
+    }
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raf_graph::{CsrGraph, GraphBuilder, WeightScheme};
+
+    fn csr(edges: &[(usize, usize)]) -> CsrGraph {
+        let mut b = GraphBuilder::new();
+        for &(u, v) in edges {
+            b.add_edge(u, v).unwrap();
+        }
+        b.build(WeightScheme::UniformByDegree).unwrap().to_csr()
+    }
+
+    fn inst(g: &CsrGraph, s: usize, t: usize) -> FriendingInstance<'_> {
+        FriendingInstance::new(g, NodeId::new(s), NodeId::new(t)).unwrap()
+    }
+
+    #[test]
+    fn path_graph_interior() {
+        // 0-1-2-3-4: s=0 (seed 1), t=4 ⇒ V_max = {2, 3, 4}.
+        let g = csr(&[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let instance = inst(&g, 0, 4);
+        let vm = vmax_exact(&instance);
+        let ids: Vec<usize> = vm.iter().map(|v| v.index()).collect();
+        assert_eq!(ids, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn excludes_lollipop_dangler() {
+        // 0-1-2-3-4 plus 5 hanging off 2: 5 is on NO simple path to t=4.
+        let g = csr(&[(0, 1), (1, 2), (2, 3), (3, 4), (2, 5)]);
+        let instance = inst(&g, 0, 4);
+        let exact = vmax_exact(&instance);
+        assert!(!exact.contains(NodeId::new(5)));
+        // The loose variant overcounts it — documenting the difference.
+        let loose = vmax_loose(&instance);
+        assert!(loose.contains(NodeId::new(5)));
+        assert!(loose.is_superset_of(&exact));
+    }
+
+    #[test]
+    fn includes_parallel_routes() {
+        // Diamond behind the seed: s=0, seed 1; routes 1-2-4 and 1-3-4.
+        let g = csr(&[(0, 1), (1, 2), (1, 3), (2, 4), (3, 4)]);
+        let instance = inst(&g, 0, 4);
+        let vm = vmax_exact(&instance);
+        let ids: Vec<usize> = vm.iter().map(|v| v.index()).collect();
+        assert_eq!(ids, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn unreachable_target_empty() {
+        let g = csr(&[(0, 1), (2, 3)]);
+        let instance = inst(&g, 0, 3);
+        assert!(vmax_exact(&instance).is_empty());
+        assert!(vmax_loose(&instance).is_empty());
+    }
+
+    #[test]
+    fn target_adjacent_to_seed() {
+        // 0-1, 1-2: t=2 is adjacent to the seed 1 ⇒ V_max = {2} (inviting
+        // t alone achieves p_max).
+        let g = csr(&[(0, 1), (1, 2)]);
+        let instance = inst(&g, 0, 2);
+        let vm = vmax_exact(&instance);
+        let ids: Vec<usize> = vm.iter().map(|v| v.index()).collect();
+        assert_eq!(ids, vec![2]);
+    }
+
+    #[test]
+    fn seeds_and_initiator_never_in_vmax() {
+        let g = csr(&[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)]);
+        let instance = inst(&g, 0, 4);
+        let vm = vmax_exact(&instance);
+        assert!(!vm.contains(NodeId::new(0)));
+        assert!(!vm.contains(NodeId::new(1)));
+        assert!(!vm.contains(NodeId::new(2)));
+    }
+
+    #[test]
+    fn exact_subset_of_loose_on_random_graphs() {
+        use rand::SeedableRng;
+        for seed in 0..20u64 {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let builder =
+                raf_graph::generators::erdos_renyi_gnm(30, 60, &mut rng).unwrap();
+            let g = builder.build(WeightScheme::UniformByDegree).unwrap().to_csr();
+            if g.has_edge(NodeId::new(0), NodeId::new(29)) {
+                continue;
+            }
+            let instance = inst(&g, 0, 29);
+            let exact = vmax_exact(&instance);
+            let loose = vmax_loose(&instance);
+            assert!(loose.is_superset_of(&exact), "seed {seed}");
+        }
+    }
+
+    /// Lemma 7 behavioral check: f(V_max) ≈ p_max, and dropping any node
+    /// of V_max strictly reduces coverage on a two-route fixture.
+    #[test]
+    fn achieves_pmax_and_is_minimal() {
+        use raf_model::acceptance::estimate_acceptance;
+        use raf_model::pmax::estimate_pmax_fixed;
+        use rand::SeedableRng;
+        // Two parallel routes 0-2-3-1 and 0-4-1 (s=0, t=1).
+        let g = csr(&[(0, 2), (2, 3), (3, 1), (0, 4), (4, 1)]);
+        let instance = inst(&g, 0, 1);
+        let vm = vmax_exact(&instance);
+        let ids: Vec<usize> = vm.iter().map(|v| v.index()).collect();
+        assert_eq!(ids, vec![1, 3]); // interiors 3 (route A) and t; 2, 4 are seeds
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let samples = 60_000;
+        let p_vm = estimate_acceptance(&instance, &vm, samples, &mut rng).probability;
+        let pmax = estimate_pmax_fixed(&instance, samples, &mut rng).pmax;
+        assert!((p_vm - pmax).abs() < 0.01, "f(Vmax) {p_vm} vs pmax {pmax}");
+        // Removing any member strictly hurts.
+        for v in vm.iter() {
+            let mut smaller = vm.clone();
+            smaller.remove(v);
+            let p_small =
+                estimate_acceptance(&instance, &smaller, samples, &mut rng).probability;
+            assert!(p_small < p_vm - 0.01, "removing {v} did not hurt: {p_small} vs {p_vm}");
+        }
+    }
+}

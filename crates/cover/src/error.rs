@@ -1,0 +1,67 @@
+//! Error type for cover solvers.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by MSC/MpU solvers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoverError {
+    /// `p` exceeds the number of available sets.
+    NotEnoughSets {
+        /// Requested number of sets.
+        p: usize,
+        /// Available sets.
+        available: usize,
+    },
+    /// An element id exceeds the declared universe size.
+    ElementOutOfRange {
+        /// The offending element.
+        element: u32,
+        /// The universe size.
+        universe: usize,
+    },
+    /// The instance is too large for the chosen solver (exact solvers
+    /// refuse combinatorial blowups).
+    TooLarge {
+        /// Explanation of the limit.
+        message: String,
+    },
+}
+
+impl fmt::Display for CoverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoverError::NotEnoughSets { p, available } => {
+                write!(f, "cannot cover {p} sets: only {available} available")
+            }
+            CoverError::ElementOutOfRange { element, universe } => {
+                write!(f, "element {element} outside universe of size {universe}")
+            }
+            CoverError::TooLarge { message } => write!(f, "instance too large: {message}"),
+        }
+    }
+}
+
+impl Error for CoverError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            CoverError::NotEnoughSets { p: 5, available: 3 }.to_string(),
+            "cannot cover 5 sets: only 3 available"
+        );
+        assert!(CoverError::TooLarge { message: "m=100".into() }
+            .to_string()
+            .contains("m=100"));
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoverError>();
+    }
+}

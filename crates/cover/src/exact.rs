@@ -1,0 +1,156 @@
+//! Exact (brute-force) MpU solver for verification.
+
+use crate::solver::check_p;
+use crate::{CoverError, CoverInstance, CoverSolution, MpuSolver};
+
+/// Exhaustively enumerates all `C(m, p)` set combinations. Only for
+/// verification on small instances — refuses anything with more than
+/// [`ExactSolver::DEFAULT_LIMIT`] combinations.
+#[derive(Debug, Clone, Copy)]
+pub struct ExactSolver {
+    limit: u128,
+}
+
+impl Default for ExactSolver {
+    fn default() -> Self {
+        ExactSolver { limit: Self::DEFAULT_LIMIT }
+    }
+}
+
+impl ExactSolver {
+    /// Default combination budget (`C(m, p)` must not exceed this).
+    pub const DEFAULT_LIMIT: u128 = 2_000_000;
+
+    /// Creates the solver with the default combination budget.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates the solver with a custom combination budget.
+    pub fn with_limit(limit: u128) -> Self {
+        ExactSolver { limit }
+    }
+
+    fn combinations(m: usize, p: usize) -> u128 {
+        let p = p.min(m - p.min(m));
+        let mut acc: u128 = 1;
+        for i in 0..p {
+            acc = acc.saturating_mul((m - i) as u128) / (i as u128 + 1);
+            if acc > u128::MAX / 2 {
+                return u128::MAX;
+            }
+        }
+        acc
+    }
+}
+
+impl MpuSolver for ExactSolver {
+    fn solve(&self, instance: &CoverInstance, p: usize) -> Result<CoverSolution, CoverError> {
+        check_p(instance, p)?;
+        let m = instance.set_count();
+        let combos = Self::combinations(m, p);
+        if combos > self.limit {
+            return Err(CoverError::TooLarge {
+                message: format!("C({m}, {p}) = {combos} exceeds limit {}", self.limit),
+            });
+        }
+        if p == 0 {
+            return Ok(CoverSolution::from_sets(instance, Vec::new()));
+        }
+        // Iterate over p-combinations in lexicographic order.
+        let mut indices: Vec<usize> = (0..p).collect();
+        let mut best: Option<CoverSolution> = None;
+        loop {
+            let candidate = CoverSolution::from_sets(instance, indices.clone());
+            let better = match &best {
+                None => true,
+                Some(b) => candidate.cost() < b.cost(),
+            };
+            if better {
+                best = Some(candidate);
+            }
+            // Advance to the next combination.
+            let mut i = p;
+            loop {
+                if i == 0 {
+                    return Ok(best.expect("at least one combination evaluated"));
+                }
+                i -= 1;
+                if indices[i] != i + m - p {
+                    break;
+                }
+            }
+            indices[i] += 1;
+            for j in i + 1..p {
+                indices[j] = indices[j - 1] + 1;
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "exact-bruteforce"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GreedyMarginal;
+
+    #[test]
+    fn finds_optimum_small() {
+        // Optimal p=2: {0,1,2} ∪ {0,1} has union 3; every other pair ≥ 4.
+        let inst = CoverInstance::new(
+            8,
+            vec![vec![0, 1, 2], vec![0, 1], vec![4, 5, 6], vec![6, 7]],
+        )
+        .unwrap();
+        let sol = ExactSolver::new().solve(&inst, 2).unwrap();
+        assert_eq!(sol.cost(), 3);
+        assert!(sol.verify(&inst, 2));
+    }
+
+    #[test]
+    fn exact_never_worse_than_greedy() {
+        let inst = CoverInstance::new(
+            10,
+            vec![vec![0, 1], vec![2, 3], vec![0, 2], vec![4, 5, 6], vec![7], vec![8, 9]],
+        )
+        .unwrap();
+        for p in 0..=6 {
+            let exact = ExactSolver::new().solve(&inst, p).unwrap();
+            let greedy = GreedyMarginal::new().solve(&inst, p).unwrap();
+            assert!(exact.cost() <= greedy.cost(), "p={p}");
+        }
+    }
+
+    #[test]
+    fn refuses_large_instances() {
+        let sets = vec![vec![0u32]; 200];
+        let inst = CoverInstance::new(1, sets).unwrap();
+        let err = ExactSolver::with_limit(1_000).solve(&inst, 100).unwrap_err();
+        assert!(matches!(err, CoverError::TooLarge { .. }));
+    }
+
+    #[test]
+    fn combination_math() {
+        assert_eq!(ExactSolver::combinations(5, 2), 10);
+        assert_eq!(ExactSolver::combinations(10, 0), 1);
+        assert_eq!(ExactSolver::combinations(10, 10), 1);
+        assert_eq!(ExactSolver::combinations(52, 5), 2_598_960);
+    }
+
+    #[test]
+    fn p_equals_m() {
+        let inst = CoverInstance::new(4, vec![vec![0], vec![1], vec![2, 3]]).unwrap();
+        let sol = ExactSolver::new().solve(&inst, 3).unwrap();
+        assert_eq!(sol.cost(), 4);
+    }
+
+    #[test]
+    fn p_zero() {
+        let inst = CoverInstance::new(4, vec![vec![0]]).unwrap();
+        let sol = ExactSolver::new().solve(&inst, 0).unwrap();
+        assert_eq!(sol.cost(), 0);
+    }
+}

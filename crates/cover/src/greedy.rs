@@ -1,0 +1,231 @@
+//! The marginal-cost greedy MpU solver.
+
+use crate::solver::check_p;
+use crate::{CoverError, CoverInstance, CoverSolution, MpuSolver};
+
+/// Greedy MpU: repeatedly choose the set with the smallest marginal union
+/// increase until `p` sets are chosen.
+///
+/// On RAF's instances — families of backward paths that overlap along
+/// shared route segments — this is the empirically dominant portfolio arm:
+/// once one path is paid for, overlapping paths cost only their
+/// non-shared suffix.
+///
+/// Implementation: an element→sets inverted index plus a bucket queue
+/// keyed by current marginal. Every element is covered at most once, and
+/// covering it decrements the marginal of each set containing it exactly
+/// once, so the whole run costs `O(Σ|S_i|)` — linear in the input —
+/// rather than the naive `O(p·m·|S|)` rescan. Marginals only decrease,
+/// so stale bucket entries are detected by comparing against the exact
+/// `marginal[i]` and skipped.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GreedyMarginal;
+
+impl GreedyMarginal {
+    /// Creates the solver.
+    pub fn new() -> Self {
+        GreedyMarginal
+    }
+}
+
+/// Greedy state shared with the anchor solver's padding phase: continues
+/// a partially chosen solution until `target_count` sets are selected.
+pub(crate) fn greedy_fill(
+    instance: &CoverInstance,
+    taken: &mut [bool],
+    in_union: &mut [bool],
+    chosen: &mut Vec<usize>,
+    target_count: usize,
+) {
+    let m = instance.set_count();
+    if chosen.len() >= target_count {
+        return;
+    }
+    // Exact current marginals.
+    let mut marginal: Vec<u32> = (0..m)
+        .map(|i| {
+            if taken[i] {
+                0
+            } else {
+                instance.marginal(i, in_union) as u32
+            }
+        })
+        .collect();
+    let max_size = marginal.iter().copied().max().unwrap_or(0) as usize;
+    let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); max_size + 1];
+    // Reverse order so ties pop the lowest index first.
+    for i in (0..m).rev() {
+        if !taken[i] {
+            buckets[marginal[i] as usize].push(i as u32);
+        }
+    }
+    // Inverted index over the not-yet-covered elements only.
+    let mut elem_sets: Vec<Vec<u32>> = vec![Vec::new(); instance.universe()];
+    for (i, set) in instance.sets().iter().enumerate() {
+        if taken[i] {
+            continue;
+        }
+        for &e in set {
+            if !in_union[e as usize] {
+                elem_sets[e as usize].push(i as u32);
+            }
+        }
+    }
+    let mut cursor = 0usize;
+    while chosen.len() < target_count {
+        // Find the next valid (non-stale, untaken) minimum-marginal set.
+        let idx = loop {
+            while cursor < buckets.len() && buckets[cursor].is_empty() {
+                cursor += 1;
+            }
+            debug_assert!(cursor < buckets.len(), "p ≤ m guarantees a candidate");
+            let i = buckets[cursor].pop().expect("non-empty bucket") as usize;
+            if !taken[i] && marginal[i] as usize == cursor {
+                break i;
+            }
+        };
+        taken[idx] = true;
+        chosen.push(idx);
+        for &e in instance.set(idx) {
+            let e = e as usize;
+            if in_union[e] {
+                continue;
+            }
+            in_union[e] = true;
+            for &j in &elem_sets[e] {
+                let j = j as usize;
+                if taken[j] {
+                    continue;
+                }
+                marginal[j] -= 1;
+                let lvl = marginal[j] as usize;
+                buckets[lvl].push(j as u32);
+                if lvl < cursor {
+                    cursor = lvl;
+                }
+            }
+        }
+    }
+}
+
+impl MpuSolver for GreedyMarginal {
+    fn solve(&self, instance: &CoverInstance, p: usize) -> Result<CoverSolution, CoverError> {
+        check_p(instance, p)?;
+        let mut taken = vec![false; instance.set_count()];
+        let mut in_union = vec![false; instance.universe()];
+        let mut chosen = Vec::with_capacity(p);
+        greedy_fill(instance, &mut taken, &mut in_union, &mut chosen, p);
+        Ok(CoverSolution::from_sets(instance, chosen))
+    }
+
+    fn name(&self) -> &'static str {
+        "greedy-marginal"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn picks_overlapping_sets() {
+        // Sets: {0,1,2}, {0,1,3}, {4,5,6}. For p=2 greedy takes the two
+        // overlapping ones: union 4 < 6.
+        let inst = CoverInstance::new(7, vec![vec![0, 1, 2], vec![0, 1, 3], vec![4, 5, 6]])
+            .unwrap();
+        let sol = GreedyMarginal::new().solve(&inst, 2).unwrap();
+        assert_eq!(sol.cost(), 4);
+        assert!(sol.verify(&inst, 2));
+    }
+
+    #[test]
+    fn p_zero_is_empty() {
+        let inst = CoverInstance::new(3, vec![vec![0]]).unwrap();
+        let sol = GreedyMarginal::new().solve(&inst, 0).unwrap();
+        assert_eq!(sol.cost(), 0);
+        assert!(sol.chosen_sets.is_empty());
+    }
+
+    #[test]
+    fn p_equals_m_takes_everything() {
+        let inst = CoverInstance::new(4, vec![vec![0], vec![1], vec![2, 3]]).unwrap();
+        let sol = GreedyMarginal::new().solve(&inst, 3).unwrap();
+        assert_eq!(sol.cost(), 4);
+    }
+
+    #[test]
+    fn rejects_p_above_m() {
+        let inst = CoverInstance::new(2, vec![vec![0]]).unwrap();
+        assert!(matches!(
+            GreedyMarginal::new().solve(&inst, 2),
+            Err(CoverError::NotEnoughSets { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_sets_are_free_after_first() {
+        let inst = CoverInstance::new(4, vec![vec![0, 1], vec![0, 1], vec![2, 3]]).unwrap();
+        let sol = GreedyMarginal::new().solve(&inst, 2).unwrap();
+        assert_eq!(sol.cost(), 2); // both copies of {0,1}
+    }
+
+    #[test]
+    fn deterministic_tie_breaking() {
+        let inst = CoverInstance::new(4, vec![vec![0], vec![1], vec![2]]).unwrap();
+        let sol = GreedyMarginal::new().solve(&inst, 2).unwrap();
+        assert_eq!(sol.chosen_sets, vec![0, 1]);
+    }
+
+    #[test]
+    fn path_family_shares_prefix() {
+        // Paths through a shared spine: {9,8,7}, {9,8,6}, {9,5,4,3}.
+        let inst = CoverInstance::new(10, vec![vec![9, 8, 7], vec![9, 8, 6], vec![9, 5, 4, 3]])
+            .unwrap();
+        let sol = GreedyMarginal::new().solve(&inst, 2).unwrap();
+        // First {9,8,7} (or sibling), then the sibling costs 1 more.
+        assert_eq!(sol.cost(), 4);
+    }
+
+    #[test]
+    fn is_a_valid_greedy_execution_on_random_instances() {
+        // Greedy solutions are not unique under ties, so instead of
+        // comparing against a specific reference run, replay the fast
+        // implementation's choices and assert each selected set had the
+        // globally minimal marginal at its selection time.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        for _ in 0..80 {
+            let universe = rng.gen_range(4..20);
+            let m = rng.gen_range(1..15);
+            let sets: Vec<Vec<u32>> = (0..m)
+                .map(|_| {
+                    let len = rng.gen_range(1..6);
+                    (0..len).map(|_| rng.gen_range(0..universe as u32)).collect()
+                })
+                .collect();
+            let inst = CoverInstance::new(universe, sets).unwrap();
+            let p = rng.gen_range(0..=m);
+            let fast = GreedyMarginal::new().solve(&inst, p).unwrap();
+            assert!(fast.verify(&inst, p));
+            // Replay.
+            let mut in_union = vec![false; inst.universe()];
+            let mut taken = vec![false; m];
+            for &idx in &fast.chosen_sets {
+                let chosen_marg = inst.marginal(idx, &in_union);
+                let global_min = (0..m)
+                    .filter(|&i| !taken[i])
+                    .map(|i| inst.marginal(i, &in_union))
+                    .min()
+                    .expect("candidates remain");
+                assert_eq!(
+                    chosen_marg, global_min,
+                    "set {idx} had marginal {chosen_marg}, min was {global_min}"
+                );
+                taken[idx] = true;
+                for &e in inst.set(idx) {
+                    in_union[e as usize] = true;
+                }
+            }
+        }
+    }
+}

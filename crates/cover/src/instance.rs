@@ -1,0 +1,147 @@
+//! MpU/MSC problem instances.
+
+use crate::CoverError;
+use serde::{Deserialize, Serialize};
+
+/// A Minimum p-Union instance: a ground set `0..universe` and a family of
+/// subsets. Sets are stored sorted and deduplicated, enabling `O(|S|)`
+/// merge-based marginal computations.
+///
+/// In the RAF pipeline, each set is a sampled backward path `t(g)` and the
+/// ground set is the node set of the social graph.
+///
+/// ```
+/// use raf_cover::{CoverInstance, GreedyMarginal, MpuSolver};
+///
+/// # fn main() -> Result<(), raf_cover::CoverError> {
+/// let inst = CoverInstance::new(5, vec![vec![0, 1], vec![1, 2], vec![3, 4]])?;
+/// let sol = GreedyMarginal::new().solve(&inst, 2)?;
+/// assert_eq!(sol.cost(), 3); // the two overlapping sets
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoverInstance {
+    universe: usize,
+    sets: Vec<Vec<u32>>,
+}
+
+impl CoverInstance {
+    /// Builds an instance, normalizing each set (sort + dedup).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoverError::ElementOutOfRange`] when a set mentions an
+    /// element `≥ universe`.
+    pub fn new(universe: usize, sets: Vec<Vec<u32>>) -> Result<Self, CoverError> {
+        let mut normalized = Vec::with_capacity(sets.len());
+        for mut set in sets {
+            set.sort_unstable();
+            set.dedup();
+            if let Some(&max) = set.last() {
+                if max as usize >= universe {
+                    return Err(CoverError::ElementOutOfRange { element: max, universe });
+                }
+            }
+            normalized.push(set);
+        }
+        Ok(CoverInstance { universe, sets: normalized })
+    }
+
+    /// Ground-set size.
+    #[inline]
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// Number of sets `m = |U|`.
+    #[inline]
+    pub fn set_count(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// The `i`-th set (sorted, deduplicated).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[inline]
+    pub fn set(&self, i: usize) -> &[u32] {
+        &self.sets[i]
+    }
+
+    /// All sets.
+    pub fn sets(&self) -> &[Vec<u32>] {
+        &self.sets
+    }
+
+    /// Marginal cost of adding set `i` to the partial union described by
+    /// `in_union`: `|S_i \ A|`.
+    pub fn marginal(&self, i: usize, in_union: &[bool]) -> usize {
+        self.sets[i].iter().filter(|&&e| !in_union[e as usize]).count()
+    }
+
+    /// Number of sets fully contained in the element mask `mask`.
+    pub fn covered_count(&self, mask: &[bool]) -> usize {
+        self.sets
+            .iter()
+            .filter(|s| s.iter().all(|&e| mask[e as usize]))
+            .count()
+    }
+
+    /// The theoretical portfolio guarantee target `2√m` from the paper.
+    pub fn approximation_target(&self) -> f64 {
+        2.0 * (self.set_count() as f64).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalizes_sets() {
+        let inst = CoverInstance::new(5, vec![vec![3, 1, 3, 0]]).unwrap();
+        assert_eq!(inst.set(0), &[0, 1, 3]);
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let err = CoverInstance::new(3, vec![vec![0, 5]]).unwrap_err();
+        assert!(matches!(err, CoverError::ElementOutOfRange { element: 5, universe: 3 }));
+    }
+
+    #[test]
+    fn marginal_counts_new_elements() {
+        let inst = CoverInstance::new(6, vec![vec![0, 1, 2], vec![2, 3]]).unwrap();
+        let mut in_union = vec![false; 6];
+        assert_eq!(inst.marginal(0, &in_union), 3);
+        in_union[2] = true;
+        assert_eq!(inst.marginal(0, &in_union), 2);
+        assert_eq!(inst.marginal(1, &in_union), 1);
+    }
+
+    #[test]
+    fn covered_count() {
+        let inst = CoverInstance::new(6, vec![vec![0, 1], vec![1, 2], vec![4]]).unwrap();
+        let mut mask = vec![false; 6];
+        mask[0] = true;
+        mask[1] = true;
+        assert_eq!(inst.covered_count(&mask), 1);
+        mask[2] = true;
+        assert_eq!(inst.covered_count(&mask), 2);
+    }
+
+    #[test]
+    fn empty_sets_are_always_covered() {
+        let inst = CoverInstance::new(3, vec![vec![], vec![0]]).unwrap();
+        let mask = vec![false; 3];
+        assert_eq!(inst.covered_count(&mask), 1);
+    }
+
+    #[test]
+    fn approximation_target() {
+        let inst = CoverInstance::new(3, vec![vec![0]; 16]).unwrap();
+        assert_eq!(inst.approximation_target(), 8.0);
+    }
+}

@@ -1,0 +1,69 @@
+//! The p-smallest-sets MpU solver.
+
+use crate::solver::check_p;
+use crate::{CoverError, CoverInstance, CoverSolution, MpuSolver};
+
+/// Takes the `p` sets of smallest cardinality (ties toward lower index).
+///
+/// Since every optimal set has size at most `opt`, the `p`-th smallest
+/// cardinality is at most `opt`, so this arm costs at most `p·opt` — the
+/// winning regime when `p` is small relative to `√m`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SmallestSets;
+
+impl SmallestSets {
+    /// Creates the solver.
+    pub fn new() -> Self {
+        SmallestSets
+    }
+}
+
+impl MpuSolver for SmallestSets {
+    fn solve(&self, instance: &CoverInstance, p: usize) -> Result<CoverSolution, CoverError> {
+        check_p(instance, p)?;
+        let mut order: Vec<usize> = (0..instance.set_count()).collect();
+        order.sort_by_key(|&i| (instance.set(i).len(), i));
+        order.truncate(p);
+        Ok(CoverSolution::from_sets(instance, order))
+    }
+
+    fn name(&self) -> &'static str {
+        "p-smallest-sets"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn takes_smallest() {
+        let inst =
+            CoverInstance::new(8, vec![vec![0, 1, 2, 3], vec![4], vec![5, 6], vec![7]]).unwrap();
+        let sol = SmallestSets::new().solve(&inst, 2).unwrap();
+        assert_eq!(sol.chosen_sets, vec![1, 3]);
+        assert_eq!(sol.cost(), 2);
+    }
+
+    #[test]
+    fn beats_greedy_when_small_sets_disjoint() {
+        // Greedy might chase overlap; smallest just grabs singletons.
+        let inst = CoverInstance::new(6, vec![vec![0], vec![1], vec![2, 3, 4, 5]]).unwrap();
+        let sol = SmallestSets::new().solve(&inst, 2).unwrap();
+        assert_eq!(sol.cost(), 2);
+    }
+
+    #[test]
+    fn p_equals_m() {
+        let inst = CoverInstance::new(3, vec![vec![0], vec![1, 2]]).unwrap();
+        let sol = SmallestSets::new().solve(&inst, 2).unwrap();
+        assert_eq!(sol.cost(), 3);
+        assert!(sol.verify(&inst, 2));
+    }
+
+    #[test]
+    fn rejects_p_above_m() {
+        let inst = CoverInstance::new(2, vec![vec![0]]).unwrap();
+        assert!(SmallestSets::new().solve(&inst, 5).is_err());
+    }
+}

@@ -1,0 +1,121 @@
+//! Solutions to MpU instances.
+
+use crate::CoverInstance;
+use serde::{Deserialize, Serialize};
+
+/// A feasible MpU solution: the indices of the chosen sets and their
+/// union.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoverSolution {
+    /// Indices (into the instance's family) of the chosen sets.
+    pub chosen_sets: Vec<usize>,
+    /// The union of the chosen sets, sorted.
+    pub union: Vec<u32>,
+}
+
+impl CoverSolution {
+    /// Assembles a solution from chosen set indices, computing the union.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range for the instance.
+    pub fn from_sets(instance: &CoverInstance, chosen: Vec<usize>) -> Self {
+        let mut mask = vec![false; instance.universe()];
+        for &i in &chosen {
+            for &e in instance.set(i) {
+                mask[e as usize] = true;
+            }
+        }
+        let union = mask
+            .iter()
+            .enumerate()
+            .filter(|(_, &m)| m)
+            .map(|(e, _)| e as u32)
+            .collect();
+        CoverSolution { chosen_sets: chosen, union }
+    }
+
+    /// The objective value `|∪ S_i|`.
+    #[inline]
+    pub fn cost(&self) -> usize {
+        self.union.len()
+    }
+
+    /// Number of chosen sets.
+    pub fn set_count(&self) -> usize {
+        self.chosen_sets.len()
+    }
+
+    /// Verifies feasibility against an instance: `p` sets chosen, all
+    /// distinct, and the recorded union is exactly their union.
+    pub fn verify(&self, instance: &CoverInstance, p: usize) -> bool {
+        if self.chosen_sets.len() != p {
+            return false;
+        }
+        let mut seen = std::collections::HashSet::new();
+        for &i in &self.chosen_sets {
+            if i >= instance.set_count() || !seen.insert(i) {
+                return false;
+            }
+        }
+        let recomputed = CoverSolution::from_sets(instance, self.chosen_sets.clone());
+        recomputed.union == self.union
+    }
+
+    /// The union as a membership mask over the universe.
+    pub fn union_mask(&self, universe: usize) -> Vec<bool> {
+        let mut mask = vec![false; universe];
+        for &e in &self.union {
+            mask[e as usize] = true;
+        }
+        mask
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inst() -> CoverInstance {
+        CoverInstance::new(6, vec![vec![0, 1], vec![1, 2], vec![3, 4, 5]]).unwrap()
+    }
+
+    #[test]
+    fn union_computed() {
+        let s = CoverSolution::from_sets(&inst(), vec![0, 1]);
+        assert_eq!(s.union, vec![0, 1, 2]);
+        assert_eq!(s.cost(), 3);
+        assert_eq!(s.set_count(), 2);
+    }
+
+    #[test]
+    fn verify_accepts_valid() {
+        let s = CoverSolution::from_sets(&inst(), vec![0, 2]);
+        assert!(s.verify(&inst(), 2));
+        assert!(!s.verify(&inst(), 3));
+    }
+
+    #[test]
+    fn verify_rejects_duplicates_and_bad_union() {
+        let dup = CoverSolution { chosen_sets: vec![0, 0], union: vec![0, 1] };
+        assert!(!dup.verify(&inst(), 2));
+        let wrong_union = CoverSolution { chosen_sets: vec![0], union: vec![0] };
+        assert!(!wrong_union.verify(&inst(), 1));
+        let out_of_range = CoverSolution { chosen_sets: vec![9], union: vec![] };
+        assert!(!out_of_range.verify(&inst(), 1));
+    }
+
+    #[test]
+    fn union_mask_roundtrip() {
+        let s = CoverSolution::from_sets(&inst(), vec![2]);
+        let mask = s.union_mask(6);
+        assert_eq!(mask, vec![false, false, false, true, true, true]);
+    }
+
+    #[test]
+    fn empty_solution() {
+        let s = CoverSolution::from_sets(&inst(), vec![]);
+        assert_eq!(s.cost(), 0);
+        assert!(s.verify(&inst(), 0));
+    }
+}

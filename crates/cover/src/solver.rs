@@ -1,0 +1,53 @@
+//! The [`MpuSolver`] trait shared by all solver implementations.
+
+use crate::{CoverError, CoverInstance, CoverSolution};
+
+/// A Minimum p-Union solver: choose exactly `p` sets minimizing the size
+/// of their union.
+///
+/// All implementations return a *feasible* solution (exactly `p` distinct
+/// sets) or an error; optimality/approximation quality varies per
+/// implementation.
+pub trait MpuSolver {
+    /// Solves the instance for the given `p`.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoverError::NotEnoughSets`] when `p > m`;
+    /// * solver-specific size limits ([`CoverError::TooLarge`]).
+    fn solve(&self, instance: &CoverInstance, p: usize) -> Result<CoverSolution, CoverError>;
+
+    /// Human-readable solver name for reports and benchmarks.
+    fn name(&self) -> &'static str;
+}
+
+/// Shared feasibility pre-check used by all solvers.
+pub(crate) fn check_p(instance: &CoverInstance, p: usize) -> Result<(), CoverError> {
+    if p > instance.set_count() {
+        return Err(CoverError::NotEnoughSets { p, available: instance.set_count() });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GreedyMarginal;
+
+    #[test]
+    fn trait_object_usable() {
+        let solver: Box<dyn MpuSolver> = Box::new(GreedyMarginal::new());
+        let inst = CoverInstance::new(3, vec![vec![0], vec![1, 2]]).unwrap();
+        let sol = solver.solve(&inst, 1).unwrap();
+        assert_eq!(sol.cost(), 1);
+        assert_eq!(solver.name(), "greedy-marginal");
+    }
+
+    #[test]
+    fn check_p_boundary() {
+        let inst = CoverInstance::new(3, vec![vec![0], vec![1]]).unwrap();
+        assert!(check_p(&inst, 2).is_ok());
+        assert!(check_p(&inst, 3).is_err());
+        assert!(check_p(&inst, 0).is_ok());
+    }
+}

@@ -1,0 +1,89 @@
+//! Property-based verification of the cover solvers: feasibility
+//! everywhere, and the portfolio's `2√m` approximation target against the
+//! exact optimum on small random instances.
+
+use proptest::prelude::*;
+use raf_cover::{
+    solve_msc, AnchorSolver, ChlamtacPortfolio, CoverInstance, ExactSolver, GreedyMarginal,
+    MpuSolver, SmallestSets,
+};
+
+prop_compose! {
+    /// Random small MpU instance: up to 10 sets over a universe of ≤ 16.
+    fn instances()(universe in 4usize..16)
+        (sets in proptest::collection::vec(
+            proptest::collection::vec(0u32..16, 1..6), 1..10),
+         universe in Just(universe))
+        -> CoverInstance {
+        let clipped: Vec<Vec<u32>> = sets
+            .into_iter()
+            .map(|s| s.into_iter().map(|e| e % universe as u32).collect())
+            .collect();
+        CoverInstance::new(universe, clipped).unwrap()
+    }
+}
+
+proptest! {
+    /// Every solver produces a feasible solution for every feasible p.
+    #[test]
+    fn all_solvers_feasible(inst in instances()) {
+        let solvers: Vec<Box<dyn MpuSolver>> = vec![
+            Box::new(GreedyMarginal::new()),
+            Box::new(SmallestSets::new()),
+            Box::new(AnchorSolver::new()),
+            Box::new(ChlamtacPortfolio::new()),
+        ];
+        for p in 0..=inst.set_count() {
+            for solver in &solvers {
+                let sol = solver.solve(&inst, p).unwrap();
+                prop_assert!(sol.verify(&inst, p), "{} infeasible at p={}", solver.name(), p);
+            }
+        }
+    }
+
+    /// The portfolio stays within the paper's 2√m target of the exact
+    /// optimum (and in practice much closer).
+    #[test]
+    fn portfolio_within_2_sqrt_m(inst in instances()) {
+        let target = inst.approximation_target();
+        for p in 1..=inst.set_count() {
+            let exact = ExactSolver::new().solve(&inst, p).unwrap();
+            let approx = ChlamtacPortfolio::new().solve(&inst, p).unwrap();
+            if exact.cost() == 0 {
+                prop_assert_eq!(approx.cost(), 0);
+            } else {
+                let ratio = approx.cost() as f64 / exact.cost() as f64;
+                prop_assert!(
+                    ratio <= target + 1e-9,
+                    "ratio {} exceeds 2√m = {} at p={}",
+                    ratio, target, p
+                );
+            }
+        }
+    }
+
+    /// MSC solutions cover at least p sets, and their cost is monotone
+    /// non-decreasing in p when solved exactly.
+    #[test]
+    fn msc_coverage_and_monotonicity(inst in instances()) {
+        let mut last_cost = 0usize;
+        for p in 0..=inst.set_count() {
+            let sol = solve_msc(&ExactSolver::new(), &inst, p).unwrap();
+            prop_assert!(sol.covered_count() >= p);
+            prop_assert!(sol.cost() >= last_cost,
+                "exact MSC cost decreased: {} < {} at p={}", sol.cost(), last_cost, p);
+            last_cost = sol.cost();
+        }
+    }
+
+    /// Exact is a lower bound for every heuristic arm.
+    #[test]
+    fn exact_lower_bounds_heuristics(inst in instances()) {
+        for p in 1..=inst.set_count() {
+            let exact = ExactSolver::new().solve(&inst, p).unwrap().cost();
+            prop_assert!(GreedyMarginal::new().solve(&inst, p).unwrap().cost() >= exact);
+            prop_assert!(SmallestSets::new().solve(&inst, p).unwrap().cost() >= exact);
+            prop_assert!(AnchorSolver::new().solve(&inst, p).unwrap().cost() >= exact);
+        }
+    }
+}

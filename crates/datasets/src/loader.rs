@@ -1,0 +1,99 @@
+//! Dataset loading: real SNAP files when available, synthetic stand-ins
+//! otherwise.
+
+use crate::{synthetic, Dataset};
+use raf_graph::io::{read_edge_list_path, EdgeListOptions};
+use raf_graph::{GraphError, SocialGraph, WeightScheme};
+use std::path::{Path, PathBuf};
+
+/// Where a loaded dataset came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DatasetSource {
+    /// A real SNAP edge list found on disk.
+    Real,
+    /// The calibrated synthetic stand-in (DESIGN.md §4).
+    Synthetic,
+}
+
+/// A loaded dataset with provenance.
+#[derive(Debug, Clone)]
+pub struct LoadedDataset {
+    /// The graph, weighted with the paper's `w(u,v) = 1/|N_v|` convention.
+    pub graph: SocialGraph,
+    /// Real file or synthetic stand-in.
+    pub source: DatasetSource,
+    /// Which dataset this is.
+    pub dataset: Dataset,
+}
+
+/// Loads `dataset` at `scale`, preferring a real edge list at
+/// `<data_dir>/<stem>.txt` (any SNAP-format file; `scale` is ignored for
+/// real data, which is used as-is).
+///
+/// # Errors
+///
+/// Propagates file-parse errors for real data and generator errors for
+/// synthetic data. A *missing* file is not an error — it selects the
+/// synthetic path.
+pub fn load_dataset(
+    dataset: Dataset,
+    scale: f64,
+    seed: u64,
+    data_dir: &Path,
+) -> Result<LoadedDataset, GraphError> {
+    let path = real_data_path(dataset, data_dir);
+    if path.exists() {
+        let builder = read_edge_list_path(&path, &EdgeListOptions::default())?;
+        let graph = builder.build(WeightScheme::UniformByDegree)?;
+        return Ok(LoadedDataset { graph, source: DatasetSource::Real, dataset });
+    }
+    let graph = synthetic::generate(dataset, scale, seed)?;
+    Ok(LoadedDataset { graph, source: DatasetSource::Synthetic, dataset })
+}
+
+/// The expected on-disk location for a real copy of `dataset`.
+pub fn real_data_path(dataset: Dataset, data_dir: &Path) -> PathBuf {
+    data_dir.join(format!("{}.txt", dataset.spec().file_stem))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthesizes_when_no_file() {
+        let dir = std::env::temp_dir().join("raf_datasets_none");
+        let loaded = load_dataset(Dataset::Wiki, 0.02, 1, &dir).unwrap();
+        assert_eq!(loaded.source, DatasetSource::Synthetic);
+        assert!(loaded.graph.node_count() > 100);
+    }
+
+    #[test]
+    fn prefers_real_file() {
+        let dir = std::env::temp_dir().join("raf_datasets_real");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = real_data_path(Dataset::HepTh, &dir);
+        std::fs::write(&path, "# test\n0\t1\n1\t2\n2\t0\n").unwrap();
+        let loaded = load_dataset(Dataset::HepTh, 1.0, 1, &dir).unwrap();
+        assert_eq!(loaded.source, DatasetSource::Real);
+        assert_eq!(loaded.graph.node_count(), 3);
+        assert_eq!(loaded.graph.edge_count(), 3);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn real_file_parse_error_propagates() {
+        let dir = std::env::temp_dir().join("raf_datasets_bad");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = real_data_path(Dataset::HepPh, &dir);
+        std::fs::write(&path, "not numbers here\n").unwrap();
+        assert!(load_dataset(Dataset::HepPh, 1.0, 1, &dir).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn path_convention() {
+        let p = real_data_path(Dataset::Youtube, Path::new("/data"));
+        assert_eq!(p, PathBuf::from("/data/youtube.txt"));
+    }
+}

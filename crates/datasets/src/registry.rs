@@ -1,0 +1,134 @@
+//! The four-dataset registry mirroring the paper's Table I.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The datasets of the paper's evaluation (Table I).
+///
+/// ```
+/// use raf_datasets::Dataset;
+///
+/// let spec = Dataset::Wiki.spec();
+/// assert_eq!(spec.nodes, 7_000);
+/// assert_eq!(Dataset::all().len(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Dataset {
+    /// Wiki: who-votes-on-whom network from Wikipedia (7K / 103K).
+    Wiki,
+    /// HepTh: Arxiv High Energy Physics Theory citations (28K / 353K).
+    HepTh,
+    /// HepPh: Arxiv High Energy Physics Phenomenology citations
+    /// (35K / 421K).
+    HepPh,
+    /// Youtube: the Youtube social network (1.1M / 6.0M).
+    Youtube,
+}
+
+impl Dataset {
+    /// All four datasets in the paper's Table I order.
+    pub fn all() -> [Dataset; 4] {
+        [Dataset::Wiki, Dataset::HepTh, Dataset::HepPh, Dataset::Youtube]
+    }
+
+    /// The Table I specification of this dataset.
+    pub fn spec(self) -> DatasetSpec {
+        match self {
+            Dataset::Wiki => DatasetSpec {
+                name: "Wiki",
+                file_stem: "wiki",
+                nodes: 7_000,
+                edges: 103_000,
+                avg_degree: 14.7,
+            },
+            Dataset::HepTh => DatasetSpec {
+                name: "HepTh",
+                file_stem: "hepth",
+                nodes: 28_000,
+                edges: 353_000,
+                avg_degree: 12.6,
+            },
+            Dataset::HepPh => DatasetSpec {
+                name: "HepPh",
+                file_stem: "hepph",
+                nodes: 35_000,
+                edges: 421_000,
+                avg_degree: 12.0,
+            },
+            Dataset::Youtube => DatasetSpec {
+                name: "Youtube",
+                file_stem: "youtube",
+                nodes: 1_100_000,
+                edges: 6_000_000,
+                avg_degree: 5.54,
+            },
+        }
+    }
+}
+
+impl fmt::Display for Dataset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.spec().name)
+    }
+}
+
+/// Table I row: the published statistics of a dataset.
+///
+/// `avg_degree` follows the paper's convention of `m/n` (the source
+/// networks are directed; the friending model treats edges as undirected
+/// friendships, so `2m/n` would differ — Table I prints `m/n`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DatasetSpec {
+    /// Display name.
+    pub name: &'static str,
+    /// Stem for real-data files (`data/<stem>.txt`).
+    pub file_stem: &'static str,
+    /// Node count from Table I.
+    pub nodes: usize,
+    /// Edge count from Table I.
+    pub edges: usize,
+    /// Average degree (`m/n`) from Table I.
+    pub avg_degree: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_datasets_in_order() {
+        let names: Vec<&str> = Dataset::all().iter().map(|d| d.spec().name).collect();
+        assert_eq!(names, vec!["Wiki", "HepTh", "HepPh", "Youtube"]);
+    }
+
+    #[test]
+    fn table1_statistics() {
+        let wiki = Dataset::Wiki.spec();
+        assert_eq!(wiki.nodes, 7_000);
+        assert_eq!(wiki.edges, 103_000);
+        let yt = Dataset::Youtube.spec();
+        assert_eq!(yt.nodes, 1_100_000);
+        assert!((yt.avg_degree - 5.54).abs() < 1e-12);
+    }
+
+    #[test]
+    fn avg_degree_is_m_over_n_convention() {
+        for d in Dataset::all() {
+            let spec = d.spec();
+            let m_over_n = spec.edges as f64 / spec.nodes as f64;
+            assert!(
+                (m_over_n - spec.avg_degree).abs() / spec.avg_degree < 0.05,
+                "{}: {} vs {}",
+                spec.name,
+                m_over_n,
+                spec.avg_degree
+            );
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Dataset::Wiki.to_string(), "Wiki");
+        assert_eq!(Dataset::HepPh.to_string(), "HepPh");
+    }
+}

@@ -1,0 +1,314 @@
+//! Biconnected components and block-cut trees over raw adjacency lists.
+//!
+//! Used by `raf-core`'s exact `V_max` computation (Lemma 7): the set of
+//! vertices lying on *some simple path* between two vertices `x` and `y`
+//! is the union of the biconnected components ("blocks") along the unique
+//! `x`–`y` path in the block-cut tree. This module works on plain
+//! `&[Vec<u32>]` adjacency because callers typically analyze derived
+//! graphs (e.g. the seed-free graph with a virtual super-target) rather
+//! than a weighted [`SocialGraph`](crate::SocialGraph).
+
+/// The biconnected-component decomposition of an undirected graph.
+#[derive(Debug, Clone)]
+pub struct BlockCutTree {
+    /// `blocks[b]` = sorted vertices of block `b`. Every edge belongs to
+    /// exactly one block; a vertex belongs to one block unless it is a cut
+    /// vertex. Isolated vertices form singleton blocks.
+    pub blocks: Vec<Vec<u32>>,
+    /// Whether each vertex is a cut (articulation) vertex.
+    pub is_cut: Vec<bool>,
+    /// `blocks_of[v]` = indices of the blocks containing `v`.
+    pub blocks_of: Vec<Vec<u32>>,
+}
+
+impl BlockCutTree {
+    /// Computes the decomposition with an iterative Hopcroft–Tarjan DFS
+    /// (no recursion, so million-node chains are safe).
+    pub fn build(adj: &[Vec<u32>]) -> Self {
+        let n = adj.len();
+        let mut disc = vec![0u32; n]; // 0 = unvisited; otherwise disc time+1
+        let mut low = vec![0u32; n];
+        let mut is_cut = vec![false; n];
+        let mut blocks: Vec<Vec<u32>> = Vec::new();
+        let mut edge_stack: Vec<(u32, u32)> = Vec::new();
+        let mut timer = 1u32;
+
+        // Iterative DFS state: (vertex, parent, next neighbor index).
+        let mut stack: Vec<(u32, u32, usize)> = Vec::new();
+        for root in 0..n as u32 {
+            if disc[root as usize] != 0 {
+                continue;
+            }
+            if adj[root as usize].is_empty() {
+                disc[root as usize] = timer;
+                timer += 1;
+                blocks.push(vec![root]);
+                continue;
+            }
+            disc[root as usize] = timer;
+            low[root as usize] = timer;
+            timer += 1;
+            stack.push((root, u32::MAX, 0));
+            let mut root_children = 0usize;
+            while let Some(&mut (v, parent, ref mut idx)) = stack.last_mut() {
+                let vi = v as usize;
+                if *idx < adj[vi].len() {
+                    let u = adj[vi][*idx];
+                    *idx += 1;
+                    let ui = u as usize;
+                    if disc[ui] == 0 {
+                        edge_stack.push((v, u));
+                        disc[ui] = timer;
+                        low[ui] = timer;
+                        timer += 1;
+                        if v == root {
+                            root_children += 1;
+                        }
+                        stack.push((u, v, 0));
+                    } else if u != parent && disc[ui] < disc[vi] {
+                        // Back edge.
+                        edge_stack.push((v, u));
+                        low[vi] = low[vi].min(disc[ui]);
+                    }
+                } else {
+                    stack.pop();
+                    if let Some(&mut (p, _, _)) = stack.last_mut() {
+                        let pi = p as usize;
+                        low[pi] = low[pi].min(low[vi]);
+                        if low[vi] >= disc[pi] {
+                            // p separates v's subtree: pop that block. The
+                            // root's cut status is decided by its child
+                            // count after the DFS.
+                            if p != root {
+                                is_cut[pi] = true;
+                            }
+                            let mut block = Vec::new();
+                            while let Some(&(a, b)) = edge_stack.last() {
+                                if disc[a as usize] >= disc[vi] {
+                                    edge_stack.pop();
+                                    block.push(a);
+                                    block.push(b);
+                                } else {
+                                    break;
+                                }
+                            }
+                            // The (p, v) edge itself.
+                            if let Some(&(a, b)) = edge_stack.last() {
+                                if a == p && b == v {
+                                    edge_stack.pop();
+                                    block.push(a);
+                                    block.push(b);
+                                }
+                            }
+                            block.sort_unstable();
+                            block.dedup();
+                            if !block.is_empty() {
+                                blocks.push(block);
+                            }
+                        }
+                    }
+                }
+            }
+            if root_children > 1 {
+                is_cut[root as usize] = true;
+            }
+            // Any remaining edges form the root's last block.
+            if !edge_stack.is_empty() {
+                let mut block: Vec<u32> = Vec::new();
+                for (a, b) in edge_stack.drain(..) {
+                    block.push(a);
+                    block.push(b);
+                }
+                block.sort_unstable();
+                block.dedup();
+                blocks.push(block);
+            }
+        }
+
+        let mut blocks_of: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (b, verts) in blocks.iter().enumerate() {
+            for &v in verts {
+                blocks_of[v as usize].push(b as u32);
+            }
+        }
+        BlockCutTree { blocks, is_cut, blocks_of }
+    }
+
+    /// The set of vertices lying on at least one **simple path** between
+    /// `x` and `y`, as a sorted vector. Returns just `[x]` when `x == y`
+    /// and an empty vector when `x` and `y` are disconnected.
+    pub fn simple_path_vertices(&self, adj: &[Vec<u32>], x: u32, y: u32) -> Vec<u32> {
+        if x == y {
+            return vec![x];
+        }
+        // BFS over the block-cut tree from x's blocks to y's blocks.
+        // Tree nodes: blocks (0..B). Two blocks are adjacent iff they share
+        // a cut vertex. We BFS over blocks, tracking parents, then union
+        // the blocks on the path.
+        let nb = self.blocks.len();
+        let _ = adj;
+        // Build cut-vertex → blocks index for adjacency.
+        let mut parent: Vec<Option<u32>> = vec![None; nb];
+        let mut visited = vec![false; nb];
+        let mut queue = std::collections::VecDeque::new();
+        for &b in &self.blocks_of[x as usize] {
+            visited[b as usize] = true;
+            queue.push_back(b);
+        }
+        let target_blocks: Vec<u32> = self.blocks_of[y as usize].clone();
+        let mut reached: Option<u32> = None;
+        'bfs: while let Some(b) = queue.pop_front() {
+            if target_blocks.contains(&b) {
+                reached = Some(b);
+                break 'bfs;
+            }
+            // Neighbors: blocks sharing a cut vertex with b.
+            for &v in &self.blocks[b as usize] {
+                if !self.is_cut[v as usize] {
+                    continue;
+                }
+                for &nb2 in &self.blocks_of[v as usize] {
+                    if !visited[nb2 as usize] {
+                        visited[nb2 as usize] = true;
+                        parent[nb2 as usize] = Some(b);
+                        queue.push_back(nb2);
+                    }
+                }
+            }
+        }
+        let mut result: Vec<u32> = Vec::new();
+        match reached {
+            None => Vec::new(),
+            Some(mut b) => {
+                loop {
+                    result.extend(self.blocks[b as usize].iter().copied());
+                    match parent[b as usize] {
+                        Some(p) => b = p,
+                        None => break,
+                    }
+                }
+                result.sort_unstable();
+                result.dedup();
+                // Restrict to vertices on simple x-y paths: the union of
+                // path blocks always contains x and y; trim nothing else —
+                // by the block-cut-tree characterization this union is
+                // exactly the answer.
+                result
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn adj_from_edges(n: usize, edges: &[(u32, u32)]) -> Vec<Vec<u32>> {
+        let mut adj = vec![Vec::new(); n];
+        for &(u, v) in edges {
+            adj[u as usize].push(v);
+            adj[v as usize].push(u);
+        }
+        adj
+    }
+
+    #[test]
+    fn single_edge_one_block() {
+        let adj = adj_from_edges(2, &[(0, 1)]);
+        let bct = BlockCutTree::build(&adj);
+        assert_eq!(bct.blocks.len(), 1);
+        assert_eq!(bct.blocks[0], vec![0, 1]);
+        assert!(!bct.is_cut[0] && !bct.is_cut[1]);
+    }
+
+    #[test]
+    fn path_every_interior_is_cut() {
+        let adj = adj_from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let bct = BlockCutTree::build(&adj);
+        assert_eq!(bct.blocks.len(), 3);
+        assert!(!bct.is_cut[0]);
+        assert!(bct.is_cut[1]);
+        assert!(bct.is_cut[2]);
+        assert!(!bct.is_cut[3]);
+    }
+
+    #[test]
+    fn cycle_is_single_block() {
+        let adj = adj_from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let bct = BlockCutTree::build(&adj);
+        assert_eq!(bct.blocks.len(), 1);
+        assert_eq!(bct.blocks[0], vec![0, 1, 2, 3]);
+        assert!(bct.is_cut.iter().all(|&c| !c));
+    }
+
+    #[test]
+    fn lollipop_cut_vertex() {
+        // Triangle 0-1-2 with a tail 2-3.
+        let adj = adj_from_edges(4, &[(0, 1), (1, 2), (0, 2), (2, 3)]);
+        let bct = BlockCutTree::build(&adj);
+        assert_eq!(bct.blocks.len(), 2);
+        assert!(bct.is_cut[2]);
+        assert!(!bct.is_cut[0] && !bct.is_cut[1] && !bct.is_cut[3]);
+    }
+
+    #[test]
+    fn isolated_vertices_are_singleton_blocks() {
+        let adj = adj_from_edges(3, &[(0, 1)]);
+        let bct = BlockCutTree::build(&adj);
+        assert_eq!(bct.blocks.len(), 2);
+        assert!(bct.blocks.contains(&vec![2]));
+    }
+
+    #[test]
+    fn simple_path_vertices_on_path_graph() {
+        let adj = adj_from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let bct = BlockCutTree::build(&adj);
+        assert_eq!(bct.simple_path_vertices(&adj, 0, 4), vec![0, 1, 2, 3, 4]);
+        assert_eq!(bct.simple_path_vertices(&adj, 1, 3), vec![1, 2, 3]);
+        assert_eq!(bct.simple_path_vertices(&adj, 2, 2), vec![2]);
+    }
+
+    #[test]
+    fn simple_path_vertices_excludes_lollipop_dangler() {
+        // 0-1-2 path, plus 3 hanging off 1: 3 is NOT on any simple 0-2 path.
+        let adj = adj_from_edges(4, &[(0, 1), (1, 2), (1, 3)]);
+        let bct = BlockCutTree::build(&adj);
+        assert_eq!(bct.simple_path_vertices(&adj, 0, 2), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn simple_path_vertices_includes_parallel_routes() {
+        // Diamond: 0-1-3, 0-2-3: both 1 and 2 are on simple 0-3 paths.
+        let adj = adj_from_edges(4, &[(0, 1), (1, 3), (0, 2), (2, 3)]);
+        let bct = BlockCutTree::build(&adj);
+        assert_eq!(bct.simple_path_vertices(&adj, 0, 3), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn disconnected_returns_empty() {
+        let adj = adj_from_edges(4, &[(0, 1), (2, 3)]);
+        let bct = BlockCutTree::build(&adj);
+        assert!(bct.simple_path_vertices(&adj, 0, 3).is_empty());
+    }
+
+    #[test]
+    fn deep_graph_no_stack_overflow() {
+        let n = 100_000;
+        let edges: Vec<(u32, u32)> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+        let adj = adj_from_edges(n, &edges);
+        let bct = BlockCutTree::build(&adj);
+        assert_eq!(bct.blocks.len(), n - 1);
+    }
+
+    #[test]
+    fn figure_eight_two_blocks() {
+        // Two triangles sharing vertex 2.
+        let adj = adj_from_edges(5, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2)]);
+        let bct = BlockCutTree::build(&adj);
+        assert_eq!(bct.blocks.len(), 2);
+        assert!(bct.is_cut[2]);
+        // A simple 0-4 path must pass through both triangles.
+        let verts = bct.simple_path_vertices(&adj, 0, 4);
+        assert_eq!(verts, vec![0, 1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,241 @@
+//! Incremental construction of [`SocialGraph`]s.
+
+use crate::{GraphError, NodeId, SocialGraph, WeightScheme};
+use std::collections::HashSet;
+
+/// Builder for [`SocialGraph`]; collects undirected edges, deduplicates
+/// them, rejects self-loops, and assigns familiarity weights at
+/// [`build`](GraphBuilder::build) time.
+///
+/// The node set is `0..n` where `n` is one past the largest id seen (or a
+/// larger explicit [`reserve_nodes`](GraphBuilder::reserve_nodes) value), so
+/// isolated trailing nodes can be represented.
+///
+/// ```
+/// use raf_graph::{GraphBuilder, WeightScheme};
+///
+/// # fn main() -> Result<(), raf_graph::GraphError> {
+/// let mut b = GraphBuilder::new();
+/// b.add_edge(0, 3)?;
+/// b.add_edge(3, 0)?; // duplicate, ignored
+/// let g = b.build(WeightScheme::UniformByDegree)?;
+/// assert_eq!(g.node_count(), 4);
+/// assert_eq!(g.edge_count(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    edges: Vec<(u32, u32)>,
+    seen: HashSet<(u32, u32)>,
+    node_count: usize,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a builder pre-sized for roughly `edges` insertions.
+    pub fn with_capacity(edges: usize) -> Self {
+        GraphBuilder {
+            edges: Vec::with_capacity(edges),
+            seen: HashSet::with_capacity(edges * 2),
+            node_count: 0,
+        }
+    }
+
+    /// Ensures the built graph has at least `n` nodes even if some are
+    /// isolated.
+    pub fn reserve_nodes(&mut self, n: usize) -> &mut Self {
+        self.node_count = self.node_count.max(n);
+        self
+    }
+
+    /// Number of distinct edges added so far.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Number of nodes the built graph will have.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Whether the undirected edge `{u, v}` has been added.
+    pub fn contains_edge(&self, u: usize, v: usize) -> bool {
+        let key = Self::key(u as u32, v as u32);
+        self.seen.contains(&key)
+    }
+
+    fn key(u: u32, v: u32) -> (u32, u32) {
+        if u < v {
+            (u, v)
+        } else {
+            (v, u)
+        }
+    }
+
+    /// Adds the undirected edge `{u, v}`. Duplicate edges are silently
+    /// ignored (the graph is simple).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::SelfLoop`] when `u == v`.
+    pub fn add_edge(&mut self, u: usize, v: usize) -> Result<&mut Self, GraphError> {
+        if u == v {
+            return Err(GraphError::SelfLoop { node: u });
+        }
+        debug_assert!(u <= u32::MAX as usize && v <= u32::MAX as usize);
+        let key = Self::key(u as u32, v as u32);
+        if self.seen.insert(key) {
+            self.edges.push(key);
+            self.node_count = self.node_count.max(u + 1).max(v + 1);
+        }
+        Ok(self)
+    }
+
+    /// Adds every edge from an iterator of `(u, v)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`GraphError::SelfLoop`] encountered; edges
+    /// added before the failure remain in the builder.
+    pub fn add_edges<I>(&mut self, iter: I) -> Result<&mut Self, GraphError>
+    where
+        I: IntoIterator<Item = (usize, usize)>,
+    {
+        for (u, v) in iter {
+            self.add_edge(u, v)?;
+        }
+        Ok(self)
+    }
+
+    /// Finalizes the graph, assigning weights with `scheme`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates weight-assignment failures from
+    /// [`WeightScheme::weights_for`].
+    pub fn build(&self, scheme: WeightScheme) -> Result<SocialGraph, GraphError> {
+        let n = self.node_count;
+        let mut adj: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        for &(u, v) in &self.edges {
+            adj[u as usize].push(NodeId::from(v));
+            adj[v as usize].push(NodeId::from(u));
+        }
+        for nbrs in &mut adj {
+            nbrs.sort_unstable();
+        }
+        let mut in_weights = Vec::with_capacity(n);
+        for (v, nbrs) in adj.iter().enumerate() {
+            in_weights.push(scheme.weights_for(NodeId::new(v), nbrs)?);
+        }
+        Ok(SocialGraph::from_parts(adj, in_weights, self.edges.len()))
+    }
+}
+
+impl FromIterator<(usize, usize)> for GraphBuilder {
+    /// Collects edges into a builder, skipping self-loops silently (use
+    /// [`GraphBuilder::add_edge`] for strict handling).
+    fn from_iter<I: IntoIterator<Item = (usize, usize)>>(iter: I) -> Self {
+        let mut b = GraphBuilder::new();
+        for (u, v) in iter {
+            if u != v {
+                let _ = b.add_edge(u, v);
+            }
+        }
+        b
+    }
+}
+
+impl Extend<(usize, usize)> for GraphBuilder {
+    fn extend<I: IntoIterator<Item = (usize, usize)>>(&mut self, iter: I) {
+        for (u, v) in iter {
+            if u != v {
+                let _ = self.add_edge(u, v);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_self_loop() {
+        let mut b = GraphBuilder::new();
+        assert!(matches!(b.add_edge(2, 2), Err(GraphError::SelfLoop { node: 2 })));
+    }
+
+    #[test]
+    fn dedups_edges_in_both_orientations() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1).unwrap();
+        b.add_edge(1, 0).unwrap();
+        b.add_edge(0, 1).unwrap();
+        assert_eq!(b.edge_count(), 1);
+    }
+
+    #[test]
+    fn reserve_isolated_nodes() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1).unwrap();
+        b.reserve_nodes(10);
+        let g = b.build(WeightScheme::UniformByDegree).unwrap();
+        assert_eq!(g.node_count(), 10);
+        assert_eq!(g.degree(NodeId::new(9)), 0);
+    }
+
+    #[test]
+    fn from_iterator_skips_self_loops() {
+        let b: GraphBuilder = vec![(0, 1), (1, 1), (1, 2)].into_iter().collect();
+        assert_eq!(b.edge_count(), 2);
+    }
+
+    #[test]
+    fn extend_accumulates() {
+        let mut b = GraphBuilder::new();
+        b.extend(vec![(0, 1), (1, 2)]);
+        b.extend(vec![(2, 3)]);
+        assert_eq!(b.edge_count(), 3);
+        assert_eq!(b.node_count(), 4);
+    }
+
+    #[test]
+    fn contains_edge_is_orientation_free() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(4, 7).unwrap();
+        assert!(b.contains_edge(4, 7));
+        assert!(b.contains_edge(7, 4));
+        assert!(!b.contains_edge(4, 5));
+    }
+
+    #[test]
+    fn build_produces_sorted_adjacency() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 5).unwrap();
+        b.add_edge(0, 2).unwrap();
+        b.add_edge(0, 9).unwrap();
+        let g = b.build(WeightScheme::UniformByDegree).unwrap();
+        let nbrs: Vec<usize> = g.neighbors(NodeId::new(0)).iter().map(|v| v.index()).collect();
+        assert_eq!(nbrs, vec![2, 5, 9]);
+    }
+
+    #[test]
+    fn add_edges_bulk() {
+        let mut b = GraphBuilder::new();
+        b.add_edges((0..10).map(|i| (i, i + 1))).unwrap();
+        assert_eq!(b.edge_count(), 10);
+        assert_eq!(b.node_count(), 11);
+    }
+
+    #[test]
+    fn with_capacity_behaves_like_new() {
+        let mut b = GraphBuilder::with_capacity(100);
+        b.add_edge(0, 1).unwrap();
+        assert_eq!(b.edge_count(), 1);
+    }
+}

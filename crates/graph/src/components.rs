@@ -1,0 +1,171 @@
+//! Connected components and largest-component extraction.
+
+use crate::subgraph::{induced_subgraph, NodeMapping};
+use crate::{GraphError, NodeId, SocialGraph, UnionFind, WeightScheme};
+
+/// Component labels for every node, produced by [`connected_components`].
+#[derive(Debug, Clone)]
+pub struct ComponentLabels {
+    labels: Vec<u32>,
+    count: usize,
+}
+
+impl ComponentLabels {
+    /// The component label of `v` (dense in `0..count`).
+    pub fn label(&self, v: NodeId) -> usize {
+        self.labels[v.index()] as usize
+    }
+
+    /// Number of connected components.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Sizes of each component, indexed by label.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.count];
+        for &l in &self.labels {
+            sizes[l as usize] += 1;
+        }
+        sizes
+    }
+
+    /// Nodes of the largest component (ties broken by lowest label).
+    pub fn largest(&self) -> Vec<NodeId> {
+        let sizes = self.sizes();
+        let best = sizes
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+            .map(|(i, _)| i as u32);
+        match best {
+            None => Vec::new(),
+            Some(label) => self
+                .labels
+                .iter()
+                .enumerate()
+                .filter(|(_, &l)| l == label)
+                .map(|(i, _)| NodeId::new(i))
+                .collect(),
+        }
+    }
+}
+
+/// Labels the connected components of `g` with a union-find pass.
+pub fn connected_components(g: &SocialGraph) -> ComponentLabels {
+    let n = g.node_count();
+    let mut uf = UnionFind::new(n);
+    for (u, v) in g.edges() {
+        uf.union(u.index(), v.index());
+    }
+    let mut labels = vec![u32::MAX; n];
+    let mut next = 0u32;
+    for i in 0..n {
+        let root = uf.find(i);
+        if labels[root] == u32::MAX {
+            labels[root] = next;
+            next += 1;
+        }
+        labels[i] = labels[root];
+    }
+    ComponentLabels { labels, count: next as usize }
+}
+
+/// Extracts the largest connected component as a standalone graph with
+/// relabeled nodes, plus the mapping back to the original ids.
+///
+/// The experiments operate on the largest component (friending across
+/// components is impossible: `p_max = 0`).
+///
+/// # Errors
+///
+/// Propagates weight-assignment failures from rebuilding with `scheme`.
+pub fn largest_component(
+    g: &SocialGraph,
+    scheme: WeightScheme,
+) -> Result<(SocialGraph, NodeMapping), GraphError> {
+    let labels = connected_components(g);
+    let nodes = labels.largest();
+    induced_subgraph(g, &nodes, scheme)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn two_components() -> SocialGraph {
+        let mut b = GraphBuilder::new();
+        // Component A: 0-1-2 (3 nodes); component B: 3-4 (2 nodes).
+        b.add_edges(vec![(0, 1), (1, 2), (3, 4)]).unwrap();
+        b.build(WeightScheme::UniformByDegree).unwrap()
+    }
+
+    #[test]
+    fn counts_components() {
+        let labels = connected_components(&two_components());
+        assert_eq!(labels.count(), 2);
+        let mut sizes = labels.sizes();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![2, 3]);
+    }
+
+    #[test]
+    fn labels_are_consistent_within_component() {
+        let g = two_components();
+        let labels = connected_components(&g);
+        assert_eq!(labels.label(NodeId::new(0)), labels.label(NodeId::new(2)));
+        assert_ne!(labels.label(NodeId::new(0)), labels.label(NodeId::new(3)));
+    }
+
+    #[test]
+    fn largest_returns_biggest() {
+        let g = two_components();
+        let labels = connected_components(&g);
+        let nodes: Vec<usize> = labels.largest().iter().map(|v| v.index()).collect();
+        assert_eq!(nodes, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn largest_component_extraction() {
+        let g = two_components();
+        let (lcc, mapping) = largest_component(&g, WeightScheme::UniformByDegree).unwrap();
+        assert_eq!(lcc.node_count(), 3);
+        assert_eq!(lcc.edge_count(), 2);
+        // Node 1 (the middle) should still have degree 2 after relabeling.
+        let middle_new = mapping.to_new(NodeId::new(1)).unwrap();
+        assert_eq!(lcc.degree(middle_new), 2);
+        assert_eq!(mapping.to_original(middle_new), NodeId::new(1));
+    }
+
+    #[test]
+    fn isolated_nodes_are_their_own_components() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1).unwrap();
+        b.reserve_nodes(4);
+        let g = b.build(WeightScheme::UniformByDegree).unwrap();
+        let labels = connected_components(&g);
+        assert_eq!(labels.count(), 3); // {0,1}, {2}, {3}
+    }
+
+    #[test]
+    fn empty_graph() {
+        let b = GraphBuilder::new();
+        let g = b.build(WeightScheme::UniformByDegree).unwrap();
+        let labels = connected_components(&g);
+        assert_eq!(labels.count(), 0);
+        assert!(labels.largest().is_empty());
+    }
+
+    #[test]
+    fn fully_connected_single_component() {
+        let mut b = GraphBuilder::new();
+        for i in 0..5 {
+            for j in (i + 1)..5 {
+                b.add_edge(i, j).unwrap();
+            }
+        }
+        let g = b.build(WeightScheme::UniformByDegree).unwrap();
+        assert_eq!(connected_components(&g).count(), 1);
+    }
+}

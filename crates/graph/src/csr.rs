@@ -1,0 +1,263 @@
+//! Immutable compressed-sparse-row snapshot used by sampling hot paths.
+
+use crate::{NodeId, SocialGraph};
+use serde::{Deserialize, Serialize};
+
+/// A compressed-sparse-row view of a [`SocialGraph`] with per-node
+/// cumulative weight tables.
+///
+/// This is the structure realization sampling (Def. 1 of the paper) runs
+/// on: selecting `g(v)` means drawing `r ~ U[0,1)` and, when
+/// `r < total_in_weight(v)`, binary-searching the cumulative weights of
+/// `v`'s neighbor slice — `O(log d)` per selection, `O(1)` for the
+/// uniform-weight fast path.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CsrGraph {
+    /// `offsets[v]..offsets[v+1]` delimits node `v`'s slice.
+    offsets: Vec<usize>,
+    /// Concatenated sorted neighbor lists.
+    neighbors: Vec<NodeId>,
+    /// `cum_weights[i]` = prefix sum of `v`'s incoming weights up to and
+    /// including slice position `i`.
+    cum_weights: Vec<f64>,
+    /// `totals[v]` = `Σ_u w(u,v)`.
+    totals: Vec<f64>,
+    /// Whether node `v`'s weights are all equal (enables the `O(1)`
+    /// selection fast path).
+    uniform: Vec<bool>,
+    /// Number of undirected edges.
+    edge_count: usize,
+}
+
+impl CsrGraph {
+    /// Builds the snapshot from an adjacency-list graph.
+    pub fn from_social_graph(g: &SocialGraph) -> Self {
+        let n = g.node_count();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut neighbors = Vec::with_capacity(2 * g.edge_count());
+        let mut cum_weights = Vec::with_capacity(2 * g.edge_count());
+        let mut totals = Vec::with_capacity(n);
+        let mut uniform = Vec::with_capacity(n);
+        offsets.push(0);
+        for v in g.nodes() {
+            let ws = g.in_weights(v);
+            neighbors.extend_from_slice(g.neighbors(v));
+            let mut acc = 0.0;
+            let first = ws.first().copied();
+            let mut is_uniform = true;
+            for &w in ws {
+                acc += w;
+                cum_weights.push(acc);
+                if let Some(f) = first {
+                    if (w - f).abs() > 1e-15 {
+                        is_uniform = false;
+                    }
+                }
+            }
+            totals.push(acc);
+            uniform.push(is_uniform);
+            offsets.push(neighbors.len());
+        }
+        CsrGraph { offsets, neighbors, cum_weights, totals, uniform, edge_count: g.edge_count() }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        let i = v.index();
+        self.offsets[i + 1] - self.offsets[i]
+    }
+
+    /// Sorted neighbors of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        let i = v.index();
+        &self.neighbors[self.offsets[i]..self.offsets[i + 1]]
+    }
+
+    /// Total incoming familiarity of `v` (the probability that `v` selects
+    /// *some* neighbor in a realization).
+    #[inline]
+    pub fn total_in_weight(&self, v: NodeId) -> f64 {
+        self.totals[v.index()]
+    }
+
+    /// Whether `{u, v}` is an edge.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        if v.index() >= self.node_count() {
+            return false;
+        }
+        self.neighbors(v).binary_search(&u).is_ok()
+    }
+
+    /// The familiarity `w(u,v)`, reconstructed from the cumulative table.
+    pub fn in_weight(&self, u: NodeId, v: NodeId) -> Option<f64> {
+        let i = v.index();
+        if i >= self.node_count() {
+            return None;
+        }
+        let base = self.offsets[i];
+        let pos = self.neighbors(v).binary_search(&u).ok()?;
+        let hi = self.cum_weights[base + pos];
+        let lo = if pos == 0 { 0.0 } else { self.cum_weights[base + pos - 1] };
+        Some(hi - lo)
+    }
+
+    /// Realization selection for node `v` (Def. 1): given a uniform draw
+    /// `r ∈ [0, 1)`, returns the neighbor `u` selected with probability
+    /// `w(u,v)`, or `None` — the artificial user `ℵ0` — with the remaining
+    /// probability `1 − Σ_u w(u,v)`.
+    ///
+    /// Deterministic in `r`, which makes the derandomized tests and the
+    /// Lemma 1 equivalence checks straightforward.
+    #[inline]
+    pub fn select_with(&self, v: NodeId, r: f64) -> Option<NodeId> {
+        let i = v.index();
+        let total = self.totals[i];
+        if r >= total {
+            return None;
+        }
+        let base = self.offsets[i];
+        let d = self.offsets[i + 1] - base;
+        debug_assert!(d > 0, "node with zero total weight cannot select");
+        if self.uniform[i] {
+            // All weights equal: index = floor(r / total * d), clamped.
+            let idx = ((r / total) * d as f64) as usize;
+            return Some(self.neighbors[base + idx.min(d - 1)]);
+        }
+        let slice = &self.cum_weights[base..base + d];
+        // First position whose cumulative weight exceeds r.
+        let idx = slice.partition_point(|&c| c <= r);
+        Some(self.neighbors[base + idx.min(d - 1)])
+    }
+
+    /// Iterates over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + ExactSizeIterator {
+        (0..self.node_count()).map(NodeId::new)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GraphBuilder, WeightScheme};
+
+    fn path4() -> SocialGraph {
+        let mut b = GraphBuilder::new();
+        b.add_edges((0..3).map(|i| (i, i + 1))).unwrap();
+        b.build(WeightScheme::UniformByDegree).unwrap()
+    }
+
+    #[test]
+    fn structure_matches_adjacency() {
+        let g = path4();
+        let csr = g.to_csr();
+        assert_eq!(csr.node_count(), g.node_count());
+        assert_eq!(csr.edge_count(), g.edge_count());
+        for v in g.nodes() {
+            assert_eq!(csr.neighbors(v), g.neighbors(v));
+            assert_eq!(csr.degree(v), g.degree(v));
+            assert!((csr.total_in_weight(v) - g.total_in_weight(v)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn weight_reconstruction() {
+        let g = path4();
+        let csr = g.to_csr();
+        for v in g.nodes() {
+            for &u in g.neighbors(v) {
+                let expected = g.in_weight(u, v).unwrap();
+                let got = csr.in_weight(u, v).unwrap();
+                assert!((expected - got).abs() < 1e-12);
+            }
+        }
+        assert_eq!(csr.in_weight(NodeId::new(0), NodeId::new(3)), None);
+    }
+
+    #[test]
+    fn select_covers_all_neighbors_uniform() {
+        let g = path4();
+        let csr = g.to_csr();
+        // Node 1 has neighbors {0, 2} each with weight 1/2 and total 1.
+        let v = NodeId::new(1);
+        assert_eq!(csr.select_with(v, 0.0), Some(NodeId::new(0)));
+        assert_eq!(csr.select_with(v, 0.49), Some(NodeId::new(0)));
+        assert_eq!(csr.select_with(v, 0.5), Some(NodeId::new(2)));
+        assert_eq!(csr.select_with(v, 0.999), Some(NodeId::new(2)));
+        assert_eq!(csr.select_with(v, 1.0), None);
+    }
+
+    #[test]
+    fn select_respects_partial_total() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1).unwrap();
+        let g = b.build(WeightScheme::ScaledByDegree { rho: 0.4 }).unwrap();
+        let csr = g.to_csr();
+        let v = NodeId::new(0);
+        assert_eq!(csr.select_with(v, 0.39), Some(NodeId::new(1)));
+        assert_eq!(csr.select_with(v, 0.4), None);
+        assert_eq!(csr.select_with(v, 0.9), None);
+    }
+
+    #[test]
+    fn select_with_nonuniform_weights() {
+        use std::collections::HashMap;
+        let mut weights = HashMap::new();
+        weights.insert((1, 0), 0.2);
+        weights.insert((2, 0), 0.6);
+        weights.insert((0, 1), 0.5);
+        weights.insert((0, 2), 0.5);
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1).unwrap();
+        b.add_edge(0, 2).unwrap();
+        let g = b.build(WeightScheme::Custom { weights }).unwrap();
+        let csr = g.to_csr();
+        let v = NodeId::new(0);
+        // Cumulative: [0.2, 0.8]; neighbor slice [1, 2].
+        assert_eq!(csr.select_with(v, 0.1), Some(NodeId::new(1)));
+        assert_eq!(csr.select_with(v, 0.2), Some(NodeId::new(2)));
+        assert_eq!(csr.select_with(v, 0.79), Some(NodeId::new(2)));
+        assert_eq!(csr.select_with(v, 0.8), None);
+    }
+
+    #[test]
+    fn isolated_node_always_selects_nobody() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1).unwrap();
+        b.reserve_nodes(3);
+        let g = b.build(WeightScheme::UniformByDegree).unwrap();
+        let csr = g.to_csr();
+        assert_eq!(csr.select_with(NodeId::new(2), 0.0), None);
+    }
+
+    #[test]
+    fn selection_frequencies_match_weights() {
+        use rand::{Rng, SeedableRng};
+        let g = path4();
+        let csr = g.to_csr();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let v = NodeId::new(1);
+        let trials = 20_000;
+        let mut zero = 0;
+        for _ in 0..trials {
+            if csr.select_with(v, rng.gen::<f64>()) == Some(NodeId::new(0)) {
+                zero += 1;
+            }
+        }
+        let freq = zero as f64 / trials as f64;
+        assert!((freq - 0.5).abs() < 0.02, "frequency {freq} too far from 0.5");
+    }
+}

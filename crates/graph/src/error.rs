@@ -1,0 +1,136 @@
+//! Error types for graph construction and IO.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building, validating, or loading graphs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphError {
+    /// A self-loop `(v, v)` was added; the friending model has no notion of
+    /// being one's own friend.
+    SelfLoop {
+        /// The offending node.
+        node: usize,
+    },
+    /// A node id referenced a node outside `0..n`.
+    NodeOutOfRange {
+        /// The offending node index.
+        node: usize,
+        /// The number of nodes in the graph.
+        node_count: usize,
+    },
+    /// The incoming familiarity weights of a node exceed 1 after assignment,
+    /// violating the LT normalization `Σ_u w(u,v) ≤ 1` (Sec. II-A).
+    WeightNotNormalized {
+        /// The node whose incoming weights are too large.
+        node: usize,
+        /// The offending total.
+        total: f64,
+    },
+    /// A weight outside `(0, 1]` was supplied.
+    InvalidWeight {
+        /// The offending weight value.
+        weight: f64,
+    },
+    /// A custom weight scheme did not provide a weight for an edge.
+    MissingWeight {
+        /// Source of the ordered pair (the neighbor being weighted).
+        from: usize,
+        /// Destination of the ordered pair (the node doing the weighting).
+        to: usize,
+    },
+    /// An edge-list line could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// An underlying IO failure, flattened to a message to keep the error
+    /// type `Clone + PartialEq`.
+    Io(String),
+    /// A generator was given inconsistent parameters.
+    InvalidParameter {
+        /// Description of the inconsistency.
+        message: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::SelfLoop { node } => write!(f, "self-loop on node {node}"),
+            GraphError::NodeOutOfRange { node, node_count } => {
+                write!(f, "node {node} out of range for graph with {node_count} nodes")
+            }
+            GraphError::WeightNotNormalized { node, total } => write!(
+                f,
+                "incoming weights of node {node} sum to {total}, exceeding 1"
+            ),
+            GraphError::InvalidWeight { weight } => {
+                write!(f, "weight {weight} outside the valid range (0, 1]")
+            }
+            GraphError::MissingWeight { from, to } => {
+                write!(f, "no weight provided for ordered pair ({from}, {to})")
+            }
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
+            GraphError::Io(msg) => write!(f, "io error: {msg}"),
+            GraphError::InvalidParameter { message } => {
+                write!(f, "invalid parameter: {message}")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let cases: Vec<(GraphError, &str)> = vec![
+            (GraphError::SelfLoop { node: 3 }, "self-loop on node 3"),
+            (
+                GraphError::NodeOutOfRange { node: 9, node_count: 5 },
+                "node 9 out of range for graph with 5 nodes",
+            ),
+            (
+                GraphError::InvalidWeight { weight: 2.0 },
+                "weight 2 outside the valid range (0, 1]",
+            ),
+        ];
+        for (err, expected) in cases {
+            assert_eq!(err.to_string(), expected);
+        }
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let err: GraphError = io.into();
+        assert!(matches!(err, GraphError::Io(_)));
+        assert!(err.to_string().contains("gone"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        fn takes_err(_: &dyn Error) {}
+        takes_err(&GraphError::SelfLoop { node: 0 });
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+    }
+}

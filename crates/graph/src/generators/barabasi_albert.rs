@@ -1,0 +1,146 @@
+//! Barabási–Albert preferential attachment.
+
+use crate::{GraphBuilder, GraphError};
+use rand::Rng;
+
+/// Barabási–Albert graph: starts from a clique on `m_attach + 1` nodes and
+/// attaches each new node to `m_attach` distinct existing nodes chosen
+/// proportionally to degree (via the repeated-endpoint trick).
+///
+/// Produces the heavy-tailed degree distributions characteristic of
+/// citation networks — the stand-in topology for the paper's HepTh/HepPh
+/// datasets.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] when `m_attach == 0` or
+/// `n ≤ m_attach`.
+pub fn barabasi_albert<R: Rng>(
+    n: usize,
+    m_attach: usize,
+    rng: &mut R,
+) -> Result<GraphBuilder, GraphError> {
+    if m_attach == 0 {
+        return Err(GraphError::InvalidParameter {
+            message: "attachment count must be positive".to_string(),
+        });
+    }
+    if n <= m_attach {
+        return Err(GraphError::InvalidParameter {
+            message: format!("need more than {m_attach} nodes, got {n}"),
+        });
+    }
+    let mut b = GraphBuilder::with_capacity(n * m_attach);
+    b.reserve_nodes(n);
+    // `endpoints` holds every edge endpoint; sampling uniformly from it is
+    // sampling proportionally to degree.
+    let mut endpoints: Vec<u32> = Vec::with_capacity(2 * n * m_attach);
+    let seed = m_attach + 1;
+    for u in 0..seed {
+        for v in (u + 1)..seed {
+            b.add_edge(u, v)?;
+            endpoints.push(u as u32);
+            endpoints.push(v as u32);
+        }
+    }
+    let mut chosen: Vec<usize> = Vec::with_capacity(m_attach);
+    for v in seed..n {
+        chosen.clear();
+        let mut guard = 0usize;
+        while chosen.len() < m_attach {
+            let u = endpoints[rng.gen_range(0..endpoints.len())] as usize;
+            if !chosen.contains(&u) {
+                chosen.push(u);
+            }
+            guard += 1;
+            if guard > 50 * m_attach {
+                // Extremely unlikely; fall back to uniform fill.
+                for u in 0..v {
+                    if chosen.len() == m_attach {
+                        break;
+                    }
+                    if !chosen.contains(&u) {
+                        chosen.push(u);
+                    }
+                }
+            }
+        }
+        for &u in &chosen {
+            b.add_edge(u, v)?;
+            endpoints.push(u as u32);
+            endpoints.push(v as u32);
+        }
+    }
+    Ok(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{connected_components, DegreeHistogram, WeightScheme};
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn edge_count_formula() {
+        let n = 500;
+        let m = 3;
+        let b = barabasi_albert(n, m, &mut rng(1)).unwrap();
+        // Clique on m+1 nodes + m edges per remaining node.
+        let expected = (m + 1) * m / 2 + (n - m - 1) * m;
+        assert_eq!(b.edge_count(), expected);
+    }
+
+    #[test]
+    fn connected() {
+        let b = barabasi_albert(300, 2, &mut rng(5)).unwrap();
+        let g = b.build(WeightScheme::UniformByDegree).unwrap();
+        assert_eq!(connected_components(&g).count(), 1);
+    }
+
+    #[test]
+    fn heavy_tail() {
+        let b = barabasi_albert(3000, 3, &mut rng(11)).unwrap();
+        let g = b.build(WeightScheme::UniformByDegree).unwrap();
+        let h = DegreeHistogram::compute(&g);
+        // BA should have some node with degree far above the mean (~6).
+        let max_d = h.counts.len() - 1;
+        assert!(max_d > 40, "max degree {max_d} suspiciously small for BA");
+        // Hill exponent should be in the physical BA range (≈3) broadly.
+        let gamma = h.powerlaw_exponent(5).unwrap();
+        assert!((1.8..5.0).contains(&gamma), "exponent {gamma} out of range");
+    }
+
+    #[test]
+    fn rejects_degenerate_parameters() {
+        assert!(barabasi_albert(10, 0, &mut rng(1)).is_err());
+        assert!(barabasi_albert(3, 3, &mut rng(1)).is_err());
+    }
+
+    #[test]
+    fn min_degree_is_attachment_count() {
+        let b = barabasi_albert(200, 4, &mut rng(2)).unwrap();
+        let g = b.build(WeightScheme::UniformByDegree).unwrap();
+        for v in g.nodes() {
+            assert!(g.degree(v) >= 4);
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let g1 = barabasi_albert(100, 2, &mut rng(9))
+            .unwrap()
+            .build(WeightScheme::UniformByDegree)
+            .unwrap();
+        let g2 = barabasi_albert(100, 2, &mut rng(9))
+            .unwrap()
+            .build(WeightScheme::UniformByDegree)
+            .unwrap();
+        let e1: Vec<_> = g1.edges().collect();
+        let e2: Vec<_> = g2.edges().collect();
+        assert_eq!(e1, e2);
+    }
+}

@@ -1,0 +1,114 @@
+//! Watts–Strogatz small-world graphs.
+
+use crate::{GraphBuilder, GraphError};
+use rand::Rng;
+
+/// Watts–Strogatz small-world graph: a ring lattice where each node links
+/// to its `k/2` nearest neighbors on each side, with every edge rewired to
+/// a uniform random endpoint with probability `beta`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] when `k` is odd, `k ≥ n`, or
+/// `beta ∉ [0, 1]`.
+pub fn watts_strogatz<R: Rng>(
+    n: usize,
+    k: usize,
+    beta: f64,
+    rng: &mut R,
+) -> Result<GraphBuilder, GraphError> {
+    if k % 2 != 0 || k == 0 {
+        return Err(GraphError::InvalidParameter {
+            message: format!("ring degree k={k} must be positive and even"),
+        });
+    }
+    if k >= n {
+        return Err(GraphError::InvalidParameter {
+            message: format!("ring degree k={k} must be below n={n}"),
+        });
+    }
+    if !(0.0..=1.0).contains(&beta) {
+        return Err(GraphError::InvalidParameter {
+            message: format!("rewiring probability {beta} outside [0, 1]"),
+        });
+    }
+    let mut b = GraphBuilder::with_capacity(n * k / 2);
+    b.reserve_nodes(n);
+    for u in 0..n {
+        for j in 1..=(k / 2) {
+            let v = (u + j) % n;
+            if rng.gen::<f64>() < beta {
+                // Rewire: pick a random endpoint avoiding self-loops and
+                // (best effort) duplicates.
+                let mut w = rng.gen_range(0..n);
+                let mut tries = 0;
+                while (w == u || b.contains_edge(u, w)) && tries < 32 {
+                    w = rng.gen_range(0..n);
+                    tries += 1;
+                }
+                if w != u && !b.contains_edge(u, w) {
+                    b.add_edge(u, w)?;
+                } else if !b.contains_edge(u, v) {
+                    b.add_edge(u, v)?;
+                }
+            } else if !b.contains_edge(u, v) {
+                b.add_edge(u, v)?;
+            }
+        }
+    }
+    Ok(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{connected_components, WeightScheme};
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn zero_beta_is_ring_lattice() {
+        let b = watts_strogatz(20, 4, 0.0, &mut rng(1)).unwrap();
+        let g = b.build(WeightScheme::UniformByDegree).unwrap();
+        assert_eq!(g.edge_count(), 40);
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 4);
+        }
+    }
+
+    #[test]
+    fn edge_count_preserved_under_rewiring() {
+        let b = watts_strogatz(100, 6, 0.3, &mut rng(2)).unwrap();
+        // Rewiring can only drop edges if a duplicate is unavoidable; the
+        // count stays within a couple of edges of n*k/2.
+        assert!(b.edge_count() >= 295 && b.edge_count() <= 300, "count {}", b.edge_count());
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(watts_strogatz(10, 3, 0.1, &mut rng(1)).is_err()); // odd k
+        assert!(watts_strogatz(10, 0, 0.1, &mut rng(1)).is_err());
+        assert!(watts_strogatz(4, 4, 0.1, &mut rng(1)).is_err()); // k >= n
+        assert!(watts_strogatz(10, 2, 1.5, &mut rng(1)).is_err());
+    }
+
+    #[test]
+    fn remains_mostly_connected() {
+        let b = watts_strogatz(200, 6, 0.1, &mut rng(3)).unwrap();
+        let g = b.build(WeightScheme::UniformByDegree).unwrap();
+        assert_eq!(connected_components(&g).count(), 1);
+    }
+
+    #[test]
+    fn full_rewiring_still_valid() {
+        let b = watts_strogatz(50, 4, 1.0, &mut rng(4)).unwrap();
+        let g = b.build(WeightScheme::UniformByDegree).unwrap();
+        g.validate().unwrap();
+        for (u, v) in g.edges() {
+            assert_ne!(u, v);
+        }
+    }
+}

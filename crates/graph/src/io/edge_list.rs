@@ -1,0 +1,259 @@
+//! SNAP-format edge-list parsing and writing.
+//!
+//! The paper's datasets come from the SNAP collection [14], distributed as
+//! whitespace-separated edge lists with `#`-prefixed comment lines. The
+//! parser accepts that format (tabs or spaces, arbitrary comment lines,
+//! optional duplicate/reversed edges, self-loops dropped on request) and
+//! compacts node ids densely.
+
+use crate::{GraphBuilder, GraphError};
+use bytes::Bytes;
+use std::collections::HashMap;
+use std::io::{BufReader, Read, Write};
+use std::path::Path;
+
+/// Options controlling edge-list parsing.
+#[derive(Debug, Clone)]
+pub struct EdgeListOptions {
+    /// Drop self-loops instead of failing (SNAP data contains a few).
+    pub drop_self_loops: bool,
+    /// Relabel node ids densely in order of first appearance. When false,
+    /// raw ids are used directly (they must be reasonable indices).
+    pub compact_ids: bool,
+}
+
+impl Default for EdgeListOptions {
+    fn default() -> Self {
+        EdgeListOptions { drop_self_loops: true, compact_ids: true }
+    }
+}
+
+/// Parses an in-memory edge list (SNAP format) into a [`GraphBuilder`].
+///
+/// # Errors
+///
+/// Returns [`GraphError::Parse`] with a 1-based line number on malformed
+/// lines, or [`GraphError::SelfLoop`] when `drop_self_loops` is false and
+/// a self-loop appears.
+pub fn parse_edge_list(data: &Bytes, opts: &EdgeListOptions) -> Result<GraphBuilder, GraphError> {
+    let mut builder = GraphBuilder::new();
+    let mut relabel: HashMap<u64, usize> = HashMap::new();
+    let mut next_id = 0usize;
+    let mut intern = |raw: u64, relabel: &mut HashMap<u64, usize>| -> usize {
+        if !opts.compact_ids {
+            return raw as usize;
+        }
+        match relabel.get(&raw) {
+            Some(&id) => id,
+            None => {
+                let id = next_id;
+                relabel.insert(raw, id);
+                next_id += 1;
+                id
+            }
+        }
+    };
+    for (lineno, line) in data.split(|&b| b == b'\n').enumerate() {
+        let line = trim_ascii(line);
+        if line.is_empty() || line[0] == b'#' || line[0] == b'%' {
+            continue;
+        }
+        let mut fields = line
+            .split(|&b| b == b'\t' || b == b' ')
+            .filter(|f| !f.is_empty());
+        let a = fields.next();
+        let b_field = fields.next();
+        let (a, b_field) = match (a, b_field) {
+            (Some(a), Some(b)) => (a, b),
+            _ => {
+                return Err(GraphError::Parse {
+                    line: lineno + 1,
+                    message: "expected two whitespace-separated node ids".into(),
+                })
+            }
+        };
+        let u = parse_u64(a).ok_or_else(|| GraphError::Parse {
+            line: lineno + 1,
+            message: format!("invalid node id {:?}", String::from_utf8_lossy(a)),
+        })?;
+        let v = parse_u64(b_field).ok_or_else(|| GraphError::Parse {
+            line: lineno + 1,
+            message: format!("invalid node id {:?}", String::from_utf8_lossy(b_field)),
+        })?;
+        if u == v {
+            if opts.drop_self_loops {
+                continue;
+            }
+            return Err(GraphError::SelfLoop { node: u as usize });
+        }
+        let ui = intern(u, &mut relabel);
+        let vi = intern(v, &mut relabel);
+        builder.add_edge(ui, vi)?;
+    }
+    Ok(builder)
+}
+
+/// Reads an edge list from any reader (e.g. a SNAP `.txt` file).
+///
+/// # Errors
+///
+/// Propagates IO and parse failures.
+pub fn read_edge_list<R: Read>(reader: R, opts: &EdgeListOptions) -> Result<GraphBuilder, GraphError> {
+    let mut buf = Vec::new();
+    let mut reader = BufReader::new(reader);
+    reader.read_to_end(&mut buf)?;
+    parse_edge_list(&Bytes::from(buf), opts)
+}
+
+/// Writes a graph as a SNAP-style edge list with a header comment.
+///
+/// # Errors
+///
+/// Propagates IO failures.
+pub fn write_edge_list<W: Write>(
+    g: &crate::SocialGraph,
+    mut writer: W,
+    comment: &str,
+) -> Result<(), GraphError> {
+    writeln!(writer, "# {comment}")?;
+    writeln!(writer, "# Nodes: {} Edges: {}", g.node_count(), g.edge_count())?;
+    for (u, v) in g.edges() {
+        writeln!(writer, "{}\t{}", u.index(), v.index())?;
+    }
+    Ok(())
+}
+
+/// Convenience: reads an edge list from a filesystem path.
+///
+/// # Errors
+///
+/// Propagates IO and parse failures.
+pub fn read_edge_list_path(
+    path: &Path,
+    opts: &EdgeListOptions,
+) -> Result<GraphBuilder, GraphError> {
+    let file = std::fs::File::open(path)?;
+    read_edge_list(file, opts)
+}
+
+fn trim_ascii(mut s: &[u8]) -> &[u8] {
+    while let Some((first, rest)) = s.split_first() {
+        if first.is_ascii_whitespace() {
+            s = rest;
+        } else {
+            break;
+        }
+    }
+    while let Some((last, rest)) = s.split_last() {
+        if last.is_ascii_whitespace() {
+            s = rest;
+        } else {
+            break;
+        }
+    }
+    s
+}
+
+fn parse_u64(s: &[u8]) -> Option<u64> {
+    if s.is_empty() {
+        return None;
+    }
+    let mut acc: u64 = 0;
+    for &b in s {
+        if !b.is_ascii_digit() {
+            return None;
+        }
+        acc = acc.checked_mul(10)?.checked_add((b - b'0') as u64)?;
+    }
+    Some(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::WeightScheme;
+
+    fn bytes(s: &str) -> Bytes {
+        Bytes::from(s.as_bytes().to_vec())
+    }
+
+    #[test]
+    fn parses_snap_style() {
+        let data = bytes("# Directed graph\n# Nodes: 3 Edges: 2\n30\t47\n47\t99\n");
+        let b = parse_edge_list(&data, &EdgeListOptions::default()).unwrap();
+        assert_eq!(b.edge_count(), 2);
+        assert_eq!(b.node_count(), 3); // compacted ids 0, 1, 2
+    }
+
+    #[test]
+    fn accepts_spaces_and_blank_lines() {
+        let data = bytes("0 1\n\n  1   2  \n% percent comment\n");
+        let b = parse_edge_list(&data, &EdgeListOptions::default()).unwrap();
+        assert_eq!(b.edge_count(), 2);
+    }
+
+    #[test]
+    fn drops_self_loops_by_default() {
+        let data = bytes("0\t0\n0\t1\n");
+        let b = parse_edge_list(&data, &EdgeListOptions::default()).unwrap();
+        assert_eq!(b.edge_count(), 1);
+    }
+
+    #[test]
+    fn strict_self_loops_error() {
+        let data = bytes("5\t5\n");
+        let opts = EdgeListOptions { drop_self_loops: false, compact_ids: false };
+        assert!(matches!(
+            parse_edge_list(&data, &opts),
+            Err(GraphError::SelfLoop { node: 5 })
+        ));
+    }
+
+    #[test]
+    fn dedups_reversed_duplicates() {
+        let data = bytes("0\t1\n1\t0\n0\t1\n");
+        let b = parse_edge_list(&data, &EdgeListOptions::default()).unwrap();
+        assert_eq!(b.edge_count(), 1);
+    }
+
+    #[test]
+    fn malformed_line_reports_position() {
+        let data = bytes("0\t1\nhello\n");
+        let err = parse_edge_list(&data, &EdgeListOptions::default()).unwrap_err();
+        match err {
+            GraphError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn raw_ids_without_compaction() {
+        let data = bytes("2\t5\n");
+        let opts = EdgeListOptions { drop_self_loops: true, compact_ids: false };
+        let b = parse_edge_list(&data, &opts).unwrap();
+        assert_eq!(b.node_count(), 6);
+    }
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let mut b = GraphBuilder::new();
+        b.add_edges(vec![(0, 1), (1, 2), (0, 2)]).unwrap();
+        let g = b.build(WeightScheme::UniformByDegree).unwrap();
+        let mut out = Vec::new();
+        write_edge_list(&g, &mut out, "roundtrip test").unwrap();
+        let b2 = read_edge_list(&out[..], &EdgeListOptions::default()).unwrap();
+        let g2 = b2.build(WeightScheme::UniformByDegree).unwrap();
+        assert_eq!(g.node_count(), g2.node_count());
+        assert_eq!(g.edge_count(), g2.edge_count());
+    }
+
+    #[test]
+    fn path_reader() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("raf_graph_test_edges.txt");
+        std::fs::write(&path, "0\t1\n1\t2\n").unwrap();
+        let b = read_edge_list_path(&path, &EdgeListOptions::default()).unwrap();
+        assert_eq!(b.edge_count(), 2);
+        let _ = std::fs::remove_file(&path);
+    }
+}

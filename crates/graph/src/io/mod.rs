@@ -1,0 +1,7 @@
+//! Graph input/output: SNAP-compatible edge lists.
+
+mod edge_list;
+
+pub use edge_list::{
+    parse_edge_list, read_edge_list, read_edge_list_path, write_edge_list, EdgeListOptions,
+};

@@ -1,0 +1,259 @@
+//! Graph statistics: the quantities reported in the paper's Table I plus
+//! common structural diagnostics.
+
+use crate::{NodeId, SocialGraph};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a graph, as in Table I of the paper.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GraphMetrics {
+    /// Number of users `n`.
+    pub nodes: usize,
+    /// Number of friendships `m`.
+    pub edges: usize,
+    /// Average degree `2m/n`.
+    pub average_degree: f64,
+    /// Maximum degree.
+    pub max_degree: usize,
+    /// Minimum degree.
+    pub min_degree: usize,
+    /// Edge density `2m / (n(n-1))`.
+    pub density: f64,
+}
+
+impl GraphMetrics {
+    /// Computes the summary for `g`.
+    pub fn compute(g: &SocialGraph) -> Self {
+        let n = g.node_count();
+        let m = g.edge_count();
+        let (mut max_d, mut min_d) = (0usize, usize::MAX);
+        for v in g.nodes() {
+            let d = g.degree(v);
+            max_d = max_d.max(d);
+            min_d = min_d.min(d);
+        }
+        if n == 0 {
+            min_d = 0;
+        }
+        GraphMetrics {
+            nodes: n,
+            edges: m,
+            average_degree: g.average_degree(),
+            max_degree: max_d,
+            min_degree: min_d,
+            density: if n > 1 { 2.0 * m as f64 / (n as f64 * (n as f64 - 1.0)) } else { 0.0 },
+        }
+    }
+}
+
+impl std::fmt::Display for GraphMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "nodes={} edges={} avg_degree={:.2} max_degree={} density={:.6}",
+            self.nodes, self.edges, self.average_degree, self.max_degree, self.density
+        )
+    }
+}
+
+/// Degree histogram with log-binned summary, for checking the heavy tail of
+/// synthetic stand-ins against social-network expectations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DegreeHistogram {
+    /// `counts[d]` = number of nodes with degree `d` (dense up to max
+    /// degree).
+    pub counts: Vec<usize>,
+}
+
+impl DegreeHistogram {
+    /// Builds the histogram for `g`.
+    pub fn compute(g: &SocialGraph) -> Self {
+        let mut counts = Vec::new();
+        for v in g.nodes() {
+            let d = g.degree(v);
+            if d >= counts.len() {
+                counts.resize(d + 1, 0);
+            }
+            counts[d] += 1;
+        }
+        DegreeHistogram { counts }
+    }
+
+    /// Number of nodes with degree exactly `d`.
+    pub fn count(&self, d: usize) -> usize {
+        self.counts.get(d).copied().unwrap_or(0)
+    }
+
+    /// The fraction of nodes with degree ≥ `d` (complementary CDF).
+    pub fn ccdf(&self, d: usize) -> f64 {
+        let total: usize = self.counts.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let at_least: usize = self.counts.iter().skip(d).sum();
+        at_least as f64 / total as f64
+    }
+
+    /// Estimates the power-law exponent via the Hill estimator on degrees
+    /// ≥ `d_min`. Returns `None` when fewer than 10 nodes qualify.
+    pub fn powerlaw_exponent(&self, d_min: usize) -> Option<f64> {
+        let d_min = d_min.max(1);
+        let mut sum_log = 0.0;
+        let mut count = 0usize;
+        for (d, &c) in self.counts.iter().enumerate().skip(d_min) {
+            if c > 0 {
+                sum_log += c as f64 * (d as f64 / d_min as f64).ln();
+                count += c;
+            }
+        }
+        if count < 10 || sum_log == 0.0 {
+            return None;
+        }
+        Some(1.0 + count as f64 / sum_log)
+    }
+}
+
+/// Estimates the global clustering coefficient by sampling `samples`
+/// wedges uniformly (Schank–Wagner style). Exact for graphs whose wedge
+/// count is below `samples`.
+///
+/// Returns 0 for graphs with no wedge (no node of degree ≥ 2).
+pub fn clustering_coefficient<R: Rng>(g: &SocialGraph, samples: usize, rng: &mut R) -> f64 {
+    // Nodes with degree >= 2, weighted by number of wedges d*(d-1)/2.
+    let mut wedge_nodes: Vec<NodeId> = Vec::new();
+    let mut cum: Vec<u64> = Vec::new();
+    let mut total: u64 = 0;
+    for v in g.nodes() {
+        let d = g.degree(v) as u64;
+        if d >= 2 {
+            total += d * (d - 1) / 2;
+            wedge_nodes.push(v);
+            cum.push(total);
+        }
+    }
+    if total == 0 {
+        return 0.0;
+    }
+    let mut closed = 0usize;
+    for _ in 0..samples {
+        let r = rng.gen_range(0..total);
+        let idx = cum.partition_point(|&c| c <= r);
+        let v = wedge_nodes[idx.min(wedge_nodes.len() - 1)];
+        let nbrs = g.neighbors(v);
+        let i = rng.gen_range(0..nbrs.len());
+        let mut j = rng.gen_range(0..nbrs.len() - 1);
+        if j >= i {
+            j += 1;
+        }
+        if g.has_edge(nbrs[i], nbrs[j]) {
+            closed += 1;
+        }
+    }
+    closed as f64 / samples as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GraphBuilder, WeightScheme};
+    use rand::SeedableRng;
+
+    fn triangle_plus_tail() -> SocialGraph {
+        let mut b = GraphBuilder::new();
+        b.add_edges(vec![(0, 1), (1, 2), (0, 2), (2, 3)]).unwrap();
+        b.build(WeightScheme::UniformByDegree).unwrap()
+    }
+
+    #[test]
+    fn metrics_basic() {
+        let m = GraphMetrics::compute(&triangle_plus_tail());
+        assert_eq!(m.nodes, 4);
+        assert_eq!(m.edges, 4);
+        assert_eq!(m.max_degree, 3);
+        assert_eq!(m.min_degree, 1);
+        assert!((m.average_degree - 2.0).abs() < 1e-12);
+        assert!((m.density - 4.0 * 2.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn metrics_empty_graph() {
+        let g = GraphBuilder::new().build(WeightScheme::UniformByDegree).unwrap();
+        let m = GraphMetrics::compute(&g);
+        assert_eq!(m.nodes, 0);
+        assert_eq!(m.min_degree, 0);
+        assert_eq!(m.density, 0.0);
+    }
+
+    #[test]
+    fn histogram_counts() {
+        let h = DegreeHistogram::compute(&triangle_plus_tail());
+        assert_eq!(h.count(1), 1); // node 3
+        assert_eq!(h.count(2), 2); // nodes 0, 1
+        assert_eq!(h.count(3), 1); // node 2
+        assert_eq!(h.count(9), 0);
+    }
+
+    #[test]
+    fn ccdf_monotone() {
+        let h = DegreeHistogram::compute(&triangle_plus_tail());
+        assert!((h.ccdf(0) - 1.0).abs() < 1e-12);
+        assert!(h.ccdf(2) >= h.ccdf(3));
+        assert_eq!(h.ccdf(10), 0.0);
+    }
+
+    #[test]
+    fn clustering_triangle_is_one() {
+        let mut b = GraphBuilder::new();
+        b.add_edges(vec![(0, 1), (1, 2), (0, 2)]).unwrap();
+        let g = b.build(WeightScheme::UniformByDegree).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let c = clustering_coefficient(&g, 1000, &mut rng);
+        assert!((c - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clustering_star_is_zero() {
+        let mut b = GraphBuilder::new();
+        b.add_edges((1..6).map(|i| (0, i))).unwrap();
+        let g = b.build(WeightScheme::UniformByDegree).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let c = clustering_coefficient(&g, 1000, &mut rng);
+        assert_eq!(c, 0.0);
+    }
+
+    #[test]
+    fn clustering_no_wedges() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1).unwrap();
+        let g = b.build(WeightScheme::UniformByDegree).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        assert_eq!(clustering_coefficient(&g, 100, &mut rng), 0.0);
+    }
+
+    #[test]
+    fn powerlaw_exponent_none_for_tiny() {
+        // The Hill estimator needs at least 10 qualifying nodes; a 4-node
+        // graph never qualifies.
+        let h = DegreeHistogram::compute(&triangle_plus_tail());
+        assert!(h.powerlaw_exponent(1).is_none());
+        assert!(h.powerlaw_exponent(4).is_none());
+    }
+
+    #[test]
+    fn powerlaw_exponent_on_synthetic_tail() {
+        // 40 nodes of degree 2 and 20 of degree 4 → positive finite
+        // exponent strictly above 1.
+        let h = DegreeHistogram { counts: vec![0, 0, 40, 0, 20] };
+        let gamma = h.powerlaw_exponent(2).unwrap();
+        assert!(gamma > 1.0 && gamma.is_finite());
+    }
+
+    #[test]
+    fn display_mentions_all_fields() {
+        let m = GraphMetrics::compute(&triangle_plus_tail());
+        let s = m.to_string();
+        assert!(s.contains("nodes=4"));
+        assert!(s.contains("edges=4"));
+    }
+}

@@ -1,0 +1,156 @@
+//! Induced subgraphs with node relabeling.
+
+use crate::{GraphBuilder, GraphError, NodeId, SocialGraph, WeightScheme};
+
+/// Bidirectional mapping between original node ids and the dense ids of an
+/// extracted subgraph.
+#[derive(Debug, Clone)]
+pub struct NodeMapping {
+    /// `to_original[new] = original`.
+    to_original: Vec<NodeId>,
+    /// `to_new[original] = new + 1`, 0 meaning "not in subgraph". Encoded
+    /// this way to keep the map dense and cheap.
+    to_new: Vec<u32>,
+}
+
+impl NodeMapping {
+    fn new(original_n: usize, nodes: &[NodeId]) -> Self {
+        let mut to_new = vec![0u32; original_n];
+        for (new, &orig) in nodes.iter().enumerate() {
+            to_new[orig.index()] = new as u32 + 1;
+        }
+        NodeMapping { to_original: nodes.to_vec(), to_new }
+    }
+
+    /// The original id of subgraph node `new`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new` is out of range for the subgraph.
+    pub fn to_original(&self, new: NodeId) -> NodeId {
+        self.to_original[new.index()]
+    }
+
+    /// The subgraph id of original node `orig`, or `None` when the node was
+    /// not kept.
+    pub fn to_new(&self, orig: NodeId) -> Option<NodeId> {
+        let enc = *self.to_new.get(orig.index())?;
+        if enc == 0 {
+            None
+        } else {
+            Some(NodeId::new(enc as usize - 1))
+        }
+    }
+
+    /// Number of nodes in the subgraph.
+    pub fn len(&self) -> usize {
+        self.to_original.len()
+    }
+
+    /// Whether the subgraph is empty.
+    pub fn is_empty(&self) -> bool {
+        self.to_original.is_empty()
+    }
+}
+
+/// Builds the subgraph induced by `nodes` (edges with both endpoints kept),
+/// relabeling nodes densely in the order given.
+///
+/// Weights are re-assigned with `scheme` on the new topology — note that
+/// degree-dependent schemes (the paper's `1/|N_v|`) therefore reflect the
+/// *subgraph* degrees, matching how the evaluation treats extracted
+/// components as standalone networks.
+///
+/// # Errors
+///
+/// Returns [`GraphError::NodeOutOfRange`] for an unknown node and
+/// propagates weight-assignment failures.
+pub fn induced_subgraph(
+    g: &SocialGraph,
+    nodes: &[NodeId],
+    scheme: WeightScheme,
+) -> Result<(SocialGraph, NodeMapping), GraphError> {
+    for &v in nodes {
+        if v.index() >= g.node_count() {
+            return Err(GraphError::NodeOutOfRange {
+                node: v.index(),
+                node_count: g.node_count(),
+            });
+        }
+    }
+    let mapping = NodeMapping::new(g.node_count(), nodes);
+    let mut builder = GraphBuilder::new();
+    builder.reserve_nodes(nodes.len());
+    for (new_u, &orig_u) in nodes.iter().enumerate() {
+        for &orig_v in g.neighbors(orig_u) {
+            if let Some(new_v) = mapping.to_new(orig_v) {
+                if new_u < new_v.index() {
+                    builder.add_edge(new_u, new_v.index())?;
+                }
+            }
+        }
+    }
+    let sub = builder.build(scheme)?;
+    Ok((sub, mapping))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square_with_tail() -> SocialGraph {
+        // 0-1-2-3-0 square plus tail 3-4.
+        let mut b = GraphBuilder::new();
+        b.add_edges(vec![(0, 1), (1, 2), (2, 3), (3, 0), (3, 4)]).unwrap();
+        b.build(WeightScheme::UniformByDegree).unwrap()
+    }
+
+    #[test]
+    fn keeps_internal_edges_only() {
+        let g = square_with_tail();
+        let nodes: Vec<NodeId> = [0usize, 1, 2, 3].iter().map(|&i| NodeId::new(i)).collect();
+        let (sub, _) = induced_subgraph(&g, &nodes, WeightScheme::UniformByDegree).unwrap();
+        assert_eq!(sub.node_count(), 4);
+        assert_eq!(sub.edge_count(), 4); // the square, tail dropped
+    }
+
+    #[test]
+    fn mapping_roundtrip() {
+        let g = square_with_tail();
+        let nodes: Vec<NodeId> = [2usize, 4, 3].iter().map(|&i| NodeId::new(i)).collect();
+        let (_, mapping) = induced_subgraph(&g, &nodes, WeightScheme::UniformByDegree).unwrap();
+        assert_eq!(mapping.len(), 3);
+        for (new, &orig) in nodes.iter().enumerate() {
+            assert_eq!(mapping.to_original(NodeId::new(new)), orig);
+            assert_eq!(mapping.to_new(orig), Some(NodeId::new(new)));
+        }
+        assert_eq!(mapping.to_new(NodeId::new(0)), None);
+    }
+
+    #[test]
+    fn subgraph_degrees_reweighted() {
+        let g = square_with_tail();
+        // Keep only the path 2-3-4; node 3 had degree 3, now has 2.
+        let nodes: Vec<NodeId> = [2usize, 3, 4].iter().map(|&i| NodeId::new(i)).collect();
+        let (sub, mapping) = induced_subgraph(&g, &nodes, WeightScheme::UniformByDegree).unwrap();
+        let new3 = mapping.to_new(NodeId::new(3)).unwrap();
+        assert_eq!(sub.degree(new3), 2);
+        assert!((sub.total_in_weight(new3) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn out_of_range_node_rejected() {
+        let g = square_with_tail();
+        let err = induced_subgraph(&g, &[NodeId::new(99)], WeightScheme::UniformByDegree)
+            .unwrap_err();
+        assert!(matches!(err, GraphError::NodeOutOfRange { .. }));
+    }
+
+    #[test]
+    fn empty_selection() {
+        let g = square_with_tail();
+        let (sub, mapping) = induced_subgraph(&g, &[], WeightScheme::UniformByDegree).unwrap();
+        assert_eq!(sub.node_count(), 0);
+        assert!(mapping.is_empty());
+    }
+}

@@ -1,0 +1,140 @@
+//! Breadth-first search utilities.
+
+use crate::{NodeId, SocialGraph};
+use std::collections::VecDeque;
+
+/// Hop distances from the multi-source `sources` to every node;
+/// `u32::MAX` marks unreachable nodes.
+pub fn bfs_distances(g: &SocialGraph, sources: &[NodeId]) -> Vec<u32> {
+    let mut dist = vec![u32::MAX; g.node_count()];
+    let mut queue = VecDeque::new();
+    for &s in sources {
+        if dist[s.index()] == u32::MAX {
+            dist[s.index()] = 0;
+            queue.push_back(s);
+        }
+    }
+    while let Some(v) = queue.pop_front() {
+        let d = dist[v.index()];
+        for &u in g.neighbors(v) {
+            if dist[u.index()] == u32::MAX {
+                dist[u.index()] = d + 1;
+                queue.push_back(u);
+            }
+        }
+    }
+    dist
+}
+
+/// The set of nodes reachable from any of `sources` (including the sources
+/// themselves), as a boolean mask.
+pub fn bfs_reachable(g: &SocialGraph, sources: &[NodeId]) -> Vec<bool> {
+    bfs_distances(g, sources).into_iter().map(|d| d != u32::MAX).collect()
+}
+
+/// A shortest (fewest-hops) path from `s` to `t` inclusive of both
+/// endpoints, or `None` when `t` is unreachable.
+///
+/// Ties are broken toward lower-id predecessors, making the result
+/// deterministic.
+pub fn shortest_path(g: &SocialGraph, s: NodeId, t: NodeId) -> Option<Vec<NodeId>> {
+    if s == t {
+        return Some(vec![s]);
+    }
+    let n = g.node_count();
+    if s.index() >= n || t.index() >= n {
+        return None;
+    }
+    let mut parent: Vec<Option<NodeId>> = vec![None; n];
+    let mut visited = vec![false; n];
+    let mut queue = VecDeque::new();
+    visited[s.index()] = true;
+    queue.push_back(s);
+    while let Some(v) = queue.pop_front() {
+        for &u in g.neighbors(v) {
+            if !visited[u.index()] {
+                visited[u.index()] = true;
+                parent[u.index()] = Some(v);
+                if u == t {
+                    let mut path = vec![t];
+                    let mut cur = t;
+                    while let Some(p) = parent[cur.index()] {
+                        path.push(p);
+                        cur = p;
+                    }
+                    path.reverse();
+                    return Some(path);
+                }
+                queue.push_back(u);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GraphBuilder, WeightScheme};
+
+    fn path_graph(n: usize) -> SocialGraph {
+        let mut b = GraphBuilder::new();
+        b.add_edges((0..n - 1).map(|i| (i, i + 1))).unwrap();
+        b.build(WeightScheme::UniformByDegree).unwrap()
+    }
+
+    #[test]
+    fn distances_on_path() {
+        let g = path_graph(5);
+        let d = bfs_distances(&g, &[NodeId::new(0)]);
+        assert_eq!(d, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn multi_source_distances() {
+        let g = path_graph(5);
+        let d = bfs_distances(&g, &[NodeId::new(0), NodeId::new(4)]);
+        assert_eq!(d, vec![0, 1, 2, 1, 0]);
+    }
+
+    #[test]
+    fn unreachable_marked_max() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1).unwrap();
+        b.reserve_nodes(3);
+        let g = b.build(WeightScheme::UniformByDegree).unwrap();
+        let d = bfs_distances(&g, &[NodeId::new(0)]);
+        assert_eq!(d[2], u32::MAX);
+        let mask = bfs_reachable(&g, &[NodeId::new(0)]);
+        assert_eq!(mask, vec![true, true, false]);
+    }
+
+    #[test]
+    fn shortest_path_endpoints_inclusive() {
+        let g = path_graph(4);
+        let p = shortest_path(&g, NodeId::new(0), NodeId::new(3)).unwrap();
+        let ids: Vec<usize> = p.iter().map(|v| v.index()).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn shortest_path_trivial_and_missing() {
+        let g = path_graph(3);
+        assert_eq!(shortest_path(&g, NodeId::new(1), NodeId::new(1)), Some(vec![NodeId::new(1)]));
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1).unwrap();
+        b.reserve_nodes(3);
+        let g2 = b.build(WeightScheme::UniformByDegree).unwrap();
+        assert_eq!(shortest_path(&g2, NodeId::new(0), NodeId::new(2)), None);
+    }
+
+    #[test]
+    fn shortest_path_prefers_shorter_branch() {
+        // Diamond: 0-1-3 and 0-2a-2b-3; shortest goes through 1.
+        let mut b = GraphBuilder::new();
+        b.add_edges(vec![(0, 1), (1, 4), (0, 2), (2, 3), (3, 4)]).unwrap();
+        let g = b.build(WeightScheme::UniformByDegree).unwrap();
+        let p = shortest_path(&g, NodeId::new(0), NodeId::new(4)).unwrap();
+        assert_eq!(p.len(), 3);
+    }
+}

@@ -1,0 +1,90 @@
+//! Depth-first search utilities.
+
+use crate::{NodeId, SocialGraph};
+
+/// Preorder DFS visit order from `source` (iterative, so deep graphs do
+/// not overflow the stack). Neighbors are visited in ascending id order.
+pub fn dfs_order(g: &SocialGraph, source: NodeId) -> Vec<NodeId> {
+    let n = g.node_count();
+    if source.index() >= n {
+        return Vec::new();
+    }
+    let mut visited = vec![false; n];
+    let mut order = Vec::new();
+    let mut stack = vec![source];
+    while let Some(v) = stack.pop() {
+        if visited[v.index()] {
+            continue;
+        }
+        visited[v.index()] = true;
+        order.push(v);
+        // Push in reverse so the lowest-id neighbor is popped first.
+        for &u in g.neighbors(v).iter().rev() {
+            if !visited[u.index()] {
+                stack.push(u);
+            }
+        }
+    }
+    order
+}
+
+/// The set of nodes reachable from `source` as a boolean mask.
+pub fn dfs_reachable(g: &SocialGraph, source: NodeId) -> Vec<bool> {
+    let mut mask = vec![false; g.node_count()];
+    for v in dfs_order(g, source) {
+        mask[v.index()] = true;
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GraphBuilder, WeightScheme};
+
+    #[test]
+    fn preorder_on_binary_tree() {
+        // 0 -> {1, 2}, 1 -> {3, 4}
+        let mut b = GraphBuilder::new();
+        b.add_edges(vec![(0, 1), (0, 2), (1, 3), (1, 4)]).unwrap();
+        let g = b.build(WeightScheme::UniformByDegree).unwrap();
+        let order: Vec<usize> = dfs_order(&g, NodeId::new(0)).iter().map(|v| v.index()).collect();
+        assert_eq!(order, vec![0, 1, 3, 4, 2]);
+    }
+
+    #[test]
+    fn reachability_mask() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1).unwrap();
+        b.reserve_nodes(3);
+        let g = b.build(WeightScheme::UniformByDegree).unwrap();
+        assert_eq!(dfs_reachable(&g, NodeId::new(0)), vec![true, true, false]);
+    }
+
+    #[test]
+    fn out_of_range_source() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1).unwrap();
+        let g = b.build(WeightScheme::UniformByDegree).unwrap();
+        assert!(dfs_order(&g, NodeId::new(10)).is_empty());
+    }
+
+    #[test]
+    fn dfs_matches_bfs_reachability() {
+        use crate::traversal::bfs_reachable;
+        let mut b = GraphBuilder::new();
+        b.add_edges(vec![(0, 1), (1, 2), (3, 4)]).unwrap();
+        let g = b.build(WeightScheme::UniformByDegree).unwrap();
+        assert_eq!(dfs_reachable(&g, NodeId::new(0)), bfs_reachable(&g, &[NodeId::new(0)]));
+    }
+
+    #[test]
+    fn deep_path_does_not_overflow() {
+        let n = 200_000;
+        let mut b = GraphBuilder::with_capacity(n);
+        b.add_edges((0..n - 1).map(|i| (i, i + 1))).unwrap();
+        let g = b.build(WeightScheme::UniformByDegree).unwrap();
+        let order = dfs_order(&g, NodeId::new(0));
+        assert_eq!(order.len(), n);
+    }
+}

@@ -1,0 +1,194 @@
+//! Successive vertex-disjoint shortest paths.
+//!
+//! The paper's Shortest-Path (SP) baseline "fills the invitation set by
+//! adding the nodes on the shortest paths from s to t. If more invited
+//! nodes are needed, SP will select the next shortest path disjoint from
+//! those that have been selected" (Sec. IV-A). This module implements that
+//! primitive: repeated BFS shortest paths whose *interior* nodes avoid all
+//! previously used interiors.
+
+use crate::{NodeId, SocialGraph};
+use std::collections::VecDeque;
+
+/// A BFS shortest path from `s` to `t` whose interior avoids `blocked`,
+/// or `None` if no such path exists. Endpoints are allowed to be blocked
+/// (they are shared across all paths).
+pub fn shortest_path_avoiding(
+    g: &SocialGraph,
+    s: NodeId,
+    t: NodeId,
+    blocked: &[bool],
+) -> Option<Vec<NodeId>> {
+    shortest_path_avoiding_inner(g, s, t, blocked, true)
+}
+
+fn shortest_path_avoiding_inner(
+    g: &SocialGraph,
+    s: NodeId,
+    t: NodeId,
+    blocked: &[bool],
+    allow_direct: bool,
+) -> Option<Vec<NodeId>> {
+    let n = g.node_count();
+    if s.index() >= n || t.index() >= n {
+        return None;
+    }
+    if s == t {
+        return Some(vec![s]);
+    }
+    let mut parent: Vec<Option<NodeId>> = vec![None; n];
+    let mut visited = vec![false; n];
+    let mut queue = VecDeque::new();
+    visited[s.index()] = true;
+    queue.push_back(s);
+    while let Some(v) = queue.pop_front() {
+        for &u in g.neighbors(v) {
+            if visited[u.index()] {
+                continue;
+            }
+            if u == t {
+                if v == s && !allow_direct {
+                    continue;
+                }
+                parent[u.index()] = Some(v);
+                let mut path = vec![t];
+                let mut cur = t;
+                while let Some(p) = parent[cur.index()] {
+                    path.push(p);
+                    cur = p;
+                }
+                path.reverse();
+                return Some(path);
+            }
+            if blocked[u.index()] {
+                continue;
+            }
+            visited[u.index()] = true;
+            parent[u.index()] = Some(v);
+            queue.push_back(u);
+        }
+    }
+    None
+}
+
+/// Up to `max_paths` successive interior-disjoint shortest paths from `s`
+/// to `t`, shortest first. Returns fewer when the graph runs out of
+/// disjoint routes.
+///
+/// Each returned path includes both endpoints; interiors are pairwise
+/// disjoint across the returned paths.
+pub fn successive_disjoint_paths(
+    g: &SocialGraph,
+    s: NodeId,
+    t: NodeId,
+    max_paths: usize,
+) -> Vec<Vec<NodeId>> {
+    let mut blocked = vec![false; g.node_count()];
+    let mut paths = Vec::new();
+    // The direct s-t edge has no interior to block; it may be used at most
+    // once, after which it is excluded from the search.
+    let mut allow_direct = true;
+    for _ in 0..max_paths {
+        match shortest_path_avoiding_inner(g, s, t, &blocked, allow_direct) {
+            None => break,
+            Some(path) => {
+                if path.len() <= 2 {
+                    allow_direct = false;
+                }
+                for &v in &path[1..path.len().saturating_sub(1)] {
+                    blocked[v.index()] = true;
+                }
+                paths.push(path);
+            }
+        }
+    }
+    paths
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GraphBuilder, WeightScheme};
+
+    /// Two interior-disjoint routes between 0 and 5:
+    /// 0-1-5 (short) and 0-2-3-4-5 (long).
+    fn two_routes() -> SocialGraph {
+        let mut b = GraphBuilder::new();
+        b.add_edges(vec![(0, 1), (1, 5), (0, 2), (2, 3), (3, 4), (4, 5)]).unwrap();
+        b.build(WeightScheme::UniformByDegree).unwrap()
+    }
+
+    #[test]
+    fn finds_paths_in_length_order() {
+        let g = two_routes();
+        let paths = successive_disjoint_paths(&g, NodeId::new(0), NodeId::new(5), 10);
+        assert_eq!(paths.len(), 2);
+        assert_eq!(paths[0].len(), 3);
+        assert_eq!(paths[1].len(), 5);
+    }
+
+    #[test]
+    fn interiors_are_disjoint() {
+        let g = two_routes();
+        let paths = successive_disjoint_paths(&g, NodeId::new(0), NodeId::new(5), 10);
+        let mut seen = std::collections::HashSet::new();
+        for p in &paths {
+            for v in &p[1..p.len() - 1] {
+                assert!(seen.insert(*v), "interior node {v} reused");
+            }
+        }
+    }
+
+    #[test]
+    fn respects_max_paths() {
+        let g = two_routes();
+        let paths = successive_disjoint_paths(&g, NodeId::new(0), NodeId::new(5), 1);
+        assert_eq!(paths.len(), 1);
+    }
+
+    #[test]
+    fn exhausts_when_no_more_routes() {
+        let mut b = GraphBuilder::new();
+        b.add_edges(vec![(0, 1), (1, 2)]).unwrap();
+        let g = b.build(WeightScheme::UniformByDegree).unwrap();
+        let paths = successive_disjoint_paths(&g, NodeId::new(0), NodeId::new(2), 10);
+        assert_eq!(paths.len(), 1); // only one route; interior node 1 then blocked
+    }
+
+    #[test]
+    fn direct_edge_path_never_blocks() {
+        // 0-1 plus 0-2-1: the direct edge has no interior, both paths found.
+        let mut b = GraphBuilder::new();
+        b.add_edges(vec![(0, 1), (0, 2), (2, 1)]).unwrap();
+        let g = b.build(WeightScheme::UniformByDegree).unwrap();
+        let paths = successive_disjoint_paths(&g, NodeId::new(0), NodeId::new(1), 10);
+        assert_eq!(paths.len(), 2);
+        assert_eq!(paths[0].len(), 2);
+    }
+
+    #[test]
+    fn avoiding_blocked_interior() {
+        let g = two_routes();
+        let mut blocked = vec![false; g.node_count()];
+        blocked[1] = true; // block the short route's interior
+        let p = shortest_path_avoiding(&g, NodeId::new(0), NodeId::new(5), &blocked).unwrap();
+        assert_eq!(p.len(), 5);
+    }
+
+    #[test]
+    fn no_route_returns_none() {
+        let g = two_routes();
+        let blocked = vec![true; g.node_count()];
+        assert!(shortest_path_avoiding(&g, NodeId::new(0), NodeId::new(5), &blocked).is_none());
+    }
+
+    #[test]
+    fn same_endpoints() {
+        let g = two_routes();
+        let blocked = vec![false; g.node_count()];
+        assert_eq!(
+            shortest_path_avoiding(&g, NodeId::new(3), NodeId::new(3), &blocked),
+            Some(vec![NodeId::new(3)])
+        );
+    }
+}

@@ -1,0 +1,12 @@
+//! Graph traversal: BFS, DFS, Dijkstra, and successive disjoint shortest
+//! paths (the machinery behind the paper's Shortest-Path baseline).
+
+mod bfs;
+mod dfs;
+mod dijkstra;
+mod disjoint_paths;
+
+pub use bfs::{bfs_distances, bfs_reachable, shortest_path};
+pub use dfs::{dfs_order, dfs_reachable};
+pub use dijkstra::{dijkstra, WeightedPath};
+pub use disjoint_paths::{successive_disjoint_paths, shortest_path_avoiding};

@@ -1,0 +1,90 @@
+//! Error type for friending-model operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while setting up or running the friending model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// The initiator and target are the same user.
+    InitiatorIsTarget {
+        /// The offending node index.
+        node: usize,
+    },
+    /// The initiator and target are already friends — the problem is
+    /// trivial (send the invitation directly).
+    AlreadyFriends {
+        /// The initiator.
+        s: usize,
+        /// The target.
+        t: usize,
+    },
+    /// A node id referenced a node outside `0..n`.
+    NodeOutOfRange {
+        /// The offending node index.
+        node: usize,
+        /// The number of nodes in the graph.
+        node_count: usize,
+    },
+    /// An estimator parameter was outside its valid range.
+    InvalidParameter {
+        /// Description of the problem.
+        message: String,
+    },
+    /// The Dagum–Karp–Luby–Ross estimator hit its sample cap before the
+    /// stopping condition; `p_max` is likely (near) zero.
+    SampleCapExhausted {
+        /// The cap that was reached.
+        cap: u64,
+        /// Successes observed before giving up.
+        successes: u64,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::InitiatorIsTarget { node } => {
+                write!(f, "initiator and target are both node {node}")
+            }
+            ModelError::AlreadyFriends { s, t } => {
+                write!(f, "nodes {s} and {t} are already friends")
+            }
+            ModelError::NodeOutOfRange { node, node_count } => {
+                write!(f, "node {node} out of range for graph with {node_count} nodes")
+            }
+            ModelError::InvalidParameter { message } => {
+                write!(f, "invalid parameter: {message}")
+            }
+            ModelError::SampleCapExhausted { cap, successes } => write!(
+                f,
+                "sample cap {cap} exhausted with only {successes} successes; p_max is likely zero"
+            ),
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            ModelError::InitiatorIsTarget { node: 4 }.to_string(),
+            "initiator and target are both node 4"
+        );
+        assert_eq!(
+            ModelError::AlreadyFriends { s: 1, t: 2 }.to_string(),
+            "nodes 1 and 2 are already friends"
+        );
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ModelError>();
+    }
+}

@@ -1,0 +1,137 @@
+//! Validated `(G, s, t)` problem instances.
+
+use crate::ModelError;
+use raf_graph::{CsrGraph, NodeId};
+
+/// A validated active-friending instance: the graph snapshot, the
+/// initiator `s`, the target `t`, and the precomputed seed set `N_s`
+/// (the current friends of `s`, the starting set `C_0` of Process 1).
+///
+/// All estimators and the RAF algorithm operate on this type, so the
+/// `s ≠ t` / not-already-friends / in-range checks happen exactly once.
+#[derive(Debug, Clone)]
+pub struct FriendingInstance<'g> {
+    graph: &'g CsrGraph,
+    s: NodeId,
+    t: NodeId,
+    ns: Vec<NodeId>,
+    is_seed: Vec<bool>,
+}
+
+impl<'g> FriendingInstance<'g> {
+    /// Validates and builds an instance.
+    ///
+    /// # Errors
+    ///
+    /// * [`ModelError::NodeOutOfRange`] when `s` or `t` exceeds the graph;
+    /// * [`ModelError::InitiatorIsTarget`] when `s == t`;
+    /// * [`ModelError::AlreadyFriends`] when `(s, t)` is already an edge —
+    ///   the active-friending problem assumes the friendship is missing.
+    pub fn new(graph: &'g CsrGraph, s: NodeId, t: NodeId) -> Result<Self, ModelError> {
+        let n = graph.node_count();
+        for v in [s, t] {
+            if v.index() >= n {
+                return Err(ModelError::NodeOutOfRange { node: v.index(), node_count: n });
+            }
+        }
+        if s == t {
+            return Err(ModelError::InitiatorIsTarget { node: s.index() });
+        }
+        if graph.has_edge(s, t) {
+            return Err(ModelError::AlreadyFriends { s: s.index(), t: t.index() });
+        }
+        let ns = graph.neighbors(s).to_vec();
+        let mut is_seed = vec![false; n];
+        for &v in &ns {
+            is_seed[v.index()] = true;
+        }
+        Ok(FriendingInstance { graph, s, t, ns, is_seed })
+    }
+
+    /// The underlying graph snapshot.
+    #[inline]
+    pub fn graph(&self) -> &'g CsrGraph {
+        self.graph
+    }
+
+    /// The initiator `s`.
+    #[inline]
+    pub fn initiator(&self) -> NodeId {
+        self.s
+    }
+
+    /// The target `t`.
+    #[inline]
+    pub fn target(&self) -> NodeId {
+        self.t
+    }
+
+    /// The current friends `N_s` of the initiator (the seed set `C_0`).
+    #[inline]
+    pub fn seeds(&self) -> &[NodeId] {
+        &self.ns
+    }
+
+    /// Whether `v ∈ N_s`.
+    #[inline]
+    pub fn is_seed(&self, v: NodeId) -> bool {
+        self.is_seed[v.index()]
+    }
+
+    /// Number of nodes in the graph.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.graph.node_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raf_graph::{GraphBuilder, WeightScheme};
+
+    fn csr() -> CsrGraph {
+        let mut b = GraphBuilder::new();
+        // 0 - 1 - 2 - 3 path.
+        b.add_edges(vec![(0, 1), (1, 2), (2, 3)]).unwrap();
+        b.build(WeightScheme::UniformByDegree).unwrap().to_csr()
+    }
+
+    #[test]
+    fn valid_instance() {
+        let g = csr();
+        let inst = FriendingInstance::new(&g, NodeId::new(0), NodeId::new(3)).unwrap();
+        assert_eq!(inst.initiator(), NodeId::new(0));
+        assert_eq!(inst.target(), NodeId::new(3));
+        assert_eq!(inst.seeds(), &[NodeId::new(1)]);
+        assert!(inst.is_seed(NodeId::new(1)));
+        assert!(!inst.is_seed(NodeId::new(2)));
+    }
+
+    #[test]
+    fn rejects_same_node() {
+        let g = csr();
+        assert!(matches!(
+            FriendingInstance::new(&g, NodeId::new(1), NodeId::new(1)),
+            Err(ModelError::InitiatorIsTarget { node: 1 })
+        ));
+    }
+
+    #[test]
+    fn rejects_existing_friends() {
+        let g = csr();
+        assert!(matches!(
+            FriendingInstance::new(&g, NodeId::new(0), NodeId::new(1)),
+            Err(ModelError::AlreadyFriends { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let g = csr();
+        assert!(matches!(
+            FriendingInstance::new(&g, NodeId::new(0), NodeId::new(9)),
+            Err(ModelError::NodeOutOfRange { .. })
+        ));
+    }
+}

@@ -1,0 +1,205 @@
+//! Invitation sets `I ⊆ V`.
+
+use raf_graph::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// An invitation set `I ⊆ V`: the users the initiator will send requests
+/// to. Backed by a dense bitmask for `O(1)` membership tests on the
+/// sampling hot path, plus a running cardinality.
+///
+/// ```
+/// use raf_model::InvitationSet;
+/// use raf_graph::NodeId;
+///
+/// let mut inv = InvitationSet::empty(5);
+/// inv.insert(NodeId::new(2));
+/// inv.insert(NodeId::new(4));
+/// assert_eq!(inv.len(), 2);
+/// assert!(inv.contains(NodeId::new(2)));
+/// assert!(!inv.contains(NodeId::new(0)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InvitationSet {
+    mask: Vec<bool>,
+    len: usize,
+}
+
+impl InvitationSet {
+    /// The empty invitation set over a graph with `n` nodes.
+    pub fn empty(n: usize) -> Self {
+        InvitationSet { mask: vec![false; n], len: 0 }
+    }
+
+    /// The full invitation set `I = V` (used when estimating `p_max`).
+    pub fn full(n: usize) -> Self {
+        InvitationSet { mask: vec![true; n], len: n }
+    }
+
+    /// Builds a set from an iterator of node ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a node id is out of range for `n`.
+    pub fn from_nodes<I: IntoIterator<Item = NodeId>>(n: usize, nodes: I) -> Self {
+        let mut set = Self::empty(n);
+        for v in nodes {
+            set.insert(v);
+        }
+        set
+    }
+
+    /// Number of invited users `|I|`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Capacity (the graph's node count `n`).
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.mask.len()
+    }
+
+    /// Whether `v ∈ I`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn contains(&self, v: NodeId) -> bool {
+        self.mask[v.index()]
+    }
+
+    /// Inserts `v`; returns `true` when it was newly added.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn insert(&mut self, v: NodeId) -> bool {
+        let slot = &mut self.mask[v.index()];
+        if *slot {
+            false
+        } else {
+            *slot = true;
+            self.len += 1;
+            true
+        }
+    }
+
+    /// Removes `v`; returns `true` when it was present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn remove(&mut self, v: NodeId) -> bool {
+        let slot = &mut self.mask[v.index()];
+        if *slot {
+            *slot = false;
+            self.len -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Iterates over the members in ascending id order.
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.mask
+            .iter()
+            .enumerate()
+            .filter(|(_, &m)| m)
+            .map(|(i, _)| NodeId::new(i))
+    }
+
+    /// Whether `other ⊆ self`.
+    pub fn is_superset_of(&self, other: &InvitationSet) -> bool {
+        other.iter().all(|v| self.contains(v))
+    }
+
+    /// The members as a sorted vector.
+    pub fn to_vec(&self) -> Vec<NodeId> {
+        self.iter().collect()
+    }
+}
+
+impl FromIterator<NodeId> for InvitationSet {
+    /// Collects node ids, growing capacity to fit the largest id.
+    fn from_iter<I: IntoIterator<Item = NodeId>>(iter: I) -> Self {
+        let nodes: Vec<NodeId> = iter.into_iter().collect();
+        let n = nodes.iter().map(|v| v.index() + 1).max().unwrap_or(0);
+        Self::from_nodes(n, nodes)
+    }
+}
+
+impl Extend<NodeId> for InvitationSet {
+    fn extend<I: IntoIterator<Item = NodeId>>(&mut self, iter: I) {
+        for v in iter {
+            self.insert(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_full() {
+        let e = InvitationSet::empty(4);
+        assert!(e.is_empty());
+        assert_eq!(e.capacity(), 4);
+        let f = InvitationSet::full(4);
+        assert_eq!(f.len(), 4);
+        assert!(f.is_superset_of(&e));
+        assert!(!e.is_superset_of(&f));
+    }
+
+    #[test]
+    fn insert_remove_idempotent() {
+        let mut s = InvitationSet::empty(3);
+        assert!(s.insert(NodeId::new(1)));
+        assert!(!s.insert(NodeId::new(1)));
+        assert_eq!(s.len(), 1);
+        assert!(s.remove(NodeId::new(1)));
+        assert!(!s.remove(NodeId::new(1)));
+        assert_eq!(s.len(), 0);
+    }
+
+    #[test]
+    fn iter_sorted() {
+        let s = InvitationSet::from_nodes(6, [NodeId::new(5), NodeId::new(0), NodeId::new(3)]);
+        let ids: Vec<usize> = s.iter().map(|v| v.index()).collect();
+        assert_eq!(ids, vec![0, 3, 5]);
+        assert_eq!(s.to_vec().len(), 3);
+    }
+
+    #[test]
+    fn superset_relation() {
+        let small = InvitationSet::from_nodes(5, [NodeId::new(1)]);
+        let big = InvitationSet::from_nodes(5, [NodeId::new(1), NodeId::new(2)]);
+        assert!(big.is_superset_of(&small));
+        assert!(!small.is_superset_of(&big));
+        assert!(big.is_superset_of(&big.clone()));
+    }
+
+    #[test]
+    fn from_iterator_grows() {
+        let s: InvitationSet = [NodeId::new(7)].into_iter().collect();
+        assert_eq!(s.capacity(), 8);
+        assert!(s.contains(NodeId::new(7)));
+    }
+
+    #[test]
+    fn extend_adds() {
+        let mut s = InvitationSet::empty(10);
+        s.extend([NodeId::new(1), NodeId::new(2)]);
+        s.extend([NodeId::new(2), NodeId::new(3)]);
+        assert_eq!(s.len(), 3);
+    }
+}

@@ -1,0 +1,232 @@
+//! Batched (optionally multi-threaded) reverse sampling.
+//!
+//! Builds the realization pool `B_l` consumed by RAF's framework (Alg. 3
+//! line 2): `l` backward walks, with the type-1 paths kept. For large `l`
+//! the work is embarrassingly parallel; threads each use an independently
+//! seeded RNG so runs remain reproducible for a fixed master seed and
+//! thread count.
+
+use crate::reverse::{sample_target_path, TargetPath};
+use crate::FriendingInstance;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A pool of sampled backward walks: the `B_l` of the paper, partitioned
+/// into the type-1 paths (kept, with multiplicity) and a count of type-0
+/// walks.
+#[derive(Debug, Clone)]
+pub struct RealizationPool {
+    /// The type-1 target paths `t(g)` (the `B¹_l` of the paper).
+    pub type1_paths: Vec<TargetPath>,
+    /// Number of walks sampled in total (`l`).
+    pub total_samples: u64,
+}
+
+impl RealizationPool {
+    /// `|B¹_l|`: the number of type-1 realizations in the pool.
+    pub fn type1_count(&self) -> usize {
+        self.type1_paths.len()
+    }
+
+    /// The pool's implied `p_max` estimate `|B¹_l| / l`.
+    pub fn pmax_estimate(&self) -> f64 {
+        if self.total_samples == 0 {
+            0.0
+        } else {
+            self.type1_count() as f64 / self.total_samples as f64
+        }
+    }
+
+    /// Estimates `f(I)` against this pool: the fraction of all sampled
+    /// walks covered by `I` (Corollary 1 applied to a fixed sample).
+    ///
+    /// Evaluating many invitation sets against *one* pool is both faster
+    /// than resampling per set and statistically paired (common random
+    /// numbers), which is how the experiment harness compares RAF with
+    /// the baselines at matched noise.
+    pub fn coverage(&self, invitations: &crate::InvitationSet) -> f64 {
+        if self.total_samples == 0 {
+            return 0.0;
+        }
+        let covered = self
+            .type1_paths
+            .iter()
+            .filter(|tp| tp.covered_by(invitations))
+            .count();
+        covered as f64 / self.total_samples as f64
+    }
+
+    /// Number of type-1 paths covered by `I` (the `F(B_l, I)` of the
+    /// paper).
+    pub fn covered_count(&self, invitations: &crate::InvitationSet) -> usize {
+        self.type1_paths.iter().filter(|tp| tp.covered_by(invitations)).count()
+    }
+}
+
+/// Samples `l` backward walks sequentially, keeping the type-1 paths.
+pub fn sample_pool<R: Rng>(
+    instance: &FriendingInstance<'_>,
+    l: u64,
+    rng: &mut R,
+) -> RealizationPool {
+    let mut type1_paths = Vec::new();
+    for _ in 0..l {
+        let tp = sample_target_path(instance, rng);
+        if tp.is_type1() {
+            type1_paths.push(tp);
+        }
+    }
+    RealizationPool { type1_paths, total_samples: l }
+}
+
+/// Samples `l` backward walks across `threads` worker threads.
+///
+/// Thread `i` runs with `StdRng::seed_from_u64(master_seed ⊕ splitmix(i))`
+/// and samples a fixed share of the `l` walks, so the result distribution
+/// is identical to the sequential sampler and reproducible for fixed
+/// `(master_seed, threads)`.
+pub fn sample_pool_parallel(
+    instance: &FriendingInstance<'_>,
+    l: u64,
+    master_seed: u64,
+    threads: usize,
+) -> RealizationPool {
+    let threads = threads.max(1);
+    if threads == 1 || l < 4_096 {
+        let mut rng = StdRng::seed_from_u64(master_seed);
+        return sample_pool(instance, l, &mut rng);
+    }
+    let collected: Mutex<Vec<TargetPath>> = Mutex::new(Vec::new());
+    crossbeam::scope(|scope| {
+        for i in 0..threads {
+            let share = l / threads as u64 + u64::from((l % threads as u64) > i as u64);
+            let collected = &collected;
+            let instance = &instance;
+            scope.spawn(move |_| {
+                let mut rng = StdRng::seed_from_u64(master_seed ^ splitmix64(i as u64 + 1));
+                let mut local = Vec::new();
+                for _ in 0..share {
+                    let tp = sample_target_path(instance, &mut rng);
+                    if tp.is_type1() {
+                        local.push(tp);
+                    }
+                }
+                collected.lock().extend(local);
+            });
+        }
+    })
+    .expect("sampler worker panicked");
+    let mut type1_paths = collected.into_inner();
+    // Deterministic order regardless of thread interleaving.
+    type1_paths.sort_by(|a, b| a.nodes.cmp(&b.nodes));
+    RealizationPool { type1_paths, total_samples: l }
+}
+
+/// SplitMix64 finalizer — decorrelates per-thread seeds.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raf_graph::{CsrGraph, GraphBuilder, NodeId, WeightScheme};
+
+    fn path_csr(n: usize) -> CsrGraph {
+        let mut b = GraphBuilder::new();
+        b.add_edges((0..n - 1).map(|i| (i, i + 1))).unwrap();
+        b.build(WeightScheme::UniformByDegree).unwrap().to_csr()
+    }
+
+    #[test]
+    fn pool_counts_consistent() {
+        let g = path_csr(5);
+        let inst = FriendingInstance::new(&g, NodeId::new(0), NodeId::new(4)).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let pool = sample_pool(&inst, 10_000, &mut rng);
+        assert_eq!(pool.total_samples, 10_000);
+        assert!(pool.type1_count() <= 10_000);
+        // Closed form type-1 rate is 1/4 on this line.
+        assert!((pool.pmax_estimate() - 0.25).abs() < 0.02);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_rate() {
+        let g = path_csr(5);
+        let inst = FriendingInstance::new(&g, NodeId::new(0), NodeId::new(4)).unwrap();
+        let pool = sample_pool_parallel(&inst, 40_000, 17, 4);
+        assert_eq!(pool.total_samples, 40_000);
+        assert!((pool.pmax_estimate() - 0.25).abs() < 0.02, "rate {}", pool.pmax_estimate());
+    }
+
+    #[test]
+    fn parallel_reproducible() {
+        let g = path_csr(5);
+        let inst = FriendingInstance::new(&g, NodeId::new(0), NodeId::new(4)).unwrap();
+        let a = sample_pool_parallel(&inst, 20_000, 99, 4);
+        let b = sample_pool_parallel(&inst, 20_000, 99, 4);
+        assert_eq!(a.type1_count(), b.type1_count());
+        assert_eq!(a.type1_paths, b.type1_paths);
+    }
+
+    #[test]
+    fn small_l_falls_back_to_sequential() {
+        let g = path_csr(5);
+        let inst = FriendingInstance::new(&g, NodeId::new(0), NodeId::new(4)).unwrap();
+        let par = sample_pool_parallel(&inst, 100, 5, 8);
+        let mut rng = StdRng::seed_from_u64(5);
+        let seq = sample_pool(&inst, 100, &mut rng);
+        assert_eq!(par.type1_count(), seq.type1_count());
+    }
+
+    #[test]
+    fn empty_pool() {
+        let g = path_csr(5);
+        let inst = FriendingInstance::new(&g, NodeId::new(0), NodeId::new(4)).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let pool = sample_pool(&inst, 0, &mut rng);
+        assert_eq!(pool.total_samples, 0);
+        assert_eq!(pool.pmax_estimate(), 0.0);
+    }
+
+
+    #[test]
+    fn coverage_matches_independent_estimate() {
+        let g = path_csr(4);
+        let inst = FriendingInstance::new(&g, NodeId::new(0), NodeId::new(3)).unwrap();
+        let mut rng = StdRng::seed_from_u64(21);
+        let pool = sample_pool(&inst, 40_000, &mut rng);
+        let full = crate::InvitationSet::full(4);
+        // Closed form f(V) = 1/2 on the 4-node line.
+        assert!((pool.coverage(&full) - 0.5).abs() < 0.02);
+        let empty = crate::InvitationSet::empty(4);
+        assert_eq!(pool.coverage(&empty), 0.0);
+        assert_eq!(pool.covered_count(&full), pool.type1_count());
+    }
+
+    #[test]
+    fn coverage_monotone_in_invitations() {
+        let g = path_csr(5);
+        let inst = FriendingInstance::new(&g, NodeId::new(0), NodeId::new(4)).unwrap();
+        let mut rng = StdRng::seed_from_u64(22);
+        let pool = sample_pool(&inst, 20_000, &mut rng);
+        let small = crate::InvitationSet::from_nodes(5, [NodeId::new(4)]);
+        let big = crate::InvitationSet::full(5);
+        assert!(pool.coverage(&small) <= pool.coverage(&big));
+    }
+    #[test]
+    fn all_type1_paths_contain_target() {
+        let g = path_csr(6);
+        let inst = FriendingInstance::new(&g, NodeId::new(0), NodeId::new(5)).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let pool = sample_pool(&inst, 5_000, &mut rng);
+        for tp in &pool.type1_paths {
+            assert_eq!(tp.nodes[0], NodeId::new(5));
+            assert!(tp.is_type1());
+        }
+    }
+}

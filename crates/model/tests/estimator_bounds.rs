@@ -1,0 +1,94 @@
+//! Statistical contract tests for the estimators: the DKLR relative-error
+//! guarantee and the Chernoff-based pool accuracy (Lemma 6's statement at
+//! test scale).
+
+use raf_graph::{CsrGraph, GraphBuilder, NodeId, WeightScheme};
+use raf_model::pmax::{estimate_pmax_dklr, estimate_pmax_fixed};
+use raf_model::sampler::sample_pool;
+use raf_model::{FriendingInstance, InvitationSet};
+use rand::SeedableRng;
+
+/// 0 - 1 - 2 - 3 - 4 line: p_max = 1/4 exactly (see reverse-walk tests).
+fn line5() -> CsrGraph {
+    let mut b = GraphBuilder::new();
+    b.add_edges((0..4).map(|i| (i, i + 1))).unwrap();
+    b.build(WeightScheme::UniformByDegree).unwrap().to_csr()
+}
+
+/// The DKLR guarantee `Pr[|p* − p_max| > ε·p_max] ≤ 1/N`: run many
+/// independent estimates and count violations; with N = 10 the violation
+/// rate must stay well below a conservative ceiling.
+#[test]
+fn dklr_violation_rate_within_bound() {
+    let g = line5();
+    let inst = FriendingInstance::new(&g, NodeId::new(0), NodeId::new(4)).unwrap();
+    let true_pmax = 0.25;
+    let epsilon = 0.3;
+    let n_confidence = 10.0; // failure probability 1/10
+    let runs = 200;
+    let mut violations = 0;
+    for seed in 0..runs {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let est =
+            estimate_pmax_dklr(&inst, epsilon, n_confidence, 10_000_000, &mut rng).unwrap();
+        if (est.pmax - true_pmax).abs() > epsilon * true_pmax {
+            violations += 1;
+        }
+    }
+    // Expected ≤ runs/N = 20; allow generous slack for the Bernoulli
+    // variance of the count itself (std ≈ 4.2; 20 + 4σ ≈ 37).
+    assert!(violations <= 40, "{violations}/{runs} DKLR violations");
+}
+
+/// Pool estimates are simultaneously accurate for a family of invitation
+/// sets when l is large (the practical content of Lemma 6).
+#[test]
+fn pool_uniform_accuracy_over_subsets() {
+    let g = line5();
+    let n = g.node_count();
+    let inst = FriendingInstance::new(&g, NodeId::new(0), NodeId::new(4)).unwrap();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let pool = sample_pool(&inst, 200_000, &mut rng);
+    // Exact values on the line (walk: 4→3 w.p.1, 3→2 w.p.1/2, 2→1(seed)
+    // w.p.1/2): f({4,3,2}) = 1/4; f({4,3}) = 0 (2 missing blocks the only
+    // type-1 path shape)… t(g) = [4,3,2] always for type-1.
+    let cases: Vec<(Vec<usize>, f64)> = vec![
+        (vec![4, 3, 2], 0.25),
+        (vec![4, 3], 0.0),
+        (vec![4, 2], 0.0),
+        (vec![4, 3, 2, 1, 0], 0.25),
+        (vec![], 0.0),
+    ];
+    for (ids, expected) in cases {
+        let inv = InvitationSet::from_nodes(n, ids.iter().map(|&i| NodeId::new(i)));
+        let got = pool.coverage(&inv);
+        assert!(
+            (got - expected).abs() < 0.005,
+            "I = {ids:?}: pool {got} vs exact {expected}"
+        );
+    }
+}
+
+/// Fixed-sample estimator variance shrinks like 1/l (spot check at two
+/// sample sizes using the spread across repetitions).
+#[test]
+fn fixed_estimator_variance_scaling() {
+    let g = line5();
+    let inst = FriendingInstance::new(&g, NodeId::new(0), NodeId::new(4)).unwrap();
+    let spread = |l: u64, seeds: u64| -> f64 {
+        let mut values = Vec::new();
+        for seed in 0..seeds {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed + 1000);
+            values.push(estimate_pmax_fixed(&inst, l, &mut rng).pmax);
+        }
+        let mean = values.iter().sum::<f64>() / values.len() as f64;
+        values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / values.len() as f64
+    };
+    let var_small = spread(500, 60);
+    let var_big = spread(8_000, 60);
+    // 16× the samples ⇒ ≈ 16× smaller variance; accept anything ≥ 4×.
+    assert!(
+        var_big < var_small / 4.0,
+        "variance did not shrink: {var_small} → {var_big}"
+    );
+}

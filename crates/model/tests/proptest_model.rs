@@ -1,0 +1,133 @@
+//! Property-based tests for the friending model: walk validity (Lemma 2's
+//! path structure) and the Lemma 1 process equivalence on random graphs.
+
+use proptest::prelude::*;
+use raf_graph::{CsrGraph, GraphBuilder, NodeId, WeightScheme};
+use raf_model::acceptance::{estimate_acceptance, estimate_acceptance_forward};
+use raf_model::realization::{run_process2, Realization};
+use raf_model::reverse::{sample_target_path, target_path_of, WalkOutcome};
+use raf_model::{FriendingInstance, InvitationSet};
+use rand::SeedableRng;
+
+/// Builds a random connected-ish graph with at least an s-t pair.
+fn random_graph(seed: u64, n: usize, extra_edges: usize) -> CsrGraph {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new();
+    // Spanning path guarantees connectivity.
+    for i in 0..n - 1 {
+        b.add_edge(i, i + 1).unwrap();
+    }
+    for _ in 0..extra_edges {
+        let u = rand::Rng::gen_range(&mut rng, 0..n);
+        let v = rand::Rng::gen_range(&mut rng, 0..n);
+        if u != v {
+            b.add_edge(u, v).unwrap();
+        }
+    }
+    b.build(WeightScheme::UniformByDegree).unwrap().to_csr()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every sampled walk is a valid path: starts at t, consecutive nodes
+    /// are neighbors, no node repeats, no walked node is a seed, and
+    /// type-1 walks end adjacent to a seed.
+    #[test]
+    fn walks_are_valid_paths(seed in 0u64..500, n in 5usize..30, extra in 0usize..20) {
+        let g = random_graph(seed, n, extra);
+        let s = NodeId::new(0);
+        let t = NodeId::new(n - 1);
+        if g.has_edge(s, t) {
+            return Ok(()); // adjacent pair: not an active-friending instance
+        }
+        let inst = FriendingInstance::new(&g, s, t).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed.wrapping_mul(31));
+        for _ in 0..50 {
+            let tp = sample_target_path(&inst, &mut rng);
+            prop_assert_eq!(tp.nodes[0], t);
+            let mut seen = std::collections::HashSet::new();
+            for w in tp.nodes.windows(2) {
+                prop_assert!(g.has_edge(w[0], w[1]), "non-adjacent walk step");
+            }
+            for &v in &tp.nodes {
+                prop_assert!(seen.insert(v), "repeated node on walk");
+                prop_assert!(!inst.is_seed(v), "seed recorded on walk");
+            }
+            if tp.outcome == WalkOutcome::ReachedSeed {
+                let last = *tp.nodes.last().unwrap();
+                let touches_seed = g.neighbors(last).iter().any(|&u| inst.is_seed(u));
+                prop_assert!(touches_seed, "type-1 walk must end next to a seed");
+            }
+        }
+    }
+
+    /// Lemma 2: under a fixed full realization, Process 2 friends the
+    /// target iff the invitation set covers t(g).
+    #[test]
+    fn lemma2_coverage_iff_success(seed in 0u64..500, n in 5usize..25, extra in 0usize..15) {
+        let g = random_graph(seed, n, extra);
+        let s = NodeId::new(0);
+        let t = NodeId::new(n - 1);
+        if g.has_edge(s, t) {
+            return Ok(());
+        }
+        let inst = FriendingInstance::new(&g, s, t).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed.wrapping_mul(7) + 1);
+        for trial in 0..20u64 {
+            let r = Realization::sample(&g, &mut rng);
+            let tp = target_path_of(&inst, &r);
+            // Random invitation set: each node independently with prob 1/2,
+            // plus always t on even trials (to exercise both directions).
+            let mut inv = InvitationSet::empty(n);
+            for v in g.nodes() {
+                if rand::Rng::gen_bool(&mut rng, 0.5) {
+                    inv.insert(v);
+                }
+            }
+            if trial % 2 == 0 {
+                inv.insert(t);
+            }
+            let covered = tp.covered_by(&inv);
+            let out = run_process2(&inst, &r, &inv);
+            prop_assert_eq!(covered, out.target_friended,
+                "coverage {} disagrees with Process 2 {}", covered, out.target_friended);
+        }
+    }
+}
+
+/// Lemma 1 at full scale: forward Process-1 and reverse-walk estimates of
+/// f(I) agree within Monte-Carlo tolerance on random graphs and random
+/// invitation sets. (Plain #[test]: statistical, so a fixed seed set.)
+#[test]
+fn lemma1_equivalence_statistical() {
+    for seed in [3u64, 17, 92] {
+        let n = 12;
+        let g = random_graph(seed, n, 8);
+        let s = NodeId::new(0);
+        let t = NodeId::new(n - 1);
+        if g.has_edge(s, t) {
+            continue;
+        }
+        let inst = FriendingInstance::new(&g, s, t).unwrap();
+        let mut setrng = rand::rngs::StdRng::seed_from_u64(seed + 1000);
+        let mut inv = InvitationSet::empty(n);
+        for v in g.nodes() {
+            if rand::Rng::gen_bool(&mut setrng, 0.7) {
+                inv.insert(v);
+            }
+        }
+        inv.insert(t);
+        let samples = 30_000;
+        let mut rng1 = rand::rngs::StdRng::seed_from_u64(seed + 2000);
+        let rev = estimate_acceptance(&inst, &inv, samples, &mut rng1);
+        let mut rng2 = rand::rngs::StdRng::seed_from_u64(seed + 3000);
+        let fwd = estimate_acceptance_forward(&inst, &inv, samples, &mut rng2);
+        assert!(
+            (rev.probability - fwd.probability).abs() < 0.02,
+            "seed {seed}: reverse {} vs forward {}",
+            rev.probability,
+            fwd.probability
+        );
+    }
+}

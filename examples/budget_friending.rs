@@ -1,0 +1,52 @@
+//! Budgeted friending: the *maximum* active friending variant — "I am
+//! willing to send at most k invitations; make the friendship as likely
+//! as possible" (the problem of Yang et al. [7] / Yuan et al. [6], solved
+//! here with the realization machinery built for RAF).
+//!
+//! ```sh
+//! cargo run --release --example budget_friending
+//! ```
+
+use active_friending::prelude::*;
+use raf_core::{MaxFriending, MaxFriendingConfig};
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let loaded = load_dataset(Dataset::HepPh, 0.01, 3, std::path::Path::new("data"))?;
+    let csr = loaded.graph.to_csr();
+    println!("graph: {} nodes / {} edges", csr.node_count(), csr.edge_count());
+
+    let pair_cfg = PairSamplerConfig { pairs: 1, screen_samples: 3_000, seed: 8, ..Default::default() };
+    let pairs = sample_pairs(&csr, &pair_cfg);
+    let Some(pair) = pairs.first() else {
+        println!("no screened pair found; rerun with another seed");
+        return Ok(());
+    };
+    let instance = FriendingInstance::new(
+        &csr,
+        NodeId::new(pair.s as usize),
+        NodeId::new(pair.t as usize),
+    )?;
+    println!("pair s={} t={}, p_max ≈ {:.4}\n", pair.s, pair.t, pair.pmax_estimate);
+
+    // Sweep the invitation budget and watch f(I) climb toward p_max.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+    println!("{:>8} {:>10} {:>12} {:>12}", "budget", "|I| used", "f(I)", "f(I)/pmax");
+    for budget in [1usize, 2, 4, 8, 16, 32, 64] {
+        let cfg = MaxFriendingConfig { budget, realizations: 40_000, seed: 4, threads: 1 };
+        let result = MaxFriending::new(cfg).run(&instance);
+        // Cross-check the in-pool estimate with an independent sample.
+        let f_indep =
+            evaluate(&instance, &result.invitations, 30_000, &mut rng).probability;
+        println!(
+            "{:>8} {:>10} {:>12.4} {:>12.3}",
+            budget,
+            result.invitations.len(),
+            f_indep,
+            f_indep / pair.pmax_estimate
+        );
+    }
+    println!("\n(Diminishing returns as the budget exhausts the useful routes —");
+    println!(" the supermodular jumps happen when a whole new route fits.)");
+    Ok(())
+}

@@ -1,0 +1,82 @@
+//! Quickstart: run RAF on a small hand-built social network and compare
+//! it with the baselines.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use active_friending::prelude::*;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Build a small network with three routes from s = 0 to t = 1 of
+    // different lengths, plus some distractor hubs.
+    let mut builder = GraphBuilder::new();
+    builder.add_edges(vec![
+        // route A: 2 hops of interior
+        (0, 2),
+        (2, 3),
+        (3, 1),
+        // route B: 2 hops of interior
+        (0, 4),
+        (4, 5),
+        (5, 1),
+        // route C: 3 hops of interior
+        (0, 6),
+        (6, 7),
+        (7, 8),
+        (8, 1),
+        // distractor hub: high degree, useless for friending t
+        (9, 10),
+        (9, 11),
+        (9, 12),
+        (9, 13),
+        (9, 0),
+    ])?;
+    let graph = builder.build(WeightScheme::UniformByDegree)?.to_csr();
+    let s = NodeId::new(0);
+    let t = NodeId::new(1);
+    let instance = FriendingInstance::new(&graph, s, t)?;
+
+    println!("graph: {} nodes, {} edges", graph.node_count(), graph.edge_count());
+    println!("initiator s = {s}, target t = {t}, seeds N_s = {:?}", instance.seeds());
+
+    // The best any strategy can do: p_max, estimated by Monte Carlo.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let pmax = estimate_pmax_fixed(&instance, 50_000, &mut rng);
+    println!("p_max ≈ {:.4} (from {} sampled realizations)", pmax.pmax, pmax.samples);
+
+    // RAF with α = 0.8: reach 80% of p_max with as few invitations as
+    // possible.
+    let config = RafConfig::with_alpha(0.8).seed(42).budget(RealizationBudget::Fixed(30_000));
+    let result = RafAlgorithm::new(config).run(&instance)?;
+    let raf_inv = result.invitations.clone();
+    println!(
+        "RAF: |I| = {} invitations {:?} (β = {:.3}, pool |B¹| = {})",
+        result.invitation_size(),
+        raf_inv.to_vec(),
+        result.parameters.beta,
+        result.type1_count,
+    );
+
+    // Evaluate all strategies at the same invitation budget.
+    let size = result.invitation_size();
+    let hd_inv = HighDegree::new().build(&instance, size);
+    let sp_inv = ShortestPath::new().build(&instance, size);
+    let samples = 50_000;
+    let f_raf = evaluate(&instance, &raf_inv, samples, &mut rng).probability;
+    let f_hd = evaluate(&instance, &hd_inv, samples, &mut rng).probability;
+    let f_sp = evaluate(&instance, &sp_inv, samples, &mut rng).probability;
+    println!("acceptance probability at |I| = {size}:");
+    println!("  RAF            f = {f_raf:.4}");
+    println!("  HighDegree     f = {f_hd:.4}");
+    println!("  ShortestPath   f = {f_sp:.4}");
+
+    // Lemma 7: V_max is the minimum set achieving p_max itself.
+    let vmax = vmax_exact(&instance);
+    let f_vmax = evaluate(&instance, &vmax, samples, &mut rng).probability;
+    println!("V_max: |V_max| = {} with f = {f_vmax:.4} ≈ p_max", vmax.len());
+
+    assert!(f_raf >= f_hd - 0.02, "RAF should not lose to HD");
+    Ok(())
+}

@@ -1,0 +1,164 @@
+//! `raf` — run the active-friending toolkit on your own SNAP edge list.
+//!
+//! ```text
+//! raf stats --graph network.txt
+//! raf pmax  --graph network.txt --s 3 --t 99 [--samples 50000] [--seed 1]
+//! raf vmax  --graph network.txt --s 3 --t 99
+//! raf run   --graph network.txt --s 3 --t 99 --alpha 0.3
+//!           [--epsilon 0.01] [--budget 50000] [--seed 1] [--threads 1]
+//! raf max   --graph network.txt --s 3 --t 99 --k 10
+//!           [--realizations 50000] [--seed 1]
+//! ```
+//!
+//! The graph file is a SNAP-style edge list (whitespace-separated ids,
+//! `#` comments); weights follow the paper's `w(u,v) = 1/|N_v|`.
+
+use active_friending::cli::CliArgs;
+use active_friending::prelude::*;
+use raf_core::{MaxFriending, MaxFriendingConfig};
+use raf_graph::io::{read_edge_list_path, EdgeListOptions};
+use rand::SeedableRng;
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.is_empty() || raw[0] == "--help" || raw[0] == "help" {
+        print_usage();
+        return ExitCode::SUCCESS;
+    }
+    let args = match CliArgs::parse(raw) {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("error: {e}");
+            print_usage();
+            return ExitCode::FAILURE;
+        }
+    };
+    match dispatch(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn dispatch(args: &CliArgs) -> Result<(), Box<dyn std::error::Error>> {
+    match args.command.as_str() {
+        "stats" => cmd_stats(args),
+        "pmax" => cmd_pmax(args),
+        "vmax" => cmd_vmax(args),
+        "run" => cmd_run(args),
+        "max" => cmd_max(args),
+        other => Err(format!("unknown command {other:?} (try --help)").into()),
+    }
+}
+
+fn load_graph(args: &CliArgs) -> Result<CsrGraph, Box<dyn std::error::Error>> {
+    let path = args.require("graph")?;
+    let builder = read_edge_list_path(Path::new(path), &EdgeListOptions::default())?;
+    let graph = builder.build(WeightScheme::UniformByDegree)?;
+    Ok(graph.to_csr())
+}
+
+fn load_instance<'g>(
+    args: &CliArgs,
+    csr: &'g CsrGraph,
+) -> Result<FriendingInstance<'g>, Box<dyn std::error::Error>> {
+    let s: usize = args.require_typed("s")?;
+    let t: usize = args.require_typed("t")?;
+    Ok(FriendingInstance::new(csr, NodeId::new(s), NodeId::new(t))?)
+}
+
+fn cmd_stats(args: &CliArgs) -> Result<(), Box<dyn std::error::Error>> {
+    let path = args.require("graph")?;
+    let builder = read_edge_list_path(Path::new(path), &EdgeListOptions::default())?;
+    let graph = builder.build(WeightScheme::UniformByDegree)?;
+    println!("{}", GraphMetrics::compute(&graph));
+    Ok(())
+}
+
+fn cmd_pmax(args: &CliArgs) -> Result<(), Box<dyn std::error::Error>> {
+    let csr = load_graph(args)?;
+    let instance = load_instance(args, &csr)?;
+    let samples: u64 = args.get_or("samples", 50_000)?;
+    let seed: u64 = args.get_or("seed", 1)?;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let est = estimate_pmax_fixed(&instance, samples, &mut rng);
+    println!("pmax ≈ {:.6}  (type-1: {} / {})", est.pmax, est.type1, est.samples);
+    Ok(())
+}
+
+fn cmd_vmax(args: &CliArgs) -> Result<(), Box<dyn std::error::Error>> {
+    let csr = load_graph(args)?;
+    let instance = load_instance(args, &csr)?;
+    let vm = vmax_exact(&instance);
+    println!("|V_max| = {}", vm.len());
+    let ids: Vec<String> = vm.iter().map(|v| v.index().to_string()).collect();
+    println!("{}", ids.join(" "));
+    Ok(())
+}
+
+fn cmd_run(args: &CliArgs) -> Result<(), Box<dyn std::error::Error>> {
+    let csr = load_graph(args)?;
+    let instance = load_instance(args, &csr)?;
+    let alpha: f64 = args.require_typed("alpha")?;
+    let config = RafConfig {
+        alpha,
+        epsilon: args.get_or("epsilon", 0.01)?,
+        budget: RealizationBudget::Capped(args.get_or("budget", 50_000)?),
+        seed: args.get_or("seed", 1)?,
+        threads: args.get_or("threads", 1)?,
+        ..Default::default()
+    };
+    let result = RafAlgorithm::new(config).run(&instance)?;
+    println!(
+        "|I*| = {}  (pool |B1| = {}, p = {}, beta = {:.4}, pmax* = {:.4})",
+        result.invitation_size(),
+        result.type1_count,
+        result.cover_p,
+        result.parameters.beta,
+        result.pmax_estimate,
+    );
+    let ids: Vec<String> =
+        result.invitations.iter().map(|v| v.index().to_string()).collect();
+    println!("{}", ids.join(" "));
+    Ok(())
+}
+
+fn cmd_max(args: &CliArgs) -> Result<(), Box<dyn std::error::Error>> {
+    let csr = load_graph(args)?;
+    let instance = load_instance(args, &csr)?;
+    let config = MaxFriendingConfig {
+        budget: args.require_typed("k")?,
+        realizations: args.get_or("realizations", 50_000)?,
+        seed: args.get_or("seed", 1)?,
+        threads: args.get_or("threads", 1)?,
+    };
+    let result = MaxFriending::new(config).run(&instance);
+    println!(
+        "|I| = {}  estimated f(I) ≈ {:.6}",
+        result.invitations.len(),
+        result.estimated_probability
+    );
+    let ids: Vec<String> =
+        result.invitations.iter().map(|v| v.index().to_string()).collect();
+    println!("{}", ids.join(" "));
+    Ok(())
+}
+
+fn print_usage() {
+    eprintln!(
+        "raf — active friending toolkit (ICDCS 2019 reproduction)
+
+USAGE:
+  raf stats --graph <edge-list>
+  raf pmax  --graph <edge-list> --s <id> --t <id> [--samples N] [--seed N]
+  raf vmax  --graph <edge-list> --s <id> --t <id>
+  raf run   --graph <edge-list> --s <id> --t <id> --alpha A
+            [--epsilon E] [--budget N] [--seed N] [--threads N]
+  raf max   --graph <edge-list> --s <id> --t <id> --k BUDGET
+            [--realizations N] [--seed N]"
+    );
+}

@@ -1,0 +1,191 @@
+//! Argument parsing for the `raf` command-line tool.
+//!
+//! Hand-rolled (the approved dependency set has no argument parser):
+//! `raf <command> [--flag value]...` with typed accessors and helpful
+//! errors.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A parsed command line: the subcommand and its `--key value` flags.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CliArgs {
+    /// The subcommand (first positional argument).
+    pub command: String,
+    flags: HashMap<String, String>,
+}
+
+/// Errors from CLI parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    /// No subcommand was given.
+    MissingCommand,
+    /// A flag was not followed by a value.
+    MissingValue {
+        /// The flag lacking a value.
+        flag: String,
+    },
+    /// A token didn't look like `--flag`.
+    UnexpectedToken {
+        /// The offending token.
+        token: String,
+    },
+    /// A required flag is absent.
+    MissingFlag {
+        /// The required flag.
+        flag: String,
+    },
+    /// A flag value failed to parse.
+    InvalidValue {
+        /// The flag.
+        flag: String,
+        /// The raw value.
+        value: String,
+    },
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::MissingCommand => write!(f, "missing subcommand"),
+            CliError::MissingValue { flag } => write!(f, "flag --{flag} needs a value"),
+            CliError::UnexpectedToken { token } => write!(f, "unexpected token {token:?}"),
+            CliError::MissingFlag { flag } => write!(f, "required flag --{flag} is missing"),
+            CliError::InvalidValue { flag, value } => {
+                write!(f, "invalid value {value:?} for --{flag}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl CliArgs {
+    /// Parses raw arguments (excluding the program name).
+    ///
+    /// # Errors
+    ///
+    /// See [`CliError`].
+    pub fn parse<I, S>(args: I) -> Result<Self, CliError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut iter = args.into_iter().map(Into::into);
+        let command = iter.next().ok_or(CliError::MissingCommand)?;
+        if command.starts_with("--") {
+            return Err(CliError::MissingCommand);
+        }
+        let mut flags = HashMap::new();
+        while let Some(token) = iter.next() {
+            let Some(name) = token.strip_prefix("--") else {
+                return Err(CliError::UnexpectedToken { token });
+            };
+            let value = iter
+                .next()
+                .ok_or_else(|| CliError::MissingValue { flag: name.to_string() })?;
+            flags.insert(name.to_string(), value);
+        }
+        Ok(CliArgs { command, flags })
+    }
+
+    /// A string flag, if present.
+    pub fn get(&self, flag: &str) -> Option<&str> {
+        self.flags.get(flag).map(String::as_str)
+    }
+
+    /// A required string flag.
+    ///
+    /// # Errors
+    ///
+    /// [`CliError::MissingFlag`] when absent.
+    pub fn require(&self, flag: &str) -> Result<&str, CliError> {
+        self.get(flag).ok_or_else(|| CliError::MissingFlag { flag: flag.to_string() })
+    }
+
+    /// A typed flag with a default.
+    ///
+    /// # Errors
+    ///
+    /// [`CliError::InvalidValue`] when present but unparseable.
+    pub fn get_or<T: std::str::FromStr>(&self, flag: &str, default: T) -> Result<T, CliError> {
+        match self.get(flag) {
+            None => Ok(default),
+            Some(raw) => raw.parse().map_err(|_| CliError::InvalidValue {
+                flag: flag.to_string(),
+                value: raw.to_string(),
+            }),
+        }
+    }
+
+    /// A required typed flag.
+    ///
+    /// # Errors
+    ///
+    /// [`CliError::MissingFlag`] or [`CliError::InvalidValue`].
+    pub fn require_typed<T: std::str::FromStr>(&self, flag: &str) -> Result<T, CliError> {
+        let raw = self.require(flag)?;
+        raw.parse().map_err(|_| CliError::InvalidValue {
+            flag: flag.to_string(),
+            value: raw.to_string(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_command_and_flags() {
+        let args =
+            CliArgs::parse(["run", "--graph", "g.txt", "--alpha", "0.3"]).unwrap();
+        assert_eq!(args.command, "run");
+        assert_eq!(args.get("graph"), Some("g.txt"));
+        assert_eq!(args.get_or("alpha", 0.0).unwrap(), 0.3);
+        assert_eq!(args.get_or("missing", 7u64).unwrap(), 7);
+    }
+
+    #[test]
+    fn rejects_missing_command() {
+        assert_eq!(CliArgs::parse(Vec::<String>::new()), Err(CliError::MissingCommand));
+        assert_eq!(
+            CliArgs::parse(["--flag", "v"]),
+            Err(CliError::MissingCommand)
+        );
+    }
+
+    #[test]
+    fn rejects_dangling_flag() {
+        assert_eq!(
+            CliArgs::parse(["run", "--graph"]),
+            Err(CliError::MissingValue { flag: "graph".into() })
+        );
+    }
+
+    #[test]
+    fn rejects_positional_after_command() {
+        assert!(matches!(
+            CliArgs::parse(["run", "stray"]),
+            Err(CliError::UnexpectedToken { .. })
+        ));
+    }
+
+    #[test]
+    fn required_flags() {
+        let args = CliArgs::parse(["vmax", "--s", "1"]).unwrap();
+        assert_eq!(args.require_typed::<usize>("s").unwrap(), 1);
+        assert!(matches!(args.require("t"), Err(CliError::MissingFlag { .. })));
+        let bad = CliArgs::parse(["vmax", "--s", "xyz"]).unwrap();
+        assert!(matches!(
+            bad.require_typed::<usize>("s"),
+            Err(CliError::InvalidValue { .. })
+        ));
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(CliError::MissingCommand.to_string(), "missing subcommand");
+        assert!(CliError::MissingFlag { flag: "t".into() }.to_string().contains("--t"));
+    }
+}

