@@ -30,10 +30,9 @@ fn bench_solver_kinds(c: &mut Criterion) {
     let instance = instance_on(&csr);
     let mut group = c.benchmark_group("ablation_solver_kind");
     group.sample_size(10);
-    for (name, solver) in [
-        ("portfolio", SolverKind::Portfolio),
-        ("greedy_only", SolverKind::Greedy),
-    ] {
+    for (name, solver) in
+        [("portfolio", SolverKind::Portfolio), ("greedy_only", SolverKind::Greedy)]
+    {
         group.bench_function(BenchmarkId::from_parameter(name), |b| {
             let cfg = RafConfig::with_alpha(0.3)
                 .seed(9)
@@ -54,9 +53,8 @@ fn bench_vmax_reduction(c: &mut Criterion) {
     group.sample_size(10);
     for (name, on) in [("with_vmax", true), ("without_vmax", false)] {
         group.bench_function(BenchmarkId::from_parameter(name), |b| {
-            let mut cfg = RafConfig::with_alpha(0.3)
-                .seed(9)
-                .budget(RealizationBudget::Fixed(10_000));
+            let mut cfg =
+                RafConfig::with_alpha(0.3).seed(9).budget(RealizationBudget::Fixed(10_000));
             cfg.use_vmax_reduction = on;
             let raf = RafAlgorithm::new(cfg);
             b.iter(|| raf.run(&instance).unwrap())
@@ -74,9 +72,7 @@ fn bench_budget_scaling(c: &mut Criterion) {
     group.sample_size(10);
     for l in [2_000u64, 10_000, 50_000] {
         group.bench_function(BenchmarkId::from_parameter(l), |b| {
-            let cfg = RafConfig::with_alpha(0.3)
-                .seed(9)
-                .budget(RealizationBudget::Fixed(l));
+            let cfg = RafConfig::with_alpha(0.3).seed(9).budget(RealizationBudget::Fixed(l));
             let raf = RafAlgorithm::new(cfg);
             b.iter(|| raf.run(&instance).unwrap())
         });

@@ -2,7 +2,6 @@
 //! forward process, full realizations, cover solvers, and `V_max`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::SeedableRng;
 use raf_core::{vmax_exact, vmax_loose};
 use raf_cover::{ChlamtacPortfolio, CoverInstance, GreedyMarginal, MpuSolver, SmallestSets};
 use raf_datasets::{sample_pairs, synthetic, Dataset, PairSamplerConfig};
@@ -12,6 +11,7 @@ use raf_model::realization::Realization;
 use raf_model::reverse::sample_target_path;
 use raf_model::sampler::sample_pool;
 use raf_model::{FriendingInstance, InvitationSet};
+use rand::SeedableRng;
 
 fn standin(dataset: Dataset, scale: f64) -> CsrGraph {
     synthetic::generate(dataset, scale, 7).unwrap().to_csr()
@@ -28,9 +28,7 @@ fn screened_instance(csr: &CsrGraph) -> FriendingInstance<'_> {
 
 fn bench_reverse_sampling(c: &mut Criterion) {
     let mut group = c.benchmark_group("reverse_walk");
-    for (name, dataset, scale) in
-        [("wiki", Dataset::Wiki, 0.02), ("hepth", Dataset::HepTh, 0.01)]
-    {
+    for (name, dataset, scale) in [("wiki", Dataset::Wiki, 0.02), ("hepth", Dataset::HepTh, 0.01)] {
         let csr = standin(dataset, scale);
         let instance = screened_instance(&csr);
         group.bench_function(BenchmarkId::from_parameter(name), |b| {

@@ -12,8 +12,7 @@ fn main() {
         fig3::print(dataset, &points);
         println!();
         if let Ok(dir) = std::env::var("AF_CSV_DIR") {
-            let mut csv =
-                CsvTable::new(["alpha", "pmax", "raf", "hd", "sp", "mean_size", "pairs"]);
+            let mut csv = CsvTable::new(["alpha", "pmax", "raf", "hd", "sp", "mean_size", "pairs"]);
             for p in &points {
                 csv.push_row([
                     f(p.alpha),
@@ -25,8 +24,8 @@ fn main() {
                     p.pairs.to_string(),
                 ]);
             }
-            let path = std::path::Path::new(&dir)
-                .join(format!("fig3_{}.csv", dataset.spec().file_stem));
+            let path =
+                std::path::Path::new(&dir).join(format!("fig3_{}.csv", dataset.spec().file_stem));
             csv.write_to_path(&path).expect("write fig3 csv");
             eprintln!("wrote {}", path.display());
         }

@@ -14,13 +14,10 @@ fn main() {
         if let Ok(dir) = std::env::var("AF_CSV_DIR") {
             let mut csv = CsvTable::new(["prob_ratio_bin", "avg_size_ratio"]);
             for (mid, mean) in curve.bin_midpoints.iter().zip(&curve.mean_size_ratio) {
-                csv.push_row([
-                    f(*mid),
-                    mean.map(f).unwrap_or_default(),
-                ]);
+                csv.push_row([f(*mid), mean.map(f).unwrap_or_default()]);
             }
-            let path = std::path::Path::new(&dir)
-                .join(format!("fig5_{}.csv", dataset.spec().file_stem));
+            let path =
+                std::path::Path::new(&dir).join(format!("fig5_{}.csv", dataset.spec().file_stem));
             csv.write_to_path(&path).expect("write fig5 csv");
             eprintln!("wrote {}", path.display());
         }

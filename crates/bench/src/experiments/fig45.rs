@@ -101,10 +101,8 @@ pub fn run(
             1.5,
         );
         for point in &curve.points {
-            observations.push((
-                (point.probability / f_raf).min(1.0),
-                point.size as f64 / raf_size as f64,
-            ));
+            observations
+                .push(((point.probability / f_raf).min(1.0), point.size as f64 / raf_size as f64));
         }
     }
     (RatioCurve::five_bins(&observations), observations.len())

@@ -3,12 +3,12 @@
 
 use crate::experiments::common::prepare;
 use crate::ExperimentConfig;
-use rand::SeedableRng;
 use raf_core::evaluator::evaluate;
 use raf_core::{CoreError, RafAlgorithm, RafConfig, RealizationBudget};
 use raf_datasets::Dataset;
 use raf_graph::NodeId;
 use raf_model::FriendingInstance;
+use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
 /// One point of the Fig. 6 sweep.
@@ -26,10 +26,7 @@ pub struct Fig6Point {
 /// x-axis scaled down by the budget knob).
 pub fn sweep_grid(max_budget: u64) -> Vec<u64> {
     let anchors = [0.01, 0.02, 0.05, 0.1, 0.2, 0.4, 0.7, 1.0];
-    anchors
-        .iter()
-        .map(|f| ((max_budget as f64 * f) as u64).max(100))
-        .collect()
+    anchors.iter().map(|f| ((max_budget as f64 * f) as u64).max(100)).collect()
 }
 
 /// Runs the Fig. 6 sweep on the first screened pair of `dataset`.

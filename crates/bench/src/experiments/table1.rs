@@ -28,11 +28,7 @@ pub struct Table1Row {
 
 /// Regenerates Table I at the configured scale.
 pub fn run(config: &ExperimentConfig) -> Vec<Table1Row> {
-    config
-        .datasets
-        .iter()
-        .map(|&dataset| row(config, dataset))
-        .collect()
+    config.datasets.iter().map(|&dataset| row(config, dataset)).collect()
 }
 
 fn row(config: &ExperimentConfig, dataset: Dataset) -> Table1Row {
@@ -84,7 +80,13 @@ mod tests {
         assert_eq!(rows.len(), 4);
         for r in &rows {
             let rel = (r.avg_degree - r.paper_avg_degree).abs() / r.paper_avg_degree;
-            assert!(rel < 0.15, "{}: avg degree {} vs paper {}", r.name, r.avg_degree, r.paper_avg_degree);
+            assert!(
+                rel < 0.15,
+                "{}: avg degree {} vs paper {}",
+                r.name,
+                r.avg_degree,
+                r.paper_avg_degree
+            );
         }
     }
 }

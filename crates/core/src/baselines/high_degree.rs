@@ -32,10 +32,8 @@ impl Baseline for HighDegree {
         if inv.len() >= size {
             return inv;
         }
-        let mut candidates: Vec<_> = g
-            .nodes()
-            .filter(|&v| v != instance.target() && is_candidate(instance, v))
-            .collect();
+        let mut candidates: Vec<_> =
+            g.nodes().filter(|&v| v != instance.target() && is_candidate(instance, v)).collect();
         candidates.sort_by_key(|&v| (std::cmp::Reverse(g.degree(v)), v));
         for v in candidates {
             if inv.len() >= size {

@@ -1,22 +1,16 @@
 //! A random-invitation control baseline.
 
 use super::{is_candidate, Baseline};
+use raf_model::{FriendingInstance, InvitationSet};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use raf_model::{FriendingInstance, InvitationSet};
 
 /// Invites the target plus uniformly random candidates — not in the
 /// paper's evaluation, but a useful floor for sanity checks and ablation
 /// benches: any strategy worth running should beat it.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct RandomInvite {
     seed: u64,
-}
-
-impl Default for RandomInvite {
-    fn default() -> Self {
-        RandomInvite { seed: 0 }
-    }
 }
 
 impl RandomInvite {
@@ -40,10 +34,8 @@ impl Baseline for RandomInvite {
             return inv;
         }
         inv.insert(instance.target());
-        let mut candidates: Vec<_> = g
-            .nodes()
-            .filter(|&v| v != instance.target() && is_candidate(instance, v))
-            .collect();
+        let mut candidates: Vec<_> =
+            g.nodes().filter(|&v| v != instance.target() && is_candidate(instance, v)).collect();
         let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);
         candidates.shuffle(&mut rng);
         for v in candidates {
@@ -84,9 +76,7 @@ mod tests {
     fn different_seeds_vary() {
         let g = instance_fixture();
         let inst = FriendingInstance::new(&g, NodeId::new(0), NodeId::new(4)).unwrap();
-        let sets: Vec<_> = (0..20)
-            .map(|s| RandomInvite::with_seed(s).build(&inst, 3))
-            .collect();
+        let sets: Vec<_> = (0..20).map(|s| RandomInvite::with_seed(s).build(&inst, 3)).collect();
         assert!(sets.windows(2).any(|w| w[0] != w[1]), "no variation across seeds");
     }
 

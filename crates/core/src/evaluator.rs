@@ -2,10 +2,10 @@
 //! baselines until they match a target probability (Figs. 4–5).
 
 use crate::baselines::Baseline;
-use rand::Rng;
 use raf_model::acceptance::{estimate_acceptance, AcceptanceEstimate};
 use raf_model::sampler::RealizationPool;
 use raf_model::{FriendingInstance, InvitationSet};
+use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 /// One point on a baseline growth curve: the set size tried and the
@@ -147,7 +147,8 @@ mod tests {
         let g = line_csr(4);
         let inst = FriendingInstance::new(&g, NodeId::new(0), NodeId::new(3)).unwrap();
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
-        let curve = grow_until_match(&inst, &ShortestPath::new(), 0.45, 20_000, 10, 8, 1.5, &mut rng);
+        let curve =
+            grow_until_match(&inst, &ShortestPath::new(), 0.45, 20_000, 10, 8, 1.5, &mut rng);
         assert_eq!(curve.matched_size, Some(2));
         assert!(curve.final_probability() >= 0.45);
     }
@@ -160,8 +161,7 @@ mod tests {
         let g = b.build(WeightScheme::UniformByDegree).unwrap().to_csr();
         let inst = FriendingInstance::new(&g, NodeId::new(0), NodeId::new(3)).unwrap();
         let mut rng = rand::rngs::StdRng::seed_from_u64(2);
-        let curve =
-            grow_until_match(&inst, &HighDegree::new(), 0.1, 1_000, 50, 8, 1.5, &mut rng);
+        let curve = grow_until_match(&inst, &HighDegree::new(), 0.1, 1_000, 50, 8, 1.5, &mut rng);
         assert_eq!(curve.matched_size, None);
         assert_eq!(curve.final_probability(), 0.0);
     }
@@ -187,8 +187,7 @@ mod tests {
         let inst = FriendingInstance::new(&g, NodeId::new(0), NodeId::new(3)).unwrap();
         let mut rng = rand::rngs::StdRng::seed_from_u64(5);
         let pool = sample_pool(&inst, 30_000, &mut rng);
-        let curve =
-            grow_until_match_pooled(&inst, &ShortestPath::new(), 0.45, &pool, 10, 8, 1.5);
+        let curve = grow_until_match_pooled(&inst, &ShortestPath::new(), 0.45, &pool, 10, 8, 1.5);
         assert_eq!(curve.matched_size, Some(2));
         // Pooled trajectories are monotone by construction (nested sets
         // against a fixed pool).

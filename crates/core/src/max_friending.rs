@@ -81,8 +81,7 @@ pub fn greedy_max_coverage_paths(
     for tp in &pool.type1_paths {
         *multiplicity.entry(tp.nodes.as_slice()).or_insert(0) += 1;
     }
-    let mut remaining: Vec<(&[raf_graph::NodeId], usize)> =
-        multiplicity.into_iter().collect();
+    let mut remaining: Vec<(&[raf_graph::NodeId], usize)> = multiplicity.into_iter().collect();
     // Deterministic order before the greedy (HashMap iteration is not).
     remaining.sort_by(|a, b| a.0.cmp(b.0));
     loop {
@@ -94,16 +93,10 @@ pub fn greedy_max_coverage_paths(
             }
             // Covered gain: this path's copies plus — approximated — only
             // itself; full recount happens after insertion.
-            let density = if cost == 0 {
-                f64::INFINITY
-            } else {
-                *mult as f64 / cost as f64
-            };
+            let density = if cost == 0 { f64::INFINITY } else { *mult as f64 / cost as f64 };
             let better = match best {
                 None => true,
-                Some((bd, bc, _)) => {
-                    density > bd || (density == bd && cost < bc)
-                }
+                Some((bd, bc, _)) => density > bd || (density == bd && cost < bc),
             };
             if better {
                 best = Some((density, cost, i));

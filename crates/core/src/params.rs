@@ -65,8 +65,7 @@ impl ParameterSet {
         n: usize,
         eps0_cap: f64,
     ) -> Result<Self, CoreError> {
-        if !(alpha > 0.0 && alpha <= 1.0)
-            || !(epsilon > 0.0 && epsilon < alpha)
+        if !(alpha > 0.0 && alpha <= 1.0 && epsilon > 0.0 && epsilon < alpha)
             || n == 0
             || !(eps0_cap > 0.0 && eps0_cap < 1.0)
         {

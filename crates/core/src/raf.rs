@@ -31,21 +31,16 @@ impl Default for RealizationBudget {
 }
 
 /// Which MSC/MpU solver Alg. 3 uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum SolverKind {
     /// The best-of portfolio standing in for the Chlamtáč algorithm
     /// (default).
+    #[default]
     Portfolio,
     /// Greedy marginal-cost only (ablation).
     Greedy,
     /// Exact brute force (tiny instances only).
     Exact,
-}
-
-impl Default for SolverKind {
-    fn default() -> Self {
-        SolverKind::Portfolio
-    }
 }
 
 /// Configuration for [`RafAlgorithm`] (the `α, ε, N` inputs of Alg. 4 plus
@@ -258,13 +253,8 @@ impl RafAlgorithm {
         };
 
         // Step 3: realization budget from eq. (16).
-        let theory_l = l_star(
-            ground_size,
-            cfg.confidence,
-            parameters.eps0,
-            parameters.eps1,
-            pmax_est.pmax,
-        );
+        let theory_l =
+            l_star(ground_size, cfg.confidence, parameters.eps0, parameters.eps1, pmax_est.pmax);
         let l = match cfg.budget {
             RealizationBudget::Theory => theory_l.min(u64::MAX as f64) as u64,
             RealizationBudget::Capped(cap) => theory_l.min(cap as f64) as u64,

@@ -88,7 +88,7 @@ impl RatioCurve {
     pub fn five_bins(observations: &[(f64, f64)]) -> Self {
         let edges = [0.0, 0.3, 0.5, 0.7, 0.9, f64::INFINITY];
         let mids = vec![0.2, 0.4, 0.6, 0.8, 1.0];
-        let mut sums = vec![0.0; 5];
+        let mut sums = [0.0; 5];
         let mut counts = vec![0usize; 5];
         for &(pr, sr) in observations {
             for b in 0..5 {

@@ -108,9 +108,10 @@ pub fn vmax_loose(instance: &FriendingInstance<'_>) -> InvitationSet {
     // In the undirected seed-free component, reaching t implies reaching
     // every seed-adjacent node of that component; membership additionally
     // requires the component to touch the seeds at all.
-    let component_touches_seeds = from_t.iter().enumerate().any(|(i, &r)| {
-        r && g.neighbors(NodeId::new(i)).iter().any(|&u| instance.is_seed(u))
-    });
+    let component_touches_seeds = from_t
+        .iter()
+        .enumerate()
+        .any(|(i, &r)| r && g.neighbors(NodeId::new(i)).iter().any(|&u| instance.is_seed(u)));
     let mut set = InvitationSet::empty(n);
     if component_touches_seeds {
         for (i, &r) in from_t.iter().enumerate() {
@@ -206,8 +207,7 @@ mod tests {
         use rand::SeedableRng;
         for seed in 0..20u64 {
             let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-            let builder =
-                raf_graph::generators::erdos_renyi_gnm(30, 60, &mut rng).unwrap();
+            let builder = raf_graph::generators::erdos_renyi_gnm(30, 60, &mut rng).unwrap();
             let g = builder.build(WeightScheme::UniformByDegree).unwrap().to_csr();
             if g.has_edge(NodeId::new(0), NodeId::new(29)) {
                 continue;
@@ -241,8 +241,7 @@ mod tests {
         for v in vm.iter() {
             let mut smaller = vm.clone();
             smaller.remove(v);
-            let p_small =
-                estimate_acceptance(&instance, &smaller, samples, &mut rng).probability;
+            let p_small = estimate_acceptance(&instance, &smaller, samples, &mut rng).probability;
             assert!(p_small < p_vm - 0.01, "removing {v} did not hurt: {p_small} vs {p_vm}");
         }
     }

@@ -112,11 +112,9 @@ mod tests {
     #[test]
     fn prefers_hub_sets() {
         // Hub element 0 shared by three sets; one small unrelated set.
-        let inst = CoverInstance::new(
-            8,
-            vec![vec![0, 1], vec![0, 2], vec![0, 3], vec![7], vec![4, 5, 6]],
-        )
-        .unwrap();
+        let inst =
+            CoverInstance::new(8, vec![vec![0, 1], vec![0, 2], vec![0, 3], vec![7], vec![4, 5, 6]])
+                .unwrap();
         let sol = AnchorSolver::new().solve(&inst, 3).unwrap();
         assert!(sol.verify(&inst, 3));
         // Best possible: the three hub sets (union {0,1,2,3} = 4)… but the

@@ -54,9 +54,7 @@ mod tests {
             CoverError::NotEnoughSets { p: 5, available: 3 }.to_string(),
             "cannot cover 5 sets: only 3 available"
         );
-        assert!(CoverError::TooLarge { message: "m=100".into() }
-            .to_string()
-            .contains("m=100"));
+        assert!(CoverError::TooLarge { message: "m=100".into() }.to_string().contains("m=100"));
     }
 
     #[test]

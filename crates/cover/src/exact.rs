@@ -100,11 +100,9 @@ mod tests {
     #[test]
     fn finds_optimum_small() {
         // Optimal p=2: {0,1,2} ∪ {0,1} has union 3; every other pair ≥ 4.
-        let inst = CoverInstance::new(
-            8,
-            vec![vec![0, 1, 2], vec![0, 1], vec![4, 5, 6], vec![6, 7]],
-        )
-        .unwrap();
+        let inst =
+            CoverInstance::new(8, vec![vec![0, 1, 2], vec![0, 1], vec![4, 5, 6], vec![6, 7]])
+                .unwrap();
         let sol = ExactSolver::new().solve(&inst, 2).unwrap();
         assert_eq!(sol.cost(), 3);
         assert!(sol.verify(&inst, 2));

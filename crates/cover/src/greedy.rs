@@ -42,15 +42,8 @@ pub(crate) fn greedy_fill(
         return;
     }
     // Exact current marginals.
-    let mut marginal: Vec<u32> = (0..m)
-        .map(|i| {
-            if taken[i] {
-                0
-            } else {
-                instance.marginal(i, in_union) as u32
-            }
-        })
-        .collect();
+    let mut marginal: Vec<u32> =
+        (0..m).map(|i| if taken[i] { 0 } else { instance.marginal(i, in_union) as u32 }).collect();
     let max_size = marginal.iter().copied().max().unwrap_or(0) as usize;
     let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); max_size + 1];
     // Reverse order so ties pop the lowest index first.
@@ -131,8 +124,8 @@ mod tests {
     fn picks_overlapping_sets() {
         // Sets: {0,1,2}, {0,1,3}, {4,5,6}. For p=2 greedy takes the two
         // overlapping ones: union 4 < 6.
-        let inst = CoverInstance::new(7, vec![vec![0, 1, 2], vec![0, 1, 3], vec![4, 5, 6]])
-            .unwrap();
+        let inst =
+            CoverInstance::new(7, vec![vec![0, 1, 2], vec![0, 1, 3], vec![4, 5, 6]]).unwrap();
         let sol = GreedyMarginal::new().solve(&inst, 2).unwrap();
         assert_eq!(sol.cost(), 4);
         assert!(sol.verify(&inst, 2));
@@ -179,8 +172,8 @@ mod tests {
     #[test]
     fn path_family_shares_prefix() {
         // Paths through a shared spine: {9,8,7}, {9,8,6}, {9,5,4,3}.
-        let inst = CoverInstance::new(10, vec![vec![9, 8, 7], vec![9, 8, 6], vec![9, 5, 4, 3]])
-            .unwrap();
+        let inst =
+            CoverInstance::new(10, vec![vec![9, 8, 7], vec![9, 8, 6], vec![9, 5, 4, 3]]).unwrap();
         let sol = GreedyMarginal::new().solve(&inst, 2).unwrap();
         // First {9,8,7} (or sibling), then the sibling costs 1 more.
         assert_eq!(sol.cost(), 4);

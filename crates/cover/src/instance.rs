@@ -83,10 +83,7 @@ impl CoverInstance {
 
     /// Number of sets fully contained in the element mask `mask`.
     pub fn covered_count(&self, mask: &[bool]) -> usize {
-        self.sets
-            .iter()
-            .filter(|s| s.iter().all(|&e| mask[e as usize]))
-            .count()
+        self.sets.iter().filter(|s| s.iter().all(|&e| mask[e as usize])).count()
     }
 
     /// The theoretical portfolio guarantee target `2√m` from the paper.

@@ -1,8 +1,7 @@
 //! The best-of portfolio standing in for the Chlamtáč et al. algorithm.
 
 use crate::{
-    AnchorSolver, CoverError, CoverInstance, CoverSolution, GreedyMarginal, MpuSolver,
-    SmallestSets,
+    AnchorSolver, CoverError, CoverInstance, CoverSolution, GreedyMarginal, MpuSolver, SmallestSets,
 };
 
 /// The portfolio solver used as the paper's "Chlamtáč algorithm" stand-in
@@ -58,14 +57,7 @@ mod tests {
     fn at_least_as_good_as_each_arm() {
         let inst = CoverInstance::new(
             12,
-            vec![
-                vec![0, 1, 2],
-                vec![0, 1, 3],
-                vec![4],
-                vec![5],
-                vec![6, 7, 8, 9],
-                vec![10, 11],
-            ],
+            vec![vec![0, 1, 2], vec![0, 1, 3], vec![4], vec![5], vec![6, 7, 8, 9], vec![10, 11]],
         )
         .unwrap();
         for p in 0..=6 {

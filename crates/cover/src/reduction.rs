@@ -55,11 +55,8 @@ mod tests {
 
     #[test]
     fn covers_at_least_p() {
-        let inst = CoverInstance::new(
-            6,
-            vec![vec![0, 1], vec![1, 2], vec![0, 2], vec![3, 4, 5]],
-        )
-        .unwrap();
+        let inst =
+            CoverInstance::new(6, vec![vec![0, 1], vec![1, 2], vec![0, 2], vec![3, 4, 5]]).unwrap();
         for p in 0..=4 {
             let sol = solve_msc(&GreedyMarginal::new(), &inst, p).unwrap();
             assert!(sol.covered_count() >= p, "p={p}: covered {}", sol.covered_count());
@@ -70,8 +67,7 @@ mod tests {
     fn incidental_coverage_counted() {
         // Choosing sets {0,1} and {1,2} yields union {0,1,2} which also
         // covers {0,2}: 3 sets covered for p=2.
-        let inst =
-            CoverInstance::new(3, vec![vec![0, 1], vec![1, 2], vec![0, 2]]).unwrap();
+        let inst = CoverInstance::new(3, vec![vec![0, 1], vec![1, 2], vec![0, 2]]).unwrap();
         let sol = solve_msc(&ExactSolver::new(), &inst, 2).unwrap();
         assert_eq!(sol.cost(), 3);
         assert_eq!(sol.covered_count(), 3);

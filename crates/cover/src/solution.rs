@@ -26,12 +26,7 @@ impl CoverSolution {
                 mask[e as usize] = true;
             }
         }
-        let union = mask
-            .iter()
-            .enumerate()
-            .filter(|(_, &m)| m)
-            .map(|(e, _)| e as u32)
-            .collect();
+        let union = mask.iter().enumerate().filter(|(_, &m)| m).map(|(e, _)| e as u32).collect();
         CoverSolution { chosen_sets: chosen, union }
     }
 

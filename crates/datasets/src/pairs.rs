@@ -83,11 +83,7 @@ pub fn sample_pairs(graph: &CsrGraph, config: &PairSamplerConfig) -> Vec<Sampled
         let est = estimate_pmax_fixed(&instance, config.screen_samples, &mut rng);
         if est.pmax >= config.pmax_threshold {
             seen.insert((s, t));
-            pairs.push(SampledPair {
-                s: s.as_u32(),
-                t: t.as_u32(),
-                pmax_estimate: est.pmax,
-            });
+            pairs.push(SampledPair { s: s.as_u32(), t: t.as_u32(), pmax_estimate: est.pmax });
         }
     }
     pairs
@@ -166,7 +162,8 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let g = grid_csr();
-        let cfg = PairSamplerConfig { pairs: 5, screen_samples: 300, seed: 9, ..Default::default() };
+        let cfg =
+            PairSamplerConfig { pairs: 5, screen_samples: 300, seed: 9, ..Default::default() };
         let a = sample_pairs(&g, &cfg);
         let b = sample_pairs(&g, &cfg);
         assert_eq!(a, b);

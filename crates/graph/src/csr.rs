@@ -144,7 +144,7 @@ impl CsrGraph {
     }
 
     /// Iterates over all node ids.
-    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + ExactSizeIterator {
+    pub fn nodes(&self) -> impl ExactSizeIterator<Item = NodeId> {
         (0..self.node_count()).map(NodeId::new)
     }
 }

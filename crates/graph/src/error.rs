@@ -63,10 +63,9 @@ impl fmt::Display for GraphError {
             GraphError::NodeOutOfRange { node, node_count } => {
                 write!(f, "node {node} out of range for graph with {node_count} nodes")
             }
-            GraphError::WeightNotNormalized { node, total } => write!(
-                f,
-                "incoming weights of node {node} sum to {total}, exceeding 1"
-            ),
+            GraphError::WeightNotNormalized { node, total } => {
+                write!(f, "incoming weights of node {node} sum to {total}, exceeding 1")
+            }
             GraphError::InvalidWeight { weight } => {
                 write!(f, "weight {weight} outside the valid range (0, 1]")
             }
@@ -104,10 +103,7 @@ mod tests {
                 GraphError::NodeOutOfRange { node: 9, node_count: 5 },
                 "node 9 out of range for graph with 5 nodes",
             ),
-            (
-                GraphError::InvalidWeight { weight: 2.0 },
-                "weight 2 outside the valid range (0, 1]",
-            ),
+            (GraphError::InvalidWeight { weight: 2.0 }, "weight 2 outside the valid range (0, 1]"),
         ];
         for (err, expected) in cases {
             assert_eq!(err.to_string(), expected);

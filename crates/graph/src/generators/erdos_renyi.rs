@@ -54,7 +54,11 @@ pub fn erdos_renyi_gnp<R: Rng>(n: usize, p: f64, rng: &mut R) -> Result<GraphBui
 /// # Errors
 ///
 /// Returns [`GraphError::InvalidParameter`] when `m` exceeds `n(n−1)/2`.
-pub fn erdos_renyi_gnm<R: Rng>(n: usize, m: usize, rng: &mut R) -> Result<GraphBuilder, GraphError> {
+pub fn erdos_renyi_gnm<R: Rng>(
+    n: usize,
+    m: usize,
+    rng: &mut R,
+) -> Result<GraphBuilder, GraphError> {
     let max_edges = if n < 2 { 0 } else { n * (n - 1) / 2 };
     if m > max_edges {
         return Err(GraphError::InvalidParameter {

@@ -57,7 +57,9 @@ pub fn star_graph(n: usize) -> Result<GraphBuilder, GraphError> {
 /// Returns [`GraphError::InvalidParameter`] when `n == 0`.
 pub fn complete_graph(n: usize) -> Result<GraphBuilder, GraphError> {
     if n == 0 {
-        return Err(GraphError::InvalidParameter { message: "complete graph needs ≥ 1 node".into() });
+        return Err(GraphError::InvalidParameter {
+            message: "complete graph needs ≥ 1 node".into(),
+        });
     }
     let mut b = GraphBuilder::new();
     b.reserve_nodes(n);

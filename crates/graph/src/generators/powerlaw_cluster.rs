@@ -44,10 +44,10 @@ pub fn powerlaw_cluster<R: Rng>(
     let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
     let seed = m_attach + 1;
     let link = |b: &mut GraphBuilder,
-                    adj: &mut Vec<Vec<u32>>,
-                    endpoints: &mut Vec<u32>,
-                    u: usize,
-                    v: usize|
+                adj: &mut Vec<Vec<u32>>,
+                endpoints: &mut Vec<u32>,
+                u: usize,
+                v: usize|
      -> Result<bool, GraphError> {
         if u == v || b.contains_edge(u, v) {
             return Ok(false);
@@ -130,10 +130,7 @@ mod tests {
         let mut r = rng(3);
         let c_hk = clustering_coefficient(&g_hk, 20_000, &mut r);
         let c_ba = clustering_coefficient(&g_ba, 20_000, &mut r);
-        assert!(
-            c_hk > c_ba * 1.5,
-            "triad formation should raise clustering: hk={c_hk} ba={c_ba}"
-        );
+        assert!(c_hk > c_ba * 1.5, "triad formation should raise clustering: hk={c_hk} ba={c_ba}");
     }
 
     #[test]

@@ -17,7 +17,7 @@ pub fn watts_strogatz<R: Rng>(
     beta: f64,
     rng: &mut R,
 ) -> Result<GraphBuilder, GraphError> {
-    if k % 2 != 0 || k == 0 {
+    if !k.is_multiple_of(2) || k == 0 {
         return Err(GraphError::InvalidParameter {
             message: format!("ring degree k={k} must be positive and even"),
         });

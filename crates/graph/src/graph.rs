@@ -109,7 +109,7 @@ impl SocialGraph {
     }
 
     /// Iterates over all node ids `0..n`.
-    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + ExactSizeIterator {
+    pub fn nodes(&self) -> impl ExactSizeIterator<Item = NodeId> {
         (0..self.node_count()).map(NodeId::new)
     }
 
@@ -145,10 +145,7 @@ impl SocialGraph {
     /// the lowest id), used by tests and simple heuristics. `None` when `v`
     /// is isolated.
     pub fn max_degree_neighbor(&self, v: NodeId) -> Option<NodeId> {
-        self.neighbors(v)
-            .iter()
-            .copied()
-            .max_by_key(|&u| (self.degree(u), std::cmp::Reverse(u)))
+        self.neighbors(v).iter().copied().max_by_key(|&u| (self.degree(u), std::cmp::Reverse(u)))
     }
 
     /// Average degree `2m/n`, as reported in the paper's Table I.

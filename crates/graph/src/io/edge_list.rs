@@ -7,7 +7,6 @@
 //! compacts node ids densely.
 
 use crate::{GraphBuilder, GraphError};
-use bytes::Bytes;
 use std::collections::HashMap;
 use std::io::{BufReader, Read, Write};
 use std::path::Path;
@@ -35,7 +34,7 @@ impl Default for EdgeListOptions {
 /// Returns [`GraphError::Parse`] with a 1-based line number on malformed
 /// lines, or [`GraphError::SelfLoop`] when `drop_self_loops` is false and
 /// a self-loop appears.
-pub fn parse_edge_list(data: &Bytes, opts: &EdgeListOptions) -> Result<GraphBuilder, GraphError> {
+pub fn parse_edge_list(data: &[u8], opts: &EdgeListOptions) -> Result<GraphBuilder, GraphError> {
     let mut builder = GraphBuilder::new();
     let mut relabel: HashMap<u64, usize> = HashMap::new();
     let mut next_id = 0usize;
@@ -58,9 +57,7 @@ pub fn parse_edge_list(data: &Bytes, opts: &EdgeListOptions) -> Result<GraphBuil
         if line.is_empty() || line[0] == b'#' || line[0] == b'%' {
             continue;
         }
-        let mut fields = line
-            .split(|&b| b == b'\t' || b == b' ')
-            .filter(|f| !f.is_empty());
+        let mut fields = line.split(|&b| b == b'\t' || b == b' ').filter(|f| !f.is_empty());
         let a = fields.next();
         let b_field = fields.next();
         let (a, b_field) = match (a, b_field) {
@@ -98,11 +95,14 @@ pub fn parse_edge_list(data: &Bytes, opts: &EdgeListOptions) -> Result<GraphBuil
 /// # Errors
 ///
 /// Propagates IO and parse failures.
-pub fn read_edge_list<R: Read>(reader: R, opts: &EdgeListOptions) -> Result<GraphBuilder, GraphError> {
+pub fn read_edge_list<R: Read>(
+    reader: R,
+    opts: &EdgeListOptions,
+) -> Result<GraphBuilder, GraphError> {
     let mut buf = Vec::new();
     let mut reader = BufReader::new(reader);
     reader.read_to_end(&mut buf)?;
-    parse_edge_list(&Bytes::from(buf), opts)
+    parse_edge_list(&buf, opts)
 }
 
 /// Writes a graph as a SNAP-style edge list with a header comment.
@@ -173,8 +173,8 @@ mod tests {
     use super::*;
     use crate::WeightScheme;
 
-    fn bytes(s: &str) -> Bytes {
-        Bytes::from(s.as_bytes().to_vec())
+    fn bytes(s: &str) -> Vec<u8> {
+        s.as_bytes().to_vec()
     }
 
     #[test]
@@ -203,10 +203,7 @@ mod tests {
     fn strict_self_loops_error() {
         let data = bytes("5\t5\n");
         let opts = EdgeListOptions { drop_self_loops: false, compact_ids: false };
-        assert!(matches!(
-            parse_edge_list(&data, &opts),
-            Err(GraphError::SelfLoop { node: 5 })
-        ));
+        assert!(matches!(parse_edge_list(&data, &opts), Err(GraphError::SelfLoop { node: 5 })));
     }
 
     #[test]

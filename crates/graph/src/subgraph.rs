@@ -72,10 +72,7 @@ pub fn induced_subgraph(
 ) -> Result<(SocialGraph, NodeMapping), GraphError> {
     for &v in nodes {
         if v.index() >= g.node_count() {
-            return Err(GraphError::NodeOutOfRange {
-                node: v.index(),
-                node_count: g.node_count(),
-            });
+            return Err(GraphError::NodeOutOfRange { node: v.index(), node_count: g.node_count() });
         }
     }
     let mapping = NodeMapping::new(g.node_count(), nodes);
@@ -141,8 +138,8 @@ mod tests {
     #[test]
     fn out_of_range_node_rejected() {
         let g = square_with_tail();
-        let err = induced_subgraph(&g, &[NodeId::new(99)], WeightScheme::UniformByDegree)
-            .unwrap_err();
+        let err =
+            induced_subgraph(&g, &[NodeId::new(99)], WeightScheme::UniformByDegree).unwrap_err();
         assert!(matches!(err, GraphError::NodeOutOfRange { .. }));
     }
 

@@ -9,4 +9,4 @@ mod disjoint_paths;
 pub use bfs::{bfs_distances, bfs_reachable, shortest_path};
 pub use dfs::{dfs_order, dfs_reachable};
 pub use dijkstra::{dijkstra, WeightedPath};
-pub use disjoint_paths::{successive_disjoint_paths, shortest_path_avoiding};
+pub use disjoint_paths::{shortest_path_avoiding, successive_disjoint_paths};

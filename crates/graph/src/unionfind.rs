@@ -23,11 +23,7 @@ pub struct UnionFind {
 impl UnionFind {
     /// Creates `n` singleton sets.
     pub fn new(n: usize) -> Self {
-        UnionFind {
-            parent: (0..n as u32).collect(),
-            rank: vec![0; n],
-            components: n,
-        }
+        UnionFind { parent: (0..n as u32).collect(), rank: vec![0; n], components: n }
     }
 
     /// Number of elements.

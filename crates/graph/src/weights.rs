@@ -81,9 +81,10 @@ impl WeightScheme {
             WeightScheme::Custom { weights } => {
                 let mut ws = Vec::with_capacity(d);
                 for &u in nbrs {
-                    let w = weights.get(&(u.as_u32(), v.as_u32())).copied().ok_or(
-                        GraphError::MissingWeight { from: u.index(), to: v.index() },
-                    )?;
+                    let w = weights
+                        .get(&(u.as_u32(), v.as_u32()))
+                        .copied()
+                        .ok_or(GraphError::MissingWeight { from: u.index(), to: v.index() })?;
                     if !(w > 0.0 && w <= 1.0) {
                         return Err(GraphError::InvalidWeight { weight: w });
                     }
@@ -165,18 +166,16 @@ mod tests {
         let mut weights = HashMap::new();
         weights.insert((1, 0), 0.3);
         weights.insert((2, 0), 0.6);
-        let ws = WeightScheme::Custom { weights }
-            .weights_for(NodeId::new(0), &nbrs(&[1, 2]))
-            .unwrap();
+        let ws =
+            WeightScheme::Custom { weights }.weights_for(NodeId::new(0), &nbrs(&[1, 2])).unwrap();
         assert_eq!(ws, vec![0.3, 0.6]);
     }
 
     #[test]
     fn custom_missing_pair_errors() {
         let weights = HashMap::new();
-        let err = WeightScheme::Custom { weights }
-            .weights_for(NodeId::new(0), &nbrs(&[1]))
-            .unwrap_err();
+        let err =
+            WeightScheme::Custom { weights }.weights_for(NodeId::new(0), &nbrs(&[1])).unwrap_err();
         assert!(matches!(err, GraphError::MissingWeight { .. }));
     }
 

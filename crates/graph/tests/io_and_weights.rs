@@ -11,10 +11,8 @@ use std::collections::HashMap;
 #[test]
 fn io_roundtrip_on_generated_graph() {
     let mut rng = rand::rngs::StdRng::seed_from_u64(3);
-    let g = barabasi_albert(500, 3, &mut rng)
-        .unwrap()
-        .build(WeightScheme::UniformByDegree)
-        .unwrap();
+    let g =
+        barabasi_albert(500, 3, &mut rng).unwrap().build(WeightScheme::UniformByDegree).unwrap();
     let mut buffer = Vec::new();
     write_edge_list(&g, &mut buffer, "roundtrip").unwrap();
     let g2 = read_edge_list(&buffer[..], &EdgeListOptions::default())

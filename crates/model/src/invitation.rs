@@ -110,11 +110,7 @@ impl InvitationSet {
 
     /// Iterates over the members in ascending id order.
     pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.mask
-            .iter()
-            .enumerate()
-            .filter(|(_, &m)| m)
-            .map(|(i, _)| NodeId::new(i))
+        self.mask.iter().enumerate().filter(|(_, &m)| m).map(|(i, _)| NodeId::new(i))
     }
 
     /// Whether `other ⊆ self`.

@@ -216,10 +216,9 @@ mod tests {
         let inst = FriendingInstance::new(&g, NodeId::new(0), NodeId::new(3)).unwrap();
         let mut rng = rand::rngs::StdRng::seed_from_u64(10);
         let runs = 200;
-        let mean: f64 = (0..runs)
-            .map(|_| estimate_pmax_fixed(&inst, 200, &mut rng).pmax)
-            .sum::<f64>()
-            / runs as f64;
+        let mean: f64 =
+            (0..runs).map(|_| estimate_pmax_fixed(&inst, 200, &mut rng).pmax).sum::<f64>()
+                / runs as f64;
         assert!((mean - 0.5).abs() < 0.02, "mean of estimates {mean}");
     }
 }

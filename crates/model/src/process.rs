@@ -6,8 +6,8 @@
 //! users convert or the target joins.
 
 use crate::{FriendingInstance, InvitationSet};
-use rand::Rng;
 use raf_graph::NodeId;
+use rand::Rng;
 
 /// Outcome of one run of the friending process.
 #[derive(Debug, Clone, PartialEq)]
@@ -95,8 +95,7 @@ pub fn run_process_with_thresholds(
         frontier = next;
     }
 
-    let final_friends: Vec<NodeId> =
-        (0..n).map(NodeId::new).filter(|v| in_c[v.index()]).collect();
+    let final_friends: Vec<NodeId> = (0..n).map(NodeId::new).filter(|v| in_c[v.index()]).collect();
     ProcessOutcome { target_friended, final_friends, rounds }
 }
 

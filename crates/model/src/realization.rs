@@ -6,8 +6,8 @@
 //! realization-based Process 2 induce the same distribution over outcomes.
 
 use crate::{FriendingInstance, InvitationSet};
-use rand::Rng;
 use raf_graph::{CsrGraph, NodeId};
+use rand::Rng;
 
 /// A fully materialized realization `g : V → V ∪ {ℵ0}`.
 ///
@@ -26,10 +26,7 @@ impl Realization {
     /// (Remark 3), but full realizations remain useful for the equivalence
     /// tests and for replaying scenarios.
     pub fn sample<R: Rng>(graph: &CsrGraph, rng: &mut R) -> Self {
-        let selections = graph
-            .nodes()
-            .map(|v| graph.select_with(v, rng.gen::<f64>()))
-            .collect();
+        let selections = graph.nodes().map(|v| graph.select_with(v, rng.gen::<f64>())).collect();
         Realization { selections }
     }
 

@@ -13,8 +13,8 @@
 //! walk length, not `O(n)`.
 
 use crate::{FriendingInstance, InvitationSet};
-use rand::Rng;
 use raf_graph::NodeId;
+use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 /// How a backward walk terminated (the three cases of Lemma 2).
@@ -92,10 +92,7 @@ impl TargetPath {
 /// # Ok(())
 /// # }
 /// ```
-pub fn sample_target_path<R: Rng>(
-    instance: &FriendingInstance<'_>,
-    rng: &mut R,
-) -> TargetPath {
+pub fn sample_target_path<R: Rng>(instance: &FriendingInstance<'_>, rng: &mut R) -> TargetPath {
     let g = instance.graph();
     let mut nodes = vec![instance.target()];
     // Walks are short in practice; membership is a linear scan with a

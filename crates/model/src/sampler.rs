@@ -8,9 +8,9 @@
 
 use crate::reverse::{sample_target_path, TargetPath};
 use crate::FriendingInstance;
-use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Mutex;
 
 /// A pool of sampled backward walks: the `B_l` of the paper, partitioned
 /// into the type-1 paths (kept, with multiplicity) and a count of type-0
@@ -49,11 +49,7 @@ impl RealizationPool {
         if self.total_samples == 0 {
             return 0.0;
         }
-        let covered = self
-            .type1_paths
-            .iter()
-            .filter(|tp| tp.covered_by(invitations))
-            .count();
+        let covered = self.type1_paths.iter().filter(|tp| tp.covered_by(invitations)).count();
         covered as f64 / self.total_samples as f64
     }
 
@@ -98,12 +94,12 @@ pub fn sample_pool_parallel(
         return sample_pool(instance, l, &mut rng);
     }
     let collected: Mutex<Vec<TargetPath>> = Mutex::new(Vec::new());
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for i in 0..threads {
             let share = l / threads as u64 + u64::from((l % threads as u64) > i as u64);
             let collected = &collected;
             let instance = &instance;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let mut rng = StdRng::seed_from_u64(master_seed ^ splitmix64(i as u64 + 1));
                 let mut local = Vec::new();
                 for _ in 0..share {
@@ -112,12 +108,11 @@ pub fn sample_pool_parallel(
                         local.push(tp);
                     }
                 }
-                collected.lock().extend(local);
+                collected.lock().expect("sampler mutex poisoned").extend(local);
             });
         }
-    })
-    .expect("sampler worker panicked");
-    let mut type1_paths = collected.into_inner();
+    });
+    let mut type1_paths = collected.into_inner().expect("sampler mutex poisoned");
     // Deterministic order regardless of thread interleaving.
     type1_paths.sort_by(|a, b| a.nodes.cmp(&b.nodes));
     RealizationPool { type1_paths, total_samples: l }
@@ -192,7 +187,6 @@ mod tests {
         assert_eq!(pool.total_samples, 0);
         assert_eq!(pool.pmax_estimate(), 0.0);
     }
-
 
     #[test]
     fn coverage_matches_independent_estimate() {

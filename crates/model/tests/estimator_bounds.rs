@@ -29,8 +29,7 @@ fn dklr_violation_rate_within_bound() {
     let mut violations = 0;
     for seed in 0..runs {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let est =
-            estimate_pmax_dklr(&inst, epsilon, n_confidence, 10_000_000, &mut rng).unwrap();
+        let est = estimate_pmax_dklr(&inst, epsilon, n_confidence, 10_000_000, &mut rng).unwrap();
         if (est.pmax - true_pmax).abs() > epsilon * true_pmax {
             violations += 1;
         }
@@ -62,10 +61,7 @@ fn pool_uniform_accuracy_over_subsets() {
     for (ids, expected) in cases {
         let inv = InvitationSet::from_nodes(n, ids.iter().map(|&i| NodeId::new(i)));
         let got = pool.coverage(&inv);
-        assert!(
-            (got - expected).abs() < 0.005,
-            "I = {ids:?}: pool {got} vs exact {expected}"
-        );
+        assert!((got - expected).abs() < 0.005, "I = {ids:?}: pool {got} vs exact {expected}");
     }
 }
 
@@ -87,8 +83,5 @@ fn fixed_estimator_variance_scaling() {
     let var_small = spread(500, 60);
     let var_big = spread(8_000, 60);
     // 16× the samples ⇒ ≈ 16× smaller variance; accept anything ≥ 4×.
-    assert!(
-        var_big < var_small / 4.0,
-        "variance did not shrink: {var_small} → {var_big}"
-    );
+    assert!(var_big < var_small / 4.0, "variance did not shrink: {var_small} → {var_big}");
 }

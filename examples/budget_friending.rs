@@ -16,17 +16,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let csr = loaded.graph.to_csr();
     println!("graph: {} nodes / {} edges", csr.node_count(), csr.edge_count());
 
-    let pair_cfg = PairSamplerConfig { pairs: 1, screen_samples: 3_000, seed: 8, ..Default::default() };
+    let pair_cfg =
+        PairSamplerConfig { pairs: 1, screen_samples: 3_000, seed: 8, ..Default::default() };
     let pairs = sample_pairs(&csr, &pair_cfg);
     let Some(pair) = pairs.first() else {
         println!("no screened pair found; rerun with another seed");
         return Ok(());
     };
-    let instance = FriendingInstance::new(
-        &csr,
-        NodeId::new(pair.s as usize),
-        NodeId::new(pair.t as usize),
-    )?;
+    let instance =
+        FriendingInstance::new(&csr, NodeId::new(pair.s as usize), NodeId::new(pair.t as usize))?;
     println!("pair s={} t={}, p_max ≈ {:.4}\n", pair.s, pair.t, pair.pmax_estimate);
 
     // Sweep the invitation budget and watch f(I) climb toward p_max.
@@ -36,8 +34,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let cfg = MaxFriendingConfig { budget, realizations: 40_000, seed: 4, threads: 1 };
         let result = MaxFriending::new(cfg).run(&instance);
         // Cross-check the in-pool estimate with an independent sample.
-        let f_indep =
-            evaluate(&instance, &result.invitations, 30_000, &mut rng).probability;
+        let f_indep = evaluate(&instance, &result.invitations, 30_000, &mut rng).probability;
         println!(
             "{:>8} {:>10} {:>12.4} {:>12.3}",
             budget,

@@ -8,14 +8,13 @@
 //! ```
 
 use active_friending::prelude::*;
-use rand::SeedableRng;
 use raf_graph::generators::barabasi_albert;
+use rand::SeedableRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A 2 000-user scale-free network (preferential attachment).
     let mut gen_rng = rand::rngs::StdRng::seed_from_u64(20);
-    let graph = barabasi_albert(2_000, 3, &mut gen_rng)?
-        .build(WeightScheme::UniformByDegree)?;
+    let graph = barabasi_albert(2_000, 3, &mut gen_rng)?.build(WeightScheme::UniformByDegree)?;
     let csr = graph.to_csr();
     let metrics = GraphMetrics::compute(&graph);
     println!("network: {metrics}");

@@ -22,12 +22,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Screened pairs, as in the paper's problem setting.
-    let pair_cfg = PairSamplerConfig {
-        pairs: 5,
-        screen_samples: 2_000,
-        seed: 3,
-        ..Default::default()
-    };
+    let pair_cfg =
+        PairSamplerConfig { pairs: 5, screen_samples: 2_000, seed: 3, ..Default::default() };
     let pairs = sample_pairs(&csr, &pair_cfg);
     println!("sampled {} pairs with p_max ≥ {}", pairs.len(), pair_cfg.pmax_threshold);
 
@@ -41,9 +37,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let s = NodeId::new(pair.s as usize);
         let t = NodeId::new(pair.t as usize);
         let instance = FriendingInstance::new(&csr, s, t)?;
-        let config = RafConfig::with_alpha(0.3)
-            .seed(pair.s as u64)
-            .budget(RealizationBudget::Fixed(30_000));
+        let config =
+            RafConfig::with_alpha(0.3).seed(pair.s as u64).budget(RealizationBudget::Fixed(30_000));
         let result = match RafAlgorithm::new(config).run(&instance) {
             Ok(r) => r,
             Err(CoreError::TargetUnreachable { .. }) => continue,

@@ -17,25 +17,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("graph: {} nodes / {} edges", csr.node_count(), csr.edge_count());
 
     // One screened pair.
-    let pair_cfg = PairSamplerConfig { pairs: 1, screen_samples: 3_000, seed: 1, ..Default::default() };
+    let pair_cfg =
+        PairSamplerConfig { pairs: 1, screen_samples: 3_000, seed: 1, ..Default::default() };
     let pairs = sample_pairs(&csr, &pair_cfg);
     let Some(pair) = pairs.first() else {
         println!("no screened pair found; rerun with another seed");
         return Ok(());
     };
-    let instance = FriendingInstance::new(
-        &csr,
-        NodeId::new(pair.s as usize),
-        NodeId::new(pair.t as usize),
-    )?;
+    let instance =
+        FriendingInstance::new(&csr, NodeId::new(pair.s as usize), NodeId::new(pair.t as usize))?;
     println!("pair s={} t={} with p_max ≈ {:.4}", pair.s, pair.t, pair.pmax_estimate);
 
     let mut rng = rand::rngs::StdRng::seed_from_u64(9);
     println!("{:>12} {:>8} {:>10} {:>12}", "realizations", "|I|", "f(I)", "f(I)/pmax");
     for l in [500u64, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000] {
-        let config = RafConfig::with_alpha(0.3)
-            .seed(31)
-            .budget(RealizationBudget::Fixed(l));
+        let config = RafConfig::with_alpha(0.3).seed(31).budget(RealizationBudget::Fixed(l));
         match RafAlgorithm::new(config).run(&instance) {
             Ok(result) => {
                 let f = evaluate(&instance, &result.invitations, 30_000, &mut rng).probability;

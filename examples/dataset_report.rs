@@ -11,10 +11,7 @@ use active_friending::prelude::*;
 use raf_datasets::synthetic::calibration_error;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let scale: f64 = std::env::var("AF_SCALE")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(0.02);
+    let scale: f64 = std::env::var("AF_SCALE").ok().and_then(|v| v.parse().ok()).unwrap_or(0.02);
     println!("scale = {scale} (of Table I sizes)\n");
     println!(
         "{:>8} {:>10} {:>10} {:>10} {:>10} {:>8} {:>8}",

@@ -121,8 +121,7 @@ fn cmd_run(args: &CliArgs) -> Result<(), Box<dyn std::error::Error>> {
         result.parameters.beta,
         result.pmax_estimate,
     );
-    let ids: Vec<String> =
-        result.invitations.iter().map(|v| v.index().to_string()).collect();
+    let ids: Vec<String> = result.invitations.iter().map(|v| v.index().to_string()).collect();
     println!("{}", ids.join(" "));
     Ok(())
 }
@@ -142,8 +141,7 @@ fn cmd_max(args: &CliArgs) -> Result<(), Box<dyn std::error::Error>> {
         result.invitations.len(),
         result.estimated_probability
     );
-    let ids: Vec<String> =
-        result.invitations.iter().map(|v| v.index().to_string()).collect();
+    let ids: Vec<String> = result.invitations.iter().map(|v| v.index().to_string()).collect();
     println!("{}", ids.join(" "));
     Ok(())
 }

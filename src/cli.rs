@@ -81,9 +81,8 @@ impl CliArgs {
             let Some(name) = token.strip_prefix("--") else {
                 return Err(CliError::UnexpectedToken { token });
             };
-            let value = iter
-                .next()
-                .ok_or_else(|| CliError::MissingValue { flag: name.to_string() })?;
+            let value =
+                iter.next().ok_or_else(|| CliError::MissingValue { flag: name.to_string() })?;
             flags.insert(name.to_string(), value);
         }
         Ok(CliArgs { command, flags })
@@ -125,10 +124,8 @@ impl CliArgs {
     /// [`CliError::MissingFlag`] or [`CliError::InvalidValue`].
     pub fn require_typed<T: std::str::FromStr>(&self, flag: &str) -> Result<T, CliError> {
         let raw = self.require(flag)?;
-        raw.parse().map_err(|_| CliError::InvalidValue {
-            flag: flag.to_string(),
-            value: raw.to_string(),
-        })
+        raw.parse()
+            .map_err(|_| CliError::InvalidValue { flag: flag.to_string(), value: raw.to_string() })
     }
 }
 
@@ -138,8 +135,7 @@ mod tests {
 
     #[test]
     fn parses_command_and_flags() {
-        let args =
-            CliArgs::parse(["run", "--graph", "g.txt", "--alpha", "0.3"]).unwrap();
+        let args = CliArgs::parse(["run", "--graph", "g.txt", "--alpha", "0.3"]).unwrap();
         assert_eq!(args.command, "run");
         assert_eq!(args.get("graph"), Some("g.txt"));
         assert_eq!(args.get_or("alpha", 0.0).unwrap(), 0.3);
@@ -149,10 +145,7 @@ mod tests {
     #[test]
     fn rejects_missing_command() {
         assert_eq!(CliArgs::parse(Vec::<String>::new()), Err(CliError::MissingCommand));
-        assert_eq!(
-            CliArgs::parse(["--flag", "v"]),
-            Err(CliError::MissingCommand)
-        );
+        assert_eq!(CliArgs::parse(["--flag", "v"]), Err(CliError::MissingCommand));
     }
 
     #[test]
@@ -165,10 +158,7 @@ mod tests {
 
     #[test]
     fn rejects_positional_after_command() {
-        assert!(matches!(
-            CliArgs::parse(["run", "stray"]),
-            Err(CliError::UnexpectedToken { .. })
-        ));
+        assert!(matches!(CliArgs::parse(["run", "stray"]), Err(CliError::UnexpectedToken { .. })));
     }
 
     #[test]
@@ -177,10 +167,7 @@ mod tests {
         assert_eq!(args.require_typed::<usize>("s").unwrap(), 1);
         assert!(matches!(args.require("t"), Err(CliError::MissingFlag { .. })));
         let bad = CliArgs::parse(["vmax", "--s", "xyz"]).unwrap();
-        assert!(matches!(
-            bad.require_typed::<usize>("s"),
-            Err(CliError::InvalidValue { .. })
-        ));
+        assert!(matches!(bad.require_typed::<usize>("s"), Err(CliError::InvalidValue { .. })));
     }
 
     #[test]

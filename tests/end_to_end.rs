@@ -39,9 +39,7 @@ fn theorem1_quality_guarantee() {
     let mut rng = rand::rngs::StdRng::seed_from_u64(2);
     let pmax = estimate_pmax_fixed(&inst, 80_000, &mut rng).pmax;
     for &alpha in &[0.2, 0.5, 0.8] {
-        let cfg = RafConfig::with_alpha(alpha)
-            .seed(42)
-            .budget(RealizationBudget::Fixed(40_000));
+        let cfg = RafConfig::with_alpha(alpha).seed(42).budget(RealizationBudget::Fixed(40_000));
         let result = RafAlgorithm::new(cfg).run(&inst).unwrap();
         let f = evaluate(&inst, &result.invitations, 80_000, &mut rng).probability;
         assert!(
@@ -82,8 +80,7 @@ fn breakpoint_on_disjoint_routes() {
     let f_a = evaluate(&inst, &route_a, samples, &mut rng).probability;
     assert!((f_a - 0.25).abs() < 0.01, "f(route A) = {f_a}");
     // Adding HALF of route B (node 6 only) changes nothing.
-    let partial_b =
-        InvitationSet::from_nodes(7, [NodeId::new(1), NodeId::new(3), NodeId::new(6)]);
+    let partial_b = InvitationSet::from_nodes(7, [NodeId::new(1), NodeId::new(3), NodeId::new(6)]);
     let f_partial = evaluate(&inst, &partial_b, samples, &mut rng).probability;
     assert!((f_partial - f_a).abs() < 0.01, "partial route changed f: {f_a} → {f_partial}");
     // Completing route B jumps by 1/2 · 1/2 · 1/2 = 1/8.
@@ -129,8 +126,7 @@ fn result_records_serializable() {
 /// set, across datasets stand-ins too.
 #[test]
 fn pipeline_determinism_on_dataset_standin() {
-    let loaded =
-        load_dataset(Dataset::Wiki, 0.02, 13, std::path::Path::new("data")).unwrap();
+    let loaded = load_dataset(Dataset::Wiki, 0.02, 13, std::path::Path::new("data")).unwrap();
     let csr = loaded.graph.to_csr();
     let pairs = sample_pairs(
         &csr,
@@ -138,9 +134,12 @@ fn pipeline_determinism_on_dataset_standin() {
     );
     assert!(!pairs.is_empty());
     for pair in &pairs {
-        let inst =
-            FriendingInstance::new(&csr, NodeId::new(pair.s as usize), NodeId::new(pair.t as usize))
-                .unwrap();
+        let inst = FriendingInstance::new(
+            &csr,
+            NodeId::new(pair.s as usize),
+            NodeId::new(pair.t as usize),
+        )
+        .unwrap();
         let cfg = RafConfig::with_alpha(0.3).seed(21).budget(RealizationBudget::Fixed(10_000));
         let a = RafAlgorithm::new(cfg.clone()).run(&inst).unwrap();
         let b = RafAlgorithm::new(cfg).run(&inst).unwrap();
@@ -161,10 +160,7 @@ fn alpha_one_vmax_achieves_pmax() {
         .to_csr();
     // Find a valid (s, t) pair.
     let s = NodeId::new(0);
-    let t = (1..300)
-        .map(NodeId::new)
-        .find(|&v| !g.has_edge(s, v))
-        .unwrap();
+    let t = (1..300).map(NodeId::new).find(|&v| !g.has_edge(s, v)).unwrap();
     let inst = FriendingInstance::new(&g, s, t).unwrap();
     let vm = vmax_exact(&inst);
     let mut rng = rand::rngs::StdRng::seed_from_u64(9);

@@ -18,11 +18,8 @@ fn all_realizations(g: &CsrGraph) -> Vec<(Realization, f64)> {
     // Options per node: Some(neighbor) with weight w, or None with 1 - Σw.
     let mut options: Vec<Vec<(Option<NodeId>, f64)>> = Vec::with_capacity(n);
     for v in g.nodes() {
-        let mut opts: Vec<(Option<NodeId>, f64)> = g
-            .neighbors(v)
-            .iter()
-            .map(|&u| (Some(u), g.in_weight(u, v).unwrap()))
-            .collect();
+        let mut opts: Vec<(Option<NodeId>, f64)> =
+            g.neighbors(v).iter().map(|&u| (Some(u), g.in_weight(u, v).unwrap())).collect();
         let total: f64 = opts.iter().map(|(_, w)| w).sum();
         if total < 1.0 - 1e-12 {
             opts.push((None, 1.0 - total));
@@ -85,10 +82,8 @@ fn brute_force_minimum(
     assert!(n <= 16, "brute force limited to tiny graphs");
     let mut best: Option<InvitationSet> = None;
     for mask in 0u32..(1 << n) {
-        let inv = InvitationSet::from_nodes(
-            n,
-            (0..n).filter(|i| mask & (1 << i) != 0).map(NodeId::new),
-        );
+        let inv =
+            InvitationSet::from_nodes(n, (0..n).filter(|i| mask & (1 << i) != 0).map(NodeId::new));
         if let Some(b) = &best {
             if inv.len() >= b.len() {
                 continue;
@@ -157,9 +152,7 @@ fn raf_matches_brute_force_quality() {
         let epsilon = 0.01;
         let optimum = brute_force_minimum(&inst, &reals, alpha * pmax_exact)
             .expect("feasible: full set achieves pmax");
-        let cfg = RafConfig::with_alpha(alpha)
-            .seed(11)
-            .budget(RealizationBudget::Fixed(40_000));
+        let cfg = RafConfig::with_alpha(alpha).seed(11).budget(RealizationBudget::Fixed(40_000));
         let raf = RafAlgorithm::new(cfg).run(&inst).unwrap();
         let f_raf = f_exact(&inst, &reals, &raf.invitations);
         // Quality: the Theorem 1 guarantee against EXACT f.

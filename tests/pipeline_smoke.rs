@@ -1,0 +1,109 @@
+//! Workspace-level smoke test: one deterministic pass through the whole
+//! Alg. 4 pipeline — parameter solving → `p*_max` estimation →
+//! realization sampling → cover solving → invitation set — asserting the
+//! stage-by-stage invariants and the Theorem 1 guarantee
+//! `f(I*) ≥ (α − ε) · p_max` at the end.
+//!
+//! Everything runs under explicit fixed seeds; this test must produce
+//! byte-identical intermediate quantities on every run and platform.
+
+use active_friending::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const ALPHA: f64 = 0.5;
+const EPSILON: f64 = 0.01;
+const SEED: u64 = 20_260_730;
+
+/// Fixture: three disjoint routes between s = 0 and t = 1 with interior
+/// lengths 1, 2, and 3 — small enough for tight Monte-Carlo estimates,
+/// rich enough that the cover solver has real choices to make.
+fn fixture() -> CsrGraph {
+    raf_graph::generators::parallel_paths(&[1, 2, 3])
+        .unwrap()
+        .build(WeightScheme::UniformByDegree)
+        .unwrap()
+        .to_csr()
+}
+
+#[test]
+fn full_pipeline_meets_theorem1_guarantee() {
+    let graph = fixture();
+    let instance = FriendingInstance::new(&graph, NodeId::new(0), NodeId::new(1)).unwrap();
+
+    // Stage 1 — Equation System 1: the slack split must be consistent.
+    let params = ParameterSet::solve(ALPHA, EPSILON, graph.node_count()).unwrap();
+    assert!(params.eps0 > 0.0 && params.eps1 > 0.0 && params.beta > 0.0);
+    assert!(params.beta <= 1.0, "covering fraction beta must be a fraction, got {}", params.beta);
+
+    // Reference p_max for the final guarantee, estimated independently of
+    // the pipeline's own p*_max stage.
+    let mut eval_rng = StdRng::seed_from_u64(SEED ^ 0xA5A5_A5A5);
+    let pmax_ref = estimate_pmax_fixed(&instance, 120_000, &mut eval_rng).pmax;
+    assert!(pmax_ref > 0.05, "fixture must be non-degenerate, pmax {pmax_ref}");
+
+    // Stages 2-5 — the RAF pipeline itself.
+    let config = RafConfig::with_alpha(ALPHA).seed(SEED).budget(RealizationBudget::Fixed(60_000));
+    let result = RafAlgorithm::new(config).run(&instance).unwrap();
+
+    // Stage 2 — p*_max estimate (Alg. 2) must be close to the reference.
+    assert!(result.pmax_samples > 0);
+    assert!(
+        (result.pmax_estimate - pmax_ref).abs() < 0.05,
+        "p*_max {} vs reference {pmax_ref}",
+        result.pmax_estimate
+    );
+
+    // Stage 3 — realization pool: type-1 rate again re-estimates p_max.
+    assert_eq!(result.realizations_used, 60_000);
+    assert!(result.type1_count > 0);
+    let pool_rate = result.type1_count as f64 / result.realizations_used as f64;
+    assert!(
+        (pool_rate - pmax_ref).abs() < 0.05,
+        "pool type-1 rate {pool_rate} vs reference {pmax_ref}"
+    );
+
+    // Stage 4 — cover solve: the requirement p = ceil(beta * |B1_l|) must
+    // be met by the returned set.
+    let expected_p = (result.parameters.beta * result.type1_count as f64).ceil() as usize;
+    assert_eq!(result.cover_p, expected_p);
+    assert!(
+        result.covered >= result.cover_p,
+        "cover solver returned infeasible solution: {} < {}",
+        result.covered,
+        result.cover_p
+    );
+
+    // Stage 5 — invitation set sanity: t is always invited, s never is,
+    // and the set cannot beat the unique minimum set achieving p_max.
+    assert!(result.invitations.contains(NodeId::new(1)));
+    assert!(!result.invitations.contains(NodeId::new(0)));
+    let vmax = vmax_exact(&instance);
+    assert!(result.invitation_size() <= vmax.len());
+
+    // Theorem 1: f(I*) >= (alpha - eps) * p_max, within Monte-Carlo
+    // tolerance of the two independent estimates.
+    let f_star = evaluate(&instance, &result.invitations, 120_000, &mut eval_rng).probability;
+    let bound = (ALPHA - EPSILON) * pmax_ref;
+    assert!(
+        f_star >= bound - 0.02,
+        "Theorem 1 violated: f(I*) = {f_star} < (alpha - eps) * p_max = {bound}"
+    );
+}
+
+#[test]
+fn pipeline_is_deterministic_for_fixed_seed() {
+    let graph = fixture();
+    let instance = FriendingInstance::new(&graph, NodeId::new(0), NodeId::new(1)).unwrap();
+    let run = |seed: u64| {
+        let config =
+            RafConfig::with_alpha(ALPHA).seed(seed).budget(RealizationBudget::Fixed(20_000));
+        RafAlgorithm::new(config).run(&instance).unwrap()
+    };
+    let a = run(SEED);
+    let b = run(SEED);
+    assert_eq!(a.pmax_estimate, b.pmax_estimate);
+    assert_eq!(a.type1_count, b.type1_count);
+    assert_eq!(a.cover_p, b.cover_p);
+    assert_eq!(a.invitations, b.invitations);
+}

@@ -1,0 +1,154 @@
+//! Offline stand-in for [`criterion`](https://crates.io/crates/criterion).
+//!
+//! The build environment has no network access, so this crate keeps the
+//! workspace's `benches/` targets compiling and runnable. It mirrors the
+//! API surface those benches use — [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_function`], [`Bencher::iter`],
+//! [`BenchmarkId`], [`criterion_group!`], [`criterion_main!`] — but the
+//! measurement model is minimal: each benchmark runs `sample_size`
+//! iterations (default 10, after one warm-up) and prints the mean
+//! wall-clock time per iteration. There are no statistics, baselines, or
+//! HTML reports.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier of a benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name plus a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// An id made of a parameter value only.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    elapsed: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Runs `routine` once as warm-up and then `samples` measured times.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+        self.iterations += self.samples as u64;
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many measured iterations each benchmark runs.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher =
+            Bencher { samples: self.sample_size, elapsed: Duration::ZERO, iterations: 0 };
+        f(&mut bencher);
+        report(&format!("{}/{}", self.name, id.id), &bencher);
+        self
+    }
+
+    /// Ends the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), sample_size: 10, _criterion: self }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher { samples: 10, elapsed: Duration::ZERO, iterations: 0 };
+        f(&mut bencher);
+        report(&id.id, &bencher);
+        self
+    }
+}
+
+fn report(name: &str, bencher: &Bencher) {
+    if bencher.iterations == 0 {
+        println!("{name:<60} (no measurements)");
+        return;
+    }
+    let per_iter = bencher.elapsed / bencher.iterations as u32;
+    println!("{name:<60} {per_iter:>12.2?}/iter ({} iters)", bencher.iterations);
+}
+
+/// Declares a group function running the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,158 @@
+//! Offline stand-in for [`proptest`](https://crates.io/crates/proptest).
+//!
+//! The build environment has no network access, so this crate implements
+//! the subset of proptest's surface syntax the workspace's property tests
+//! use — [`proptest!`], [`prop_compose!`], the `prop_assert*` macros,
+//! range / tuple / [`Just`](strategy::Just) / [`collection::vec`]
+//! strategies, and [`ProptestConfig`](test_runner::ProptestConfig) — on
+//! top of a deliberately simple engine:
+//!
+//! * **Deterministic**: every test derives its RNG seed from the test
+//!   function's name (FNV-1a), optionally XOR-ed with `PROPTEST_SEED`
+//!   from the environment. `cargo test` is reproducible run to run, on
+//!   every platform.
+//! * **No shrinking**: a failing case panics with the generated inputs
+//!   visible in the assertion message rather than minimizing them. For
+//!   the instance sizes used in this workspace (tens of nodes) raw
+//!   counterexamples are already readable.
+//! * **No persistence**: there is no `proptest-regressions` directory;
+//!   determinism makes it unnecessary.
+//!
+//! The macros expand to plain `#[test]` functions, so `cargo test -q`
+//! treats each property as one test that internally loops over
+//! `config.cases` sampled inputs (default 64).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+/// Defines property tests.
+///
+/// Supported forms (mirroring real proptest):
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(40))]
+///
+///     /// docs and attributes are preserved
+///     #[test]
+///     fn property(x in 0usize..10, (a, b) in some_strategy()) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`]; expands each property to a
+/// `#[test]` function looping over sampled inputs.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng =
+                    $crate::test_runner::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
+                for __case in 0..config.cases {
+                    let _ = __case;
+                    $(let $pat = $crate::strategy::Strategy::sample(&($strat), &mut rng);)*
+                    // Mirror real proptest: the body runs in a closure
+                    // returning Result, so `return Ok(())` rejects a case
+                    // early (e.g. a degenerate random instance).
+                    let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $body
+                            #[allow(unreachable_code)]
+                            Ok(())
+                        })();
+                    if let ::std::result::Result::Err(err) = __outcome {
+                        panic!("property {} failed: {}", stringify!($name), err);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Defines a named strategy as a function, mirroring proptest's
+/// `prop_compose!`.
+///
+/// Both the one-stage and the two-stage (dependent) forms are supported:
+///
+/// ```ignore
+/// prop_compose! {
+///     fn edge_lists()(max_node in 2usize..40)
+///         (edges in proptest::collection::vec((0..max_node, 0..max_node), 0..120),
+///          max_node in Just(max_node))
+///         -> (usize, Vec<(usize, usize)>) {
+///         (max_node, edges)
+///     }
+/// }
+/// ```
+///
+/// In the two-stage form the second group's strategy expressions may
+/// reference the values bound by the first group.
+#[macro_export]
+macro_rules! prop_compose {
+    ($(#[$meta:meta])* $vis:vis fn $name:ident($($argname:ident: $argty:ty),* $(,)?)
+        ($($p1:pat in $s1:expr),* $(,)?)
+        ($($p2:pat in $s2:expr),* $(,)?)
+        -> $ret:ty $body:block
+    ) => {
+        $(#[$meta])*
+        $vis fn $name($($argname: $argty),*) -> impl $crate::strategy::Strategy<Value = $ret> {
+            $crate::strategy::sample_with(move |__rng: &mut $crate::test_runner::TestRng| {
+                $(let $p1 = $crate::strategy::Strategy::sample(&($s1), __rng);)*
+                $(let $p2 = $crate::strategy::Strategy::sample(&($s2), __rng);)*
+                $body
+            })
+        }
+    };
+    ($(#[$meta:meta])* $vis:vis fn $name:ident($($argname:ident: $argty:ty),* $(,)?)
+        ($($p1:pat in $s1:expr),* $(,)?)
+        -> $ret:ty $body:block
+    ) => {
+        $(#[$meta])*
+        $vis fn $name($($argname: $argty),*) -> impl $crate::strategy::Strategy<Value = $ret> {
+            $crate::strategy::sample_with(move |__rng: &mut $crate::test_runner::TestRng| {
+                $(let $p1 = $crate::strategy::Strategy::sample(&($s1), __rng);)*
+                $body
+            })
+        }
+    };
+}
+
+/// Asserts a condition inside a property; equivalent to `assert!` in this
+/// shrink-free implementation.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property; equivalent to `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property; equivalent to `assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}

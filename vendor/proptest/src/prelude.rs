@@ -1,0 +1,9 @@
+//! One-stop prelude, mirroring `proptest::prelude`.
+
+pub use crate::strategy::{Just, Strategy};
+pub use crate::test_runner::{ProptestConfig, TestRng};
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_compose, proptest};
+
+/// Alias of the `proptest` crate itself, matching real proptest's
+/// `prelude::prop` re-export.
+pub use crate as prop;

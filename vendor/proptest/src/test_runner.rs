@@ -1,0 +1,73 @@
+//! Test configuration and the deterministic test RNG.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Per-property configuration, mirroring `proptest::test_runner::ProptestConfig`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of sampled inputs each property is checked against.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` sampled inputs per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// 64 cases — smaller than upstream proptest's 256 to keep
+    /// `cargo test` fast; expensive properties in this workspace override
+    /// it downwards explicitly, and `PROPTEST_CASES` overrides it from
+    /// the environment.
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(64);
+        ProptestConfig { cases }
+    }
+}
+
+/// Error type carried by a property body's `Result`, mirroring
+/// `proptest::test_runner::TestCaseError` far enough for `return Ok(())`
+/// early bails and explicit `Err(...)` rejections to compile.
+#[derive(Clone, Debug)]
+pub struct TestCaseError(pub String);
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// The RNG handed to strategies.
+///
+/// Seeded deterministically from the fully qualified test name, so every
+/// `cargo test` run generates identical inputs. Set `PROPTEST_SEED` to a
+/// `u64` to explore a different deterministic stream.
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// Builds the RNG for the named test.
+    pub fn deterministic(test_name: &str) -> Self {
+        let env_seed: u64 =
+            std::env::var("PROPTEST_SEED").ok().and_then(|v| v.parse().ok()).unwrap_or(0);
+        TestRng { inner: StdRng::seed_from_u64(fnv1a(test_name) ^ env_seed) }
+    }
+
+    /// Access to the underlying generator.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.inner
+    }
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        hash ^= *b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}

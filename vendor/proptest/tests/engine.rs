@@ -1,0 +1,80 @@
+//! Self-tests for the vendored mini-proptest engine: the macros must
+//! actually loop, sample varied values, and be deterministic.
+
+use proptest::prelude::*;
+use proptest::strategy::Strategy;
+use proptest::test_runner::TestRng;
+use std::cell::Cell;
+
+thread_local! {
+    static CASES_SEEN: Cell<u32> = const { Cell::new(0) };
+    static DISTINCT_ACC: Cell<u64> = const { Cell::new(0) };
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(50))]
+
+    #[test]
+    fn runs_every_case(x in 0u64..1_000_000) {
+        CASES_SEEN.with(|c| c.set(c.get() + 1));
+        DISTINCT_ACC.with(|a| a.set(a.get() ^ x.wrapping_mul(0x9e37_79b9)));
+        prop_assert!(x < 1_000_000);
+    }
+}
+
+#[test]
+fn case_loop_and_variety() {
+    runs_every_case();
+    assert_eq!(CASES_SEEN.with(|c| c.get()), 50, "property must run once per case");
+    assert_ne!(DISTINCT_ACC.with(|a| a.get()), 0, "sampled values must vary across cases");
+}
+
+prop_compose! {
+    /// Dependent two-stage composition: a length, then that many values.
+    fn sized_vecs()(len in 1usize..8)
+        (values in proptest::collection::vec(0u32..100, 1..9), len in Just(len))
+        -> (usize, Vec<u32>) {
+        (len, values)
+    }
+}
+
+#[test]
+fn compose_and_collections_sample() {
+    let strat = sized_vecs();
+    let mut rng = TestRng::deterministic("compose_and_collections_sample");
+    for _ in 0..100 {
+        let (len, values) = strat.sample(&mut rng);
+        assert!((1..8).contains(&len));
+        assert!(!values.is_empty() && values.len() < 9);
+        assert!(values.iter().all(|&v| v < 100));
+    }
+}
+
+#[test]
+fn same_test_name_means_same_stream() {
+    let mut a = TestRng::deterministic("stream-check");
+    let mut b = TestRng::deterministic("stream-check");
+    let strat = 0u64..u64::MAX;
+    for _ in 0..64 {
+        assert_eq!(strat.sample(&mut a), strat.sample(&mut b));
+    }
+}
+
+#[test]
+fn different_test_names_mean_different_streams() {
+    let mut a = TestRng::deterministic("stream-a");
+    let mut b = TestRng::deterministic("stream-b");
+    let strat = 0u64..u64::MAX;
+    let same = (0..64).filter(|_| strat.sample(&mut a) == strat.sample(&mut b)).count();
+    assert!(same < 4, "independent streams should almost never collide");
+}
+
+proptest! {
+    #[test]
+    fn early_ok_return_bails_case(x in 0u32..10) {
+        if x < 10 {
+            return Ok(());
+        }
+        prop_assert!(false, "unreachable: every case bails above");
+    }
+}

@@ -1,0 +1,40 @@
+//! Named generators, mirroring `rand::rngs`.
+
+use crate::xoshiro::Xoshiro256PlusPlus;
+use crate::{RngCore, SeedableRng};
+
+/// The workspace's standard deterministic generator.
+///
+/// Upstream `rand` backs `StdRng` with ChaCha12; this vendored stand-in
+/// uses xoshiro256++, which is more than adequate for simulation and has
+/// a trivially portable implementation. Streams are deterministic per
+/// seed but do **not** match upstream `rand`.
+#[derive(Clone, Debug)]
+pub struct StdRng {
+    inner: Xoshiro256PlusPlus,
+}
+
+impl RngCore for StdRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut s = [0u64; 4];
+        for (i, word) in s.iter_mut().enumerate() {
+            let mut bytes = [0u8; 8];
+            bytes.copy_from_slice(&seed[i * 8..(i + 1) * 8]);
+            *word = u64::from_le_bytes(bytes);
+        }
+        StdRng { inner: Xoshiro256PlusPlus::from_state(s) }
+    }
+}
+
+/// Alias of [`StdRng`]; upstream's `SmallRng` is also a small xoshiro
+/// variant, so the distinction collapses in this vendored build.
+pub type SmallRng = StdRng;

@@ -1,0 +1,39 @@
+//! Offline stand-in for [`serde`](https://crates.io/crates/serde).
+//!
+//! The build environment has no network access, so this crate keeps the
+//! workspace's `#[derive(Serialize, Deserialize)]` annotations compiling
+//! without pulling real serde:
+//!
+//! * [`Serialize`] / [`Deserialize`] are marker traits with blanket
+//!   impls, so any `T: Serialize` bound is satisfied;
+//! * the derive macros (re-exported from the vendored `serde_derive`)
+//!   accept the full attribute syntax, including `#[serde(...)]` helper
+//!   attributes, and expand to nothing.
+//!
+//! No serialization is ever performed. Swapping in real serde later is a
+//! one-line Cargo change; the annotations in the workspace are already
+//! upstream-compatible.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all
+/// types, since nothing in this workspace serializes through serde.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all
+/// types.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub mod de {
+    /// Blanket alias for types deserializable without borrowing.
+    pub trait DeserializeOwned {}
+    impl<T: ?Sized> DeserializeOwned for T {}
+}

@@ -1,0 +1,25 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace's types carry `#[derive(Serialize, Deserialize)]` and
+//! `#[serde(...)]` attributes so they are ready for real serde once the
+//! build environment can fetch crates.io dependencies. Until then these
+//! derives only need to *compile*; nothing in the workspace exercises the
+//! serde data model (the vendored `serde` crate provides blanket trait
+//! impls, so bounds like `T: Serialize` still hold). Each macro therefore
+//! validates nothing and expands to an empty token stream.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` (and `#[serde(...)]` helper attributes)
+/// and expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` (and `#[serde(...)]` helper
+/// attributes) and expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
