@@ -72,13 +72,8 @@ fn bench_cover_solvers(c: &mut Criterion) {
     let instance = screened_instance(&csr);
     let mut rng = rand::rngs::StdRng::seed_from_u64(9);
     let pool = sample_pool(&instance, 30_000, &mut rng);
-    let sets: Vec<Vec<u32>> = pool
-        .type1_paths
-        .iter()
-        .map(|tp| tp.nodes.iter().map(|v| v.index() as u32).collect())
-        .collect();
-    let m = sets.len().max(1);
-    let inst = CoverInstance::new(csr.node_count(), sets).unwrap();
+    let m = pool.type1_count().max(1);
+    let inst = CoverInstance::from_path_pool(csr.node_count(), pool).unwrap();
     let p = (m * 3 / 10).max(1);
     let mut group = c.benchmark_group("cover_solvers");
     group.bench_function("greedy", |b| b.iter(|| GreedyMarginal::new().solve(&inst, p).unwrap()));

@@ -1,0 +1,511 @@
+//! The legacy-vs-arena sampling+solve pipeline comparison.
+//!
+//! Shared by the `sampling` criterion bench and the `raf bench-json`
+//! subcommand, so both measure exactly the same two pipelines:
+//!
+//! * **legacy** — a faithful replica of the pre-arena realization pool:
+//!   every backward walk heap-allocates its own `Vec` of node ids, the
+//!   parallel sampler funnels results through a `Mutex` and
+//!   lexicographically sorts the whole pool, and the cover phase
+//!   re-copies every path into a fresh `Vec<Vec<u32>>` (one allocation
+//!   and one sort per path) before solving the duplicated family;
+//! * **arena** — the current pipeline: allocation-free sampling into the
+//!   flat [`PathPool`] arena, multiplicity dedup at assembly, and the
+//!   zero-copy [`CoverInstance::from_path_pool`] handoff into the
+//!   weighted portfolio solve.
+//!
+//! Both produce statistically identical pools (same seeds, same walk
+//! multiset) and equivalent cover solutions, so the wall-clock ratio is a
+//! pure data-structure comparison.
+
+use raf_cover::{ChlamtacPortfolio, CoverInstance, CoverSolution, MpuSolver};
+use raf_graph::{generators, CsrGraph, NodeId, WeightScheme};
+use raf_model::reverse::WalkOutcome;
+use raf_model::sampler::{sample_pool_parallel, PathPool};
+use raf_model::FriendingInstance;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Knobs of one pipeline comparison run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SamplingBenchConfig {
+    /// Nodes of the generated powerlaw-cluster graph.
+    pub nodes: usize,
+    /// Backward walks per pipeline run (`l`).
+    pub walks: u64,
+    /// Master RNG seed (graph generation, pair screening, sampling).
+    pub seed: u64,
+    /// Sampler threads (both pipelines use the same count).
+    pub threads: usize,
+    /// Timed repetitions per pipeline; the minimum is reported.
+    pub reps: usize,
+    /// Covering fraction `β` used to derive the cover requirement `p`.
+    pub beta: f64,
+}
+
+impl Default for SamplingBenchConfig {
+    fn default() -> Self {
+        SamplingBenchConfig {
+            nodes: 10_000,
+            walks: 200_000,
+            seed: 7,
+            threads: 1,
+            reps: 3,
+            beta: 0.3,
+        }
+    }
+}
+
+/// Measured outcome of one legacy-vs-arena comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SamplingBenchReport {
+    /// The configuration that produced this report.
+    pub config: SamplingBenchConfig,
+    /// Edges of the generated graph.
+    pub edges: usize,
+    /// The screened `(s, t)` pair.
+    pub pair: (usize, usize),
+    /// Type-1 walks in the pool (with multiplicity).
+    pub type1: usize,
+    /// Distinct type-1 paths after dedup.
+    pub unique_paths: usize,
+    /// The pool's `p_max` estimate.
+    pub pmax_estimate: f64,
+    /// Cover requirement `p = ceil(β · |B¹_l|)`.
+    pub cover_p: usize,
+    /// Legacy pipeline: best-of-reps sampling time (ns).
+    pub legacy_sample_ns: u128,
+    /// Legacy pipeline: best-of-reps cover-build + solve time (ns).
+    pub legacy_solve_ns: u128,
+    /// Arena pipeline: best-of-reps sampling time (ns).
+    pub arena_sample_ns: u128,
+    /// Arena pipeline: best-of-reps cover-build + solve time (ns).
+    pub arena_solve_ns: u128,
+    /// Union cost of the legacy solve.
+    pub legacy_cost: usize,
+    /// Union cost of the arena solve.
+    pub arena_cost: usize,
+}
+
+impl SamplingBenchReport {
+    /// End-to-end (sampling + solve) speedup of arena over legacy.
+    pub fn speedup(&self) -> f64 {
+        let legacy = (self.legacy_sample_ns + self.legacy_solve_ns) as f64;
+        let arena = (self.arena_sample_ns + self.arena_solve_ns) as f64;
+        if arena == 0.0 {
+            f64::INFINITY
+        } else {
+            legacy / arena
+        }
+    }
+
+    /// Dedup factor: sampled type-1 walks per distinct path.
+    pub fn dedup_factor(&self) -> f64 {
+        if self.unique_paths == 0 {
+            1.0
+        } else {
+            self.type1 as f64 / self.unique_paths as f64
+        }
+    }
+
+    /// Hand-rolled JSON rendering (the workspace's serde is an offline
+    /// no-op shim), stable field order, suitable for `BENCH_sampling.json`.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"benchmark\": \"sampling_pipeline\",\n  \"graph\": {{ \"kind\": \"powerlaw_cluster\", \"nodes\": {}, \"edges\": {}, \"s\": {}, \"t\": {} }},\n  \"config\": {{ \"walks\": {}, \"seed\": {}, \"threads\": {}, \"reps\": {}, \"beta\": {} }},\n  \"pool\": {{ \"type1\": {}, \"unique_paths\": {}, \"dedup_factor\": {:.3}, \"pmax_estimate\": {:.6}, \"cover_p\": {} }},\n  \"legacy_ns\": {{ \"sample\": {}, \"solve\": {}, \"total\": {} }},\n  \"arena_ns\": {{ \"sample\": {}, \"solve\": {}, \"total\": {} }},\n  \"cost\": {{ \"legacy\": {}, \"arena\": {} }},\n  \"speedup\": {:.3}\n}}\n",
+            self.config.nodes,
+            self.edges,
+            self.pair.0,
+            self.pair.1,
+            self.config.walks,
+            self.config.seed,
+            self.config.threads,
+            self.config.reps,
+            self.config.beta,
+            self.type1,
+            self.unique_paths,
+            self.dedup_factor(),
+            self.pmax_estimate,
+            self.cover_p,
+            self.legacy_sample_ns,
+            self.legacy_solve_ns,
+            self.legacy_sample_ns + self.legacy_solve_ns,
+            self.arena_sample_ns,
+            self.arena_solve_ns,
+            self.arena_sample_ns + self.arena_solve_ns,
+            self.legacy_cost,
+            self.arena_cost,
+            self.speedup(),
+        )
+    }
+}
+
+/// Builds the benchmark workload: a Holme–Kim powerlaw-cluster graph and
+/// a screened `(s, t)` pair. Screens a small batch per the paper's
+/// `p_max ≥ 0.01` protocol and keeps the highest-`p_max` pair — the
+/// representative hot workload (a well-connected target is where pools
+/// are type-1-rich and the cover phase does real work).
+pub fn workload(nodes: usize, seed: u64) -> (CsrGraph, NodeId, NodeId) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let csr = generators::powerlaw_cluster(nodes, 2, 0.3, &mut rng)
+        .expect("valid powerlaw-cluster parameters")
+        .build(WeightScheme::UniformByDegree)
+        .expect("generator emits a valid graph")
+        .to_csr();
+    let pairs = raf_datasets::sample_pairs(
+        &csr,
+        &raf_datasets::PairSamplerConfig {
+            pairs: 8,
+            screen_samples: 2_000,
+            seed,
+            ..Default::default()
+        },
+    );
+    let p = pairs
+        .iter()
+        .max_by(|a, b| a.pmax_estimate.total_cmp(&b.pmax_estimate))
+        .expect("screening found a feasible pair");
+    let (s, t) = (NodeId::new(p.s as usize), NodeId::new(p.t as usize));
+    (csr, s, t)
+}
+
+/// The pre-arena pool: every type-1 walk keeps its own `Vec` of node ids.
+pub struct LegacyPool {
+    /// The type-1 paths, one `Vec<NodeId>` each (duplicates included).
+    pub type1_paths: Vec<Vec<NodeId>>,
+    /// Walks sampled in total.
+    pub total_samples: u64,
+}
+
+/// Replica of the pre-arena `CsrGraph` storage: per-node metadata
+/// scattered across an offset table, a totals table, and a uniform-flag
+/// table (the layout this PR replaced with one packed record per node).
+///
+/// Selections are bit-identical to the packed graph on uniform-weight
+/// nodes (totals are copied verbatim and the uniform fast path divides
+/// the same values) — which covers every node of the bench workload's
+/// `UniformByDegree` scheme. On non-uniform nodes the cumulative table
+/// is *reconstructed* from rounded `in_weight` differences and may
+/// diverge from the original in the last ulps at bucket boundaries;
+/// don't rely on exact walk parity for non-uniform weight schemes.
+pub struct LegacyCsr {
+    offsets: Vec<usize>,
+    neighbors: Vec<NodeId>,
+    cum_weights: Vec<f64>,
+    totals: Vec<f64>,
+    uniform: Vec<bool>,
+}
+
+impl LegacyCsr {
+    /// Reconstructs the scattered pre-arena layout from a [`CsrGraph`].
+    pub fn from_csr(g: &CsrGraph) -> Self {
+        let n = g.node_count();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut neighbors = Vec::new();
+        let mut cum_weights = Vec::new();
+        let mut totals = Vec::with_capacity(n);
+        let mut uniform = Vec::with_capacity(n);
+        offsets.push(0);
+        for v in g.nodes() {
+            let ns = g.neighbors(v);
+            neighbors.extend_from_slice(ns);
+            let mut acc = 0.0;
+            let first = ns.first().map(|&u| g.in_weight(u, v).expect("edge weight"));
+            let mut is_uniform = true;
+            for &u in ns {
+                let w = g.in_weight(u, v).expect("edge weight");
+                acc += w;
+                cum_weights.push(acc);
+                if let Some(f) = first {
+                    if (w - f).abs() > 1e-15 {
+                        is_uniform = false;
+                    }
+                }
+            }
+            // Use the graph's own total (exact prefix-sum value) so the
+            // `r >= total` boundary matches bit for bit.
+            totals.push(g.total_in_weight(v));
+            uniform.push(is_uniform);
+            offsets.push(neighbors.len());
+        }
+        LegacyCsr { offsets, neighbors, cum_weights, totals, uniform }
+    }
+
+    /// Verbatim pre-arena `select_with`: scattered loads, unconditional
+    /// division on the uniform fast path.
+    #[inline]
+    fn select_with(&self, v: NodeId, r: f64) -> Option<NodeId> {
+        let i = v.index();
+        let total = self.totals[i];
+        if r >= total {
+            return None;
+        }
+        let base = self.offsets[i];
+        let d = self.offsets[i + 1] - base;
+        if self.uniform[i] {
+            let idx = ((r / total) * d as f64) as usize;
+            return Some(self.neighbors[base + idx.min(d - 1)]);
+        }
+        let slice = &self.cum_weights[base..base + d];
+        let idx = slice.partition_point(|&c| c <= r);
+        Some(self.neighbors[base + idx.min(d - 1)])
+    }
+}
+
+/// Verbatim replica of the pre-arena `sample_target_path` hot loop: the
+/// walk builds its own `vec![t, …]` (one allocation plus incremental
+/// regrowth per walk) over the scattered [`LegacyCsr`] layout — exactly
+/// the cost model the arena sampler removed. The RNG draw sequence and
+/// every selection are identical to [`raf_model::reverse::sample_walk_into`]
+/// on the packed graph, so both pipelines sample the same walk multiset
+/// for a fixed seed.
+fn legacy_sample_target_path<R: rand::Rng>(
+    instance: &FriendingInstance<'_>,
+    csr: &LegacyCsr,
+    rng: &mut R,
+) -> (Vec<NodeId>, WalkOutcome) {
+    let mut nodes = vec![instance.target()];
+    let mut overflow: Option<std::collections::HashSet<NodeId>> = None;
+    const SCAN_LIMIT: usize = 64;
+    let mut current = instance.target();
+    loop {
+        match csr.select_with(current, rng.gen::<f64>()) {
+            None => return (nodes, WalkOutcome::Dangling),
+            Some(next) => {
+                let revisited = match &overflow {
+                    Some(set) => set.contains(&next),
+                    None => nodes.contains(&next),
+                };
+                if revisited {
+                    return (nodes, WalkOutcome::Cycle);
+                }
+                if instance.is_seed(next) {
+                    return (nodes, WalkOutcome::ReachedSeed);
+                }
+                nodes.push(next);
+                if overflow.is_none() && nodes.len() > SCAN_LIMIT {
+                    overflow = Some(nodes.iter().copied().collect());
+                } else if let Some(set) = &mut overflow {
+                    set.insert(next);
+                }
+                current = next;
+            }
+        }
+    }
+}
+
+/// Replica of the pre-arena sampler: per-walk allocation, and — exactly
+/// as in the pre-arena code — `Mutex` aggregation plus a global
+/// lexicographic sort of the pool only on the multi-threaded path (the
+/// sequential fallback returned the pool unsorted).
+pub fn legacy_sample_pool(
+    instance: &FriendingInstance<'_>,
+    csr: &LegacyCsr,
+    l: u64,
+    master_seed: u64,
+    threads: usize,
+) -> LegacyPool {
+    let threads = threads.max(1);
+    let sample_share = |seed: u64, share: u64| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut local: Vec<Vec<NodeId>> = Vec::new();
+        for _ in 0..share {
+            let (nodes, outcome) = legacy_sample_target_path(instance, csr, &mut rng);
+            if outcome == WalkOutcome::ReachedSeed {
+                local.push(nodes);
+            }
+        }
+        local
+    };
+    let type1_paths = if threads == 1 || l < raf_model::sampler::PARALLEL_THRESHOLD {
+        sample_share(master_seed, l)
+    } else {
+        let collected: Mutex<Vec<Vec<NodeId>>> = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for i in 0..threads {
+                let share = l / threads as u64 + u64::from((l % threads as u64) > i as u64);
+                let collected = &collected;
+                let sample_share = &sample_share;
+                scope.spawn(move || {
+                    let local = sample_share(master_seed ^ legacy_splitmix64(i as u64 + 1), share);
+                    collected.lock().expect("legacy sampler mutex").extend(local);
+                });
+            }
+        });
+        let mut pool = collected.into_inner().expect("legacy sampler mutex");
+        // Deterministic order regardless of thread interleaving (the
+        // pre-arena code sorted only here, not on the sequential path).
+        pool.sort();
+        pool
+    };
+    LegacyPool { type1_paths, total_samples: l }
+}
+
+fn legacy_splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+/// Legacy cover phase: re-copy every path into a fresh per-set `Vec`
+/// (the pre-arena `NodeId` → `u32` conversion), normalize (sort) each,
+/// and solve the duplicated family.
+pub fn legacy_solve(universe: usize, pool: &LegacyPool, beta: f64) -> CoverSolution {
+    let sets: Vec<Vec<u32>> =
+        pool.type1_paths.iter().map(|tp| tp.iter().map(|v| v.index() as u32).collect()).collect();
+    let b1 = sets.len();
+    let cover = CoverInstance::new(universe, sets).expect("legacy sets in range");
+    let p = raf_cover::cover_requirement(beta, b1);
+    ChlamtacPortfolio::new().solve(&cover, p).expect("feasible legacy instance")
+}
+
+/// Arena sampling: the current `PathPool` pipeline.
+pub fn arena_sample_pool(
+    instance: &FriendingInstance<'_>,
+    l: u64,
+    master_seed: u64,
+    threads: usize,
+) -> PathPool {
+    sample_pool_parallel(instance, l, master_seed, threads)
+}
+
+/// Arena cover phase: zero-copy handoff and weighted portfolio solve.
+pub fn arena_solve(universe: usize, pool: PathPool, beta: f64) -> CoverSolution {
+    let b1 = pool.type1_count();
+    let cover = CoverInstance::from_path_pool(universe, pool).expect("pool ids in range");
+    let p = raf_cover::cover_requirement(beta, b1);
+    ChlamtacPortfolio::new().solve(&cover, p).expect("feasible arena instance")
+}
+
+/// Runs the full comparison: both pipelines `reps` times each on the same
+/// workload, reporting best-of-reps phase timings and solution costs.
+pub fn run_sampling_bench(config: SamplingBenchConfig) -> SamplingBenchReport {
+    let (csr, s, t) = workload(config.nodes, config.seed);
+    let instance = FriendingInstance::new(&csr, s, t).expect("screened pair is valid");
+    let n = csr.node_count();
+    let legacy_csr = LegacyCsr::from_csr(&csr);
+
+    let mut legacy_sample_ns = u128::MAX;
+    let mut legacy_solve_ns = u128::MAX;
+    let mut legacy_cost = 0usize;
+    for _ in 0..config.reps.max(1) {
+        let start = Instant::now();
+        let pool =
+            legacy_sample_pool(&instance, &legacy_csr, config.walks, config.seed, config.threads);
+        legacy_sample_ns = legacy_sample_ns.min(start.elapsed().as_nanos());
+        if pool.type1_paths.is_empty() {
+            panic!("degenerate workload: no type-1 walks; change the seed");
+        }
+        let start = Instant::now();
+        let sol = legacy_solve(n, &pool, config.beta);
+        legacy_solve_ns = legacy_solve_ns.min(start.elapsed().as_nanos());
+        legacy_cost = sol.cost();
+    }
+
+    let mut arena_sample_ns = u128::MAX;
+    let mut arena_solve_ns = u128::MAX;
+    let mut arena_cost = 0usize;
+    let mut type1 = 0usize;
+    let mut unique_paths = 0usize;
+    let mut pmax_estimate = 0.0f64;
+    let mut cover_p = 0usize;
+    for _ in 0..config.reps.max(1) {
+        let start = Instant::now();
+        let pool = arena_sample_pool(&instance, config.walks, config.seed, config.threads);
+        arena_sample_ns = arena_sample_ns.min(start.elapsed().as_nanos());
+        type1 = pool.type1_count();
+        unique_paths = pool.unique_count();
+        pmax_estimate = pool.pmax_estimate();
+        cover_p = raf_cover::cover_requirement(config.beta, type1);
+        let start = Instant::now();
+        let sol = arena_solve(n, pool, config.beta);
+        arena_solve_ns = arena_solve_ns.min(start.elapsed().as_nanos());
+        arena_cost = sol.cost();
+    }
+
+    SamplingBenchReport {
+        config,
+        edges: csr.edge_count(),
+        pair: (s.index(), t.index()),
+        type1,
+        unique_paths,
+        pmax_estimate,
+        cover_p,
+        legacy_sample_ns,
+        legacy_solve_ns,
+        arena_sample_ns,
+        arena_solve_ns,
+        legacy_cost,
+        arena_cost,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipelines_agree_on_pool_statistics() {
+        let cfg = SamplingBenchConfig {
+            nodes: 400,
+            walks: 20_000,
+            seed: 3,
+            threads: 1,
+            reps: 1,
+            beta: 0.3,
+        };
+        let (csr, s, t) = workload(cfg.nodes, cfg.seed);
+        let instance = FriendingInstance::new(&csr, s, t).unwrap();
+        let legacy_csr = LegacyCsr::from_csr(&csr);
+        let legacy = legacy_sample_pool(&instance, &legacy_csr, cfg.walks, cfg.seed, cfg.threads);
+        let arena = arena_sample_pool(&instance, cfg.walks, cfg.seed, cfg.threads);
+        // Same seeds ⇒ the exact same walk multiset.
+        assert_eq!(legacy.type1_paths.len(), arena.type1_count());
+        let total: usize = arena.iter().map(|(_, m)| m as usize).sum();
+        assert_eq!(total, arena.type1_count());
+        // Legacy-with-duplicates vs arena sorted-unique: sorting the
+        // legacy walks (the sequential legacy path is unsorted, as in the
+        // pre-arena code) and run-length encoding must equal the arena.
+        let mut as_u32: Vec<Vec<u32>> = legacy
+            .type1_paths
+            .iter()
+            .map(|tp| tp.iter().map(|v| v.index() as u32).collect())
+            .collect();
+        as_u32.sort();
+        let mut runs: Vec<(&[u32], usize)> = Vec::new();
+        for p in &as_u32 {
+            match runs.last_mut() {
+                Some((path, count)) if *path == p.as_slice() => *count += 1,
+                _ => runs.push((p.as_slice(), 1)),
+            }
+        }
+        assert_eq!(runs.len(), arena.unique_count());
+        for (i, (path, count)) in runs.iter().enumerate() {
+            assert_eq!(*path, arena.path(i));
+            assert_eq!(*count, arena.multiplicity(i) as usize);
+        }
+    }
+
+    #[test]
+    fn report_json_is_well_formed_enough() {
+        let cfg = SamplingBenchConfig {
+            nodes: 400,
+            walks: 8_000,
+            seed: 3,
+            threads: 1,
+            reps: 1,
+            beta: 0.3,
+        };
+        let report = run_sampling_bench(cfg);
+        assert!(report.type1 > 0);
+        assert!(report.unique_paths <= report.type1);
+        assert_eq!(report.legacy_cost, report.arena_cost, "pipelines disagree on solution cost");
+        let json = report.to_json();
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(json.contains("\"speedup\""));
+    }
+}

@@ -3,7 +3,7 @@
 
 use crate::baselines::Baseline;
 use raf_model::acceptance::{estimate_acceptance, AcceptanceEstimate};
-use raf_model::sampler::RealizationPool;
+use raf_model::sampler::PathPool;
 use raf_model::{FriendingInstance, InvitationSet};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -96,7 +96,7 @@ pub fn grow_until_match_pooled<B: Baseline + ?Sized>(
     instance: &FriendingInstance<'_>,
     baseline: &B,
     target_probability: f64,
-    pool: &RealizationPool,
+    pool: &PathPool,
     max_size: usize,
     linear_until: usize,
     growth: f64,

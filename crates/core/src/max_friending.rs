@@ -18,7 +18,7 @@
 //! * [`MaxFriending`] — the full pipeline: sample a pool, run the greedy,
 //!   return the invitation set and its in-pool coverage estimate.
 
-use raf_model::sampler::{sample_pool_parallel, RealizationPool};
+use raf_model::sampler::{sample_pool_parallel, PathPool};
 use raf_model::{FriendingInstance, InvitationSet};
 use serde::{Deserialize, Serialize};
 
@@ -66,7 +66,7 @@ pub struct MaxFriendingResult {
 /// every other sampled walk along that route is covered for free.
 pub fn greedy_max_coverage_paths(
     instance: &FriendingInstance<'_>,
-    pool: &RealizationPool,
+    pool: &PathPool,
     budget: usize,
 ) -> InvitationSet {
     let n = instance.node_count();
@@ -74,20 +74,15 @@ pub fn greedy_max_coverage_paths(
     if budget == 0 || pool.type1_count() == 0 {
         return chosen;
     }
-    // Deduplicate identical paths, tracking multiplicity: covering a path
-    // covers all its copies.
-    let mut multiplicity: std::collections::HashMap<&[raf_graph::NodeId], usize> =
-        std::collections::HashMap::new();
-    for tp in &pool.type1_paths {
-        *multiplicity.entry(tp.nodes.as_slice()).or_insert(0) += 1;
-    }
-    let mut remaining: Vec<(&[raf_graph::NodeId], usize)> = multiplicity.into_iter().collect();
-    // Deterministic order before the greedy (HashMap iteration is not).
-    remaining.sort_by(|a, b| a.0.cmp(b.0));
+    // The arena pool is already deduplicated with multiplicities and in
+    // canonical (lexicographic) order: covering a path covers all its
+    // sampled copies, and the greedy is deterministic without any
+    // re-sorting here.
+    let mut remaining: Vec<(&[u32], u32)> = pool.iter().collect();
     loop {
         let mut best: Option<(f64, usize, usize)> = None; // (density, cost, index)
         for (i, (path, mult)) in remaining.iter().enumerate() {
-            let cost = path.iter().filter(|&&v| !chosen.contains(v)).count();
+            let cost = path.iter().filter(|&&v| !chosen.contains_index(v as usize)).count();
             if chosen.len() + cost > budget {
                 continue;
             }
@@ -105,11 +100,11 @@ pub fn greedy_max_coverage_paths(
         let Some((_, _, idx)) = best else { break };
         let (path, _) = remaining.swap_remove(idx);
         for &v in path {
-            chosen.insert(v);
+            chosen.insert(raf_graph::NodeId::new(v as usize));
         }
         // Drop every path now fully covered (cost 0 next round would pick
         // them anyway; pruning keeps the loop linear-ish).
-        remaining.retain(|(p, _)| !p.iter().all(|&v| chosen.contains(v)));
+        remaining.retain(|(p, _)| !p.iter().all(|&v| chosen.contains_index(v as usize)));
         if remaining.is_empty() {
             break;
         }
@@ -141,7 +136,7 @@ impl MaxFriending {
         let covered = pool.covered_count(&invitations);
         MaxFriendingResult {
             estimated_probability: pool.coverage(&invitations),
-            realizations_used: pool.total_samples,
+            realizations_used: pool.total_samples(),
             type1_count: pool.type1_count(),
             covered,
             invitations,

@@ -6,7 +6,7 @@ use crate::CoreError;
 use raf_cover::{ChlamtacPortfolio, CoverInstance, ExactSolver, GreedyMarginal, MpuSolver};
 use raf_model::bounds::l_star;
 use raf_model::pmax::estimate_pmax_dklr;
-use raf_model::sampler::{sample_pool_parallel, RealizationPool};
+use raf_model::sampler::{sample_pool_parallel, PathPool};
 use raf_model::{FriendingInstance, InvitationSet, ModelError};
 use serde::{Deserialize, Serialize};
 
@@ -273,23 +273,21 @@ impl RafAlgorithm {
         &self,
         instance: &FriendingInstance<'_>,
         parameters: &ParameterSet,
-        pool: RealizationPool,
+        pool: PathPool,
         pmax_est: raf_model::pmax::PmaxEstimate,
         theory_l: f64,
         vmax_size: Option<usize>,
     ) -> Result<RafResult, CoreError> {
         let n = instance.node_count();
         let b1 = pool.type1_count();
+        let total_samples = pool.total_samples();
         if b1 == 0 {
-            return Err(CoreError::TargetUnreachable { samples: pool.total_samples });
+            return Err(CoreError::TargetUnreachable { samples: total_samples });
         }
-        let sets: Vec<Vec<u32>> = pool
-            .type1_paths
-            .iter()
-            .map(|tp| tp.nodes.iter().map(|v| v.index() as u32).collect())
-            .collect();
-        let cover = CoverInstance::new(n, sets)?;
-        let p = ((parameters.beta * b1 as f64).ceil() as usize).clamp(1, b1);
+        // Zero-copy handoff (Alg. 3 line 3): the pool's arena becomes the
+        // weighted cover instance — no per-path allocation, no re-sort.
+        let cover = CoverInstance::from_path_pool(n, pool)?;
+        let p = raf_cover::cover_requirement(parameters.beta, b1);
         let solver: Box<dyn MpuSolver> = match self.config.solver {
             SolverKind::Portfolio => Box::new(ChlamtacPortfolio::new()),
             SolverKind::Greedy => Box::new(GreedyMarginal::new()),
@@ -306,10 +304,10 @@ impl RafAlgorithm {
             pmax_estimate: pmax_est.pmax,
             pmax_samples: pmax_est.samples,
             l_star: theory_l,
-            realizations_used: pool.total_samples,
+            realizations_used: total_samples,
             type1_count: b1,
             cover_p: p,
-            covered: msc.covered_count(),
+            covered: msc.covered_weight,
             vmax_size,
             solver_name: solver.name().to_string(),
         })

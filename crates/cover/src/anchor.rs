@@ -1,5 +1,6 @@
 //! The element-anchor MpU solver.
 
+use crate::greedy::GreedyScratch;
 use crate::solver::check_p;
 use crate::{CoverError, CoverInstance, CoverSolution, MpuSolver};
 
@@ -34,31 +35,49 @@ impl AnchorSolver {
         AnchorSolver { anchors: anchors.max(1) }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn solve_for_anchor(
         &self,
         instance: &CoverInstance,
         p: usize,
-        anchor: u32,
-    ) -> Option<CoverSolution> {
+        through_anchor: &[u32],
+        taken: &mut [bool],
+        in_union: &mut [bool],
+        scratch: &mut GreedyScratch,
+    ) -> CoverSolution {
         // Sets through the anchor, cheapest (by size) first, then pad with
-        // a marginal-greedy pass over the rest.
-        let m = instance.set_count();
-        let mut through: Vec<usize> =
-            (0..m).filter(|&i| instance.set(i).binary_search(&anchor).is_ok()).collect();
+        // a marginal-greedy pass over the rest. Candidates come from the
+        // inverted index built once in `solve`; `taken`/`in_union` are
+        // caller-owned buffers reset here so anchor attempts don't
+        // re-allocate them.
+        taken.fill(false);
+        in_union.fill(false);
+        let mut through: Vec<usize> = through_anchor.iter().map(|&i| i as usize).collect();
         through.sort_by_key(|&i| (instance.set(i).len(), i));
-        let mut chosen = Vec::with_capacity(p);
-        let mut taken = vec![false; m];
-        let mut in_union = vec![false; instance.universe()];
-        for &i in through.iter().take(p) {
+        let mut chosen = Vec::new();
+        let mut covered_weight = 0usize;
+        for &i in &through {
+            if covered_weight >= p {
+                break;
+            }
             taken[i] = true;
             for &e in instance.set(i) {
                 in_union[e as usize] = true;
             }
             chosen.push(i);
+            covered_weight += instance.weight(i);
         }
         // Pad with the shared linear-time greedy.
-        crate::greedy::greedy_fill(instance, &mut taken, &mut in_union, &mut chosen, p);
-        Some(CoverSolution::from_sets(instance, chosen))
+        crate::greedy::greedy_fill(
+            instance,
+            taken,
+            in_union,
+            &mut chosen,
+            &mut covered_weight,
+            p,
+            scratch,
+        );
+        CoverSolution::from_sets(instance, chosen)
     }
 }
 
@@ -68,35 +87,62 @@ impl MpuSolver for AnchorSolver {
         if p == 0 {
             return Ok(CoverSolution::from_sets(instance, Vec::new()));
         }
-        // Frequency of each element across sets.
-        let mut freq = vec![0u32; instance.universe()];
-        for s in instance.sets() {
+        // Weighted frequency of each element across the multiset family,
+        // plus the element → sets inverted index (built in the same pass,
+        // so each anchor attempt looks candidates up instead of rescanning
+        // the whole family).
+        let mut freq = vec![0u64; instance.universe()];
+        let mut index: Vec<Vec<u32>> = vec![Vec::new(); instance.universe()];
+        for (i, s) in instance.iter_sets().enumerate() {
             for &e in s {
-                freq[e as usize] += 1;
+                freq[e as usize] += instance.weight(i) as u64;
+                index[e as usize].push(i as u32);
             }
         }
         let mut by_freq: Vec<u32> = (0..instance.universe() as u32).collect();
         by_freq.sort_by_key(|&e| std::cmp::Reverse(freq[e as usize]));
         let mut best: Option<CoverSolution> = None;
+        // Buffers shared by every anchor attempt: greedy scratch plus the
+        // taken/union masks (reset per attempt, allocated once).
+        let mut scratch = GreedyScratch::new();
+        let mut taken = vec![false; instance.set_count()];
+        let mut in_union = vec![false; instance.universe()];
         for &anchor in by_freq.iter().take(self.anchors) {
             if freq[anchor as usize] == 0 {
                 break;
             }
-            if let Some(sol) = self.solve_for_anchor(instance, p, anchor) {
-                let better = match &best {
-                    None => true,
-                    Some(b) => sol.cost() < b.cost(),
-                };
-                if better {
-                    best = Some(sol);
-                }
+            let sol = self.solve_for_anchor(
+                instance,
+                p,
+                &index[anchor as usize],
+                &mut taken,
+                &mut in_union,
+                &mut scratch,
+            );
+            let better = match &best {
+                None => true,
+                Some(b) => sol.cost() < b.cost(),
+            };
+            if better {
+                best = Some(sol);
             }
         }
         match best {
             Some(sol) => Ok(sol),
-            // No non-empty sets at all: p sets of the family must all be
-            // empty — choose the first p indices.
-            None => Ok(CoverSolution::from_sets(instance, (0..p).collect())),
+            // No non-empty sets at all: the family must be all empty sets
+            // — take prefix sets until their weight reaches p.
+            None => {
+                let mut chosen = Vec::new();
+                let mut w = 0usize;
+                for i in 0..instance.set_count() {
+                    if w >= p {
+                        break;
+                    }
+                    chosen.push(i);
+                    w += instance.weight(i);
+                }
+                Ok(CoverSolution::from_sets(instance, chosen))
+            }
         }
     }
 

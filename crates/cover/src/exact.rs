@@ -44,10 +44,81 @@ impl ExactSolver {
     }
 }
 
+impl ExactSolver {
+    /// Exact solve for weighted instances: enumerate every subset of at
+    /// most `p` distinct sets (a minimal feasible solution never needs
+    /// more, since each set contributes weight ≥ 1) and keep the
+    /// cheapest whose total weight reaches `p`. The enumeration budget is
+    /// `Σ_{k ≤ min(p, m)} C(m, k) ≤ limit`, matching the classical
+    /// path's reach on unweighted instances.
+    fn solve_weighted(
+        &self,
+        instance: &CoverInstance,
+        p: usize,
+    ) -> Result<CoverSolution, CoverError> {
+        if p == 0 {
+            return Ok(CoverSolution::from_sets(instance, Vec::new()));
+        }
+        let m = instance.set_count();
+        let kmax = p.min(m);
+        let combos: u128 =
+            (1..=kmax).fold(0u128, |acc, k| acc.saturating_add(Self::combinations(m, k)));
+        if combos > self.limit {
+            return Err(CoverError::TooLarge {
+                message: format!(
+                    "Σ C({m}, k≤{kmax}) = {combos} subsets exceed limit {}",
+                    self.limit
+                ),
+            });
+        }
+        let weights: Vec<usize> = (0..m).map(|i| instance.weight(i)).collect();
+        let mut best: Option<CoverSolution> = None;
+        for k in 1..=kmax {
+            // Lexicographic k-combination enumeration.
+            let mut indices: Vec<usize> = (0..k).collect();
+            'combos: loop {
+                let weight: usize = indices.iter().map(|&i| weights[i]).sum();
+                if weight >= p {
+                    let candidate = CoverSolution::from_sets(instance, indices.clone());
+                    let better = match &best {
+                        None => true,
+                        Some(b) => candidate.cost() < b.cost(),
+                    };
+                    if better {
+                        best = Some(candidate);
+                    }
+                }
+                // Advance to the next combination.
+                let mut i = k;
+                loop {
+                    if i == 0 {
+                        break 'combos;
+                    }
+                    i -= 1;
+                    if indices[i] != i + m - k {
+                        break;
+                    }
+                }
+                indices[i] += 1;
+                for j in i + 1..k {
+                    indices[j] = indices[j - 1] + 1;
+                }
+            }
+        }
+        best.ok_or_else(|| CoverError::NotEnoughSets { p, available: instance.total_weight() })
+    }
+}
+
 impl MpuSolver for ExactSolver {
     fn solve(&self, instance: &CoverInstance, p: usize) -> Result<CoverSolution, CoverError> {
         check_p(instance, p)?;
         let m = instance.set_count();
+        if instance.total_weight() != m {
+            // Weighted (deduplicated-pool) instance: "exactly p sets" is
+            // replaced by "total weight ≥ p", solved by full subset
+            // enumeration.
+            return self.solve_weighted(instance, p);
+        }
         let combos = Self::combinations(m, p);
         if combos > self.limit {
             return Err(CoverError::TooLarge {
@@ -143,6 +214,38 @@ mod tests {
         let inst = CoverInstance::new(4, vec![vec![0], vec![1], vec![2, 3]]).unwrap();
         let sol = ExactSolver::new().solve(&inst, 3).unwrap();
         assert_eq!(sol.cost(), 4);
+    }
+
+    #[test]
+    fn weighted_small_p_on_many_sets_stays_within_budget() {
+        // 40 distinct sets with duplicates (weighted path): small p must
+        // enumerate Σ C(40, k≤2) ≈ 820 subsets, not 2^40.
+        use raf_graph::{GraphBuilder, NodeId, WeightScheme};
+        use raf_model::sampler::sample_pool;
+        use raf_model::FriendingInstance;
+        use rand::SeedableRng;
+        let mut b = GraphBuilder::new();
+        // Star of 40 routes of interior length 2 between s=0 and t=1.
+        let mut edges = Vec::new();
+        for r in 0..40usize {
+            let a = 2 + 2 * r;
+            edges.extend([(0, a), (a, a + 1), (a + 1, 1)]);
+        }
+        b.add_edges(edges).unwrap();
+        let g = b.build(WeightScheme::UniformByDegree).unwrap().to_csr();
+        let fi = FriendingInstance::new(&g, NodeId::new(0), NodeId::new(1)).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let pool = sample_pool(&fi, 60_000, &mut rng);
+        assert!(pool.unique_count() >= 25, "unique {}", pool.unique_count());
+        assert!(pool.type1_count() > pool.unique_count(), "needs real multiplicities");
+        let inst = CoverInstance::from_path_pool(g.node_count(), pool).unwrap();
+        let sol = ExactSolver::new().solve(&inst, 2).unwrap();
+        assert!(sol.verify(&inst, 2));
+        // One route (multiplicity ≥ 2) covers p=2 with 2 interior nodes.
+        assert_eq!(sol.cost(), 2);
+        // p=0 on the weighted path returns the empty solution.
+        let empty = ExactSolver::new().solve(&inst, 0).unwrap();
+        assert_eq!(empty.cost(), 0);
     }
 
     #[test]

@@ -4,12 +4,14 @@ use crate::solver::check_p;
 use crate::{CoverError, CoverInstance, CoverSolution, MpuSolver};
 
 /// Greedy MpU: repeatedly choose the set with the smallest marginal union
-/// increase until `p` sets are chosen.
+/// increase until the chosen sets' total weight reaches `p`.
 ///
 /// On RAF's instances — families of backward paths that overlap along
 /// shared route segments — this is the empirically dominant portfolio arm:
 /// once one path is paid for, overlapping paths cost only their
-/// non-shared suffix.
+/// non-shared suffix. On deduplicated pool instances a chosen path
+/// immediately credits its full multiplicity, which is exactly what the
+/// duplicated-family greedy did one free copy at a time.
 ///
 /// Implementation: an element→sets inverted index plus a bucket queue
 /// keyed by current marginal. Every element is covered at most once, and
@@ -28,24 +30,73 @@ impl GreedyMarginal {
     }
 }
 
+/// Reusable scratch buffers for [`greedy_fill`], so callers that run the
+/// greedy repeatedly (the portfolio's anchor arm tries many anchors per
+/// solve) never re-allocate the `O(universe)`-sized inverted index or the
+/// bucket queue between runs.
+#[derive(Debug, Default)]
+pub(crate) struct GreedyScratch {
+    marginal: Vec<u32>,
+    buckets: Vec<Vec<u32>>,
+    elem_sets: Vec<Vec<u32>>,
+}
+
+impl GreedyScratch {
+    /// Creates empty scratch storage; buffers grow on first use.
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resets the buffers for an instance, reusing allocations.
+    fn reset(&mut self, universe: usize, m: usize, bucket_levels: usize) {
+        self.marginal.clear();
+        self.marginal.resize(m, 0);
+        for b in &mut self.buckets {
+            b.clear();
+        }
+        if self.buckets.len() < bucket_levels {
+            self.buckets.resize_with(bucket_levels, Vec::new);
+        }
+        for e in &mut self.elem_sets {
+            e.clear();
+        }
+        if self.elem_sets.len() < universe {
+            self.elem_sets.resize_with(universe, Vec::new);
+        }
+    }
+}
+
 /// Greedy state shared with the anchor solver's padding phase: continues
-/// a partially chosen solution until `target_count` sets are selected.
+/// a partially chosen solution until the chosen sets' total weight
+/// reaches `target_weight`. `covered_weight` carries the weight already
+/// chosen on entry and is updated in place.
 pub(crate) fn greedy_fill(
     instance: &CoverInstance,
     taken: &mut [bool],
     in_union: &mut [bool],
     chosen: &mut Vec<usize>,
-    target_count: usize,
+    covered_weight: &mut usize,
+    target_weight: usize,
+    scratch: &mut GreedyScratch,
 ) {
     let m = instance.set_count();
-    if chosen.len() >= target_count {
+    if *covered_weight >= target_weight {
         return;
     }
     // Exact current marginals.
-    let mut marginal: Vec<u32> =
-        (0..m).map(|i| if taken[i] { 0 } else { instance.marginal(i, in_union) as u32 }).collect();
-    let max_size = marginal.iter().copied().max().unwrap_or(0) as usize;
-    let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); max_size + 1];
+    let mut max_size = 0usize;
+    for (i, &t) in taken.iter().enumerate() {
+        if !t {
+            max_size = max_size.max(instance.set(i).len());
+        }
+    }
+    scratch.reset(instance.universe(), m, max_size + 1);
+    let GreedyScratch { marginal, buckets, elem_sets } = scratch;
+    for (i, &t) in taken.iter().enumerate() {
+        if !t {
+            marginal[i] = instance.marginal(i, in_union) as u32;
+        }
+    }
     // Reverse order so ties pop the lowest index first.
     for i in (0..m).rev() {
         if !taken[i] {
@@ -53,8 +104,7 @@ pub(crate) fn greedy_fill(
         }
     }
     // Inverted index over the not-yet-covered elements only.
-    let mut elem_sets: Vec<Vec<u32>> = vec![Vec::new(); instance.universe()];
-    for (i, set) in instance.sets().iter().enumerate() {
+    for (i, set) in instance.iter_sets().enumerate() {
         if taken[i] {
             continue;
         }
@@ -65,13 +115,13 @@ pub(crate) fn greedy_fill(
         }
     }
     let mut cursor = 0usize;
-    while chosen.len() < target_count {
+    while *covered_weight < target_weight {
         // Find the next valid (non-stale, untaken) minimum-marginal set.
         let idx = loop {
             while cursor < buckets.len() && buckets[cursor].is_empty() {
                 cursor += 1;
             }
-            debug_assert!(cursor < buckets.len(), "p ≤ m guarantees a candidate");
+            debug_assert!(cursor < buckets.len(), "p ≤ Σ weights guarantees a candidate");
             let i = buckets[cursor].pop().expect("non-empty bucket") as usize;
             if !taken[i] && marginal[i] as usize == cursor {
                 break i;
@@ -79,6 +129,7 @@ pub(crate) fn greedy_fill(
         };
         taken[idx] = true;
         chosen.push(idx);
+        *covered_weight += instance.weight(idx);
         for &e in instance.set(idx) {
             let e = e as usize;
             if in_union[e] {
@@ -106,8 +157,18 @@ impl MpuSolver for GreedyMarginal {
         check_p(instance, p)?;
         let mut taken = vec![false; instance.set_count()];
         let mut in_union = vec![false; instance.universe()];
-        let mut chosen = Vec::with_capacity(p);
-        greedy_fill(instance, &mut taken, &mut in_union, &mut chosen, p);
+        let mut chosen = Vec::with_capacity(p.min(instance.set_count()));
+        let mut covered_weight = 0usize;
+        let mut scratch = GreedyScratch::new();
+        greedy_fill(
+            instance,
+            &mut taken,
+            &mut in_union,
+            &mut chosen,
+            &mut covered_weight,
+            p,
+            &mut scratch,
+        );
         Ok(CoverSolution::from_sets(instance, chosen))
     }
 
@@ -147,7 +208,7 @@ mod tests {
     }
 
     #[test]
-    fn rejects_p_above_m() {
+    fn rejects_p_above_total_weight() {
         let inst = CoverInstance::new(2, vec![vec![0]]).unwrap();
         assert!(matches!(
             GreedyMarginal::new().solve(&inst, 2),

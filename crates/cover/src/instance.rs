@@ -1,14 +1,22 @@
 //! MpU/MSC problem instances.
 
 use crate::CoverError;
+use raf_model::sampler::PathPool;
 use serde::{Deserialize, Serialize};
 
-/// A Minimum p-Union instance: a ground set `0..universe` and a family of
-/// subsets. Sets are stored sorted and deduplicated, enabling `O(|S|)`
-/// merge-based marginal computations.
+/// A (weighted) Minimum p-Union instance: a ground set `0..universe` and
+/// a family of subsets, each carrying a positive integer *weight* (its
+/// multiplicity in the original multiset family). Sets are stored in a
+/// flat CSR arena — one `Vec<u32>` of elements plus an offset table — so
+/// building an instance from a sampled [`PathPool`] is a pure move with
+/// no per-set allocation.
 ///
-/// In the RAF pipeline, each set is a sampled backward path `t(g)` and the
-/// ground set is the node set of the social graph.
+/// In the RAF pipeline, each set is a sampled backward path `t(g)` (its
+/// weight = how many sampled walks produced it) and the ground set is the
+/// node set of the social graph. Choosing a set of weight `w` counts `w`
+/// toward the requirement `p`, which keeps the deduplicated instance
+/// exactly equivalent to the paper's duplicated one: covering a path
+/// covers every sampled copy of it.
 ///
 /// ```
 /// use raf_cover::{CoverInstance, GreedyMarginal, MpuSolver};
@@ -23,18 +31,29 @@ use serde::{Deserialize, Serialize};
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CoverInstance {
     universe: usize,
-    sets: Vec<Vec<u32>>,
+    /// Concatenated elements; set `i` is `elems[offsets[i]..offsets[i+1]]`.
+    elems: Vec<u32>,
+    offsets: Vec<u32>,
+    /// Per-set weights; `None` means every weight is 1 (the unweighted
+    /// case built by [`CoverInstance::new`]).
+    weights: Option<Vec<u32>>,
+    /// Σ weights — the size `|U|` of the underlying multiset family.
+    total_weight: usize,
 }
 
 impl CoverInstance {
-    /// Builds an instance, normalizing each set (sort + dedup).
+    /// Builds an unweighted instance, normalizing each set (sort +
+    /// dedup). Every set has weight 1.
     ///
     /// # Errors
     ///
     /// Returns [`CoverError::ElementOutOfRange`] when a set mentions an
     /// element `≥ universe`.
     pub fn new(universe: usize, sets: Vec<Vec<u32>>) -> Result<Self, CoverError> {
-        let mut normalized = Vec::with_capacity(sets.len());
+        let m = sets.len();
+        let mut elems = Vec::with_capacity(sets.iter().map(Vec::len).sum());
+        let mut offsets = Vec::with_capacity(m + 1);
+        offsets.push(0u32);
         for mut set in sets {
             set.sort_unstable();
             set.dedup();
@@ -43,9 +62,33 @@ impl CoverInstance {
                     return Err(CoverError::ElementOutOfRange { element: max, universe });
                 }
             }
-            normalized.push(set);
+            elems.extend_from_slice(&set);
+            assert!(elems.len() <= u32::MAX as usize, "set family overflows u32 offsets");
+            offsets.push(elems.len() as u32);
         }
-        Ok(CoverInstance { universe, sets: normalized })
+        Ok(CoverInstance { universe, elems, offsets, weights: None, total_weight: m })
+    }
+
+    /// Builds a weighted instance directly from a sampled [`PathPool`] —
+    /// the zero-copy Alg. 3 handoff. The pool's flat arena becomes the
+    /// instance storage verbatim: no per-set allocation, no re-sort, no
+    /// copy. Set `i` is the pool's unique path `i` (elements in walk
+    /// order — distinct by the walk's cycle check, but *not* sorted) with
+    /// weight = the path's multiplicity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoverError::ElementOutOfRange`] when a path mentions a
+    /// node `≥ universe`.
+    pub fn from_path_pool(universe: usize, pool: PathPool) -> Result<Self, CoverError> {
+        let (elems, offsets, weights) = pool.into_flat_parts();
+        if let Some(&max) = elems.iter().max() {
+            if max as usize >= universe {
+                return Err(CoverError::ElementOutOfRange { element: max, universe });
+            }
+        }
+        let total_weight = weights.iter().map(|&w| w as usize).sum();
+        Ok(CoverInstance { universe, elems, offsets, weights: Some(weights), total_weight })
     }
 
     /// Ground-set size.
@@ -54,41 +97,71 @@ impl CoverInstance {
         self.universe
     }
 
-    /// Number of sets `m = |U|`.
+    /// Number of distinct sets `m` in the family.
     #[inline]
     pub fn set_count(&self) -> usize {
-        self.sets.len()
+        self.offsets.len() - 1
     }
 
-    /// The `i`-th set (sorted, deduplicated).
+    /// The weight (multiplicity) of set `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[inline]
+    pub fn weight(&self, i: usize) -> usize {
+        match &self.weights {
+            Some(w) => w[i] as usize,
+            None => {
+                assert!(i < self.set_count(), "set index {i} out of range");
+                1
+            }
+        }
+    }
+
+    /// Σ weights: the size `|U|` of the underlying multiset family (equal
+    /// to [`set_count`](Self::set_count) for unweighted instances).
+    #[inline]
+    pub fn total_weight(&self) -> usize {
+        self.total_weight
+    }
+
+    /// The `i`-th set. Unweighted instances store sets sorted and
+    /// deduplicated; pool-built instances store paths in walk order
+    /// (elements distinct but unsorted).
     ///
     /// # Panics
     ///
     /// Panics if `i` is out of range.
     #[inline]
     pub fn set(&self, i: usize) -> &[u32] {
-        &self.sets[i]
+        &self.elems[self.offsets[i] as usize..self.offsets[i + 1] as usize]
     }
 
-    /// All sets.
-    pub fn sets(&self) -> &[Vec<u32>] {
-        &self.sets
+    /// Iterates over all sets in index order.
+    pub fn iter_sets(&self) -> impl Iterator<Item = &[u32]> + '_ {
+        (0..self.set_count()).map(|i| self.set(i))
     }
 
     /// Marginal cost of adding set `i` to the partial union described by
     /// `in_union`: `|S_i \ A|`.
     pub fn marginal(&self, i: usize, in_union: &[bool]) -> usize {
-        self.sets[i].iter().filter(|&&e| !in_union[e as usize]).count()
+        self.set(i).iter().filter(|&&e| !in_union[e as usize]).count()
     }
 
-    /// Number of sets fully contained in the element mask `mask`.
+    /// Weighted number of sets fully contained in the element mask
+    /// `mask` (each contained set counts its multiplicity).
     pub fn covered_count(&self, mask: &[bool]) -> usize {
-        self.sets.iter().filter(|s| s.iter().all(|&e| mask[e as usize])).count()
+        (0..self.set_count())
+            .filter(|&i| self.set(i).iter().all(|&e| mask[e as usize]))
+            .map(|i| self.weight(i))
+            .sum()
     }
 
-    /// The theoretical portfolio guarantee target `2√m` from the paper.
+    /// The theoretical portfolio guarantee target `2√|U|` from the paper,
+    /// where `|U|` counts the multiset family (Σ weights).
     pub fn approximation_target(&self) -> f64 {
-        2.0 * (self.set_count() as f64).sqrt()
+        2.0 * (self.total_weight as f64).sqrt()
     }
 }
 
@@ -100,6 +173,8 @@ mod tests {
     fn normalizes_sets() {
         let inst = CoverInstance::new(5, vec![vec![3, 1, 3, 0]]).unwrap();
         assert_eq!(inst.set(0), &[0, 1, 3]);
+        assert_eq!(inst.weight(0), 1);
+        assert_eq!(inst.total_weight(), 1);
     }
 
     #[test]
@@ -140,5 +215,44 @@ mod tests {
     fn approximation_target() {
         let inst = CoverInstance::new(3, vec![vec![0]; 16]).unwrap();
         assert_eq!(inst.approximation_target(), 8.0);
+    }
+
+    #[test]
+    fn from_path_pool_is_weighted() {
+        use raf_graph::{GraphBuilder, NodeId, WeightScheme};
+        use raf_model::sampler::sample_pool;
+        use raf_model::FriendingInstance;
+        use rand::SeedableRng;
+        // 0-1-2-3-4 line: the only type-1 path is [4, 3, 2].
+        let mut b = GraphBuilder::new();
+        b.add_edges((0..4).map(|i| (i, i + 1))).unwrap();
+        let g = b.build(WeightScheme::UniformByDegree).unwrap().to_csr();
+        let fi = FriendingInstance::new(&g, NodeId::new(0), NodeId::new(4)).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let pool = sample_pool(&fi, 4_000, &mut rng);
+        let type1 = pool.type1_count();
+        assert!(type1 > 0);
+        let inst = CoverInstance::from_path_pool(5, pool).unwrap();
+        assert_eq!(inst.set_count(), 1);
+        assert_eq!(inst.set(0), &[4, 3, 2]); // walk order, not sorted
+        assert_eq!(inst.weight(0), type1);
+        assert_eq!(inst.total_weight(), type1);
+        // Universe too small: the node ids 2..=4 are out of range.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let pool = sample_pool(&fi, 4_000, &mut rng);
+        assert!(matches!(
+            CoverInstance::from_path_pool(3, pool),
+            Err(CoverError::ElementOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn iter_sets_matches_indexing() {
+        let inst = CoverInstance::new(6, vec![vec![0, 1], vec![2], vec![3, 4, 5]]).unwrap();
+        let collected: Vec<&[u32]> = inst.iter_sets().collect();
+        assert_eq!(collected.len(), inst.set_count());
+        for (i, s) in collected.iter().enumerate() {
+            assert_eq!(*s, inst.set(i));
+        }
     }
 }

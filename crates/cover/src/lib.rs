@@ -7,6 +7,13 @@
 //! Remark 2 this is equivalent to **Minimum p-Union** (Problem 2): choose
 //! exactly `p` subsets minimizing the size of their union.
 //!
+//! Instances are stored as flat CSR arenas with per-set *weights*
+//! (multiplicities): the RAF pipeline hands its deduplicated
+//! [`raf_model::sampler::PathPool`] to
+//! [`CoverInstance::from_path_pool`] without copying or re-sorting, and
+//! every solver counts a chosen set's weight toward `p`, which is
+//! exactly equivalent to solving the paper's duplicated multiset family.
+//!
 //! The paper invokes the Chlamtáč et al. `2√|U|`-approximation [10] as a
 //! black box. That algorithm relies on LP-rounding machinery for the
 //! densest-k-subhypergraph problem; this crate substitutes a combinatorial
@@ -45,7 +52,7 @@ pub use exact::ExactSolver;
 pub use greedy::GreedyMarginal;
 pub use instance::CoverInstance;
 pub use portfolio::ChlamtacPortfolio;
-pub use reduction::{solve_msc, MscSolution};
+pub use reduction::{cover_requirement, solve_msc, MscSolution};
 pub use smallest::SmallestSets;
 pub use solution::CoverSolution;
 pub use solver::MpuSolver;

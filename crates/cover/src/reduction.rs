@@ -9,10 +9,14 @@ use serde::{Deserialize, Serialize};
 pub struct MscSolution {
     /// The chosen elements `V*`, sorted.
     pub elements: Vec<u32>,
-    /// Indices of **all** sets covered by `V*` (may exceed `p`: covering
-    /// `p` sets can incidentally cover more, which Remark 2 notes is
-    /// harmless).
+    /// Indices of **all** distinct sets covered by `V*` (may exceed `p`:
+    /// covering `p` sets can incidentally cover more, which Remark 2
+    /// notes is harmless).
     pub covered_sets: Vec<usize>,
+    /// Total weight of the covered sets — the number of *multiset* family
+    /// members covered. Equals `covered_sets.len()` on unweighted
+    /// instances.
+    pub covered_weight: usize,
 }
 
 impl MscSolution {
@@ -21,10 +25,17 @@ impl MscSolution {
         self.elements.len()
     }
 
-    /// Number of covered sets.
+    /// Number of covered sets, counting multiplicity.
     pub fn covered_count(&self) -> usize {
-        self.covered_sets.len()
+        self.covered_weight
     }
+}
+
+/// The RAF cover requirement `p = ⌈β · |B¹_l|⌉`, clamped into `[1, |B¹_l|]`
+/// (Alg. 3 line 3). Shared by the pipeline and the benchmarks so the
+/// recorded `cover_p` always matches the `p` actually solved.
+pub fn cover_requirement(beta: f64, b1: usize) -> usize {
+    ((beta * b1 as f64).ceil() as usize).clamp(1, b1.max(1))
 }
 
 /// Solves MSC via the Remark 2 reduction: run an MpU solver to choose `p`
@@ -42,10 +53,11 @@ pub fn solve_msc<S: MpuSolver + ?Sized>(
 ) -> Result<MscSolution, CoverError> {
     let mpu = solver.solve(instance, p)?;
     let mask = mpu.union_mask(instance.universe());
-    let covered_sets = (0..instance.set_count())
+    let covered_sets: Vec<usize> = (0..instance.set_count())
         .filter(|&i| instance.set(i).iter().all(|&e| mask[e as usize]))
         .collect();
-    Ok(MscSolution { elements: mpu.union, covered_sets })
+    let covered_weight = covered_sets.iter().map(|&i| instance.weight(i)).sum();
+    Ok(MscSolution { elements: mpu.union, covered_sets, covered_weight })
 }
 
 #[cfg(test)]

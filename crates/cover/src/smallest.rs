@@ -3,7 +3,8 @@
 use crate::solver::check_p;
 use crate::{CoverError, CoverInstance, CoverSolution, MpuSolver};
 
-/// Takes the `p` sets of smallest cardinality (ties toward lower index).
+/// Takes the smallest-cardinality sets (ties toward lower index) until
+/// their total weight reaches `p`.
 ///
 /// Since every optimal set has size at most `opt`, the `p`-th smallest
 /// cardinality is at most `opt`, so this arm costs at most `p·opt` — the
@@ -23,8 +24,16 @@ impl MpuSolver for SmallestSets {
         check_p(instance, p)?;
         let mut order: Vec<usize> = (0..instance.set_count()).collect();
         order.sort_by_key(|&i| (instance.set(i).len(), i));
-        order.truncate(p);
-        Ok(CoverSolution::from_sets(instance, order))
+        let mut chosen = Vec::new();
+        let mut weight = 0usize;
+        for i in order {
+            if weight >= p {
+                break;
+            }
+            chosen.push(i);
+            weight += instance.weight(i);
+        }
+        Ok(CoverSolution::from_sets(instance, chosen))
     }
 
     fn name(&self) -> &'static str {

@@ -41,10 +41,18 @@ impl CoverSolution {
         self.chosen_sets.len()
     }
 
-    /// Verifies feasibility against an instance: `p` sets chosen, all
-    /// distinct, and the recorded union is exactly their union.
+    /// Total weight of the chosen sets (`= set_count()` on unweighted
+    /// instances).
+    pub fn chosen_weight(&self, instance: &CoverInstance) -> usize {
+        self.chosen_sets.iter().map(|&i| instance.weight(i)).sum()
+    }
+
+    /// Verifies feasibility against an instance: distinct chosen sets, at
+    /// most `p` of them, total weight `≥ p`, and the recorded union is
+    /// exactly their union. On unweighted instances this degenerates to
+    /// the classical "exactly `p` distinct sets" check.
     pub fn verify(&self, instance: &CoverInstance, p: usize) -> bool {
-        if self.chosen_sets.len() != p {
+        if self.chosen_sets.len() > p {
             return false;
         }
         let mut seen = std::collections::HashSet::new();
@@ -52,6 +60,9 @@ impl CoverSolution {
             if i >= instance.set_count() || !seen.insert(i) {
                 return false;
             }
+        }
+        if self.chosen_weight(instance) < p {
+            return false;
         }
         let recomputed = CoverSolution::from_sets(instance, self.chosen_sets.clone());
         recomputed.union == self.union

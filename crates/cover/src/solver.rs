@@ -2,18 +2,20 @@
 
 use crate::{CoverError, CoverInstance, CoverSolution};
 
-/// A Minimum p-Union solver: choose exactly `p` sets minimizing the size
-/// of their union.
+/// A Minimum p-Union solver: choose distinct sets of total weight at
+/// least `p` minimizing the size of their union. On unweighted instances
+/// (every weight 1, as built by [`CoverInstance::new`]) this is exactly
+/// the classical "choose exactly `p` sets" problem.
 ///
-/// All implementations return a *feasible* solution (exactly `p` distinct
-/// sets) or an error; optimality/approximation quality varies per
-/// implementation.
+/// All implementations return a *feasible* solution (distinct sets whose
+/// weights sum to `≥ p`, at most `p` of them) or an error;
+/// optimality/approximation quality varies per implementation.
 pub trait MpuSolver {
     /// Solves the instance for the given `p`.
     ///
     /// # Errors
     ///
-    /// * [`CoverError::NotEnoughSets`] when `p > m`;
+    /// * [`CoverError::NotEnoughSets`] when `p > Σ weights`;
     /// * solver-specific size limits ([`CoverError::TooLarge`]).
     fn solve(&self, instance: &CoverInstance, p: usize) -> Result<CoverSolution, CoverError>;
 
@@ -23,8 +25,8 @@ pub trait MpuSolver {
 
 /// Shared feasibility pre-check used by all solvers.
 pub(crate) fn check_p(instance: &CoverInstance, p: usize) -> Result<(), CoverError> {
-    if p > instance.set_count() {
-        return Err(CoverError::NotEnoughSets { p, available: instance.set_count() });
+    if p > instance.total_weight() {
+        return Err(CoverError::NotEnoughSets { p, available: instance.total_weight() });
     }
     Ok(())
 }

@@ -3,6 +3,37 @@
 use crate::{NodeId, SocialGraph};
 use serde::{Deserialize, Serialize};
 
+/// Per-node metadata packed into one 16-byte record so a walk step loads
+/// a single cache line instead of scattering across an offset table, a
+/// totals table, and a uniform-flag table.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+struct NodeMeta {
+    /// `Σ_u w(u,v)`.
+    total: f64,
+    /// Start of the node's slice in `neighbors` / `cum_weights`.
+    base: u32,
+    /// Degree in the low 31 bits; the high bit is set when the node's
+    /// weights are all equal (the `O(1)` selection fast path).
+    packed_degree: u32,
+}
+
+/// High bit of [`NodeMeta::packed_degree`]: uniform-weight flag.
+const UNIFORM_BIT: u32 = 1 << 31;
+/// Low 31 bits of [`NodeMeta::packed_degree`]: the degree.
+const DEGREE_MASK: u32 = UNIFORM_BIT - 1;
+
+impl NodeMeta {
+    #[inline]
+    fn degree(self) -> usize {
+        (self.packed_degree & DEGREE_MASK) as usize
+    }
+
+    #[inline]
+    fn is_uniform(self) -> bool {
+        self.packed_degree & UNIFORM_BIT != 0
+    }
+}
+
 /// A compressed-sparse-row view of a [`SocialGraph`] with per-node
 /// cumulative weight tables.
 ///
@@ -10,21 +41,18 @@ use serde::{Deserialize, Serialize};
 /// on: selecting `g(v)` means drawing `r ~ U[0,1)` and, when
 /// `r < total_in_weight(v)`, binary-searching the cumulative weights of
 /// `v`'s neighbor slice — `O(log d)` per selection, `O(1)` for the
-/// uniform-weight fast path.
+/// uniform-weight fast path. Per-node metadata (slice offset, total
+/// weight, uniform flag) lives in one packed record per node, which is
+/// what keeps the backward-walk hot loop cache-resident on large graphs.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CsrGraph {
-    /// `offsets[v]..offsets[v+1]` delimits node `v`'s slice.
-    offsets: Vec<usize>,
+    /// One packed record per node.
+    meta: Vec<NodeMeta>,
     /// Concatenated sorted neighbor lists.
     neighbors: Vec<NodeId>,
     /// `cum_weights[i]` = prefix sum of `v`'s incoming weights up to and
     /// including slice position `i`.
     cum_weights: Vec<f64>,
-    /// `totals[v]` = `Σ_u w(u,v)`.
-    totals: Vec<f64>,
-    /// Whether node `v`'s weights are all equal (enables the `O(1)`
-    /// selection fast path).
-    uniform: Vec<bool>,
     /// Number of undirected edges.
     edge_count: usize,
 }
@@ -33,14 +61,12 @@ impl CsrGraph {
     /// Builds the snapshot from an adjacency-list graph.
     pub fn from_social_graph(g: &SocialGraph) -> Self {
         let n = g.node_count();
-        let mut offsets = Vec::with_capacity(n + 1);
+        let mut meta = Vec::with_capacity(n);
         let mut neighbors = Vec::with_capacity(2 * g.edge_count());
         let mut cum_weights = Vec::with_capacity(2 * g.edge_count());
-        let mut totals = Vec::with_capacity(n);
-        let mut uniform = Vec::with_capacity(n);
-        offsets.push(0);
         for v in g.nodes() {
             let ws = g.in_weights(v);
+            let base = neighbors.len();
             neighbors.extend_from_slice(g.neighbors(v));
             let mut acc = 0.0;
             let first = ws.first().copied();
@@ -54,17 +80,24 @@ impl CsrGraph {
                     }
                 }
             }
-            totals.push(acc);
-            uniform.push(is_uniform);
-            offsets.push(neighbors.len());
+            let degree = neighbors.len() - base;
+            // Hard asserts (not debug): overflow would silently corrupt
+            // slices or flip the uniform flag in release builds.
+            assert!(degree <= DEGREE_MASK as usize, "degree overflows packed metadata");
+            assert!(base <= u32::MAX as usize, "adjacency overflows u32 offsets");
+            meta.push(NodeMeta {
+                total: acc,
+                base: base as u32,
+                packed_degree: degree as u32 | if is_uniform { UNIFORM_BIT } else { 0 },
+            });
         }
-        CsrGraph { offsets, neighbors, cum_weights, totals, uniform, edge_count: g.edge_count() }
+        CsrGraph { meta, neighbors, cum_weights, edge_count: g.edge_count() }
     }
 
     /// Number of nodes.
     #[inline]
     pub fn node_count(&self) -> usize {
-        self.offsets.len() - 1
+        self.meta.len()
     }
 
     /// Number of undirected edges.
@@ -76,22 +109,21 @@ impl CsrGraph {
     /// Degree of `v`.
     #[inline]
     pub fn degree(&self, v: NodeId) -> usize {
-        let i = v.index();
-        self.offsets[i + 1] - self.offsets[i]
+        self.meta[v.index()].degree()
     }
 
     /// Sorted neighbors of `v`.
     #[inline]
     pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
-        let i = v.index();
-        &self.neighbors[self.offsets[i]..self.offsets[i + 1]]
+        let m = self.meta[v.index()];
+        &self.neighbors[m.base as usize..m.base as usize + m.degree()]
     }
 
     /// Total incoming familiarity of `v` (the probability that `v` selects
     /// *some* neighbor in a realization).
     #[inline]
     pub fn total_in_weight(&self, v: NodeId) -> f64 {
-        self.totals[v.index()]
+        self.meta[v.index()].total
     }
 
     /// Whether `{u, v}` is an edge.
@@ -108,7 +140,7 @@ impl CsrGraph {
         if i >= self.node_count() {
             return None;
         }
-        let base = self.offsets[i];
+        let base = self.meta[i].base as usize;
         let pos = self.neighbors(v).binary_search(&u).ok()?;
         let hi = self.cum_weights[base + pos];
         let lo = if pos == 0 { 0.0 } else { self.cum_weights[base + pos - 1] };
@@ -124,17 +156,21 @@ impl CsrGraph {
     /// Lemma 1 equivalence checks straightforward.
     #[inline]
     pub fn select_with(&self, v: NodeId, r: f64) -> Option<NodeId> {
-        let i = v.index();
-        let total = self.totals[i];
-        if r >= total {
+        let m = self.meta[v.index()];
+        if r >= m.total {
             return None;
         }
-        let base = self.offsets[i];
-        let d = self.offsets[i + 1] - base;
+        let base = m.base as usize;
+        let d = m.degree();
         debug_assert!(d > 0, "node with zero total weight cannot select");
-        if self.uniform[i] {
+        if m.is_uniform() {
             // All weights equal: index = floor(r / total * d), clamped.
-            let idx = ((r / total) * d as f64) as usize;
+            // `total == 1.0` (every normalized weight scheme) skips the
+            // division — `r / 1.0` is exactly `r`, so the result is
+            // bit-identical while the walk loop's dependency chain loses
+            // an fdiv.
+            let scaled = if m.total == 1.0 { r } else { r / m.total };
+            let idx = (scaled * d as f64) as usize;
             return Some(self.neighbors[base + idx.min(d - 1)]);
         }
         let slice = &self.cum_weights[base..base + d];

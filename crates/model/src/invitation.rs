@@ -3,9 +3,13 @@
 use raf_graph::NodeId;
 use serde::{Deserialize, Serialize};
 
+/// Bits per storage word of the membership bitset.
+const WORD_BITS: usize = 64;
+
 /// An invitation set `I ⊆ V`: the users the initiator will send requests
-/// to. Backed by a dense bitmask for `O(1)` membership tests on the
-/// sampling hot path, plus a running cardinality.
+/// to. Backed by a packed `u64` bitset so membership probes on the
+/// sampling hot path are a single cache-resident word access, plus a
+/// running cardinality.
 ///
 /// ```
 /// use raf_model::InvitationSet;
@@ -20,19 +24,29 @@ use serde::{Deserialize, Serialize};
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct InvitationSet {
-    mask: Vec<bool>,
+    /// Packed membership bits; bits at positions `>= capacity` are always
+    /// zero (an invariant every mutator preserves, so `PartialEq` on the
+    /// raw words is exact set equality).
+    words: Vec<u64>,
+    capacity: usize,
     len: usize,
 }
 
 impl InvitationSet {
     /// The empty invitation set over a graph with `n` nodes.
     pub fn empty(n: usize) -> Self {
-        InvitationSet { mask: vec![false; n], len: 0 }
+        InvitationSet { words: vec![0; n.div_ceil(WORD_BITS)], capacity: n, len: 0 }
     }
 
     /// The full invitation set `I = V` (used when estimating `p_max`).
     pub fn full(n: usize) -> Self {
-        InvitationSet { mask: vec![true; n], len: n }
+        let mut words = vec![u64::MAX; n.div_ceil(WORD_BITS)];
+        if !n.is_multiple_of(WORD_BITS) {
+            if let Some(last) = words.last_mut() {
+                *last = (1u64 << (n % WORD_BITS)) - 1;
+            }
+        }
+        InvitationSet { words, capacity: n, len: n }
     }
 
     /// Builds a set from an iterator of node ids.
@@ -63,7 +77,20 @@ impl InvitationSet {
     /// Capacity (the graph's node count `n`).
     #[inline]
     pub fn capacity(&self) -> usize {
-        self.mask.len()
+        self.capacity
+    }
+
+    /// Whether the node with dense index `index` is a member — the raw
+    /// probe used by the arena coverage pass, where ids are `u32`s rather
+    /// than [`NodeId`]s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[inline]
+    pub fn contains_index(&self, index: usize) -> bool {
+        assert!(index < self.capacity, "node {index} out of range for capacity {}", self.capacity);
+        (self.words[index / WORD_BITS] >> (index % WORD_BITS)) & 1 == 1
     }
 
     /// Whether `v ∈ I`.
@@ -73,7 +100,7 @@ impl InvitationSet {
     /// Panics if `v` is out of range.
     #[inline]
     pub fn contains(&self, v: NodeId) -> bool {
-        self.mask[v.index()]
+        self.contains_index(v.index())
     }
 
     /// Inserts `v`; returns `true` when it was newly added.
@@ -82,11 +109,14 @@ impl InvitationSet {
     ///
     /// Panics if `v` is out of range.
     pub fn insert(&mut self, v: NodeId) -> bool {
-        let slot = &mut self.mask[v.index()];
-        if *slot {
+        let i = v.index();
+        assert!(i < self.capacity, "node {i} out of range for capacity {}", self.capacity);
+        let word = &mut self.words[i / WORD_BITS];
+        let bit = 1u64 << (i % WORD_BITS);
+        if *word & bit != 0 {
             false
         } else {
-            *slot = true;
+            *word |= bit;
             self.len += 1;
             true
         }
@@ -98,9 +128,12 @@ impl InvitationSet {
     ///
     /// Panics if `v` is out of range.
     pub fn remove(&mut self, v: NodeId) -> bool {
-        let slot = &mut self.mask[v.index()];
-        if *slot {
-            *slot = false;
+        let i = v.index();
+        assert!(i < self.capacity, "node {i} out of range for capacity {}", self.capacity);
+        let word = &mut self.words[i / WORD_BITS];
+        let bit = 1u64 << (i % WORD_BITS);
+        if *word & bit != 0 {
+            *word &= !bit;
             self.len -= 1;
             true
         } else {
@@ -110,12 +143,25 @@ impl InvitationSet {
 
     /// Iterates over the members in ascending id order.
     pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.mask.iter().enumerate().filter(|(_, &m)| m).map(|(i, _)| NodeId::new(i))
+        self.words.iter().enumerate().flat_map(|(wi, &word)| {
+            let mut rest = word;
+            std::iter::from_fn(move || {
+                if rest == 0 {
+                    return None;
+                }
+                let bit = rest.trailing_zeros() as usize;
+                rest &= rest - 1;
+                Some(NodeId::new(wi * WORD_BITS + bit))
+            })
+        })
     }
 
     /// Whether `other ⊆ self`.
     pub fn is_superset_of(&self, other: &InvitationSet) -> bool {
-        other.iter().all(|v| self.contains(v))
+        other.words.iter().enumerate().all(|(i, &o)| {
+            let s = self.words.get(i).copied().unwrap_or(0);
+            o & !s == 0
+        })
     }
 
     /// The members as a sorted vector.
@@ -197,5 +243,38 @@ mod tests {
         s.extend([NodeId::new(1), NodeId::new(2)]);
         s.extend([NodeId::new(2), NodeId::new(3)]);
         assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn crosses_word_boundaries() {
+        let n = 200;
+        let mut s = InvitationSet::empty(n);
+        for i in [0usize, 63, 64, 65, 127, 128, 199] {
+            assert!(s.insert(NodeId::new(i)));
+            assert!(s.contains(NodeId::new(i)));
+        }
+        assert_eq!(s.len(), 7);
+        let ids: Vec<usize> = s.iter().map(|v| v.index()).collect();
+        assert_eq!(ids, vec![0, 63, 64, 65, 127, 128, 199]);
+        let full = InvitationSet::full(n);
+        assert_eq!(full.len(), n);
+        assert!(full.is_superset_of(&s));
+        assert_eq!(full.iter().count(), n);
+    }
+
+    #[test]
+    fn full_masks_tail_bits() {
+        // Equality is word-wise: full(65) built by insertion must equal
+        // the constructor's output bit for bit.
+        let built = InvitationSet::from_nodes(65, (0..65).map(NodeId::new));
+        assert_eq!(built, InvitationSet::full(65));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn contains_out_of_range_panics() {
+        // Index 5 lands inside the allocated word but beyond capacity.
+        let s = InvitationSet::empty(4);
+        let _ = s.contains(NodeId::new(5));
     }
 }

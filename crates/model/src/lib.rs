@@ -19,8 +19,9 @@
 //! * [`bounds`] — the Chernoff machinery (eq. 9) and the realization
 //!   budget `l*` (eq. 16);
 //! * [`sampler`] — batched (optionally multi-threaded) reverse sampling
-//!   used to build the realization pool `B_l` consumed by the RAF
-//!   algorithm.
+//!   into the flat arena [`sampler::PathPool`]: the realization pool
+//!   `B_l` consumed by the RAF algorithm, stored CSR-style with
+//!   identical paths deduplicated under multiplicities.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -45,6 +46,7 @@ pub use invitation::InvitationSet;
 pub mod prelude {
     pub use crate::acceptance::estimate_acceptance;
     pub use crate::pmax::{estimate_pmax_dklr, estimate_pmax_fixed, PmaxEstimate};
-    pub use crate::reverse::{sample_target_path, TargetPath, WalkOutcome};
+    pub use crate::reverse::{sample_target_path, sample_walk_into, TargetPath, WalkOutcome};
+    pub use crate::sampler::{sample_pool, sample_pool_parallel, PathPool};
     pub use crate::{FriendingInstance, InvitationSet, ModelError};
 }

@@ -93,37 +93,58 @@ impl TargetPath {
 /// # }
 /// ```
 pub fn sample_target_path<R: Rng>(instance: &FriendingInstance<'_>, rng: &mut R) -> TargetPath {
+    let mut buf = Vec::new();
+    let outcome = sample_walk_into(instance, rng, &mut buf);
+    TargetPath { nodes: buf.into_iter().map(|id| NodeId::new(id as usize)).collect(), outcome }
+}
+
+/// Allocation-free variant of [`sample_target_path`]: appends the walked
+/// node ids (as raw `u32` indices, `t` first) to `buf` and returns the
+/// walk's outcome. The hot path of the arena pool sampler — callers keep
+/// type-1 suffixes in place and truncate type-0 suffixes away, so a whole
+/// pool is built with zero per-walk allocations.
+///
+/// Only the nodes appended by *this* call (i.e. `buf[start..]` where
+/// `start` is `buf.len()` at entry) form the walk; earlier buffer contents
+/// are ignored by the cycle check.
+pub fn sample_walk_into<R: Rng>(
+    instance: &FriendingInstance<'_>,
+    rng: &mut R,
+    buf: &mut Vec<u32>,
+) -> WalkOutcome {
     let g = instance.graph();
-    let mut nodes = vec![instance.target()];
+    let start = buf.len();
+    buf.push(instance.target().index() as u32);
     // Walks are short in practice; membership is a linear scan with a
     // hash-set upgrade for pathological walks. (An O(n) visited buffer
     // per walk would dominate the whole pipeline on large graphs.)
-    let mut overflow: Option<std::collections::HashSet<NodeId>> = None;
+    let mut overflow: Option<std::collections::HashSet<u32>> = None;
     const SCAN_LIMIT: usize = 64;
     let mut current = instance.target();
     loop {
         match g.select_with(current, rng.gen::<f64>()) {
             // Line 5: g(u*) = ℵ0 — dangling.
-            None => return TargetPath { nodes, outcome: WalkOutcome::Dangling },
+            None => return WalkOutcome::Dangling,
             Some(next) => {
+                let next_id = next.index() as u32;
                 // Line 6: cycle.
                 let revisited = match &overflow {
-                    Some(set) => set.contains(&next),
-                    None => nodes.contains(&next),
+                    Some(set) => set.contains(&next_id),
+                    None => buf[start..].contains(&next_id),
                 };
                 if revisited {
-                    return TargetPath { nodes, outcome: WalkOutcome::Cycle };
+                    return WalkOutcome::Cycle;
                 }
                 // Line 7: reached N_s — success, seed not recorded.
                 if instance.is_seed(next) {
-                    return TargetPath { nodes, outcome: WalkOutcome::ReachedSeed };
+                    return WalkOutcome::ReachedSeed;
                 }
                 // Line 8: extend the walk.
-                nodes.push(next);
-                if overflow.is_none() && nodes.len() > SCAN_LIMIT {
-                    overflow = Some(nodes.iter().copied().collect());
+                buf.push(next_id);
+                if overflow.is_none() && buf.len() - start > SCAN_LIMIT {
+                    overflow = Some(buf[start..].iter().copied().collect());
                 } else if let Some(set) = &mut overflow {
-                    set.insert(next);
+                    set.insert(next_id);
                 }
                 current = next;
             }

@@ -1,32 +1,207 @@
-//! Batched (optionally multi-threaded) reverse sampling.
+//! Batched (optionally multi-threaded) reverse sampling into a flat
+//! arena pool.
 //!
 //! Builds the realization pool `B_l` consumed by RAF's framework (Alg. 3
-//! line 2): `l` backward walks, with the type-1 paths kept. For large `l`
-//! the work is embarrassingly parallel; threads each use an independently
-//! seeded RNG so runs remain reproducible for a fixed master seed and
-//! thread count.
+//! line 2): `l` backward walks, with the type-1 paths kept. The pool is a
+//! CSR-style arena — one flat `Vec<u32>` of node ids plus an offset table
+//! — rather than a `Vec` of per-path `Vec`s, so sampling performs **zero
+//! per-walk heap allocations**: each walk is appended in place by
+//! [`crate::reverse::sample_walk_into`] and truncated away again when it
+//! turns out type-0.
+//!
+//! For large `l` the work is embarrassingly parallel; threads each use an
+//! independently seeded RNG, fill a private flat buffer, and the buffers
+//! are concatenated in thread-index order — determinism by construction,
+//! with no mutex and no global sort of the sampled paths. Backward walks
+//! on social graphs repeat heavily, so identical paths are deduplicated
+//! with multiplicities during pool assembly: estimators stay exact (every
+//! count is multiplicity-weighted) while the cover instance the solvers
+//! see shrinks by up to an order of magnitude.
 
-use crate::reverse::{sample_target_path, TargetPath};
+use crate::reverse::{sample_walk_into, WalkOutcome};
 use crate::FriendingInstance;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::sync::Mutex;
 
-/// A pool of sampled backward walks: the `B_l` of the paper, partitioned
-/// into the type-1 paths (kept, with multiplicity) and a count of type-0
-/// walks.
-#[derive(Debug, Clone)]
-pub struct RealizationPool {
-    /// The type-1 target paths `t(g)` (the `B¹_l` of the paper).
-    pub type1_paths: Vec<TargetPath>,
+/// Below this many walks, [`sample_pool_parallel`] always runs the
+/// sequential sampler regardless of the requested thread count: thread
+/// startup would dominate the sampling itself, and keeping the fallback
+/// thread-count-independent means small pools are byte-identical for
+/// every `threads` value (only the master seed matters).
+pub const PARALLEL_THRESHOLD: u64 = 4_096;
+
+/// A pool of sampled backward walks: the `B_l` of the paper, with the
+/// type-1 paths `t(g)` (the `B¹_l`) stored deduplicated in a flat arena
+/// and the type-0 walks tallied by outcome.
+///
+/// Layout: unique path `i` occupies `nodes[offsets[i]..offsets[i+1]]`
+/// (walk order: `t` first, then each selected predecessor) and was
+/// sampled `multiplicity[i]` times. Unique paths are sorted
+/// lexicographically by node sequence, so pool contents are canonical for
+/// a fixed sampled multiset of walks. All counting queries —
+/// [`type1_count`](PathPool::type1_count),
+/// [`coverage`](PathPool::coverage),
+/// [`covered_count`](PathPool::covered_count),
+/// [`pmax_estimate`](PathPool::pmax_estimate) — are multiplicity-weighted
+/// and therefore exactly equal to what a duplicated per-`Vec` pool would
+/// report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathPool {
+    /// Concatenated node ids of the unique type-1 paths.
+    nodes: Vec<u32>,
+    /// CSR offsets into `nodes`; `offsets.len() == unique_count() + 1`.
+    offsets: Vec<u32>,
+    /// How many sampled walks produced each unique path.
+    multiplicity: Vec<u32>,
     /// Number of walks sampled in total (`l`).
-    pub total_samples: u64,
+    total_samples: u64,
+    /// Σ multiplicity: the `|B¹_l|` of the paper.
+    type1_total: u64,
+    /// Type-0 walks that dangled on `ℵ0` (Lemma 2 case a).
+    dangling: u64,
+    /// Type-0 walks that closed a cycle (Lemma 2 case b).
+    cycles: u64,
 }
 
-impl RealizationPool {
-    /// `|B¹_l|`: the number of type-1 realizations in the pool.
+impl PathPool {
+    /// An empty pool that observed `total_samples` walks, none type-1.
+    fn empty(total_samples: u64, dangling: u64, cycles: u64) -> Self {
+        PathPool {
+            nodes: Vec::new(),
+            offsets: vec![0],
+            multiplicity: Vec::new(),
+            total_samples,
+            type1_total: 0,
+            dangling,
+            cycles,
+        }
+    }
+
+    /// Assembles a pool from per-thread walk buffers, concatenating them
+    /// in the given order and deduplicating identical paths.
+    fn assemble(buffers: Vec<WalkBuffer>, total_samples: u64) -> Self {
+        let dangling = buffers.iter().map(|b| b.dangling).sum();
+        let cycles = buffers.iter().map(|b| b.cycles).sum();
+        // Concatenate in thread-index order (deterministic for a fixed
+        // (seed, threads); a single buffer is moved, not copied).
+        let (raw_nodes, raw_offsets) = match buffers.len() {
+            0 => (Vec::new(), vec![0u32]),
+            1 => {
+                let b = buffers.into_iter().next().expect("one buffer");
+                (b.nodes, b.offsets)
+            }
+            _ => {
+                let total: usize = buffers.iter().map(|b| b.nodes.len()).sum();
+                assert!(total <= u32::MAX as usize, "pool arena overflows u32 offsets");
+                let paths: usize = buffers.iter().map(|b| b.offsets.len() - 1).sum();
+                let mut nodes = Vec::with_capacity(total);
+                let mut offsets = Vec::with_capacity(paths + 1);
+                offsets.push(0u32);
+                for b in buffers {
+                    let base = nodes.len() as u32;
+                    nodes.extend_from_slice(&b.nodes);
+                    offsets.extend(b.offsets[1..].iter().map(|&o| base + o));
+                }
+                (nodes, offsets)
+            }
+        };
+        let k = raw_offsets.len() - 1;
+        if k == 0 {
+            return PathPool::empty(total_samples, dangling, cycles);
+        }
+        let slice = |i: u32| -> &[u32] {
+            &raw_nodes[raw_offsets[i as usize] as usize..raw_offsets[i as usize + 1] as usize]
+        };
+        // Dedup with multiplicity: sort path *indices* by content (no
+        // per-path allocation) and run-length encode into the final
+        // arena. The sorted order doubles as the pool's canonical order.
+        let mut order: Vec<u32> = (0..k as u32).collect();
+        order.sort_unstable_by(|&a, &b| slice(a).cmp(slice(b)));
+        let mut nodes = Vec::with_capacity(raw_nodes.len());
+        let mut offsets = Vec::with_capacity(k + 1);
+        offsets.push(0u32);
+        let mut multiplicity: Vec<u32> = Vec::new();
+        let mut prev: Option<&[u32]> = None;
+        for &id in &order {
+            let path = slice(id);
+            if prev == Some(path) {
+                *multiplicity.last_mut().expect("run in progress") += 1;
+            } else {
+                nodes.extend_from_slice(path);
+                offsets.push(nodes.len() as u32);
+                multiplicity.push(1);
+                prev = Some(path);
+            }
+        }
+        nodes.shrink_to_fit();
+        PathPool {
+            nodes,
+            offsets,
+            multiplicity,
+            total_samples,
+            type1_total: k as u64,
+            dangling,
+            cycles,
+        }
+    }
+
+    /// Number of distinct type-1 paths stored in the arena.
+    #[inline]
+    pub fn unique_count(&self) -> usize {
+        self.multiplicity.len()
+    }
+
+    /// `|B¹_l|`: the number of type-1 realizations in the pool, counting
+    /// multiplicity (i.e. the number of *sampled walks* that were type-1,
+    /// exactly as in the un-deduplicated pool).
+    #[inline]
     pub fn type1_count(&self) -> usize {
-        self.type1_paths.len()
+        self.type1_total as usize
+    }
+
+    /// Number of walks sampled in total (`l`).
+    #[inline]
+    pub fn total_samples(&self) -> u64 {
+        self.total_samples
+    }
+
+    /// Type-0 walks that dangled on `ℵ0` (Lemma 2 case a).
+    #[inline]
+    pub fn dangling_count(&self) -> u64 {
+        self.dangling
+    }
+
+    /// Type-0 walks that closed a cycle (Lemma 2 case b).
+    #[inline]
+    pub fn cycle_count(&self) -> u64 {
+        self.cycles
+    }
+
+    /// The `i`-th unique path as raw node indices (`t` first, walk
+    /// order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= unique_count()`.
+    #[inline]
+    pub fn path(&self, i: usize) -> &[u32] {
+        &self.nodes[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// How many sampled walks produced unique path `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= unique_count()`.
+    #[inline]
+    pub fn multiplicity(&self, i: usize) -> u32 {
+        self.multiplicity[i]
+    }
+
+    /// Iterates over `(path, multiplicity)` for every unique path, in the
+    /// pool's canonical (lexicographic) order.
+    pub fn iter(&self) -> impl Iterator<Item = (&[u32], u32)> + '_ {
+        (0..self.unique_count()).map(|i| (self.path(i), self.multiplicity[i]))
     }
 
     /// The pool's implied `p_max` estimate `|B¹_l| / l`.
@@ -34,12 +209,26 @@ impl RealizationPool {
         if self.total_samples == 0 {
             0.0
         } else {
-            self.type1_count() as f64 / self.total_samples as f64
+            self.type1_total as f64 / self.total_samples as f64
         }
     }
 
+    /// Number of sampled type-1 walks covered by `I` (the `F(B_l, I)` of
+    /// the paper), counting multiplicity. One pass over the arena with
+    /// packed-bitset membership probes.
+    pub fn covered_count(&self, invitations: &crate::InvitationSet) -> usize {
+        let mut covered = 0u64;
+        for (path, mult) in self.iter() {
+            if path.iter().all(|&v| invitations.contains_index(v as usize)) {
+                covered += u64::from(mult);
+            }
+        }
+        covered as usize
+    }
+
     /// Estimates `f(I)` against this pool: the fraction of all sampled
-    /// walks covered by `I` (Corollary 1 applied to a fixed sample).
+    /// walks covered by `I` (Corollary 1 applied to a fixed sample),
+    /// implemented as [`covered_count`](Self::covered_count) over `l`.
     ///
     /// Evaluating many invitation sets against *one* pool is both faster
     /// than resampling per set and statistically paired (common random
@@ -49,73 +238,106 @@ impl RealizationPool {
         if self.total_samples == 0 {
             return 0.0;
         }
-        let covered = self.type1_paths.iter().filter(|tp| tp.covered_by(invitations)).count();
-        covered as f64 / self.total_samples as f64
+        self.covered_count(invitations) as f64 / self.total_samples as f64
     }
 
-    /// Number of type-1 paths covered by `I` (the `F(B_l, I)` of the
-    /// paper).
-    pub fn covered_count(&self, invitations: &crate::InvitationSet) -> usize {
-        self.type1_paths.iter().filter(|tp| tp.covered_by(invitations)).count()
+    /// Decomposes the pool into its flat parts `(nodes, offsets,
+    /// multiplicity)` — the zero-copy handoff used by
+    /// `raf_cover::CoverInstance::from_path_pool`.
+    pub fn into_flat_parts(self) -> (Vec<u32>, Vec<u32>, Vec<u32>) {
+        (self.nodes, self.offsets, self.multiplicity)
+    }
+}
+
+/// A thread-private flat walk buffer: type-1 walks are appended to
+/// `nodes` in place; type-0 suffixes are truncated away immediately.
+struct WalkBuffer {
+    nodes: Vec<u32>,
+    offsets: Vec<u32>,
+    dangling: u64,
+    cycles: u64,
+}
+
+impl WalkBuffer {
+    fn new() -> Self {
+        WalkBuffer { nodes: Vec::new(), offsets: vec![0], dangling: 0, cycles: 0 }
+    }
+
+    /// Samples one backward walk directly into the buffer.
+    fn sample<R: Rng>(&mut self, instance: &FriendingInstance<'_>, rng: &mut R) {
+        let start = self.nodes.len();
+        match sample_walk_into(instance, rng, &mut self.nodes) {
+            WalkOutcome::ReachedSeed => {
+                // Hard assert (not debug): a u32 overflow would silently
+                // corrupt every later path slice.
+                assert!(self.nodes.len() <= u32::MAX as usize, "walk arena overflows u32 offsets");
+                self.offsets.push(self.nodes.len() as u32)
+            }
+            WalkOutcome::Dangling => {
+                self.nodes.truncate(start);
+                self.dangling += 1;
+            }
+            WalkOutcome::Cycle => {
+                self.nodes.truncate(start);
+                self.cycles += 1;
+            }
+        }
     }
 }
 
 /// Samples `l` backward walks sequentially, keeping the type-1 paths.
-pub fn sample_pool<R: Rng>(
-    instance: &FriendingInstance<'_>,
-    l: u64,
-    rng: &mut R,
-) -> RealizationPool {
-    let mut type1_paths = Vec::new();
+pub fn sample_pool<R: Rng>(instance: &FriendingInstance<'_>, l: u64, rng: &mut R) -> PathPool {
+    let mut buf = WalkBuffer::new();
     for _ in 0..l {
-        let tp = sample_target_path(instance, rng);
-        if tp.is_type1() {
-            type1_paths.push(tp);
-        }
+        buf.sample(instance, rng);
     }
-    RealizationPool { type1_paths, total_samples: l }
+    PathPool::assemble(vec![buf], l)
 }
 
 /// Samples `l` backward walks across `threads` worker threads.
 ///
 /// Thread `i` runs with `StdRng::seed_from_u64(master_seed ⊕ splitmix(i))`
-/// and samples a fixed share of the `l` walks, so the result distribution
-/// is identical to the sequential sampler and reproducible for fixed
-/// `(master_seed, threads)`.
+/// and samples a fixed share of the `l` walks into a private flat buffer;
+/// the buffers are concatenated in thread-index order before pool
+/// assembly, so the result is reproducible for a fixed
+/// `(master_seed, threads)` with no locking and no post-hoc sort of the
+/// sampled walks.
+///
+/// **Fallback boundary:** when `threads == 1` *or*
+/// `l < `[`PARALLEL_THRESHOLD`], the sequential sampler runs with
+/// `master_seed` directly. Below the threshold the pool is therefore
+/// *identical for every thread count* — `threads ∈ {1, 2, 4}` all return
+/// the `threads == 1` pool. At or above the threshold, different thread
+/// counts sample different (equally distributed) walk multisets.
 pub fn sample_pool_parallel(
     instance: &FriendingInstance<'_>,
     l: u64,
     master_seed: u64,
     threads: usize,
-) -> RealizationPool {
+) -> PathPool {
     let threads = threads.max(1);
-    if threads == 1 || l < 4_096 {
+    if threads == 1 || l < PARALLEL_THRESHOLD {
         let mut rng = StdRng::seed_from_u64(master_seed);
         return sample_pool(instance, l, &mut rng);
     }
-    let collected: Mutex<Vec<TargetPath>> = Mutex::new(Vec::new());
-    std::thread::scope(|scope| {
-        for i in 0..threads {
-            let share = l / threads as u64 + u64::from((l % threads as u64) > i as u64);
-            let collected = &collected;
-            let instance = &instance;
-            scope.spawn(move || {
-                let mut rng = StdRng::seed_from_u64(master_seed ^ splitmix64(i as u64 + 1));
-                let mut local = Vec::new();
-                for _ in 0..share {
-                    let tp = sample_target_path(instance, &mut rng);
-                    if tp.is_type1() {
-                        local.push(tp);
+    let buffers: Vec<WalkBuffer> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|i| {
+                let share = l / threads as u64 + u64::from((l % threads as u64) > i as u64);
+                let instance = &instance;
+                scope.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(master_seed ^ splitmix64(i as u64 + 1));
+                    let mut buf = WalkBuffer::new();
+                    for _ in 0..share {
+                        buf.sample(instance, &mut rng);
                     }
-                }
-                collected.lock().expect("sampler mutex poisoned").extend(local);
-            });
-        }
+                    buf
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("sampler thread panicked")).collect()
     });
-    let mut type1_paths = collected.into_inner().expect("sampler mutex poisoned");
-    // Deterministic order regardless of thread interleaving.
-    type1_paths.sort_by(|a, b| a.nodes.cmp(&b.nodes));
-    RealizationPool { type1_paths, total_samples: l }
+    PathPool::assemble(buffers, l)
 }
 
 /// SplitMix64 finalizer — decorrelates per-thread seeds.
@@ -143,10 +365,15 @@ mod tests {
         let inst = FriendingInstance::new(&g, NodeId::new(0), NodeId::new(4)).unwrap();
         let mut rng = StdRng::seed_from_u64(3);
         let pool = sample_pool(&inst, 10_000, &mut rng);
-        assert_eq!(pool.total_samples, 10_000);
+        assert_eq!(pool.total_samples(), 10_000);
         assert!(pool.type1_count() <= 10_000);
+        assert_eq!(pool.type1_count() as u64 + pool.dangling_count() + pool.cycle_count(), 10_000);
         // Closed form type-1 rate is 1/4 on this line.
         assert!((pool.pmax_estimate() - 0.25).abs() < 0.02);
+        // The only type-1 shape on the line is [4, 3, 2]: one unique path.
+        assert_eq!(pool.unique_count(), 1);
+        assert_eq!(pool.path(0), &[4, 3, 2]);
+        assert_eq!(pool.multiplicity(0) as usize, pool.type1_count());
     }
 
     #[test]
@@ -154,7 +381,7 @@ mod tests {
         let g = path_csr(5);
         let inst = FriendingInstance::new(&g, NodeId::new(0), NodeId::new(4)).unwrap();
         let pool = sample_pool_parallel(&inst, 40_000, 17, 4);
-        assert_eq!(pool.total_samples, 40_000);
+        assert_eq!(pool.total_samples(), 40_000);
         assert!((pool.pmax_estimate() - 0.25).abs() < 0.02, "rate {}", pool.pmax_estimate());
     }
 
@@ -165,17 +392,22 @@ mod tests {
         let a = sample_pool_parallel(&inst, 20_000, 99, 4);
         let b = sample_pool_parallel(&inst, 20_000, 99, 4);
         assert_eq!(a.type1_count(), b.type1_count());
-        assert_eq!(a.type1_paths, b.type1_paths);
+        assert_eq!(a, b);
     }
 
     #[test]
-    fn small_l_falls_back_to_sequential() {
+    fn below_threshold_is_thread_count_independent() {
+        // l < PARALLEL_THRESHOLD ⇒ every thread count takes the
+        // sequential fallback with the master seed: byte-identical pools.
         let g = path_csr(5);
         let inst = FriendingInstance::new(&g, NodeId::new(0), NodeId::new(4)).unwrap();
-        let par = sample_pool_parallel(&inst, 100, 5, 8);
+        let l = PARALLEL_THRESHOLD - 1;
         let mut rng = StdRng::seed_from_u64(5);
-        let seq = sample_pool(&inst, 100, &mut rng);
-        assert_eq!(par.type1_count(), seq.type1_count());
+        let seq = sample_pool(&inst, l, &mut rng);
+        for threads in [1usize, 2, 4, 8] {
+            let par = sample_pool_parallel(&inst, l, 5, threads);
+            assert_eq!(par, seq, "threads = {threads}");
+        }
     }
 
     #[test]
@@ -184,8 +416,10 @@ mod tests {
         let inst = FriendingInstance::new(&g, NodeId::new(0), NodeId::new(4)).unwrap();
         let mut rng = StdRng::seed_from_u64(1);
         let pool = sample_pool(&inst, 0, &mut rng);
-        assert_eq!(pool.total_samples, 0);
+        assert_eq!(pool.total_samples(), 0);
         assert_eq!(pool.pmax_estimate(), 0.0);
+        assert_eq!(pool.unique_count(), 0);
+        assert_eq!(pool.iter().count(), 0);
     }
 
     #[test]
@@ -212,15 +446,36 @@ mod tests {
         let big = crate::InvitationSet::full(5);
         assert!(pool.coverage(&small) <= pool.coverage(&big));
     }
+
     #[test]
     fn all_type1_paths_contain_target() {
         let g = path_csr(6);
         let inst = FriendingInstance::new(&g, NodeId::new(0), NodeId::new(5)).unwrap();
         let mut rng = StdRng::seed_from_u64(2);
         let pool = sample_pool(&inst, 5_000, &mut rng);
-        for tp in &pool.type1_paths {
-            assert_eq!(tp.nodes[0], NodeId::new(5));
-            assert!(tp.is_type1());
+        assert!(pool.unique_count() > 0);
+        for (path, mult) in pool.iter() {
+            assert_eq!(path[0], 5);
+            assert!(mult >= 1);
         }
+    }
+
+    #[test]
+    fn arena_paths_are_sorted_and_distinct() {
+        // Canonical order: unique paths strictly increasing
+        // lexicographically.
+        let mut b = GraphBuilder::new();
+        b.add_edges(vec![(0, 2), (2, 3), (3, 1), (0, 4), (4, 5), (5, 1)]).unwrap();
+        let g = b.build(WeightScheme::UniformByDegree).unwrap().to_csr();
+        let inst = FriendingInstance::new(&g, NodeId::new(0), NodeId::new(1)).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let pool = sample_pool(&inst, 30_000, &mut rng);
+        assert!(pool.unique_count() >= 2, "both routes should be sampled");
+        let paths: Vec<&[u32]> = (0..pool.unique_count()).map(|i| pool.path(i)).collect();
+        for w in paths.windows(2) {
+            assert!(w[0] < w[1], "paths out of order: {:?} !< {:?}", w[0], w[1]);
+        }
+        let total: u64 = (0..pool.unique_count()).map(|i| u64::from(pool.multiplicity(i))).sum();
+        assert_eq!(total as usize, pool.type1_count());
     }
 }

@@ -8,6 +8,8 @@
 //!           [--epsilon 0.01] [--budget 50000] [--seed 1] [--threads 1]
 //! raf max   --graph network.txt --s 3 --t 99 --k 10
 //!           [--realizations 50000] [--seed 1]
+//! raf bench-json [--out BENCH_sampling.json] [--nodes 10000]
+//!           [--walks 200000] [--seed 7] [--threads 1] [--reps 3]
 //! ```
 //!
 //! The graph file is a SNAP-style edge list (whitespace-separated ids,
@@ -51,6 +53,7 @@ fn dispatch(args: &CliArgs) -> Result<(), Box<dyn std::error::Error>> {
         "vmax" => cmd_vmax(args),
         "run" => cmd_run(args),
         "max" => cmd_max(args),
+        "bench-json" => cmd_bench_json(args),
         other => Err(format!("unknown command {other:?} (try --help)").into()),
     }
 }
@@ -146,6 +149,40 @@ fn cmd_max(args: &CliArgs) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+/// Measures legacy-vs-arena sampling+solve throughput on a generated
+/// powerlaw-cluster instance and writes the result as JSON (the repo's
+/// `BENCH_sampling.json` perf trajectory record).
+fn cmd_bench_json(args: &CliArgs) -> Result<(), Box<dyn std::error::Error>> {
+    use raf_bench::sampling::{run_sampling_bench, SamplingBenchConfig};
+    let out = args.get("out").unwrap_or("BENCH_sampling.json").to_string();
+    let config = SamplingBenchConfig {
+        nodes: args.get_or("nodes", 10_000)?,
+        walks: args.get_or("walks", 200_000)?,
+        seed: args.get_or("seed", 7)?,
+        threads: args.get_or("threads", 1)?,
+        reps: args.get_or("reps", 3)?,
+        beta: args.get_or("beta", 0.3)?,
+    };
+    eprintln!(
+        "benchmarking sampling+solve: {} nodes, {} walks, {} thread(s), {} rep(s)…",
+        config.nodes, config.walks, config.threads, config.reps
+    );
+    let report = run_sampling_bench(config);
+    let legacy_ms = (report.legacy_sample_ns + report.legacy_solve_ns) as f64 / 1e6;
+    let arena_ms = (report.arena_sample_ns + report.arena_solve_ns) as f64 / 1e6;
+    println!(
+        "legacy {legacy_ms:.1} ms, arena {arena_ms:.1} ms  →  speedup {:.2}x  \
+         (type-1 {} → {} unique, dedup {:.1}x)",
+        report.speedup(),
+        report.type1,
+        report.unique_paths,
+        report.dedup_factor(),
+    );
+    std::fs::write(&out, report.to_json())?;
+    println!("wrote {out}");
+    Ok(())
+}
+
 fn print_usage() {
     eprintln!(
         "raf — active friending toolkit (ICDCS 2019 reproduction)
@@ -157,6 +194,8 @@ USAGE:
   raf run   --graph <edge-list> --s <id> --t <id> --alpha A
             [--epsilon E] [--budget N] [--seed N] [--threads N]
   raf max   --graph <edge-list> --s <id> --t <id> --k BUDGET
-            [--realizations N] [--seed N]"
+            [--realizations N] [--seed N]
+  raf bench-json [--out FILE] [--nodes N] [--walks N] [--seed N]
+            [--threads N] [--reps N] [--beta B]"
     );
 }
