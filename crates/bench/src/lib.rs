@@ -21,6 +21,7 @@
 
 pub mod csv;
 pub mod experiments;
+pub mod history;
 pub mod sampling;
 
 mod config;

@@ -19,6 +19,7 @@
 //! pure data-structure comparison.
 
 use raf_cover::{ChlamtacPortfolio, CoverInstance, CoverSolution, MpuSolver};
+use raf_datasets::synthetic::{generate_topology, Topology};
 use raf_graph::{generators, CsrGraph, NodeId, WeightScheme};
 use raf_model::reverse::WalkOutcome;
 use raf_model::sampler::{sample_pool_parallel, PathPool};
@@ -28,10 +29,112 @@ use rand::SeedableRng;
 use std::sync::Mutex;
 use std::time::Instant;
 
+/// One cell of the benchmark scenario matrix: a topology family at a
+/// node scale, sampled with a thread count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scenario {
+    /// Graph family.
+    pub topology: Topology,
+    /// Requested node count.
+    pub nodes: usize,
+    /// Sampler threads.
+    pub threads: usize,
+}
+
+impl Scenario {
+    /// The canonical scenario name, e.g. `powerlaw_cluster_10k_t1` —
+    /// the key the bench history and the CI regression gate group by.
+    pub fn name(&self) -> String {
+        let scale = if self.nodes.is_multiple_of(1_000) {
+            format!("{}k", self.nodes / 1_000)
+        } else {
+            self.nodes.to_string()
+        };
+        format!("{}_{}_t{}", self.topology.name(), scale, self.threads)
+    }
+}
+
+/// The full scenario matrix: every topology family × {10k, 50k} nodes ×
+/// {1, 4} sampler threads.
+pub fn scenario_matrix() -> Vec<Scenario> {
+    let mut matrix = Vec::new();
+    for topology in Topology::ALL {
+        for nodes in [10_000usize, 50_000] {
+            for threads in [1usize, 4] {
+                matrix.push(Scenario { topology, nodes, threads });
+            }
+        }
+    }
+    matrix
+}
+
+/// The quick (CI-sized) matrix: the 10k-node slice of the full matrix.
+pub fn quick_matrix() -> Vec<Scenario> {
+    scenario_matrix().into_iter().filter(|s| s.nodes == 10_000).collect()
+}
+
+/// Finds a scenario in the full matrix by [`Scenario::name`].
+pub fn find_scenario(name: &str) -> Option<Scenario> {
+    scenario_matrix().into_iter().find(|s| s.name() == name)
+}
+
+/// Measurement profile: how heavy each scenario run is. `Quick` trades
+/// precision for CI wall-clock (fewer walks, fewer reps) and is tracked
+/// as a separate history lineage so full and quick runs never gate
+/// against each other.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BenchProfile {
+    /// Committed-history profile: 200k walks, best of 5.
+    Full,
+    /// CI regression profile: 30k walks, best of 2.
+    Quick,
+}
+
+impl BenchProfile {
+    /// The history-lineage label.
+    pub fn name(self) -> &'static str {
+        match self {
+            BenchProfile::Full => "full",
+            BenchProfile::Quick => "quick",
+        }
+    }
+
+    /// Walks per pipeline run.
+    pub fn walks(self) -> u64 {
+        match self {
+            BenchProfile::Full => 200_000,
+            BenchProfile::Quick => 30_000,
+        }
+    }
+
+    /// Timed repetitions per pipeline (minimum is reported).
+    pub fn reps(self) -> usize {
+        match self {
+            BenchProfile::Full => 5,
+            BenchProfile::Quick => 2,
+        }
+    }
+}
+
+/// The benchmark configuration for one scenario cell under a profile.
+pub fn scenario_config(scenario: Scenario, profile: BenchProfile) -> SamplingBenchConfig {
+    SamplingBenchConfig {
+        topology: scenario.topology,
+        nodes: scenario.nodes,
+        threads: scenario.threads,
+        walks: profile.walks(),
+        reps: profile.reps(),
+        profile: profile.name(),
+        ..Default::default()
+    }
+}
+
 /// Knobs of one pipeline comparison run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SamplingBenchConfig {
-    /// Nodes of the generated powerlaw-cluster graph.
+    /// Graph family of the generated workload.
+    pub topology: Topology,
+    /// Nodes of the generated graph.
     pub nodes: usize,
     /// Backward walks per pipeline run (`l`).
     pub walks: u64,
@@ -43,18 +146,29 @@ pub struct SamplingBenchConfig {
     pub reps: usize,
     /// Covering fraction `β` used to derive the cover requirement `p`.
     pub beta: f64,
+    /// History-lineage label (see [`BenchProfile`]).
+    pub profile: &'static str,
 }
 
 impl Default for SamplingBenchConfig {
     fn default() -> Self {
         SamplingBenchConfig {
+            topology: Topology::PowerlawCluster,
             nodes: 10_000,
             walks: 200_000,
             seed: 7,
             threads: 1,
-            reps: 3,
+            reps: 5,
             beta: 0.3,
+            profile: BenchProfile::Full.name(),
         }
+    }
+}
+
+impl SamplingBenchConfig {
+    /// The scenario cell this configuration measures.
+    pub fn scenario(&self) -> Scenario {
+        Scenario { topology: self.topology, nodes: self.nodes, threads: self.threads }
     }
 }
 
@@ -63,6 +177,9 @@ impl Default for SamplingBenchConfig {
 pub struct SamplingBenchReport {
     /// The configuration that produced this report.
     pub config: SamplingBenchConfig,
+    /// Actual nodes of the generated graph (the grid topology rounds the
+    /// requested `config.nodes` to its lattice dimensions).
+    pub nodes: usize,
     /// Edges of the generated graph.
     pub edges: usize,
     /// The screened `(s, t)` pair.
@@ -111,11 +228,15 @@ impl SamplingBenchReport {
     }
 
     /// Hand-rolled JSON rendering (the workspace's serde is an offline
-    /// no-op shim), stable field order, suitable for `BENCH_sampling.json`.
+    /// no-op shim), stable field order: one `BENCH_sampling.json` history
+    /// entry (see [`crate::history`]).
     pub fn to_json(&self) -> String {
         format!(
-            "{{\n  \"benchmark\": \"sampling_pipeline\",\n  \"graph\": {{ \"kind\": \"powerlaw_cluster\", \"nodes\": {}, \"edges\": {}, \"s\": {}, \"t\": {} }},\n  \"config\": {{ \"walks\": {}, \"seed\": {}, \"threads\": {}, \"reps\": {}, \"beta\": {} }},\n  \"pool\": {{ \"type1\": {}, \"unique_paths\": {}, \"dedup_factor\": {:.3}, \"pmax_estimate\": {:.6}, \"cover_p\": {} }},\n  \"legacy_ns\": {{ \"sample\": {}, \"solve\": {}, \"total\": {} }},\n  \"arena_ns\": {{ \"sample\": {}, \"solve\": {}, \"total\": {} }},\n  \"cost\": {{ \"legacy\": {}, \"arena\": {} }},\n  \"speedup\": {:.3}\n}}\n",
-            self.config.nodes,
+            "{{\n  \"scenario\": \"{}\",\n  \"profile\": \"{}\",\n  \"graph\": {{ \"kind\": \"{}\", \"nodes\": {}, \"edges\": {}, \"s\": {}, \"t\": {} }},\n  \"config\": {{ \"walks\": {}, \"seed\": {}, \"threads\": {}, \"reps\": {}, \"beta\": {} }},\n  \"pool\": {{ \"type1\": {}, \"unique_paths\": {}, \"dedup_factor\": {:.3}, \"pmax_estimate\": {:.6}, \"cover_p\": {} }},\n  \"legacy_ns\": {{ \"sample\": {}, \"solve\": {}, \"total\": {} }},\n  \"arena_ns\": {{ \"sample\": {}, \"solve\": {}, \"total\": {} }},\n  \"cost\": {{ \"legacy\": {}, \"arena\": {} }},\n  \"speedup\": {:.3}\n}}\n",
+            self.config.scenario().name(),
+            self.config.profile,
+            self.config.topology.name(),
+            self.nodes,
             self.edges,
             self.pair.0,
             self.pair.1,
@@ -142,11 +263,10 @@ impl SamplingBenchReport {
     }
 }
 
-/// Builds the benchmark workload: a Holme–Kim powerlaw-cluster graph and
-/// a screened `(s, t)` pair. Screens a small batch per the paper's
-/// `p_max ≥ 0.01` protocol and keeps the highest-`p_max` pair — the
-/// representative hot workload (a well-connected target is where pools
-/// are type-1-rich and the cover phase does real work).
+/// Builds the classic benchmark workload: a Holme–Kim powerlaw-cluster
+/// graph and a screened `(s, t)` pair (kept as-is so the criterion bench
+/// and the historical `powerlaw_cluster_10k_t1` entries stay comparable
+/// across PRs).
 pub fn workload(nodes: usize, seed: u64) -> (CsrGraph, NodeId, NodeId) {
     let mut rng = StdRng::seed_from_u64(seed);
     let csr = generators::powerlaw_cluster(nodes, 2, 0.3, &mut rng)
@@ -154,6 +274,31 @@ pub fn workload(nodes: usize, seed: u64) -> (CsrGraph, NodeId, NodeId) {
         .build(WeightScheme::UniformByDegree)
         .expect("generator emits a valid graph")
         .to_csr();
+    screened_pair(csr, seed)
+}
+
+/// Builds the workload for any scenario topology: generate the graph,
+/// then screen a small pair batch per the paper's `p_max ≥ 0.01`
+/// protocol and keep the highest-`p_max` pair — the representative hot
+/// workload (a well-connected target is where pools are type-1-rich and
+/// the cover phase does real work).
+pub fn scenario_workload(
+    topology: Topology,
+    nodes: usize,
+    seed: u64,
+) -> (CsrGraph, NodeId, NodeId) {
+    if topology == Topology::PowerlawCluster {
+        // The classic workload generates from the bare seed (not the
+        // topology-hashed one); keep its graphs byte-identical.
+        return workload(nodes, seed);
+    }
+    let csr = generate_topology(topology, nodes, seed)
+        .expect("valid scenario topology parameters")
+        .to_csr();
+    screened_pair(csr, seed)
+}
+
+fn screened_pair(csr: CsrGraph, seed: u64) -> (CsrGraph, NodeId, NodeId) {
     let pairs = raf_datasets::sample_pairs(
         &csr,
         &raf_datasets::PairSamplerConfig {
@@ -183,13 +328,17 @@ pub struct LegacyPool {
 /// scattered across an offset table, a totals table, and a uniform-flag
 /// table (the layout this PR replaced with one packed record per node).
 ///
-/// Selections are bit-identical to the packed graph on uniform-weight
-/// nodes (totals are copied verbatim and the uniform fast path divides
-/// the same values) — which covers every node of the bench workload's
-/// `UniformByDegree` scheme. On non-uniform nodes the cumulative table
-/// is *reconstructed* from rounded `in_weight` differences and may
-/// diverge from the original in the last ulps at bucket boundaries;
-/// don't rely on exact walk parity for non-uniform weight schemes.
+/// Selections replicate the pre-arena arithmetic verbatim: the uniform
+/// fast path computes `⌊(r / total) · d⌋`, while the packed graph now
+/// precomputes `⌊r · (d / total)⌋`. The two double-rounded products
+/// agree except when a draw lands within an ulp of a bucket boundary on
+/// a node whose `total ≠ 1.0` (probability ~1e-16 per draw), so walk
+/// parity with the live sampler is exact in practice and *deterministic*
+/// under the fixed seeds the equivalence tests use — but it is no longer
+/// bit-guaranteed by construction. On non-uniform nodes the cumulative
+/// table is *reconstructed* from rounded `in_weight` differences and may
+/// likewise diverge in the last ulps at bucket boundaries; don't rely on
+/// exact walk parity for non-uniform weight schemes.
 pub struct LegacyCsr {
     offsets: Vec<usize>,
     neighbors: Vec<NodeId>,
@@ -383,7 +532,7 @@ pub fn arena_solve(universe: usize, pool: PathPool, beta: f64) -> CoverSolution 
 /// Runs the full comparison: both pipelines `reps` times each on the same
 /// workload, reporting best-of-reps phase timings and solution costs.
 pub fn run_sampling_bench(config: SamplingBenchConfig) -> SamplingBenchReport {
-    let (csr, s, t) = workload(config.nodes, config.seed);
+    let (csr, s, t) = scenario_workload(config.topology, config.nodes, config.seed);
     let instance = FriendingInstance::new(&csr, s, t).expect("screened pair is valid");
     let n = csr.node_count();
     let legacy_csr = LegacyCsr::from_csr(&csr);
@@ -428,6 +577,7 @@ pub fn run_sampling_bench(config: SamplingBenchConfig) -> SamplingBenchReport {
 
     SamplingBenchReport {
         config,
+        nodes: csr.node_count(),
         edges: csr.edge_count(),
         pair: (s.index(), t.index()),
         type1,
@@ -447,28 +597,25 @@ pub fn run_sampling_bench(config: SamplingBenchConfig) -> SamplingBenchReport {
 mod tests {
     use super::*;
 
-    #[test]
-    fn pipelines_agree_on_pool_statistics() {
-        let cfg = SamplingBenchConfig {
-            nodes: 400,
-            walks: 20_000,
-            seed: 3,
-            threads: 1,
-            reps: 1,
-            beta: 0.3,
-        };
-        let (csr, s, t) = workload(cfg.nodes, cfg.seed);
+    /// Legacy sort-dedup vs arena streaming interner: exact multiset
+    /// equality of `(path, multiplicity)` pairs for one `(seed, threads)`
+    /// walk multiset.
+    fn assert_pipelines_agree(nodes: usize, walks: u64, seed: u64, threads: usize) {
+        let (csr, s, t) = workload(nodes, seed);
         let instance = FriendingInstance::new(&csr, s, t).unwrap();
         let legacy_csr = LegacyCsr::from_csr(&csr);
-        let legacy = legacy_sample_pool(&instance, &legacy_csr, cfg.walks, cfg.seed, cfg.threads);
-        let arena = arena_sample_pool(&instance, cfg.walks, cfg.seed, cfg.threads);
-        // Same seeds ⇒ the exact same walk multiset.
-        assert_eq!(legacy.type1_paths.len(), arena.type1_count());
+        let legacy = legacy_sample_pool(&instance, &legacy_csr, walks, seed, threads);
+        let arena = arena_sample_pool(&instance, walks, seed, threads);
+        // Same seeds ⇒ the exact same walk multiset ⇒ identical pmax.
+        assert_eq!(legacy.type1_paths.len(), arena.type1_count(), "threads={threads}");
+        let legacy_pmax = legacy.type1_paths.len() as f64 / walks as f64;
+        assert_eq!(arena.pmax_estimate(), legacy_pmax, "threads={threads}");
         let total: usize = arena.iter().map(|(_, m)| m as usize).sum();
         assert_eq!(total, arena.type1_count());
         // Legacy-with-duplicates vs arena sorted-unique: sorting the
-        // legacy walks (the sequential legacy path is unsorted, as in the
-        // pre-arena code) and run-length encoding must equal the arena.
+        // legacy walks (the multi-threaded legacy path is pre-sorted, the
+        // sequential one unsorted, as in the pre-arena code) and
+        // run-length encoding must equal the arena.
         let mut as_u32: Vec<Vec<u32>> = legacy
             .type1_paths
             .iter()
@@ -482,10 +629,74 @@ mod tests {
                 _ => runs.push((p.as_slice(), 1)),
             }
         }
-        assert_eq!(runs.len(), arena.unique_count());
+        assert_eq!(runs.len(), arena.unique_count(), "threads={threads}");
         for (i, (path, count)) in runs.iter().enumerate() {
-            assert_eq!(*path, arena.path(i));
-            assert_eq!(*count, arena.multiplicity(i) as usize);
+            assert_eq!(*path, arena.path(i), "threads={threads}");
+            assert_eq!(*count, arena.multiplicity(i) as usize, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn pipelines_agree_on_pool_statistics() {
+        assert_pipelines_agree(400, 20_000, 3, 1);
+    }
+
+    #[test]
+    fn pipelines_agree_across_thread_counts_and_seeds() {
+        // l ≥ PARALLEL_THRESHOLD so threads > 1 exercises the per-thread
+        // interner merge against the legacy mutex-and-sort aggregation,
+        // including whatever RAF_THREADS the CI matrix sets.
+        let env = raf_model::sampler::threads_from_env();
+        for seed in [3u64, 11] {
+            for threads in [1usize, 2, 4, env] {
+                assert_pipelines_agree(400, 20_000, seed, threads);
+            }
+        }
+    }
+
+    #[test]
+    fn scenario_matrix_covers_the_spec() {
+        let matrix = scenario_matrix();
+        assert_eq!(matrix.len(), Topology::ALL.len() * 2 * 2);
+        let names: std::collections::HashSet<String> = matrix.iter().map(Scenario::name).collect();
+        assert_eq!(names.len(), matrix.len(), "scenario names collide");
+        for required in [
+            "powerlaw_cluster_10k_t1",
+            "powerlaw_cluster_50k_t4",
+            "erdos_renyi_10k_t1",
+            "erdos_renyi_50k_t4",
+            "grid_10k_t4",
+            "ring_50k_t1",
+        ] {
+            assert!(names.contains(required), "matrix lacks {required}");
+            assert!(find_scenario(required).is_some());
+        }
+        assert!(find_scenario("no_such_scenario").is_none());
+        assert!(quick_matrix().iter().all(|s| s.nodes == 10_000));
+        assert_eq!(quick_matrix().len(), Topology::ALL.len() * 2);
+    }
+
+    #[test]
+    fn scenario_workloads_are_runnable() {
+        // Every topology must survive screening and yield a feasible
+        // bench config at small scale (smoke test for the matrix).
+        for topology in Topology::ALL {
+            let config = SamplingBenchConfig {
+                topology,
+                nodes: 400,
+                walks: 6_000,
+                seed: 3,
+                reps: 1,
+                ..Default::default()
+            };
+            let report = run_sampling_bench(config);
+            assert!(report.type1 > 0, "{}: empty pool", topology.name());
+            assert_eq!(
+                report.legacy_cost,
+                report.arena_cost,
+                "{}: pipelines disagree",
+                topology.name()
+            );
         }
     }
 
@@ -495,9 +706,8 @@ mod tests {
             nodes: 400,
             walks: 8_000,
             seed: 3,
-            threads: 1,
             reps: 1,
-            beta: 0.3,
+            ..Default::default()
         };
         let report = run_sampling_bench(cfg);
         assert!(report.type1 > 0);
@@ -507,5 +717,28 @@ mod tests {
         assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert!(json.contains("\"speedup\""));
+        // The entry parses with the history JSON reader and carries the
+        // scenario/profile keys the regression gate groups by.
+        let value = crate::history::parse_json(&json).unwrap();
+        assert_eq!(
+            value.get("scenario").and_then(crate::history::JsonValue::as_str),
+            Some("powerlaw_cluster_400_t1")
+        );
+        assert_eq!(value.get("profile").and_then(crate::history::JsonValue::as_str), Some("full"));
+        assert!(value.path_f64(&["arena_ns", "total"]).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn scenario_config_applies_profile() {
+        let s = find_scenario("erdos_renyi_10k_t4").unwrap();
+        let quick = scenario_config(s, BenchProfile::Quick);
+        assert_eq!(quick.walks, BenchProfile::Quick.walks());
+        assert_eq!(quick.reps, BenchProfile::Quick.reps());
+        assert_eq!(quick.threads, 4);
+        assert_eq!(quick.profile, "quick");
+        assert_eq!(quick.scenario(), s);
+        let full = scenario_config(s, BenchProfile::Full);
+        assert_eq!(full.walks, 200_000);
+        assert_eq!(full.profile, "full");
     }
 }

@@ -10,10 +10,83 @@
 //!   attachment (avg degree 5.54 is non-integer).
 
 use crate::{Dataset, DatasetSpec};
-use raf_graph::generators::powerlaw_cluster;
+use raf_graph::generators::{cycle_graph, erdos_renyi_gnp, grid_graph, powerlaw_cluster};
 use raf_graph::{GraphBuilder, GraphError, SocialGraph, WeightScheme};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// A named synthetic topology family, sized by node count — the workload
+/// axis of the benchmark scenario matrix (`raf bench-json`).
+///
+/// Unlike the Table-I [`Dataset`] stand-ins (which are calibrated to the
+/// paper's datasets), these are *structural* families: a clustered
+/// heavy-tailed graph, a homogeneous random graph, and two deterministic
+/// lattices, which stress the reverse sampler in qualitatively different
+/// ways (hub-concentrated walks vs diffuse walks vs long thin walks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Topology {
+    /// Holme–Kim powerlaw-cluster graph (`m = 2`, triad probability 0.3):
+    /// heavy-tailed and clustered, the paper-like hot workload.
+    PowerlawCluster,
+    /// Erdős–Rényi `G(n, p)` with mean degree 8: homogeneous degrees, no
+    /// clustering.
+    ErdosRenyi,
+    /// Near-square 4-neighbor grid: deterministic, cycle-rich walks.
+    Grid,
+    /// Cycle graph: deterministic, the degenerate two-route topology.
+    Ring,
+}
+
+impl Topology {
+    /// All families, in scenario-matrix order.
+    pub const ALL: [Topology; 4] =
+        [Topology::PowerlawCluster, Topology::ErdosRenyi, Topology::Grid, Topology::Ring];
+
+    /// The snake_case scenario-name component.
+    pub fn name(self) -> &'static str {
+        match self {
+            Topology::PowerlawCluster => "powerlaw_cluster",
+            Topology::ErdosRenyi => "erdos_renyi",
+            Topology::Grid => "grid",
+            Topology::Ring => "ring",
+        }
+    }
+
+    /// Parses [`name`](Self::name) back into a family.
+    pub fn parse(name: &str) -> Option<Topology> {
+        Topology::ALL.into_iter().find(|t| t.name() == name)
+    }
+}
+
+/// Generates a [`Topology`] instance with (approximately, for the grid)
+/// `nodes` nodes. Deterministic per `(topology, nodes, seed)`; the
+/// lattices ignore the seed entirely.
+///
+/// # Errors
+///
+/// Propagates generator failures for degenerate sizes (e.g. a ring needs
+/// at least 3 nodes).
+pub fn generate_topology(
+    topology: Topology,
+    nodes: usize,
+    seed: u64,
+) -> Result<SocialGraph, GraphError> {
+    let mut rng = StdRng::seed_from_u64(seed ^ hash_name(topology.name()));
+    let builder = match topology {
+        Topology::PowerlawCluster => powerlaw_cluster(nodes, 2, 0.3, &mut rng)?,
+        Topology::ErdosRenyi => {
+            let p = (8.0 / (nodes.max(2) - 1) as f64).min(1.0);
+            erdos_renyi_gnp(nodes, p, &mut rng)?
+        }
+        Topology::Grid => {
+            let rows = (nodes as f64).sqrt().round().max(1.0) as usize;
+            let cols = nodes.div_ceil(rows);
+            grid_graph(rows, cols)?
+        }
+        Topology::Ring => cycle_graph(nodes)?,
+    };
+    builder.build(WeightScheme::UniformByDegree)
+}
 
 /// Generates the synthetic stand-in for `dataset` at the given `scale`
 /// (1.0 = Table I size; 0.1 = 10% of the nodes with matching density).
@@ -199,6 +272,50 @@ mod tests {
         let attached = b.edge_count() as f64 - (6 * 7 / 2) as f64;
         let per_node = attached / (n as f64 - 7.0);
         assert!((per_node - mean).abs() < 0.15, "mean attachment {per_node}");
+    }
+
+    #[test]
+    fn topology_names_round_trip() {
+        for t in Topology::ALL {
+            assert_eq!(Topology::parse(t.name()), Some(t));
+        }
+        assert_eq!(Topology::parse("no_such_family"), None);
+    }
+
+    #[test]
+    fn topologies_generate_at_requested_scale() {
+        for t in Topology::ALL {
+            let g = generate_topology(t, 900, 5).unwrap();
+            let n = g.node_count();
+            assert!((855..=945).contains(&n), "{}: {n} nodes for a 900-node request", t.name());
+            assert!(g.edge_count() > 0, "{}: no edges", t.name());
+        }
+    }
+
+    #[test]
+    fn topology_generation_is_deterministic() {
+        for t in Topology::ALL {
+            let a = generate_topology(t, 400, 9).unwrap();
+            let b = generate_topology(t, 400, 9).unwrap();
+            let ea: Vec<_> = a.edges().collect();
+            let eb: Vec<_> = b.edges().collect();
+            assert_eq!(ea, eb, "{}", t.name());
+        }
+    }
+
+    #[test]
+    fn lattices_have_expected_structure() {
+        let ring = generate_topology(Topology::Ring, 120, 0).unwrap();
+        assert_eq!(ring.node_count(), 120);
+        assert_eq!(ring.edge_count(), 120);
+        let grid = generate_topology(Topology::Grid, 10_000, 0).unwrap();
+        assert_eq!(grid.node_count(), 10_000); // 100 × 100 exactly
+        assert_eq!(connected_components(&grid).count(), 1);
+    }
+
+    #[test]
+    fn topology_rejects_degenerate_sizes() {
+        assert!(generate_topology(Topology::Ring, 2, 0).is_err());
     }
 
     #[test]

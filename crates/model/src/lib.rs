@@ -21,13 +21,18 @@
 //! * [`sampler`] — batched (optionally multi-threaded) reverse sampling
 //!   into the flat arena [`sampler::PathPool`]: the realization pool
 //!   `B_l` consumed by the RAF algorithm, stored CSR-style with
-//!   identical paths deduplicated under multiplicities.
+//!   identical paths deduplicated under multiplicities;
+//! * [`intern`] — the streaming hash interner behind the pool: walks are
+//!   deduplicated the moment they are sampled (open addressing over a
+//!   vendored FxHash-style hasher), replacing the old sort-based
+//!   assembly.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod acceptance;
 pub mod bounds;
+pub mod intern;
 pub mod pmax;
 pub mod process;
 pub mod realization;
@@ -47,6 +52,6 @@ pub mod prelude {
     pub use crate::acceptance::estimate_acceptance;
     pub use crate::pmax::{estimate_pmax_dklr, estimate_pmax_fixed, PmaxEstimate};
     pub use crate::reverse::{sample_target_path, sample_walk_into, TargetPath, WalkOutcome};
-    pub use crate::sampler::{sample_pool, sample_pool_parallel, PathPool};
+    pub use crate::sampler::{sample_pool, sample_pool_parallel, threads_from_env, PathPool};
     pub use crate::{FriendingInstance, InvitationSet, ModelError};
 }

@@ -17,6 +17,10 @@ use raf_graph::NodeId;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
+/// Walk length at which the linear-scan cycle check upgrades to a hash
+/// set (and [`WalkScratch`] spills its fixed array to the heap).
+const SCAN_LIMIT: usize = 64;
+
 /// How a backward walk terminated (the three cases of Lemma 2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum WalkOutcome {
@@ -119,7 +123,6 @@ pub fn sample_walk_into<R: Rng>(
     // hash-set upgrade for pathological walks. (An O(n) visited buffer
     // per walk would dominate the whole pipeline on large graphs.)
     let mut overflow: Option<std::collections::HashSet<u32>> = None;
-    const SCAN_LIMIT: usize = 64;
     let mut current = instance.target();
     loop {
         match g.select_with(current, rng.gen::<f64>()) {
@@ -127,6 +130,15 @@ pub fn sample_walk_into<R: Rng>(
             None => return WalkOutcome::Dangling,
             Some(next) => {
                 let next_id = next.index() as u32;
+                // Line 7: reached N_s — success, seed not recorded.
+                // Checked before the line-6 cycle scan: the walk never
+                // records a seed (it returns here first), so the walked
+                // prefix and `N_s` are disjoint and the two checks can
+                // run in either order — the O(1) bitset probe first
+                // skips the O(len) scan on every terminal step.
+                if instance.is_seed(next) {
+                    return WalkOutcome::ReachedSeed;
+                }
                 // Line 6: cycle.
                 let revisited = match &overflow {
                     Some(set) => set.contains(&next_id),
@@ -135,16 +147,110 @@ pub fn sample_walk_into<R: Rng>(
                 if revisited {
                     return WalkOutcome::Cycle;
                 }
-                // Line 7: reached N_s — success, seed not recorded.
-                if instance.is_seed(next) {
-                    return WalkOutcome::ReachedSeed;
-                }
                 // Line 8: extend the walk.
                 buf.push(next_id);
                 if overflow.is_none() && buf.len() - start > SCAN_LIMIT {
                     overflow = Some(buf[start..].iter().copied().collect());
                 } else if let Some(set) = &mut overflow {
                     set.insert(next_id);
+                }
+                current = next;
+            }
+        }
+    }
+}
+
+/// Reusable stack-first storage for [`sample_walk_scratch`].
+///
+/// Walks are short in practice (see the `SCAN_LIMIT` histogramming in
+/// the pool sampler), so the hot path keeps the whole walk in a fixed
+/// array: appends are a register-indexed store with a constant bound,
+/// the cycle scan reads L1-resident memory, and a type-0 walk costs
+/// nothing to discard. Walks longer than the array spill into a `Vec`
+/// plus a hash set (the same upgrade [`sample_walk_into`] performs).
+#[derive(Debug)]
+pub struct WalkScratch {
+    head: [u32; SCAN_LIMIT],
+    len: usize,
+    /// Full walk (head included), only for walks longer than the array.
+    spill: Vec<u32>,
+    /// Membership set, only for spilled walks.
+    seen: std::collections::HashSet<u32>,
+}
+
+impl Default for WalkScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WalkScratch {
+    /// Fresh scratch; reuse it across walks to amortize spill storage.
+    pub fn new() -> Self {
+        WalkScratch {
+            head: [0; SCAN_LIMIT],
+            len: 0,
+            spill: Vec::new(),
+            seen: std::collections::HashSet::new(),
+        }
+    }
+
+    /// The nodes of the most recent walk (`t` first, walk order).
+    #[inline]
+    pub fn nodes(&self) -> &[u32] {
+        if self.spill.is_empty() {
+            &self.head[..self.len]
+        } else {
+            &self.spill
+        }
+    }
+}
+
+/// [`sample_walk_into`] over reusable [`WalkScratch`] storage — the pool
+/// sampler's hot path. Identical RNG draw sequence and outcome for a
+/// given `(instance, rng)` state; only the storage strategy differs, so
+/// the sampled walk multiset is byte-for-byte the same.
+pub fn sample_walk_scratch<R: Rng>(
+    instance: &FriendingInstance<'_>,
+    rng: &mut R,
+    scratch: &mut WalkScratch,
+) -> WalkOutcome {
+    let g = instance.graph();
+    let t = instance.target();
+    scratch.head[0] = t.index() as u32;
+    scratch.len = 1;
+    scratch.spill.clear();
+    let mut spilled = false;
+    let mut current = t;
+    loop {
+        match g.select_with(current, rng.gen::<f64>()) {
+            None => return WalkOutcome::Dangling,
+            Some(next) => {
+                // Seed and cycle checks commute — see sample_walk_into.
+                if instance.is_seed(next) {
+                    return WalkOutcome::ReachedSeed;
+                }
+                let next_id = next.index() as u32;
+                let revisited = if spilled {
+                    scratch.seen.contains(&next_id)
+                } else {
+                    scratch.head[..scratch.len].contains(&next_id)
+                };
+                if revisited {
+                    return WalkOutcome::Cycle;
+                }
+                if !spilled && scratch.len < SCAN_LIMIT {
+                    scratch.head[scratch.len] = next_id;
+                    scratch.len += 1;
+                } else {
+                    if !spilled {
+                        spilled = true;
+                        scratch.spill.extend_from_slice(&scratch.head);
+                        scratch.seen.clear();
+                        scratch.seen.extend(scratch.head.iter().copied());
+                    }
+                    scratch.spill.push(next_id);
+                    scratch.seen.insert(next_id);
                 }
                 current = next;
             }

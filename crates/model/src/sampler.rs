@@ -9,16 +9,27 @@
 //! [`crate::reverse::sample_walk_into`] and truncated away again when it
 //! turns out type-0.
 //!
+//! Backward walks on social graphs repeat heavily, so identical paths
+//! are deduplicated with multiplicities **while sampling**: each walk
+//! runs in reusable stack-first scratch
+//! ([`crate::reverse::WalkScratch`]) and a type-1 walk is interned into
+//! a streaming hash table ([`crate::intern::PathInterner`]) the moment
+//! it completes — only *unique* paths ever enter the arena, with no
+//! global concatenation and no comparison sort over path contents at
+//! assembly (both were `O(P)`-sized costs the interner removed; the
+//! canonical lexicographic order is restored by a radix permutation
+//! over the unique paths only). Estimators stay exact
+//! (every count is multiplicity-weighted) while the cover instance the
+//! solvers see shrinks by up to an order of magnitude.
+//!
 //! For large `l` the work is embarrassingly parallel; threads each use an
-//! independently seeded RNG, fill a private flat buffer, and the buffers
-//! are concatenated in thread-index order — determinism by construction,
-//! with no mutex and no global sort of the sampled paths. Backward walks
-//! on social graphs repeat heavily, so identical paths are deduplicated
-//! with multiplicities during pool assembly: estimators stay exact (every
-//! count is multiplicity-weighted) while the cover instance the solvers
-//! see shrinks by up to an order of magnitude.
+//! independently seeded RNG and dedup into a private interner, and the
+//! per-thread interners are merged in thread-index order — determinism by
+//! construction, with no mutex, and cross-thread traffic proportional to
+//! the unique pool rather than the sampled walks.
 
-use crate::reverse::{sample_walk_into, WalkOutcome};
+use crate::intern::PathInterner;
+use crate::reverse::{sample_walk_scratch, WalkOutcome, WalkScratch};
 use crate::FriendingInstance;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -77,72 +88,32 @@ impl PathPool {
         }
     }
 
-    /// Assembles a pool from per-thread walk buffers, concatenating them
-    /// in the given order and deduplicating identical paths.
-    fn assemble(buffers: Vec<WalkBuffer>, total_samples: u64) -> Self {
-        let dangling = buffers.iter().map(|b| b.dangling).sum();
-        let cycles = buffers.iter().map(|b| b.cycles).sum();
-        // Concatenate in thread-index order (deterministic for a fixed
-        // (seed, threads); a single buffer is moved, not copied).
-        let (raw_nodes, raw_offsets) = match buffers.len() {
-            0 => (Vec::new(), vec![0u32]),
-            1 => {
-                let b = buffers.into_iter().next().expect("one buffer");
-                (b.nodes, b.offsets)
-            }
-            _ => {
-                let total: usize = buffers.iter().map(|b| b.nodes.len()).sum();
-                assert!(total <= u32::MAX as usize, "pool arena overflows u32 offsets");
-                let paths: usize = buffers.iter().map(|b| b.offsets.len() - 1).sum();
-                let mut nodes = Vec::with_capacity(total);
-                let mut offsets = Vec::with_capacity(paths + 1);
-                offsets.push(0u32);
-                for b in buffers {
-                    let base = nodes.len() as u32;
-                    nodes.extend_from_slice(&b.nodes);
-                    offsets.extend(b.offsets[1..].iter().map(|&o| base + o));
+    /// Assembles a pool from per-thread walk shards, merging their
+    /// already-deduplicated interners in the given (thread-index) order
+    /// and permuting the unique paths into canonical lexicographic order.
+    fn assemble(shards: Vec<WalkShard>, total_samples: u64) -> Self {
+        let dangling = shards.iter().map(|s| s.dangling).sum();
+        let cycles = shards.iter().map(|s| s.cycles).sum();
+        // A single shard (the sequential sampler) is consumed in place;
+        // multiple shards stream their unique paths into the first —
+        // each unique path crosses threads once, with its multiplicity.
+        let mut shards = shards.into_iter();
+        let merged = match shards.next() {
+            None => return PathPool::empty(total_samples, dangling, cycles),
+            Some(first) => {
+                let mut merged = first.interner;
+                for shard in shards {
+                    merged.absorb(&shard.interner);
                 }
-                (nodes, offsets)
+                merged
             }
         };
-        let k = raw_offsets.len() - 1;
-        if k == 0 {
+        if merged.unique_count() == 0 {
             return PathPool::empty(total_samples, dangling, cycles);
         }
-        let slice = |i: u32| -> &[u32] {
-            &raw_nodes[raw_offsets[i as usize] as usize..raw_offsets[i as usize + 1] as usize]
-        };
-        // Dedup with multiplicity: sort path *indices* by content (no
-        // per-path allocation) and run-length encode into the final
-        // arena. The sorted order doubles as the pool's canonical order.
-        let mut order: Vec<u32> = (0..k as u32).collect();
-        order.sort_unstable_by(|&a, &b| slice(a).cmp(slice(b)));
-        let mut nodes = Vec::with_capacity(raw_nodes.len());
-        let mut offsets = Vec::with_capacity(k + 1);
-        offsets.push(0u32);
-        let mut multiplicity: Vec<u32> = Vec::new();
-        let mut prev: Option<&[u32]> = None;
-        for &id in &order {
-            let path = slice(id);
-            if prev == Some(path) {
-                *multiplicity.last_mut().expect("run in progress") += 1;
-            } else {
-                nodes.extend_from_slice(path);
-                offsets.push(nodes.len() as u32);
-                multiplicity.push(1);
-                prev = Some(path);
-            }
-        }
-        nodes.shrink_to_fit();
-        PathPool {
-            nodes,
-            offsets,
-            multiplicity,
-            total_samples,
-            type1_total: k as u64,
-            dangling,
-            cycles,
-        }
+        let type1_total = merged.interned_total();
+        let (nodes, offsets, multiplicity) = merged.into_canonical_parts();
+        PathPool { nodes, offsets, multiplicity, total_samples, type1_total, dangling, cycles }
     }
 
     /// Number of distinct type-1 paths stored in the arena.
@@ -249,56 +220,64 @@ impl PathPool {
     }
 }
 
-/// A thread-private flat walk buffer: type-1 walks are appended to
-/// `nodes` in place; type-0 suffixes are truncated away immediately.
-struct WalkBuffer {
-    nodes: Vec<u32>,
-    offsets: Vec<u32>,
+/// A thread-private streaming sampler shard: each walk runs in reusable
+/// stack-first scratch and a type-1 walk is interned the moment it
+/// completes — a duplicate (the common case) only bumps a multiplicity
+/// and never touches the arena; type-0 walks cost nothing to discard.
+struct WalkShard {
+    interner: PathInterner,
+    scratch: WalkScratch,
     dangling: u64,
     cycles: u64,
 }
 
-impl WalkBuffer {
+impl WalkShard {
     fn new() -> Self {
-        WalkBuffer { nodes: Vec::new(), offsets: vec![0], dangling: 0, cycles: 0 }
+        WalkShard {
+            interner: PathInterner::new(),
+            scratch: WalkScratch::new(),
+            dangling: 0,
+            cycles: 0,
+        }
     }
 
-    /// Samples one backward walk directly into the buffer.
+    /// Samples one backward walk and streams it into the interner.
     fn sample<R: Rng>(&mut self, instance: &FriendingInstance<'_>, rng: &mut R) {
-        let start = self.nodes.len();
-        match sample_walk_into(instance, rng, &mut self.nodes) {
-            WalkOutcome::ReachedSeed => {
-                // Hard assert (not debug): a u32 overflow would silently
-                // corrupt every later path slice.
-                assert!(self.nodes.len() <= u32::MAX as usize, "walk arena overflows u32 offsets");
-                self.offsets.push(self.nodes.len() as u32)
-            }
-            WalkOutcome::Dangling => {
-                self.nodes.truncate(start);
-                self.dangling += 1;
-            }
-            WalkOutcome::Cycle => {
-                self.nodes.truncate(start);
-                self.cycles += 1;
-            }
+        match sample_walk_scratch(instance, rng, &mut self.scratch) {
+            WalkOutcome::ReachedSeed => self.interner.intern_copy(self.scratch.nodes(), 1),
+            WalkOutcome::Dangling => self.dangling += 1,
+            WalkOutcome::Cycle => self.cycles += 1,
         }
     }
 }
 
 /// Samples `l` backward walks sequentially, keeping the type-1 paths.
 pub fn sample_pool<R: Rng>(instance: &FriendingInstance<'_>, l: u64, rng: &mut R) -> PathPool {
-    let mut buf = WalkBuffer::new();
+    let mut shard = WalkShard::new();
     for _ in 0..l {
-        buf.sample(instance, rng);
+        shard.sample(instance, rng);
     }
-    PathPool::assemble(vec![buf], l)
+    PathPool::assemble(vec![shard], l)
+}
+
+/// Worker thread count from the `RAF_THREADS` environment variable
+/// (default 1 when unset or unparsable, minimum 1).
+///
+/// This is the repo-wide knob CI uses to exercise the parallel sampler's
+/// determinism on every push: the test suites fold this value into their
+/// thread matrices, and the `raf` CLI uses it as the `--threads` default.
+pub fn threads_from_env() -> usize {
+    std::env::var("RAF_THREADS")
+        .ok()
+        .and_then(|raw| raw.trim().parse::<usize>().ok())
+        .map_or(1, |t| t.max(1))
 }
 
 /// Samples `l` backward walks across `threads` worker threads.
 ///
 /// Thread `i` runs with `StdRng::seed_from_u64(master_seed ⊕ splitmix(i))`
-/// and samples a fixed share of the `l` walks into a private flat buffer;
-/// the buffers are concatenated in thread-index order before pool
+/// and stream-dedups a fixed share of the `l` walks into a private
+/// interner; the interners are merged in thread-index order before pool
 /// assembly, so the result is reproducible for a fixed
 /// `(master_seed, threads)` with no locking and no post-hoc sort of the
 /// sampled walks.
@@ -320,24 +299,24 @@ pub fn sample_pool_parallel(
         let mut rng = StdRng::seed_from_u64(master_seed);
         return sample_pool(instance, l, &mut rng);
     }
-    let buffers: Vec<WalkBuffer> = std::thread::scope(|scope| {
+    let shards: Vec<WalkShard> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|i| {
                 let share = l / threads as u64 + u64::from((l % threads as u64) > i as u64);
                 let instance = &instance;
                 scope.spawn(move || {
                     let mut rng = StdRng::seed_from_u64(master_seed ^ splitmix64(i as u64 + 1));
-                    let mut buf = WalkBuffer::new();
+                    let mut shard = WalkShard::new();
                     for _ in 0..share {
-                        buf.sample(instance, &mut rng);
+                        shard.sample(instance, &mut rng);
                     }
-                    buf
+                    shard
                 })
             })
             .collect();
         handles.into_iter().map(|h| h.join().expect("sampler thread panicked")).collect()
     });
-    PathPool::assemble(buffers, l)
+    PathPool::assemble(shards, l)
 }
 
 /// SplitMix64 finalizer — decorrelates per-thread seeds.

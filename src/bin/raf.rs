@@ -8,12 +8,15 @@
 //!           [--epsilon 0.01] [--budget 50000] [--seed 1] [--threads 1]
 //! raf max   --graph network.txt --s 3 --t 99 --k 10
 //!           [--realizations 50000] [--seed 1]
-//! raf bench-json [--out BENCH_sampling.json] [--nodes 10000]
-//!           [--walks 200000] [--seed 7] [--threads 1] [--reps 3]
+//! raf bench-json [--out BENCH_sampling.json] [--scenario NAME]
+//!           [--list-scenarios] [--quick] [--check-regression]
+//!           [--max-regression 0.15] [--topology powerlaw_cluster]
+//!           [--nodes N] [--walks N] [--seed 7] [--threads N] [--reps N]
 //! ```
 //!
 //! The graph file is a SNAP-style edge list (whitespace-separated ids,
 //! `#` comments); weights follow the paper's `w(u,v) = 1/|N_v|`.
+//! `--threads` defaults to the `RAF_THREADS` environment variable.
 
 use active_friending::cli::CliArgs;
 use active_friending::prelude::*;
@@ -23,13 +26,16 @@ use rand::SeedableRng;
 use std::path::Path;
 use std::process::ExitCode;
 
+/// Value-less boolean flags (everything else is `--flag value`).
+const SWITCHES: &[&str] = &["quick", "list-scenarios", "check-regression"];
+
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     if raw.is_empty() || raw[0] == "--help" || raw[0] == "help" {
         print_usage();
         return ExitCode::SUCCESS;
     }
-    let args = match CliArgs::parse(raw) {
+    let args = match CliArgs::parse_with_switches(raw, SWITCHES) {
         Ok(args) => args,
         Err(e) => {
             eprintln!("error: {e}");
@@ -112,7 +118,7 @@ fn cmd_run(args: &CliArgs) -> Result<(), Box<dyn std::error::Error>> {
         epsilon: args.get_or("epsilon", 0.01)?,
         budget: RealizationBudget::Capped(args.get_or("budget", 50_000)?),
         seed: args.get_or("seed", 1)?,
-        threads: args.get_or("threads", 1)?,
+        threads: args.get_or("threads", threads_from_env())?,
         ..Default::default()
     };
     let result = RafAlgorithm::new(config).run(&instance)?;
@@ -136,7 +142,7 @@ fn cmd_max(args: &CliArgs) -> Result<(), Box<dyn std::error::Error>> {
         budget: args.require_typed("k")?,
         realizations: args.get_or("realizations", 50_000)?,
         seed: args.get_or("seed", 1)?,
-        threads: args.get_or("threads", 1)?,
+        threads: args.get_or("threads", threads_from_env())?,
     };
     let result = MaxFriending::new(config).run(&instance);
     println!(
@@ -149,37 +155,153 @@ fn cmd_max(args: &CliArgs) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
-/// Measures legacy-vs-arena sampling+solve throughput on a generated
-/// powerlaw-cluster instance and writes the result as JSON (the repo's
-/// `BENCH_sampling.json` perf trajectory record).
+/// Measures legacy-vs-arena sampling+solve throughput over the scenario
+/// matrix and **appends** one entry per scenario to the history file
+/// (`BENCH_sampling.json`, the repo's perf trajectory record). With
+/// `--check-regression`, fails when a scenario's sampling+solve total
+/// regresses more than `--max-regression` (default 15%) against the last
+/// committed entry for the same `(scenario, profile)`. Runs whose
+/// `--walks`/`--reps`/`--seed`/`--beta` deviate from the profile's
+/// standard knobs are recorded under the `custom` profile lineage so
+/// they can never become a `full`/`quick` regression baseline.
 fn cmd_bench_json(args: &CliArgs) -> Result<(), Box<dyn std::error::Error>> {
-    use raf_bench::sampling::{run_sampling_bench, SamplingBenchConfig};
-    let out = args.get("out").unwrap_or("BENCH_sampling.json").to_string();
-    let config = SamplingBenchConfig {
-        nodes: args.get_or("nodes", 10_000)?,
-        walks: args.get_or("walks", 200_000)?,
-        seed: args.get_or("seed", 7)?,
-        threads: args.get_or("threads", 1)?,
-        reps: args.get_or("reps", 3)?,
-        beta: args.get_or("beta", 0.3)?,
+    use raf_bench::history::{parse_json, BenchHistory};
+    use raf_bench::sampling::{
+        find_scenario, quick_matrix, run_sampling_bench, scenario_config, scenario_matrix,
+        BenchProfile, Scenario,
     };
-    eprintln!(
-        "benchmarking sampling+solve: {} nodes, {} walks, {} thread(s), {} rep(s)…",
-        config.nodes, config.walks, config.threads, config.reps
-    );
-    let report = run_sampling_bench(config);
-    let legacy_ms = (report.legacy_sample_ns + report.legacy_solve_ns) as f64 / 1e6;
-    let arena_ms = (report.arena_sample_ns + report.arena_solve_ns) as f64 / 1e6;
-    println!(
-        "legacy {legacy_ms:.1} ms, arena {arena_ms:.1} ms  →  speedup {:.2}x  \
-         (type-1 {} → {} unique, dedup {:.1}x)",
-        report.speedup(),
-        report.type1,
-        report.unique_paths,
-        report.dedup_factor(),
-    );
-    std::fs::write(&out, report.to_json())?;
-    println!("wrote {out}");
+    use raf_datasets::synthetic::Topology;
+
+    if args.is_set("list-scenarios") {
+        for s in scenario_matrix() {
+            println!("{}", s.name());
+        }
+        return Ok(());
+    }
+    let profile = if args.is_set("quick") { BenchProfile::Quick } else { BenchProfile::Full };
+    let check = args.is_set("check-regression");
+    let max_regression: f64 = args.get_or("max-regression", 0.15)?;
+    let out = args.get("out").unwrap_or("BENCH_sampling.json").to_string();
+
+    let custom_cell = ["topology", "nodes", "threads"].iter().any(|f| args.get(f).is_some());
+    let scenarios: Vec<Scenario> = if let Some(name) = args.get("scenario") {
+        if custom_cell {
+            // A named scenario pins topology/nodes/threads; silently
+            // ignoring the conflicting flags would record a measurement
+            // the user did not ask for.
+            return Err(
+                "--scenario conflicts with --topology/--nodes/--threads (drop --scenario to \
+                 benchmark a custom cell)"
+                    .into(),
+            );
+        }
+        vec![find_scenario(name)
+            .ok_or_else(|| format!("unknown scenario {name:?} (try --list-scenarios)"))?]
+    } else if custom_cell {
+        // Custom one-off cell (back-compatible with the pre-matrix CLI).
+        let topology = match args.get("topology") {
+            None => Topology::PowerlawCluster,
+            Some(raw) => Topology::parse(raw).ok_or_else(|| format!("unknown topology {raw:?}"))?,
+        };
+        vec![Scenario {
+            topology,
+            nodes: args.get_or("nodes", 10_000)?,
+            threads: args.get_or("threads", threads_from_env())?,
+        }]
+    } else if profile == BenchProfile::Quick {
+        quick_matrix()
+    } else {
+        scenario_matrix()
+    };
+
+    let mut history = match std::fs::read_to_string(&out) {
+        Ok(text) => BenchHistory::from_text(&text).map_err(|e| format!("{out}: {e}"))?,
+        // Only a genuinely absent file starts a fresh history; any other
+        // read error must not end in overwriting the committed record.
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => BenchHistory::default(),
+        Err(e) => return Err(format!("{out}: {e}").into()),
+    };
+    let mut regressions: Vec<String> = Vec::new();
+    for scenario in scenarios {
+        let mut config = scenario_config(scenario, profile);
+        config.walks = args.get_or("walks", config.walks)?;
+        config.reps = args.get_or("reps", config.reps)?;
+        config.seed = args.get_or("seed", config.seed)?;
+        config.beta = args.get_or("beta", config.beta)?;
+        // A measurement that deviates from the profile's standard knobs
+        // must not become the full/quick baseline: record it under the
+        // "custom" lineage so it can never poison the regression gate.
+        let standard = scenario_config(scenario, profile);
+        if config != standard {
+            config.profile = "custom";
+        }
+        let name = scenario.name();
+        eprintln!(
+            "benchmarking {name} [{}]: {} nodes, {} walks, {} thread(s), {} rep(s)…",
+            config.profile, config.nodes, config.walks, config.threads, config.reps
+        );
+        let report = run_sampling_bench(config);
+        let legacy_ms = (report.legacy_sample_ns + report.legacy_solve_ns) as f64 / 1e6;
+        let arena_total = report.arena_sample_ns + report.arena_solve_ns;
+        let arena_ms = arena_total as f64 / 1e6;
+        println!(
+            "{name}: legacy {legacy_ms:.1} ms, arena {arena_ms:.1} ms  →  speedup {:.2}x  \
+             (type-1 {} → {} unique, dedup {:.1}x)",
+            report.speedup(),
+            report.type1,
+            report.unique_paths,
+            report.dedup_factor(),
+        );
+        if check {
+            let lineage = report.config.profile;
+            match history.baseline_total_ns(&name, lineage) {
+                None => println!("{name}: no committed {lineage} baseline, skipping gate"),
+                Some(base) => {
+                    // Normalize by the legacy *sampling* phase measured
+                    // in the same run: baselines are recorded on a
+                    // different machine than CI runners, and the legacy
+                    // sampler is a frozen in-crate replica of the
+                    // pre-arena code (its hot loop does not change when
+                    // the live pipeline is optimized), so its wall clock
+                    // calibrates away the machine-speed offset. Not a
+                    // perfect isolator — it still shares the RNG and
+                    // `is_seed` with the live tree — but far more stable
+                    // than comparing raw ns across machines. Falls back
+                    // to raw ns when the baseline entry predates legacy
+                    // timings.
+                    let legacy_sample = report.legacy_sample_ns as f64;
+                    let machine = history
+                        .baseline_legacy_sample_ns(&name, lineage)
+                        .filter(|&b| b > 0.0 && legacy_sample > 0.0)
+                        .map_or(1.0, |b| legacy_sample / b);
+                    let ratio = arena_total as f64 / (base * machine);
+                    if ratio > 1.0 + max_regression {
+                        regressions.push(format!(
+                            "{name}: {arena_total} ns vs baseline {base:.0} ns \
+                             ({:+.1}% machine-normalized)",
+                            (ratio - 1.0) * 100.0
+                        ));
+                    } else {
+                        println!(
+                            "{name}: {:+.1}% vs baseline (machine-normalized) — ok",
+                            (ratio - 1.0) * 100.0
+                        );
+                    }
+                }
+            }
+        }
+        history.push(parse_json(&report.to_json()).map_err(|e| format!("entry JSON: {e}"))?);
+    }
+    std::fs::write(&out, history.to_text())?;
+    println!("wrote {out} ({} entries)", history.entries.len());
+    if !regressions.is_empty() {
+        return Err(format!(
+            "sampling+solve regressed beyond {:.0}%: {}",
+            max_regression * 100.0,
+            regressions.join("; ")
+        )
+        .into());
+    }
     Ok(())
 }
 
@@ -195,7 +317,16 @@ USAGE:
             [--epsilon E] [--budget N] [--seed N] [--threads N]
   raf max   --graph <edge-list> --s <id> --t <id> --k BUDGET
             [--realizations N] [--seed N]
-  raf bench-json [--out FILE] [--nodes N] [--walks N] [--seed N]
-            [--threads N] [--reps N] [--beta B]"
+  raf bench-json [--out FILE] [--scenario NAME] [--list-scenarios]
+            [--quick] [--check-regression] [--max-regression R]
+            [--topology NAME] [--nodes N] [--walks N] [--seed N]
+            [--threads N] [--reps N] [--beta B]
+
+bench-json appends one history entry per scenario to FILE (default
+BENCH_sampling.json). Without --scenario it runs the whole matrix
+(--quick: the CI-sized 10k slice); --check-regression fails when a
+scenario's sampling+solve total regresses > R (default 0.15) against
+the last committed entry of the same scenario and profile.
+--threads defaults to the RAF_THREADS environment variable."
     );
 }

@@ -71,6 +71,22 @@ impl CliArgs {
         I: IntoIterator<Item = S>,
         S: Into<String>,
     {
+        Self::parse_with_switches(args, &[])
+    }
+
+    /// Parses raw arguments, treating the named flags as value-less
+    /// boolean *switches*: `--quick` stores `"true"` without consuming
+    /// the next token (query it with [`is_set`](Self::is_set)). Every
+    /// other flag still requires a value.
+    ///
+    /// # Errors
+    ///
+    /// See [`CliError`].
+    pub fn parse_with_switches<I, S>(args: I, switches: &[&str]) -> Result<Self, CliError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
         let mut iter = args.into_iter().map(Into::into);
         let command = iter.next().ok_or(CliError::MissingCommand)?;
         if command.starts_with("--") {
@@ -81,11 +97,21 @@ impl CliArgs {
             let Some(name) = token.strip_prefix("--") else {
                 return Err(CliError::UnexpectedToken { token });
             };
+            if switches.contains(&name) {
+                flags.insert(name.to_string(), "true".to_string());
+                continue;
+            }
             let value =
                 iter.next().ok_or_else(|| CliError::MissingValue { flag: name.to_string() })?;
             flags.insert(name.to_string(), value);
         }
         Ok(CliArgs { command, flags })
+    }
+
+    /// Whether a boolean switch was given (see
+    /// [`parse_with_switches`](Self::parse_with_switches)).
+    pub fn is_set(&self, flag: &str) -> bool {
+        self.get(flag) == Some("true")
     }
 
     /// A string flag, if present.
@@ -168,6 +194,25 @@ mod tests {
         assert!(matches!(args.require("t"), Err(CliError::MissingFlag { .. })));
         let bad = CliArgs::parse(["vmax", "--s", "xyz"]).unwrap();
         assert!(matches!(bad.require_typed::<usize>("s"), Err(CliError::InvalidValue { .. })));
+    }
+
+    #[test]
+    fn switches_take_no_value() {
+        let args = CliArgs::parse_with_switches(
+            ["bench-json", "--quick", "--scenario", "ring_10k_t1", "--list-scenarios"],
+            &["quick", "list-scenarios"],
+        )
+        .unwrap();
+        assert!(args.is_set("quick"));
+        assert!(args.is_set("list-scenarios"));
+        assert!(!args.is_set("scenario"));
+        assert_eq!(args.get("scenario"), Some("ring_10k_t1"));
+        // A trailing switch is fine; a trailing valued flag is not.
+        assert!(CliArgs::parse_with_switches(["x", "--quick"], &["quick"]).is_ok());
+        assert_eq!(
+            CliArgs::parse_with_switches(["x", "--out"], &["quick"]),
+            Err(CliError::MissingValue { flag: "out".into() })
+        );
     }
 
     #[test]

@@ -86,5 +86,6 @@ pub mod prelude {
     };
     pub use raf_model::acceptance::estimate_acceptance;
     pub use raf_model::pmax::{estimate_pmax_dklr, estimate_pmax_fixed};
+    pub use raf_model::sampler::threads_from_env;
     pub use raf_model::{FriendingInstance, InvitationSet, ModelError};
 }

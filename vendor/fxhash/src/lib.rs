@@ -1,0 +1,155 @@
+//! Offline stand-in for the `fxhash` crate (the build environment has no
+//! network access; see the workspace manifest's vendored-deps note).
+//!
+//! Implements the FxHash function used by Firefox and rustc: fold each
+//! input word into the state with `rotate-left(5) ⊕ word`, then multiply
+//! by a large odd constant. It is **not** collision-resistant against
+//! adversarial input — do not use it for untrusted keys — but it is
+//! extremely fast on short integer keys, which is exactly the
+//! path-interning workload `raf-model` uses it for.
+//!
+//! Surface: [`FxHasher`] (a [`std::hash::Hasher`]), the [`FxHashMap`] /
+//! [`FxHashSet`] aliases, and the slice helpers [`hash_u32s`] /
+//! [`hash64`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The 64-bit FxHash multiplier (derived from the golden ratio, as in
+/// rustc's `FxHasher`).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// A [`Hasher`] implementing the FxHash multiply-rotate scheme.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    /// Folds one 64-bit word into the state.
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut word = [0u8; 8];
+            word.copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(word));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// A `HashMap` keyed by [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// A `HashSet` keyed by [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, BuildHasherDefault<FxHasher>>;
+
+/// Hashes a `u32` slice, folding one word per element (plus the length,
+/// so a slice is never a hash-prefix of its extension).
+#[inline]
+pub fn hash_u32s(words: &[u32]) -> u64 {
+    let mut h = FxHasher::default();
+    for &w in words {
+        h.write_u32(w);
+    }
+    h.write_usize(words.len());
+    h.finish()
+}
+
+/// Hashes anything `Hash` with one throwaway [`FxHasher`].
+#[inline]
+pub fn hash64<T: std::hash::Hash + ?Sized>(value: &T) -> u64 {
+    let mut h = FxHasher::default();
+    value.hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hash_u32s(&[1, 2, 3]), hash_u32s(&[1, 2, 3]));
+        assert_eq!(hash64("abc"), hash64("abc"));
+    }
+
+    #[test]
+    fn discriminates_order_and_length() {
+        assert_ne!(hash_u32s(&[1, 2, 3]), hash_u32s(&[3, 2, 1]));
+        assert_ne!(hash_u32s(&[1, 2]), hash_u32s(&[1, 2, 0]));
+        assert_ne!(hash_u32s(&[]), hash_u32s(&[0]));
+    }
+
+    #[test]
+    fn empty_input_is_stable() {
+        assert_eq!(hash_u32s(&[]), hash_u32s(&[]));
+    }
+
+    #[test]
+    fn spreads_sequential_keys() {
+        // Consecutive keys must not land in consecutive buckets of a
+        // power-of-two table (the interner relies on this).
+        let mask = 1023u64;
+        let buckets: std::collections::HashSet<u64> =
+            (0..256u32).map(|i| hash_u32s(&[i]) & mask).collect();
+        assert!(buckets.len() > 200, "only {} distinct buckets", buckets.len());
+    }
+
+    #[test]
+    fn map_and_set_aliases_work() {
+        let mut m: FxHashMap<u32, u32> = FxHashMap::default();
+        m.insert(7, 49);
+        assert_eq!(m.get(&7), Some(&49));
+        let mut s: FxHashSet<&str> = FxHashSet::default();
+        assert!(s.insert("x") && !s.insert("x"));
+    }
+
+    #[test]
+    fn write_handles_unaligned_tails() {
+        let mut a = FxHasher::default();
+        a.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        let mut b = FxHasher::default();
+        b.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        assert_eq!(a.finish(), b.finish());
+        let mut c = FxHasher::default();
+        c.write(&[1, 2, 3]);
+        assert_ne!(a.finish(), c.finish());
+    }
+}
