@@ -5,5 +5,6 @@ pub mod common;
 pub mod fig3;
 pub mod fig45;
 pub mod fig6;
+pub mod sweep;
 pub mod table1;
 pub mod table2;

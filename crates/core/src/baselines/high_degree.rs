@@ -29,19 +29,20 @@ impl Baseline for HighDegree {
             return inv;
         }
         inv.insert(instance.target());
-        if inv.len() >= size {
-            return inv;
-        }
-        let mut candidates: Vec<_> =
-            g.nodes().filter(|&v| v != instance.target() && is_candidate(instance, v)).collect();
-        candidates.sort_by_key(|&v| (std::cmp::Reverse(g.degree(v)), v));
-        for v in candidates {
-            if inv.len() >= size {
-                break;
+        if inv.len() < size {
+            let mut candidates: Vec<_> = g
+                .nodes()
+                .filter(|&v| v != instance.target() && is_candidate(instance, v))
+                .collect();
+            candidates.sort_by_key(|&v| (std::cmp::Reverse(g.degree(v)), v));
+            for v in candidates {
+                if inv.len() >= size {
+                    break;
+                }
+                inv.insert(v);
             }
-            inv.insert(v);
         }
-        inv
+        instance.to_original_set(&inv)
     }
 
     fn name(&self) -> &'static str {

@@ -21,7 +21,8 @@ use raf_model::{FriendingInstance, InvitationSet};
 pub trait Baseline {
     /// Builds an invitation set with **at most** `size` members (fewer
     /// when the strategy runs out of candidates). The target `t` is always
-    /// included and counts toward `size`.
+    /// included and counts toward `size`. Members are reported in the
+    /// instance's original id space (relevant on relabeled snapshots).
     fn build(&self, instance: &FriendingInstance<'_>, size: usize) -> InvitationSet;
 
     /// Human-readable name for reports.

@@ -44,7 +44,7 @@ impl Baseline for RandomInvite {
             }
             inv.insert(v);
         }
-        inv
+        instance.to_original_set(&inv)
     }
 
     fn name(&self) -> &'static str {

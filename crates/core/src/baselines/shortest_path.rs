@@ -30,24 +30,23 @@ impl Baseline for ShortestPath {
             return inv;
         }
         inv.insert(instance.target());
-        if inv.len() >= size {
-            return inv;
-        }
-        // A generous path budget: every disjoint path consumes ≥ 1
-        // distinct interior node (or is the direct edge), so `size + 1`
-        // paths always suffice to fill `size` slots.
-        let paths = successive_disjoint_paths_csr(instance, size + 1);
-        'outer: for path in paths {
-            for &v in path.iter().rev() {
-                if is_candidate(instance, v) {
-                    inv.insert(v);
-                    if inv.len() >= size {
-                        break 'outer;
+        if inv.len() < size {
+            // A generous path budget: every disjoint path consumes ≥ 1
+            // distinct interior node (or is the direct edge), so `size + 1`
+            // paths always suffice to fill `size` slots.
+            let paths = successive_disjoint_paths_csr(instance, size + 1);
+            'outer: for path in paths {
+                for &v in path.iter().rev() {
+                    if is_candidate(instance, v) {
+                        inv.insert(v);
+                        if inv.len() >= size {
+                            break 'outer;
+                        }
                     }
                 }
             }
         }
-        inv
+        instance.to_original_set(&inv)
     }
 
     fn name(&self) -> &'static str {

@@ -77,7 +77,9 @@ pub fn vmax_exact(instance: &FriendingInstance<'_>) -> InvitationSet {
             set.insert(NodeId::new(v as usize));
         }
     }
-    set
+    // Report members in the caller's original id space (identity unless
+    // the instance runs on a relabeled snapshot).
+    instance.to_original_set(&set)
 }
 
 /// The loose reachability variant: nodes reachable from `t` within the
@@ -120,7 +122,7 @@ pub fn vmax_loose(instance: &FriendingInstance<'_>) -> InvitationSet {
             }
         }
     }
-    set
+    instance.to_original_set(&set)
 }
 
 #[cfg(test)]

@@ -26,7 +26,9 @@ pub mod synthetic;
 
 mod registry;
 
-pub use loader::{load_dataset, DatasetSource, LoadedDataset};
+pub use loader::{
+    load_dataset, load_dataset_csr, DatasetSource, LoadedDataset, PreparedCsr, RelabelMode,
+};
 pub use pairs::{sample_pairs, PairSamplerConfig, SampledPair};
 pub use registry::{Dataset, DatasetSpec};
 

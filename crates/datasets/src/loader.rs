@@ -1,10 +1,13 @@
 //! Dataset loading: real SNAP files when available, synthetic stand-ins
-//! otherwise.
+//! otherwise, with an optional hub-BFS relabeling applied at CSR build
+//! time for the large-graph sampling path.
 
 use crate::{synthetic, Dataset};
 use raf_graph::io::{read_edge_list_path, EdgeListOptions};
-use raf_graph::{GraphError, SocialGraph, WeightScheme};
+use raf_graph::{CsrGraph, GraphError, NodeId, Relabeling, SocialGraph, WeightScheme};
+use raf_model::{FriendingInstance, ModelError};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Where a loaded dataset came from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -24,6 +27,51 @@ pub struct LoadedDataset {
     pub source: DatasetSource,
     /// Which dataset this is.
     pub dataset: Dataset,
+}
+
+/// How the CSR snapshot of a loaded dataset is laid out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RelabelMode {
+    /// File/generator order, neighbor slices sorted by id.
+    Plain,
+    /// Hub-seeded BFS renumbering ([`Relabeling::hub_bfs`]): the
+    /// cache-oblivious layout that collapses the walk loop's dependent
+    /// metadata-load chain on large graphs. The default for dataset
+    /// workloads; instance results are still reported in original ids.
+    #[default]
+    HubBfs,
+}
+
+/// A dataset prepared for sampling: the CSR snapshot (possibly hub-BFS
+/// relabeled) plus the permutation needed to build instances that report
+/// original-space ids.
+#[derive(Debug, Clone)]
+pub struct PreparedCsr {
+    /// The snapshot sampling runs on.
+    pub csr: CsrGraph,
+    /// The applied permutation (`None` for [`RelabelMode::Plain`]).
+    pub relabeling: Option<Arc<Relabeling>>,
+    /// Real file or synthetic stand-in.
+    pub source: DatasetSource,
+    /// Which dataset this is.
+    pub dataset: Dataset,
+}
+
+impl PreparedCsr {
+    /// Builds a [`FriendingInstance`] for an `(s, t)` pair given in
+    /// **original** ids; on a relabeled snapshot the instance carries the
+    /// inverse permutation so pools, paths, and invitation sets come back
+    /// in original ids (bit-identical to the plain layout).
+    ///
+    /// # Errors
+    ///
+    /// Propagates instance validation failures ([`ModelError`]).
+    pub fn instance(&self, s: NodeId, t: NodeId) -> Result<FriendingInstance<'_>, ModelError> {
+        match &self.relabeling {
+            None => FriendingInstance::new(&self.csr, s, t),
+            Some(r) => FriendingInstance::relabeled(&self.csr, s, t, r.clone()),
+        }
+    }
 }
 
 /// Loads `dataset` at `scale`, preferring a real edge list at
@@ -51,6 +99,30 @@ pub fn load_dataset(
     Ok(LoadedDataset { graph, source: DatasetSource::Synthetic, dataset })
 }
 
+/// [`load_dataset`] followed by CSR construction under `mode` — the entry
+/// point the experiment harness and the dataset bench scenarios use.
+///
+/// # Errors
+///
+/// As [`load_dataset`].
+pub fn load_dataset_csr(
+    dataset: Dataset,
+    scale: f64,
+    seed: u64,
+    data_dir: &Path,
+    mode: RelabelMode,
+) -> Result<PreparedCsr, GraphError> {
+    let loaded = load_dataset(dataset, scale, seed, data_dir)?;
+    let (csr, relabeling) = match mode {
+        RelabelMode::Plain => (loaded.graph.to_csr(), None),
+        RelabelMode::HubBfs => {
+            let r = Arc::new(Relabeling::hub_bfs(&loaded.graph));
+            (loaded.graph.to_csr_relabeled(&r), Some(r))
+        }
+    };
+    Ok(PreparedCsr { csr, relabeling, source: loaded.source, dataset: loaded.dataset })
+}
+
 /// The expected on-disk location for a real copy of `dataset`.
 pub fn real_data_path(dataset: Dataset, data_dir: &Path) -> PathBuf {
     data_dir.join(format!("{}.txt", dataset.spec().file_stem))
@@ -60,40 +132,104 @@ pub fn real_data_path(dataset: Dataset, data_dir: &Path) -> PathBuf {
 mod tests {
     use super::*;
 
+    /// A unique-per-test scratch directory, removed on drop. The previous
+    /// fixture wrote fixed paths under `temp_dir()` (e.g.
+    /// `raf_datasets_real/hepth.txt`), which collided across concurrent
+    /// and repeated test runs — each test now gets its own directory.
+    struct ScratchDir {
+        path: PathBuf,
+    }
+
+    impl ScratchDir {
+        fn new(test: &str) -> Self {
+            let unique = format!(
+                "raf_datasets_{test}_{}_{:?}",
+                std::process::id(),
+                std::thread::current().id(),
+            );
+            let path = std::env::temp_dir().join(unique);
+            // A stale directory from a killed run must not leak fixtures
+            // into this one.
+            let _ = std::fs::remove_dir_all(&path);
+            std::fs::create_dir_all(&path).unwrap();
+            ScratchDir { path }
+        }
+    }
+
+    impl Drop for ScratchDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.path);
+        }
+    }
+
     #[test]
     fn synthesizes_when_no_file() {
-        let dir = std::env::temp_dir().join("raf_datasets_none");
-        let loaded = load_dataset(Dataset::Wiki, 0.02, 1, &dir).unwrap();
+        let dir = ScratchDir::new("none");
+        let loaded = load_dataset(Dataset::Wiki, 0.02, 1, &dir.path).unwrap();
         assert_eq!(loaded.source, DatasetSource::Synthetic);
         assert!(loaded.graph.node_count() > 100);
     }
 
     #[test]
     fn prefers_real_file() {
-        let dir = std::env::temp_dir().join("raf_datasets_real");
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = real_data_path(Dataset::HepTh, &dir);
+        let dir = ScratchDir::new("real");
+        let path = real_data_path(Dataset::HepTh, &dir.path);
         std::fs::write(&path, "# test\n0\t1\n1\t2\n2\t0\n").unwrap();
-        let loaded = load_dataset(Dataset::HepTh, 1.0, 1, &dir).unwrap();
+        let loaded = load_dataset(Dataset::HepTh, 1.0, 1, &dir.path).unwrap();
         assert_eq!(loaded.source, DatasetSource::Real);
         assert_eq!(loaded.graph.node_count(), 3);
         assert_eq!(loaded.graph.edge_count(), 3);
-        let _ = std::fs::remove_file(&path);
     }
 
     #[test]
     fn real_file_parse_error_propagates() {
-        let dir = std::env::temp_dir().join("raf_datasets_bad");
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = real_data_path(Dataset::HepPh, &dir);
+        let dir = ScratchDir::new("bad");
+        let path = real_data_path(Dataset::HepPh, &dir.path);
         std::fs::write(&path, "not numbers here\n").unwrap();
-        assert!(load_dataset(Dataset::HepPh, 1.0, 1, &dir).is_err());
-        let _ = std::fs::remove_file(&path);
+        assert!(load_dataset(Dataset::HepPh, 1.0, 1, &dir.path).is_err());
     }
 
     #[test]
     fn path_convention() {
         let p = real_data_path(Dataset::Youtube, Path::new("/data"));
         assert_eq!(p, PathBuf::from("/data/youtube.txt"));
+    }
+
+    #[test]
+    fn csr_loader_modes_agree_through_the_mapping() {
+        let dir = ScratchDir::new("csr_modes");
+        let plain =
+            load_dataset_csr(Dataset::Wiki, 0.01, 5, &dir.path, RelabelMode::Plain).unwrap();
+        let hub = load_dataset_csr(Dataset::Wiki, 0.01, 5, &dir.path, RelabelMode::HubBfs).unwrap();
+        assert!(plain.relabeling.is_none());
+        let r = hub.relabeling.as_ref().expect("hub mode carries the permutation");
+        assert_eq!(plain.csr.node_count(), hub.csr.node_count());
+        assert_eq!(plain.csr.edge_count(), hub.csr.edge_count());
+        assert!(!hub.csr.has_sorted_neighbors());
+        // Spot-check the isomorphism: degrees transport through the map.
+        for v in plain.csr.nodes().take(50) {
+            assert_eq!(hub.csr.degree(r.new_of(v)), plain.csr.degree(v));
+        }
+        // Instances built from original ids agree on seed structure.
+        let (s, t) = (NodeId::new(0), NodeId::new(plain.csr.node_count() - 1));
+        if let (Ok(a), Ok(b)) = (plain.instance(s, t), hub.instance(s, t)) {
+            assert_eq!(a.target_original(), b.target_original());
+            let seeds_a: Vec<NodeId> = a.seeds().to_vec();
+            let mut seeds_b: Vec<NodeId> = b.seeds().iter().map(|&v| b.original_of(v)).collect();
+            seeds_b.sort_unstable();
+            assert_eq!(seeds_a, seeds_b);
+        }
+    }
+
+    #[test]
+    fn csr_loader_reports_real_source() {
+        let dir = ScratchDir::new("csr_real");
+        let path = real_data_path(Dataset::HepTh, &dir.path);
+        std::fs::write(&path, "# four-cycle\n10\t20\n20\t30\n30\t40\n40\t10\n").unwrap();
+        let prep =
+            load_dataset_csr(Dataset::HepTh, 1.0, 1, &dir.path, RelabelMode::HubBfs).unwrap();
+        assert_eq!(prep.source, DatasetSource::Real);
+        assert_eq!(prep.csr.node_count(), 4);
+        assert_eq!(prep.csr.edge_count(), 4);
     }
 }

@@ -13,6 +13,7 @@ use crate::{Dataset, DatasetSpec};
 use raf_graph::generators::{cycle_graph, erdos_renyi_gnp, grid_graph, powerlaw_cluster};
 use raf_graph::{GraphBuilder, GraphError, SocialGraph, WeightScheme};
 use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
 /// A named synthetic topology family, sized by node count — the workload
@@ -93,6 +94,15 @@ pub fn generate_topology(
 ///
 /// Deterministic per `(dataset, scale, seed)`.
 ///
+/// Node ids are **shuffled** with a seeded permutation before the final
+/// build: real SNAP files arrive in crawl order and the loader compacts
+/// ids by first appearance, so on-disk ids are uncorrelated with
+/// topology — whereas generator insertion order leaks it (preferential
+/// attachment emits hubs first, which would make the stand-ins look
+/// artificially cache-friendly and mask exactly the locality problem
+/// hub-BFS relabeling exists to solve). The shuffle restores the
+/// real-data property; counts, degrees, and determinism are unaffected.
+///
 /// # Errors
 ///
 /// Propagates generator failures; `scale` must yield at least a few dozen
@@ -112,7 +122,15 @@ pub fn generate(dataset: Dataset, scale: f64, seed: u64) -> Result<SocialGraph, 
             preferential_attachment_fractional(n, mean_attach, &mut rng)?
         }
     };
-    builder.build(WeightScheme::UniformByDegree)
+    let generated = builder.build(WeightScheme::UniformByDegree)?;
+    let mut perm: Vec<usize> = (0..generated.node_count()).collect();
+    perm.shuffle(&mut rng);
+    let mut shuffled = GraphBuilder::with_capacity(generated.edge_count());
+    shuffled.reserve_nodes(generated.node_count());
+    for (u, v) in generated.edges() {
+        shuffled.add_edge(perm[u.index()], perm[v.index()])?;
+    }
+    shuffled.build(WeightScheme::UniformByDegree)
 }
 
 /// Preferential attachment with a fractional mean attachment count: each

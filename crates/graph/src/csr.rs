@@ -1,6 +1,6 @@
 //! Immutable compressed-sparse-row snapshot used by sampling hot paths.
 
-use crate::{NodeId, SocialGraph};
+use crate::{NodeId, Relabeling, SocialGraph};
 use serde::{Deserialize, Serialize};
 
 /// Per-node metadata packed into one 24-byte record so a walk step loads
@@ -62,19 +62,65 @@ pub struct CsrGraph {
     cum_weights: Vec<f64>,
     /// Number of undirected edges.
     edge_count: usize,
+    /// Whether neighbor slices are sorted by node id. The default build
+    /// sorts them (enabling binary-search edge queries); a relabeled
+    /// build keeps slices in *image order* so realization selection is
+    /// exactly equivariant under the permutation, and edge queries fall
+    /// back to a linear scan.
+    sorted_neighbors: bool,
 }
 
 impl CsrGraph {
     /// Builds the snapshot from an adjacency-list graph.
     pub fn from_social_graph(g: &SocialGraph) -> Self {
+        Self::build(g, None)
+    }
+
+    /// Builds the snapshot with node ids renumbered by `relabeling`
+    /// (typically [`Relabeling::hub_bfs`], which packs topologically
+    /// adjacent nodes into adjacent ids and collapses the walk loop's
+    /// dependent metadata-load chain on large graphs).
+    ///
+    /// Each relabeled node's neighbor slice — and its cumulative weight
+    /// table — is the **image** of the original slice, position by
+    /// position, *not* re-sorted by the new ids. Because
+    /// [`select_with`](Self::select_with) is positional, a backward walk
+    /// on this snapshot consumes the same RNG draws as on the unrelabeled
+    /// snapshot and visits exactly the image nodes: sampling commutes
+    /// with the relabeling bit for bit, which is what lets callers map
+    /// results back to original ids with no divergence. The price is that
+    /// [`has_edge`](Self::has_edge) / [`in_weight`](Self::in_weight)
+    /// degrade to a linear scan — neither is on a sampling hot path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `relabeling.len()` differs from the node count.
+    pub fn from_social_graph_relabeled(g: &SocialGraph, relabeling: &Relabeling) -> Self {
+        assert_eq!(relabeling.len(), g.node_count(), "relabeling covers a different node count");
+        Self::build(g, Some(relabeling))
+    }
+
+    fn build(g: &SocialGraph, relabeling: Option<&Relabeling>) -> Self {
         let n = g.node_count();
         let mut meta = Vec::with_capacity(n);
         let mut neighbors = Vec::with_capacity(2 * g.edge_count());
         let mut cum_weights = Vec::with_capacity(2 * g.edge_count());
-        for v in g.nodes() {
+        // Node `new` of the snapshot is node `source_of(new)` of `g`.
+        let source_of = |new: usize| -> NodeId {
+            match relabeling {
+                None => NodeId::new(new),
+                Some(r) => r.original_of(NodeId::new(new)),
+            }
+        };
+        for new in 0..n {
+            let v = source_of(new);
             let ws = g.in_weights(v);
             let base = neighbors.len();
-            neighbors.extend_from_slice(g.neighbors(v));
+            match relabeling {
+                None => neighbors.extend_from_slice(g.neighbors(v)),
+                // Image order: position i maps position i.
+                Some(r) => neighbors.extend(g.neighbors(v).iter().map(|&u| r.new_of(u))),
+            }
             let mut acc = 0.0;
             let first = ws.first().copied();
             let mut is_uniform = true;
@@ -99,7 +145,13 @@ impl CsrGraph {
                 packed_degree: degree as u32 | if is_uniform { UNIFORM_BIT } else { 0 },
             });
         }
-        CsrGraph { meta, neighbors, cum_weights, edge_count: g.edge_count() }
+        CsrGraph {
+            meta,
+            neighbors,
+            cum_weights,
+            edge_count: g.edge_count(),
+            sorted_neighbors: relabeling.is_none(),
+        }
     }
 
     /// Number of nodes.
@@ -120,11 +172,20 @@ impl CsrGraph {
         self.meta[v.index()].degree()
     }
 
-    /// Sorted neighbors of `v`.
+    /// Neighbors of `v` — sorted by id for a default build, in image
+    /// order for a relabeled build (see
+    /// [`from_social_graph_relabeled`](Self::from_social_graph_relabeled)).
     #[inline]
     pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
         let m = self.meta[v.index()];
         &self.neighbors[m.base as usize..m.base as usize + m.degree()]
+    }
+
+    /// Whether neighbor slices are sorted by node id (false only for
+    /// relabeled snapshots, whose slices are in image order).
+    #[inline]
+    pub fn has_sorted_neighbors(&self) -> bool {
+        self.sorted_neighbors
     }
 
     /// Total incoming familiarity of `v` (the probability that `v` selects
@@ -134,12 +195,24 @@ impl CsrGraph {
         self.meta[v.index()].total
     }
 
+    /// Position of `u` in `v`'s neighbor slice: binary search on sorted
+    /// slices, linear scan on relabeled (image-order) slices.
+    #[inline]
+    fn neighbor_position(&self, u: NodeId, v: NodeId) -> Option<usize> {
+        let slice = self.neighbors(v);
+        if self.sorted_neighbors {
+            slice.binary_search(&u).ok()
+        } else {
+            slice.iter().position(|&w| w == u)
+        }
+    }
+
     /// Whether `{u, v}` is an edge.
     pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
         if v.index() >= self.node_count() {
             return false;
         }
-        self.neighbors(v).binary_search(&u).is_ok()
+        self.neighbor_position(u, v).is_some()
     }
 
     /// The familiarity `w(u,v)`, reconstructed from the cumulative table.
@@ -149,7 +222,7 @@ impl CsrGraph {
             return None;
         }
         let base = self.meta[i].base as usize;
-        let pos = self.neighbors(v).binary_search(&u).ok()?;
+        let pos = self.neighbor_position(u, v)?;
         let hi = self.cum_weights[base + pos];
         let lo = if pos == 0 { 0.0 } else { self.cum_weights[base + pos - 1] };
         Some(hi - lo)
@@ -283,6 +356,55 @@ mod tests {
         let g = b.build(WeightScheme::UniformByDegree).unwrap();
         let csr = g.to_csr();
         assert_eq!(csr.select_with(NodeId::new(2), 0.0), None);
+    }
+
+    #[test]
+    fn relabeled_build_is_the_exact_image() {
+        use crate::Relabeling;
+        let g = path4();
+        let plain = g.to_csr();
+        let r = Relabeling::hub_bfs(&g);
+        let relabeled = CsrGraph::from_social_graph_relabeled(&g, &r);
+        assert_eq!(relabeled.node_count(), plain.node_count());
+        assert_eq!(relabeled.edge_count(), plain.edge_count());
+        assert!(plain.has_sorted_neighbors());
+        assert!(!relabeled.has_sorted_neighbors());
+        for v in g.nodes() {
+            let pv = r.new_of(v);
+            assert_eq!(relabeled.degree(pv), plain.degree(v));
+            assert_eq!(relabeled.total_in_weight(pv), plain.total_in_weight(v));
+            // Image order: position i of the relabeled slice is the image
+            // of position i of the original slice.
+            let image: Vec<NodeId> = plain.neighbors(v).iter().map(|&u| r.new_of(u)).collect();
+            assert_eq!(relabeled.neighbors(pv), image.as_slice());
+            // Edge queries and weights agree through the mapping.
+            for &u in plain.neighbors(v) {
+                assert!(relabeled.has_edge(r.new_of(u), pv));
+                assert_eq!(relabeled.in_weight(r.new_of(u), pv), plain.in_weight(u, v));
+            }
+            assert!(!relabeled.has_edge(pv, pv));
+        }
+    }
+
+    #[test]
+    fn relabeled_selection_is_equivariant() {
+        use crate::Relabeling;
+        use rand::{Rng, SeedableRng};
+        // Non-uniform weights + a hub, so both selection paths and the
+        // dangling branch are exercised.
+        let mut b = GraphBuilder::new();
+        b.add_edges(vec![(0, 1), (0, 2), (0, 3), (2, 3), (3, 4)]).unwrap();
+        let g = b.build(WeightScheme::ScaledByDegree { rho: 0.9 }).unwrap();
+        let plain = g.to_csr();
+        let r = Relabeling::hub_bfs(&g);
+        let relabeled = CsrGraph::from_social_graph_relabeled(&g, &r);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        for _ in 0..2_000 {
+            let v = NodeId::new(rng.gen_range(0..g.node_count()));
+            let draw = rng.gen::<f64>();
+            let expected = plain.select_with(v, draw).map(|u| r.new_of(u));
+            assert_eq!(relabeled.select_with(r.new_of(v), draw), expected);
+        }
     }
 
     #[test]

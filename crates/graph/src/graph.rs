@@ -141,6 +141,14 @@ impl SocialGraph {
         CsrGraph::from_social_graph(self)
     }
 
+    /// Builds the CSR snapshot under a node relabeling (see
+    /// [`CsrGraph::from_social_graph_relabeled`]); pass
+    /// [`crate::Relabeling::hub_bfs`] for the cache-oblivious order used
+    /// on large datasets.
+    pub fn to_csr_relabeled(&self, relabeling: &crate::Relabeling) -> CsrGraph {
+        CsrGraph::from_social_graph_relabeled(self, relabeling)
+    }
+
     /// Returns the neighbor of `v` with maximum degree (ties broken toward
     /// the lowest id), used by tests and simple heuristics. `None` when `v`
     /// is isolated.

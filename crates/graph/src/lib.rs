@@ -50,6 +50,7 @@ mod error;
 mod graph;
 mod metrics;
 mod node;
+mod relabel;
 mod subgraph;
 mod unionfind;
 mod weights;
@@ -66,6 +67,7 @@ pub use error::GraphError;
 pub use graph::SocialGraph;
 pub use metrics::{clustering_coefficient, DegreeHistogram, GraphMetrics};
 pub use node::NodeId;
+pub use relabel::Relabeling;
 pub use subgraph::{induced_subgraph, NodeMapping};
 pub use unionfind::UnionFind;
 pub use weights::WeightScheme;

@@ -160,6 +160,30 @@ impl PathInterner {
         (0..self.unique_count()).map(|i| (self.path(i), self.multiplicity[i]))
     }
 
+    /// [`into_canonical_parts`](Self::into_canonical_parts) with the
+    /// arena's node ids first translated through `map` (`map[id]` replaces
+    /// `id`). Used by the pool assembler on relabeled snapshots: walks are
+    /// interned in the snapshot's (relabeled) id space, then the *unique*
+    /// paths — typically orders of magnitude fewer than the sampled walks
+    /// — are mapped back to original ids here, and the canonical sort runs
+    /// over the mapped contents, so the assembled pool is bit-identical to
+    /// one sampled on the unrelabeled snapshot.
+    ///
+    /// `map` must be injective on the interned ids (a permutation table
+    /// is), or distinct paths could collapse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an interned id is out of range for `map`.
+    pub fn into_canonical_parts_mapped(mut self, map: &[u32]) -> (Vec<u32>, Vec<u32>, Vec<u32>) {
+        // The probe table and cached hashes are stale after this, but
+        // canonicalization only reads nodes/offsets/multiplicity.
+        for id in &mut self.nodes {
+            *id = map[*id as usize];
+        }
+        self.into_canonical_parts()
+    }
+
     /// Decomposes into canonical `(nodes, offsets, multiplicity)` flat
     /// parts: unique paths permuted into lexicographic order (radix
     /// grouping by content — assembly never comparison-sorts paths).
@@ -397,6 +421,20 @@ mod tests {
         assert!(mult.iter().all(|&m| m == 2));
         let paths = paths_of(&nodes, &offsets);
         assert!(paths.windows(2).all(|w| w[0] < w[1]), "not strictly sorted");
+    }
+
+    #[test]
+    fn mapped_canonical_parts_translate_then_sort() {
+        let mut interner = PathInterner::new();
+        interner.intern_copy(&[0, 2], 2);
+        interner.intern_copy(&[1], 1);
+        interner.intern_copy(&[2, 0], 1);
+        // map: 0→5, 1→3, 2→1.
+        let (nodes, offsets, mult) = interner.into_canonical_parts_mapped(&[5, 3, 1]);
+        let paths = paths_of(&nodes, &offsets);
+        // Mapped paths [5,1], [3], [1,5] sort to [1,5], [3], [5,1].
+        assert_eq!(paths, vec![vec![1, 5], vec![3], vec![5, 1]]);
+        assert_eq!(mult, vec![1, 1, 2]);
     }
 
     #[test]

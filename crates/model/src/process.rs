@@ -4,6 +4,12 @@
 //! converts every invited non-friend `u` whose accumulated familiarity
 //! `Σ_{v ∈ C} w(v,u)` has reached `θ_u` into a new friend, until no more
 //! users convert or the target joins.
+//!
+//! Forward simulation probes `w(v,u)` per propagated edge, which on a
+//! *relabeled* snapshot is a linear neighbor scan (image-order slices
+//! have no binary search) — `O(deg)` at hubs. That is acceptable here
+//! because the forward process is the validation route; the evaluation's
+//! hot path is reverse sampling, which never calls `in_weight`.
 
 use crate::{FriendingInstance, InvitationSet};
 use raf_graph::NodeId;
@@ -15,7 +21,8 @@ pub struct ProcessOutcome {
     /// Whether the target became a friend of the initiator.
     pub target_friended: bool,
     /// All friends of `s` when the process terminated (`C_∞(I)`),
-    /// including the initial `N_s`, sorted by id.
+    /// including the initial `N_s`, sorted by id — reported in the
+    /// instance's original id space.
     pub final_friends: Vec<NodeId>,
     /// Number of rounds executed before termination.
     pub rounds: usize,
@@ -37,6 +44,12 @@ pub fn run_process<R: Rng>(
 
 /// Runs Process 1 with explicit thresholds — the derandomized form used by
 /// the Lemma 1 equivalence tests and by anyone replaying a scenario.
+///
+/// `thresholds[i]` is the threshold of node `i` in the instance's
+/// **original** id space, matching the invitation set and every other id
+/// crossing the public API — on relabeled snapshots both are translated
+/// through the inverse permutation at probe time, so a recorded scenario
+/// replays identically on either layout.
 ///
 /// # Panics
 ///
@@ -78,13 +91,16 @@ pub fn run_process_with_thresholds(
                 candidates.push(u);
             }
         }
-        // Φ(C_i) ∩ I: invited users whose thresholds are now met.
+        // Φ(C_i) ∩ I: invited users whose thresholds are now met. The
+        // invitation set and the thresholds are in original space; `u`
+        // is graph-space.
         let mut next: Vec<NodeId> = Vec::new();
         for u in candidates {
-            if in_c[u.index()] || !invitations.contains(u) {
+            let original = instance.original_of(u);
+            if in_c[u.index()] || !invitations.contains(original) {
                 continue;
             }
-            if influence[u.index()] >= thresholds[u.index()] {
+            if influence[u.index()] >= thresholds[original.index()] {
                 in_c[u.index()] = true;
                 next.push(u);
                 if u == t {
@@ -95,7 +111,12 @@ pub fn run_process_with_thresholds(
         frontier = next;
     }
 
-    let final_friends: Vec<NodeId> = (0..n).map(NodeId::new).filter(|v| in_c[v.index()]).collect();
+    let mut final_friends: Vec<NodeId> = (0..n)
+        .map(NodeId::new)
+        .filter(|v| in_c[v.index()])
+        .map(|v| instance.original_of(v))
+        .collect();
+    final_friends.sort_unstable();
     ProcessOutcome { target_friended, final_friends, rounds }
 }
 

@@ -99,7 +99,12 @@ impl TargetPath {
 pub fn sample_target_path<R: Rng>(instance: &FriendingInstance<'_>, rng: &mut R) -> TargetPath {
     let mut buf = Vec::new();
     let outcome = sample_walk_into(instance, rng, &mut buf);
-    TargetPath { nodes: buf.into_iter().map(|id| NodeId::new(id as usize)).collect(), outcome }
+    // Report walked ids in the caller's original space (identity unless
+    // the instance runs on a relabeled snapshot).
+    TargetPath {
+        nodes: buf.into_iter().map(|id| instance.original_of(NodeId::new(id as usize))).collect(),
+        outcome,
+    }
 }
 
 /// Allocation-free variant of [`sample_target_path`]: appends the walked
@@ -259,22 +264,30 @@ pub fn sample_walk_scratch<R: Rng>(
 }
 
 /// Computes `t(g)` for a fully materialized realization (the literal
-/// Alg. 1, used to cross-check the lazy sampler).
+/// Alg. 1, used to cross-check the lazy sampler). Like
+/// [`sample_target_path`], the returned nodes are reported in the
+/// instance's original id space.
 pub fn target_path_of(
     instance: &FriendingInstance<'_>,
     realization: &crate::realization::Realization,
 ) -> TargetPath {
     let mut nodes = vec![instance.target()];
     let mut current = instance.target();
+    let finish = |mut nodes: Vec<NodeId>, outcome: WalkOutcome| {
+        for v in &mut nodes {
+            *v = instance.original_of(*v);
+        }
+        TargetPath { nodes, outcome }
+    };
     loop {
         match realization.selection(current) {
-            None => return TargetPath { nodes, outcome: WalkOutcome::Dangling },
+            None => return finish(nodes, WalkOutcome::Dangling),
             Some(next) => {
                 if nodes.contains(&next) {
-                    return TargetPath { nodes, outcome: WalkOutcome::Cycle };
+                    return finish(nodes, WalkOutcome::Cycle);
                 }
                 if instance.is_seed(next) {
-                    return TargetPath { nodes, outcome: WalkOutcome::ReachedSeed };
+                    return finish(nodes, WalkOutcome::ReachedSeed);
                 }
                 nodes.push(next);
                 current = next;

@@ -56,6 +56,12 @@ pub const PARALLEL_THRESHOLD: u64 = 4_096;
 /// [`pmax_estimate`](PathPool::pmax_estimate) — are multiplicity-weighted
 /// and therefore exactly equal to what a duplicated per-`Vec` pool would
 /// report.
+///
+/// Path node ids are always in the *original* id space of the instance
+/// that sampled the pool: on relabeled snapshots the assembler maps the
+/// unique paths back through the inverse permutation before the
+/// canonical sort, so pools sampled on relabeled and unrelabeled
+/// snapshots of the same graph are bit-identical.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PathPool {
     /// Concatenated node ids of the unique type-1 paths.
@@ -91,7 +97,10 @@ impl PathPool {
     /// Assembles a pool from per-thread walk shards, merging their
     /// already-deduplicated interners in the given (thread-index) order
     /// and permuting the unique paths into canonical lexicographic order.
-    fn assemble(shards: Vec<WalkShard>, total_samples: u64) -> Self {
+    /// On relabeled snapshots `original_map` translates the unique paths
+    /// back to original ids before the canonical sort, so assembled pools
+    /// are always in the caller's original id space.
+    fn assemble(shards: Vec<WalkShard>, total_samples: u64, original_map: Option<&[u32]>) -> Self {
         let dangling = shards.iter().map(|s| s.dangling).sum();
         let cycles = shards.iter().map(|s| s.cycles).sum();
         // A single shard (the sequential sampler) is consumed in place;
@@ -112,7 +121,10 @@ impl PathPool {
             return PathPool::empty(total_samples, dangling, cycles);
         }
         let type1_total = merged.interned_total();
-        let (nodes, offsets, multiplicity) = merged.into_canonical_parts();
+        let (nodes, offsets, multiplicity) = match original_map {
+            None => merged.into_canonical_parts(),
+            Some(map) => merged.into_canonical_parts_mapped(map),
+        };
         PathPool { nodes, offsets, multiplicity, total_samples, type1_total, dangling, cycles }
     }
 
@@ -252,12 +264,14 @@ impl WalkShard {
 }
 
 /// Samples `l` backward walks sequentially, keeping the type-1 paths.
+/// On relabeled instances the pool's node ids are in original space (see
+/// [`FriendingInstance::relabeled`]).
 pub fn sample_pool<R: Rng>(instance: &FriendingInstance<'_>, l: u64, rng: &mut R) -> PathPool {
     let mut shard = WalkShard::new();
     for _ in 0..l {
         shard.sample(instance, rng);
     }
-    PathPool::assemble(vec![shard], l)
+    PathPool::assemble(vec![shard], l, instance.original_table())
 }
 
 /// Worker thread count from the `RAF_THREADS` environment variable
@@ -316,7 +330,7 @@ pub fn sample_pool_parallel(
             .collect();
         handles.into_iter().map(|h| h.join().expect("sampler thread panicked")).collect()
     });
-    PathPool::assemble(shards, l)
+    PathPool::assemble(shards, l, instance.original_table())
 }
 
 /// SplitMix64 finalizer — decorrelates per-thread seeds.
@@ -436,6 +450,29 @@ mod tests {
         for (path, mult) in pool.iter() {
             assert_eq!(path[0], 5);
             assert!(mult >= 1);
+        }
+    }
+
+    #[test]
+    fn relabeled_pool_is_bit_identical() {
+        use raf_graph::Relabeling;
+        use std::sync::Arc;
+        // A graph with a hub, parallel routes, and non-trivial BFS order.
+        let mut b = GraphBuilder::new();
+        b.add_edges(vec![(0, 2), (2, 3), (3, 1), (0, 4), (4, 1), (2, 4), (3, 5), (5, 1)]).unwrap();
+        let social = b.build(WeightScheme::UniformByDegree).unwrap();
+        let plain_csr = social.to_csr();
+        let r = Arc::new(Relabeling::hub_bfs(&social));
+        assert!(!r.is_identity(), "fixture should actually permute");
+        let relabeled_csr = social.to_csr_relabeled(&r);
+        let plain = FriendingInstance::new(&plain_csr, NodeId::new(0), NodeId::new(1)).unwrap();
+        let relab = FriendingInstance::relabeled(&relabeled_csr, NodeId::new(0), NodeId::new(1), r)
+            .unwrap();
+        for threads in [1usize, 4] {
+            let a = sample_pool_parallel(&plain, 20_000, 33, threads);
+            let b = sample_pool_parallel(&relab, 20_000, 33, threads);
+            assert_eq!(a, b, "threads={threads}");
+            assert!(a.unique_count() >= 2);
         }
     }
 

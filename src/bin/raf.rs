@@ -27,7 +27,7 @@ use std::path::Path;
 use std::process::ExitCode;
 
 /// Value-less boolean flags (everything else is `--flag value`).
-const SWITCHES: &[&str] = &["quick", "list-scenarios", "check-regression"];
+const SWITCHES: &[&str] = &["quick", "list-scenarios", "check-regression", "no-relabel"];
 
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
@@ -60,6 +60,7 @@ fn dispatch(args: &CliArgs) -> Result<(), Box<dyn std::error::Error>> {
         "run" => cmd_run(args),
         "max" => cmd_max(args),
         "bench-json" => cmd_bench_json(args),
+        "experiment" => cmd_experiment(args),
         other => Err(format!("unknown command {other:?} (try --help)").into()),
     }
 }
@@ -168,7 +169,7 @@ fn cmd_bench_json(args: &CliArgs) -> Result<(), Box<dyn std::error::Error>> {
     use raf_bench::history::{parse_json, BenchHistory};
     use raf_bench::sampling::{
         find_scenario, quick_matrix, run_sampling_bench, scenario_config, scenario_matrix,
-        BenchProfile, Scenario,
+        BenchProfile, Scenario, Workload,
     };
     use raf_datasets::synthetic::Topology;
 
@@ -204,7 +205,7 @@ fn cmd_bench_json(args: &CliArgs) -> Result<(), Box<dyn std::error::Error>> {
             Some(raw) => Topology::parse(raw).ok_or_else(|| format!("unknown topology {raw:?}"))?,
         };
         vec![Scenario {
-            topology,
+            workload: Workload::Synthetic(topology),
             nodes: args.get_or("nodes", 10_000)?,
             threads: args.get_or("threads", threads_from_env())?,
         }]
@@ -252,6 +253,13 @@ fn cmd_bench_json(args: &CliArgs) -> Result<(), Box<dyn std::error::Error>> {
             report.unique_paths,
             report.dedup_factor(),
         );
+        if report.has_relabeled() {
+            let hub_ms = (report.relabeled_sample_ns + report.relabeled_solve_ns) as f64 / 1e6;
+            println!(
+                "{name}: hub-BFS layout {hub_ms:.1} ms  →  relabel speedup {:.2}x",
+                report.relabel_speedup()
+            );
+        }
         if check {
             let lineage = report.config.profile;
             match history.baseline_total_ns(&name, lineage) {
@@ -305,6 +313,83 @@ fn cmd_bench_json(args: &CliArgs) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+/// Runs the Table-I dataset sweep (`raf experiment`): every selected
+/// dataset × an α grid × a realization-budget grid, RAF vs the HD/SP
+/// baselines at matched invitation-set size, reported as a
+/// schema-versioned CSV (always) and JSON (with `--out-json`). Datasets
+/// load through the hub-BFS relabeled CSR layout unless `--no-relabel`
+/// is given; real SNAP files in `--data-dir` override the synthetic
+/// stand-ins. Deterministic for a fixed `(flags, --seed, --threads)`.
+fn cmd_experiment(args: &CliArgs) -> Result<(), Box<dyn std::error::Error>> {
+    use raf_bench::experiments::sweep::{self, SweepConfig};
+    use raf_datasets::{Dataset, RelabelMode};
+
+    let mut config =
+        if args.is_set("quick") { SweepConfig::quick() } else { SweepConfig::default() };
+    if let Some(name) = args.get("dataset") {
+        if name != "all" {
+            let dataset = match name.to_ascii_lowercase().as_str() {
+                "wiki" => Dataset::Wiki,
+                "hepth" => Dataset::HepTh,
+                "hepph" => Dataset::HepPh,
+                "youtube" => Dataset::Youtube,
+                other => {
+                    return Err(format!(
+                        "unknown dataset {other:?} (expected wiki, hepth, hepph, youtube, or all)"
+                    )
+                    .into())
+                }
+            };
+            config.datasets = vec![dataset];
+        }
+    }
+    if let Some(raw) = args.get("alphas") {
+        config.alphas = parse_grid::<f64>("alphas", raw)?;
+    }
+    if let Some(raw) = args.get("budgets") {
+        config.budgets = parse_grid::<u64>("budgets", raw)?;
+    }
+    config.pairs = args.get_or("pairs", config.pairs)?;
+    config.scale = args.get_or("scale", config.scale)?;
+    config.eval_samples = args.get_or("eval-samples", config.eval_samples)?;
+    config.seed = args.get_or("seed", config.seed)?;
+    config.threads = args.get_or("threads", threads_from_env())?;
+    if let Some(dir) = args.get("data-dir") {
+        config.data_dir = std::path::PathBuf::from(dir);
+    }
+    if args.is_set("no-relabel") {
+        config.relabel = RelabelMode::Plain;
+    }
+    config.validate()?;
+
+    let report = sweep::run(&config);
+    for &dataset in &config.datasets {
+        sweep::print(dataset, &report.rows);
+    }
+    let csv_path = args.get("out-csv").unwrap_or("EXPERIMENT_table1.csv");
+    report.to_csv().write_to_path(Path::new(csv_path))?;
+    println!("wrote {csv_path} ({} rows, schema {})", report.rows.len(), sweep::CSV_SCHEMA);
+    if let Some(json_path) = args.get("out-json") {
+        let mut text = report.to_json().render();
+        text.push('\n');
+        std::fs::write(json_path, text)?;
+        println!("wrote {json_path} (schema_version {})", report.schema_version);
+    }
+    Ok(())
+}
+
+/// Parses a comma-separated grid flag (e.g. `--alphas 0.1,0.2,0.3`).
+fn parse_grid<T: std::str::FromStr>(
+    flag: &str,
+    raw: &str,
+) -> Result<Vec<T>, Box<dyn std::error::Error>> {
+    let values: Result<Vec<T>, _> = raw.split(',').map(|s| s.trim().parse::<T>()).collect();
+    match values {
+        Ok(v) if !v.is_empty() => Ok(v),
+        _ => Err(format!("invalid value {raw:?} for --{flag} (comma-separated numbers)").into()),
+    }
+}
+
 fn print_usage() {
     eprintln!(
         "raf — active friending toolkit (ICDCS 2019 reproduction)
@@ -321,12 +406,24 @@ USAGE:
             [--quick] [--check-regression] [--max-regression R]
             [--topology NAME] [--nodes N] [--walks N] [--seed N]
             [--threads N] [--reps N] [--beta B]
+  raf experiment [--dataset wiki|hepth|hepph|youtube|all] [--quick]
+            [--alphas A,B,...] [--budgets N,M,...] [--pairs N]
+            [--scale F] [--eval-samples N] [--seed N] [--threads N]
+            [--data-dir DIR] [--no-relabel]
+            [--out-csv FILE] [--out-json FILE]
 
 bench-json appends one history entry per scenario to FILE (default
 BENCH_sampling.json). Without --scenario it runs the whole matrix
-(--quick: the CI-sized 10k slice); --check-regression fails when a
+(--quick: the CI-sized slice); --check-regression fails when a
 scenario's sampling+solve total regresses > R (default 0.15) against
-the last committed entry of the same scenario and profile.
+the last committed entry of the same scenario and profile. Dataset
+scenarios (dataset_wiki_7k_t1, ...) also record the hub-BFS relabeled
+layout's timings.
+
+experiment runs the Table-I sweep (RAF vs HD/SP over an alpha × budget
+grid per dataset) and writes a schema-versioned CSV (default
+EXPERIMENT_table1.csv; --out-json adds the JSON flavour). Real SNAP
+files in --data-dir (default data/) override the synthetic stand-ins.
 --threads defaults to the RAF_THREADS environment variable."
     );
 }
