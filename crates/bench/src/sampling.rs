@@ -27,12 +27,17 @@
 //! relabeled** layout of the same graph. Relabeled snapshots keep
 //! neighbor slices in image order, so the relabeled run samples the
 //! *bit-identical* pool (asserted on every run) and its timing isolates
-//! the pure locality effect of the renumbering.
+//! the pure locality effect of the renumbering. **Bake-off** cells
+//! ([`Scenario::bakeoff`]) go further and time every
+//! [`RelabelOrder`] — hub-BFS, degree-descending, reverse Cuthill–McKee
+//! — on the same graph in the same entry (`layout_ns`), producing the
+//! apples-to-apples layout comparison at a scale (1M nodes) where
+//! per-node metadata far exceeds L3 and the orders can diverge.
 
 use raf_cover::{ChlamtacPortfolio, CoverInstance, CoverSolution, MpuSolver};
 use raf_datasets::synthetic::{generate_topology, Topology};
 use raf_datasets::Dataset;
-use raf_graph::{generators, CsrGraph, NodeId, Relabeling, WeightScheme};
+use raf_graph::{generators, CsrGraph, NodeId, RelabelOrder, SocialGraph, WeightScheme};
 use raf_model::reverse::WalkOutcome;
 use raf_model::sampler::{sample_pool_parallel, PathPool};
 use raf_model::FriendingInstance;
@@ -46,7 +51,7 @@ use std::time::Instant;
 /// file when one is present in `data/`).
 ///
 /// Dataset cells additionally measure the arena pipeline on the hub-BFS
-/// relabeled layout (see [`Relabeling::hub_bfs`]) next to the plain one,
+/// relabeled layout (see [`raf_graph::Relabeling::hub_bfs`]) next to the plain one,
 /// recording the locality win in the same history entry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Workload {
@@ -77,14 +82,24 @@ pub struct Scenario {
     pub nodes: usize,
     /// Sampler threads.
     pub threads: usize,
+    /// Whether this cell runs the **layout bake-off**: the arena
+    /// pipeline timed on every [`RelabelOrder`] of the same graph
+    /// (hub-BFS, degree-descending, RCM), pool equality asserted across
+    /// all of them. Reserved for cells whose per-node metadata far
+    /// exceeds L3, where the orders can actually diverge; everywhere
+    /// else only hub-BFS is timed. Bake-off cells are excluded from the
+    /// `--quick` CI matrix (they run in the weekly full matrix).
+    pub bakeoff: bool,
 }
 
 impl Scenario {
-    /// The canonical scenario name, e.g. `powerlaw_cluster_10k_t1` or
-    /// `dataset_wiki_7k_t1` — the key the bench history and the CI
-    /// regression gate group by.
+    /// The canonical scenario name, e.g. `powerlaw_cluster_10k_t1`,
+    /// `dataset_wiki_7k_t1`, or `dataset_youtube_1m_t4` — the key the
+    /// bench history and the CI regression gate group by.
     pub fn name(&self) -> String {
-        let scale = if self.nodes.is_multiple_of(1_000) {
+        let scale = if self.nodes.is_multiple_of(1_000_000) {
+            format!("{}m", self.nodes / 1_000_000)
+        } else if self.nodes.is_multiple_of(1_000) {
             format!("{}k", self.nodes / 1_000)
         } else {
             self.nodes.to_string()
@@ -100,16 +115,23 @@ impl Scenario {
 
 /// The full scenario matrix: every topology family × {10k, 50k} nodes ×
 /// {1, 4} sampler threads, plus the `dataset` lineage — the Table-I
-/// stand-ins {wiki, hepth, hepph} at full Table-I scale × {1, 4} threads
-/// and a 20%-scaled Youtube cell (220k nodes, the largest cell — big
-/// enough that per-node metadata overflows L2, where the hub-BFS
-/// relabeling win is visible).
+/// stand-ins {wiki, hepth, hepph} at full Table-I scale × {1, 4} threads,
+/// a 20%-scaled Youtube cell (220k nodes — per-node metadata overflows
+/// L2, where the hub-BFS relabeling win first appears), and the
+/// `dataset_youtube_1m_t4` **bake-off** cell (1M nodes — metadata far
+/// exceeds L3, the scale where the three [`RelabelOrder`] layouts can
+/// genuinely diverge; each run times all of them).
 pub fn scenario_matrix() -> Vec<Scenario> {
     let mut matrix = Vec::new();
     for topology in Topology::ALL {
         for nodes in [10_000usize, 50_000] {
             for threads in [1usize, 4] {
-                matrix.push(Scenario { workload: Workload::Synthetic(topology), nodes, threads });
+                matrix.push(Scenario {
+                    workload: Workload::Synthetic(topology),
+                    nodes,
+                    threads,
+                    bakeoff: false,
+                });
             }
         }
     }
@@ -119,6 +141,7 @@ pub fn scenario_matrix() -> Vec<Scenario> {
                 workload: Workload::Dataset(dataset),
                 nodes: dataset.spec().nodes,
                 threads,
+                bakeoff: false,
             });
         }
     }
@@ -126,19 +149,27 @@ pub fn scenario_matrix() -> Vec<Scenario> {
         workload: Workload::Dataset(Dataset::Youtube),
         nodes: 220_000,
         threads: 4,
+        bakeoff: false,
+    });
+    matrix.push(Scenario {
+        workload: Workload::Dataset(Dataset::Youtube),
+        nodes: 1_000_000,
+        threads: 4,
+        bakeoff: true,
     });
     matrix
 }
 
-/// The quick (CI-sized) matrix: the 10k-node synthetic slice plus every
-/// dataset cell (the dataset lineage is exactly what the CI gate watches
-/// for relabeling regressions, so it runs at both profiles).
+/// The quick (CI-sized) matrix: the 10k-node synthetic slice plus the
+/// dataset cells (the lineage the CI gate watches for relabeling
+/// regressions) — **except** the bake-off cells, whose 1M-node graphs
+/// belong in the weekly full-matrix job, not the per-push gate.
 pub fn quick_matrix() -> Vec<Scenario> {
     scenario_matrix()
         .into_iter()
         .filter(|s| match s.workload {
             Workload::Synthetic(_) => s.nodes == 10_000,
-            Workload::Dataset(_) => true,
+            Workload::Dataset(_) => !s.bakeoff,
         })
         .collect()
 }
@@ -192,6 +223,7 @@ pub fn scenario_config(scenario: Scenario, profile: BenchProfile) -> SamplingBen
         workload: scenario.workload,
         nodes: scenario.nodes,
         threads: scenario.threads,
+        bakeoff: scenario.bakeoff,
         walks: profile.walks(),
         reps: profile.reps(),
         profile: profile.name(),
@@ -218,6 +250,9 @@ pub struct SamplingBenchConfig {
     pub beta: f64,
     /// History-lineage label (see [`BenchProfile`]).
     pub profile: &'static str,
+    /// Whether to time every [`RelabelOrder`] layout (see
+    /// [`Scenario::bakeoff`]); dataset cells time hub-BFS alone otherwise.
+    pub bakeoff: bool,
 }
 
 impl Default for SamplingBenchConfig {
@@ -231,6 +266,7 @@ impl Default for SamplingBenchConfig {
             reps: 5,
             beta: 0.3,
             profile: BenchProfile::Full.name(),
+            bakeoff: false,
         }
     }
 }
@@ -238,7 +274,12 @@ impl Default for SamplingBenchConfig {
 impl SamplingBenchConfig {
     /// The scenario cell this configuration measures.
     pub fn scenario(&self) -> Scenario {
-        Scenario { workload: self.workload, nodes: self.nodes, threads: self.threads }
+        Scenario {
+            workload: self.workload,
+            nodes: self.nodes,
+            threads: self.threads,
+            bakeoff: self.bakeoff,
+        }
     }
 }
 
@@ -277,10 +318,33 @@ pub struct SamplingBenchReport {
     /// Arena pipeline on the hub-BFS relabeled layout: best-of-reps
     /// cover-build + solve time (ns). 0 means not measured.
     pub relabeled_solve_ns: u128,
+    /// Per-order layout timings of the bake-off (one entry per measured
+    /// [`RelabelOrder`]; hub-BFS only for ordinary dataset cells, all
+    /// three for bake-off cells, empty for synthetic cells).
+    pub layouts: Vec<LayoutTiming>,
     /// Union cost of the legacy solve.
     pub legacy_cost: usize,
     /// Union cost of the arena solve.
     pub arena_cost: usize,
+}
+
+/// Best-of-reps arena timings of one relabeled layout, measured on a
+/// pool asserted bit-identical to the plain layout's.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LayoutTiming {
+    /// The layout order measured.
+    pub order: RelabelOrder,
+    /// Best-of-reps sampling time (ns).
+    pub sample_ns: u128,
+    /// Best-of-reps cover-build + solve time (ns).
+    pub solve_ns: u128,
+}
+
+impl LayoutTiming {
+    /// Sampling + solve total (ns).
+    pub fn total_ns(&self) -> u128 {
+        self.sample_ns + self.solve_ns
+    }
 }
 
 impl SamplingBenchReport {
@@ -328,9 +392,11 @@ impl SamplingBenchReport {
     /// no-op shim), stable field order: one `BENCH_sampling.json` history
     /// entry (see [`crate::history`]). Dataset cells add a
     /// `relabeled_ns` object — the arena pipeline on the hub-BFS layout —
-    /// and a `relabel_speedup` next to the legacy-vs-arena `speedup`.
+    /// and a `relabel_speedup` next to the legacy-vs-arena `speedup`;
+    /// bake-off cells additionally record a `layout_ns` object with one
+    /// `{ sample, solve, total }` triple per measured [`RelabelOrder`].
     pub fn to_json(&self) -> String {
-        let relabeled = if self.has_relabeled() {
+        let mut relabeled = if self.has_relabeled() {
             format!(
                 "  \"relabeled_ns\": {{ \"sample\": {}, \"solve\": {}, \"total\": {} }},\n  \
                  \"relabel_speedup\": {:.3},\n",
@@ -342,6 +408,22 @@ impl SamplingBenchReport {
         } else {
             String::new()
         };
+        if self.layouts.len() > 1 {
+            let columns: Vec<String> = self
+                .layouts
+                .iter()
+                .map(|l| {
+                    format!(
+                        "\"{}\": {{ \"sample\": {}, \"solve\": {}, \"total\": {} }}",
+                        l.order.name(),
+                        l.sample_ns,
+                        l.solve_ns,
+                        l.total_ns(),
+                    )
+                })
+                .collect();
+            relabeled.push_str(&format!("  \"layout_ns\": {{ {} }},\n", columns.join(", ")));
+        }
         format!(
             "{{\n  \"scenario\": \"{}\",\n  \"profile\": \"{}\",\n  \"graph\": {{ \"kind\": \"{}\", \"nodes\": {}, \"edges\": {}, \"s\": {}, \"t\": {} }},\n  \"config\": {{ \"walks\": {}, \"seed\": {}, \"threads\": {}, \"reps\": {}, \"beta\": {} }},\n  \"pool\": {{ \"type1\": {}, \"unique_paths\": {}, \"dedup_factor\": {:.3}, \"pmax_estimate\": {:.6}, \"cover_p\": {} }},\n  \"legacy_ns\": {{ \"sample\": {}, \"solve\": {}, \"total\": {} }},\n  \"arena_ns\": {{ \"sample\": {}, \"solve\": {}, \"total\": {} }},\n{relabeled}  \"cost\": {{ \"legacy\": {}, \"arena\": {} }},\n  \"speedup\": {:.3}\n}}\n",
             self.config.scenario().name(),
@@ -410,14 +492,21 @@ pub fn scenario_workload(
 }
 
 /// A fully prepared scenario workload: the plain-layout snapshot with a
-/// screened pair, plus — for dataset cells — the hub-BFS relabeled
-/// snapshot of the same graph (whose arena timings go into the
-/// `relabeled_ns` history field).
+/// screened pair, plus — for dataset cells — the source graph and the
+/// [`RelabelOrder`]s whose layouts the runner builds *one at a time*
+/// (hub-BFS only, or every order for bake-off cells; a 1M-node CSR is
+/// ~hundreds of MB, so holding all three relabeled copies simultaneously
+/// would triple peak memory for no measurement benefit). Their arena
+/// timings go into the `relabeled_ns` / `layout_ns` history fields.
 pub struct PreparedWorkload {
     /// Plain-layout snapshot.
     pub csr: CsrGraph,
-    /// Hub-BFS layout of the same graph (dataset workloads only).
-    pub relabeled: Option<(CsrGraph, Arc<Relabeling>)>,
+    /// The source graph relabeled layouts are built from on demand
+    /// (dataset workloads only).
+    pub social: Option<SocialGraph>,
+    /// The layout orders to measure, in [`RelabelOrder::ALL`] order
+    /// (empty for synthetic cells).
+    pub orders: Vec<RelabelOrder>,
     /// The screened initiator (original/plain ids).
     pub s: NodeId,
     /// The screened target (original/plain ids).
@@ -427,12 +516,18 @@ pub struct PreparedWorkload {
 /// Prepares a [`Workload`]: synthetic families generate as before;
 /// dataset cells load via `raf_datasets` (real SNAP file in `data/` when
 /// present, calibrated stand-in otherwise) at `nodes / table_i_nodes`
-/// scale and also build the hub-BFS layout.
-pub fn prepare_workload(workload_kind: Workload, nodes: usize, seed: u64) -> PreparedWorkload {
+/// scale and select the relabeled layout(s) to measure — hub-BFS alone,
+/// or all of [`RelabelOrder::ALL`] when `bakeoff` is set.
+pub fn prepare_workload(
+    workload_kind: Workload,
+    nodes: usize,
+    seed: u64,
+    bakeoff: bool,
+) -> PreparedWorkload {
     match workload_kind {
         Workload::Synthetic(topology) => {
             let (csr, s, t) = scenario_workload(topology, nodes, seed);
-            PreparedWorkload { csr, relabeled: None, s, t }
+            PreparedWorkload { csr, social: None, orders: Vec::new(), s, t }
         }
         Workload::Dataset(dataset) => {
             let scale = nodes as f64 / dataset.spec().nodes as f64;
@@ -440,10 +535,10 @@ pub fn prepare_workload(workload_kind: Workload, nodes: usize, seed: u64) -> Pre
                 raf_datasets::load_dataset(dataset, scale, seed, std::path::Path::new("data"))
                     .expect("dataset stand-in generation cannot fail at bench scales")
                     .graph;
-            let relabeling = Arc::new(Relabeling::hub_bfs(&social));
-            let hub = social.to_csr_relabeled(&relabeling);
+            let orders =
+                if bakeoff { RelabelOrder::ALL.to_vec() } else { vec![RelabelOrder::HubBfs] };
             let (csr, s, t) = screened_pair(social.to_csr(), seed);
-            PreparedWorkload { csr, relabeled: Some((hub, relabeling)), s, t }
+            PreparedWorkload { csr, social: Some(social), orders, s, t }
         }
     }
 }
@@ -681,11 +776,12 @@ pub fn arena_solve(universe: usize, pool: PathPool, beta: f64) -> CoverSolution 
 
 /// Runs the full comparison: both pipelines `reps` times each on the same
 /// workload, reporting best-of-reps phase timings and solution costs.
-/// Dataset workloads additionally time the arena pipeline on the hub-BFS
-/// relabeled layout — after asserting its pool is bit-identical to the
-/// plain layout's (the relabeling equivariance guarantee).
+/// Dataset workloads additionally time the arena pipeline on the
+/// relabeled layout(s) — hub-BFS, or the full [`RelabelOrder`] bake-off —
+/// after asserting each layout's pool is bit-identical to the plain
+/// layout's (the relabeling equivariance guarantee).
 pub fn run_sampling_bench(config: SamplingBenchConfig) -> SamplingBenchReport {
-    let prepared = prepare_workload(config.workload, config.nodes, config.seed);
+    let prepared = prepare_workload(config.workload, config.nodes, config.seed, config.bakeoff);
     let (csr, s, t) = (&prepared.csr, prepared.s, prepared.t);
     let instance = FriendingInstance::new(csr, s, t).expect("screened pair is valid");
     let n = csr.node_count();
@@ -731,28 +827,51 @@ pub fn run_sampling_bench(config: SamplingBenchConfig) -> SamplingBenchReport {
 
     let mut relabeled_sample_ns = 0u128;
     let mut relabeled_solve_ns = 0u128;
-    if let Some((hub_csr, relabeling)) = &prepared.relabeled {
-        let hub_instance = FriendingInstance::relabeled(hub_csr, s, t, relabeling.clone())
-            .expect("screened pair is valid under relabeling");
-        // Equivariance check: the relabeled layout must sample the exact
-        // same (original-space) pool — any divergence would mean the two
+    let mut layouts: Vec<LayoutTiming> = Vec::with_capacity(prepared.orders.len());
+    if let Some(social) = &prepared.social {
+        // Equivariance reference: every layout must sample the exact
+        // same (original-space) pool — any divergence would mean the
         // timings measure different work.
         let plain_pool = arena_sample_pool(&instance, config.walks, config.seed, config.threads);
-        let hub_pool = arena_sample_pool(&hub_instance, config.walks, config.seed, config.threads);
-        assert_eq!(plain_pool, hub_pool, "hub-BFS layout diverged from the plain layout");
-        let mut sample_ns = u128::MAX;
-        let mut solve_ns = u128::MAX;
-        for _ in 0..config.reps.max(1) {
-            let start = Instant::now();
-            let pool = arena_sample_pool(&hub_instance, config.walks, config.seed, config.threads);
-            sample_ns = sample_ns.min(start.elapsed().as_nanos());
-            let start = Instant::now();
-            let sol = arena_solve(n, pool, config.beta);
-            solve_ns = solve_ns.min(start.elapsed().as_nanos());
-            assert_eq!(sol.cost(), arena_cost, "hub-BFS solve diverged from the plain solve");
+        for &order in &prepared.orders {
+            // Built (and dropped) per order: one relabeled snapshot
+            // resident at a time, not the whole bake-off slate.
+            let relabeling = Arc::new(order.relabeling(social));
+            let layout_csr = social.to_csr_relabeled(&relabeling);
+            let layout_instance =
+                FriendingInstance::relabeled(&layout_csr, s, t, relabeling.clone())
+                    .expect("screened pair is valid under relabeling");
+            let layout_pool =
+                arena_sample_pool(&layout_instance, config.walks, config.seed, config.threads);
+            assert_eq!(
+                plain_pool,
+                layout_pool,
+                "{} layout diverged from the plain layout",
+                order.name()
+            );
+            let mut sample_ns = u128::MAX;
+            let mut solve_ns = u128::MAX;
+            for _ in 0..config.reps.max(1) {
+                let start = Instant::now();
+                let pool =
+                    arena_sample_pool(&layout_instance, config.walks, config.seed, config.threads);
+                sample_ns = sample_ns.min(start.elapsed().as_nanos());
+                let start = Instant::now();
+                let sol = arena_solve(n, pool, config.beta);
+                solve_ns = solve_ns.min(start.elapsed().as_nanos());
+                assert_eq!(
+                    sol.cost(),
+                    arena_cost,
+                    "{} solve diverged from the plain solve",
+                    order.name()
+                );
+            }
+            if order == RelabelOrder::HubBfs {
+                relabeled_sample_ns = sample_ns;
+                relabeled_solve_ns = solve_ns;
+            }
+            layouts.push(LayoutTiming { order, sample_ns, solve_ns });
         }
-        relabeled_sample_ns = sample_ns;
-        relabeled_solve_ns = solve_ns;
     }
 
     SamplingBenchReport {
@@ -770,6 +889,7 @@ pub fn run_sampling_bench(config: SamplingBenchConfig) -> SamplingBenchReport {
         arena_solve_ns,
         relabeled_sample_ns,
         relabeled_solve_ns,
+        layouts,
         legacy_cost,
         arena_cost,
     }
@@ -840,8 +960,9 @@ mod tests {
     fn scenario_matrix_covers_the_spec() {
         let matrix = scenario_matrix();
         // Synthetic lineage (4 × 2 × 2) plus the dataset lineage:
-        // {wiki, hepth, hepph} × {1, 4} and the scaled Youtube cell.
-        assert_eq!(matrix.len(), Topology::ALL.len() * 2 * 2 + 3 * 2 + 1);
+        // {wiki, hepth, hepph} × {1, 4}, the scaled Youtube cell, and
+        // the 1M-node Youtube bake-off cell.
+        assert_eq!(matrix.len(), Topology::ALL.len() * 2 * 2 + 3 * 2 + 2);
         let names: std::collections::HashSet<String> = matrix.iter().map(Scenario::name).collect();
         assert_eq!(names.len(), matrix.len(), "scenario names collide");
         for required in [
@@ -856,18 +977,25 @@ mod tests {
             "dataset_hepth_28k_t1",
             "dataset_hepph_35k_t4",
             "dataset_youtube_220k_t4",
+            "dataset_youtube_1m_t4",
         ] {
             assert!(names.contains(required), "matrix lacks {required}");
             assert!(find_scenario(required).is_some());
         }
         assert!(find_scenario("no_such_scenario").is_none());
-        // Quick keeps the synthetic 10k slice and every dataset cell.
+        // The 1M cell is the bake-off cell; nothing else is.
+        let one_m = find_scenario("dataset_youtube_1m_t4").unwrap();
+        assert!(one_m.bakeoff && one_m.nodes == 1_000_000);
+        assert_eq!(matrix.iter().filter(|s| s.bakeoff).count(), 1);
+        // Quick keeps the synthetic 10k slice and every non-bake-off
+        // dataset cell; bake-off cells belong to the weekly full matrix.
         let quick = quick_matrix();
         assert!(quick
             .iter()
             .all(|s| !matches!(s.workload, Workload::Synthetic(_)) || s.nodes == 10_000));
         assert_eq!(quick.len(), Topology::ALL.len() * 2 + 3 * 2 + 1);
         assert!(quick.iter().any(|s| s.name() == "dataset_youtube_220k_t4"));
+        assert!(quick.iter().all(|s| !s.bakeoff), "--quick must skip the bake-off cells");
     }
 
     #[test]
@@ -920,9 +1048,13 @@ mod tests {
         assert!(report.has_relabeled(), "dataset cells must time the hub layout");
         assert!(report.relabeled_sample_ns > 0 && report.relabeled_solve_ns > 0);
         assert!(report.relabel_speedup() > 0.0);
+        // A non-bake-off dataset cell times hub-BFS alone — no layout_ns.
+        assert_eq!(report.layouts.len(), 1);
+        assert_eq!(report.layouts[0].order, RelabelOrder::HubBfs);
         let json = report.to_json();
         assert!(json.contains("\"relabeled_ns\""));
         assert!(json.contains("\"relabel_speedup\""));
+        assert!(!json.contains("\"layout_ns\""), "single-layout cells must not emit layout_ns");
         let value = crate::history::parse_json(&json).unwrap();
         assert_eq!(
             value.get("scenario").and_then(crate::history::JsonValue::as_str),
@@ -933,6 +1065,54 @@ mod tests {
             value.get("graph").unwrap().get("kind").and_then(crate::history::JsonValue::as_str),
             Some("wiki")
         );
+    }
+
+    #[test]
+    fn bakeoff_cell_times_every_layout_on_one_pool() {
+        // A scaled-down bake-off cell: all three orders must be timed on
+        // the same graph (pool equality asserted inside the runner) and
+        // the entry must carry a layout_ns column per order.
+        let config = SamplingBenchConfig {
+            workload: Workload::Dataset(Dataset::Youtube),
+            nodes: 600,
+            walks: 6_000,
+            seed: 3,
+            reps: 1,
+            bakeoff: true,
+            ..Default::default()
+        };
+        let report = run_sampling_bench(config);
+        assert!(report.type1 > 0, "empty pool on the youtube stand-in");
+        assert_eq!(report.layouts.len(), RelabelOrder::ALL.len());
+        for (timing, order) in report.layouts.iter().zip(RelabelOrder::ALL) {
+            assert_eq!(timing.order, order);
+            assert!(timing.sample_ns > 0 && timing.solve_ns > 0, "{}", order.name());
+        }
+        // The hub-BFS column doubles as the back-compatible relabeled_ns.
+        assert_eq!(report.layouts[0].sample_ns, report.relabeled_sample_ns);
+        assert_eq!(report.layouts[0].solve_ns, report.relabeled_solve_ns);
+        let json = report.to_json();
+        let value = crate::history::parse_json(&json).unwrap();
+        assert_eq!(
+            value.get("scenario").and_then(crate::history::JsonValue::as_str),
+            Some("dataset_youtube_600_t1")
+        );
+        for order in RelabelOrder::ALL {
+            let total = value.path_f64(&["layout_ns", order.name(), "total"]);
+            assert!(total.unwrap() > 0.0, "layout_ns lacks {}", order.name());
+        }
+        assert_eq!(
+            value.path_f64(&["layout_ns", "hub_bfs", "total"]),
+            value.path_f64(&["relabeled_ns", "total"]),
+        );
+        // The entry survives a history round trip (parse → render →
+        // parse), which is what the append-only file does on every run.
+        let mut history = crate::history::BenchHistory::default();
+        history.push(value.clone());
+        let reloaded = crate::history::BenchHistory::from_text(&history.to_text()).unwrap();
+        assert_eq!(reloaded.entries[0].path_f64(&["layout_ns", "rcm", "total"]), {
+            value.path_f64(&["layout_ns", "rcm", "total"])
+        });
     }
 
     #[test]

@@ -4,7 +4,9 @@
 
 use crate::{synthetic, Dataset};
 use raf_graph::io::{read_edge_list_path, EdgeListOptions};
-use raf_graph::{CsrGraph, GraphError, NodeId, Relabeling, SocialGraph, WeightScheme};
+use raf_graph::{
+    CsrGraph, GraphError, NodeId, RelabelOrder, Relabeling, SocialGraph, WeightScheme,
+};
 use raf_model::{FriendingInstance, ModelError};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -29,7 +31,10 @@ pub struct LoadedDataset {
     pub dataset: Dataset,
 }
 
-/// How the CSR snapshot of a loaded dataset is laid out.
+/// How the CSR snapshot of a loaded dataset is laid out: the file's own
+/// order, or one of the cache-locality renumberings of
+/// [`RelabelOrder`]. Whatever the layout, instance results are reported
+/// in original ids.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum RelabelMode {
     /// File/generator order, neighbor slices sorted by id.
@@ -37,9 +42,54 @@ pub enum RelabelMode {
     /// Hub-seeded BFS renumbering ([`Relabeling::hub_bfs`]): the
     /// cache-oblivious layout that collapses the walk loop's dependent
     /// metadata-load chain on large graphs. The default for dataset
-    /// workloads; instance results are still reported in original ids.
+    /// workloads.
     #[default]
     HubBfs,
+    /// Degree-descending renumbering ([`Relabeling::degree_descending`]).
+    DegreeDescending,
+    /// Reverse Cuthill–McKee renumbering ([`Relabeling::rcm`]).
+    Rcm,
+}
+
+impl RelabelMode {
+    /// The layout order this mode applies (`None` for [`Plain`](Self::Plain)).
+    pub fn order(self) -> Option<RelabelOrder> {
+        match self {
+            RelabelMode::Plain => None,
+            RelabelMode::HubBfs => Some(RelabelOrder::HubBfs),
+            RelabelMode::DegreeDescending => Some(RelabelOrder::DegreeDescending),
+            RelabelMode::Rcm => Some(RelabelOrder::Rcm),
+        }
+    }
+
+    /// The snake_case name (`plain` or the order's name) — the value the
+    /// `raf experiment --relabel` flag accepts.
+    pub fn name(self) -> &'static str {
+        match self.order() {
+            None => "plain",
+            Some(order) => order.name(),
+        }
+    }
+
+    /// Parses [`name`](Self::name) back into a mode. Delegates to
+    /// [`RelabelOrder::parse`] for the ordered layouts, so a future
+    /// order variant is covered the moment `From<RelabelOrder>` compiles.
+    pub fn parse(name: &str) -> Option<RelabelMode> {
+        if name == RelabelMode::Plain.name() {
+            return Some(RelabelMode::Plain);
+        }
+        RelabelOrder::parse(name).map(RelabelMode::from)
+    }
+}
+
+impl From<RelabelOrder> for RelabelMode {
+    fn from(order: RelabelOrder) -> RelabelMode {
+        match order {
+            RelabelOrder::HubBfs => RelabelMode::HubBfs,
+            RelabelOrder::DegreeDescending => RelabelMode::DegreeDescending,
+            RelabelOrder::Rcm => RelabelMode::Rcm,
+        }
+    }
 }
 
 /// A dataset prepared for sampling: the CSR snapshot (possibly hub-BFS
@@ -113,10 +163,10 @@ pub fn load_dataset_csr(
     mode: RelabelMode,
 ) -> Result<PreparedCsr, GraphError> {
     let loaded = load_dataset(dataset, scale, seed, data_dir)?;
-    let (csr, relabeling) = match mode {
-        RelabelMode::Plain => (loaded.graph.to_csr(), None),
-        RelabelMode::HubBfs => {
-            let r = Arc::new(Relabeling::hub_bfs(&loaded.graph));
+    let (csr, relabeling) = match mode.order() {
+        None => (loaded.graph.to_csr(), None),
+        Some(order) => {
+            let r = Arc::new(order.relabeling(&loaded.graph));
             (loaded.graph.to_csr_relabeled(&r), Some(r))
         }
     };
@@ -218,6 +268,42 @@ mod tests {
             let mut seeds_b: Vec<NodeId> = b.seeds().iter().map(|&v| b.original_of(v)).collect();
             seeds_b.sort_unstable();
             assert_eq!(seeds_a, seeds_b);
+        }
+    }
+
+    #[test]
+    fn relabel_mode_names_round_trip() {
+        // Derived from RelabelOrder::ALL so a future order variant is
+        // covered here without editing this list.
+        let modes =
+            std::iter::once(RelabelMode::Plain).chain(RelabelOrder::ALL.map(RelabelMode::from));
+        for mode in modes {
+            assert_eq!(RelabelMode::parse(mode.name()), Some(mode));
+        }
+        assert_eq!(RelabelMode::parse("hub_bfs"), Some(RelabelMode::HubBfs));
+        assert_eq!(RelabelMode::parse("no_such_layout"), None);
+        assert_eq!(RelabelMode::Plain.order(), None);
+        assert_eq!(RelabelMode::default(), RelabelMode::HubBfs);
+    }
+
+    #[test]
+    fn every_relabel_order_loads_an_isomorphic_snapshot() {
+        let dir = ScratchDir::new("csr_orders");
+        let plain =
+            load_dataset_csr(Dataset::Wiki, 0.01, 5, &dir.path, RelabelMode::Plain).unwrap();
+        for mode in [RelabelMode::HubBfs, RelabelMode::DegreeDescending, RelabelMode::Rcm] {
+            let prepared = load_dataset_csr(Dataset::Wiki, 0.01, 5, &dir.path, mode).unwrap();
+            let r = prepared.relabeling.as_ref().expect("ordered modes carry the permutation");
+            assert_eq!(prepared.csr.node_count(), plain.csr.node_count(), "{}", mode.name());
+            assert_eq!(prepared.csr.edge_count(), plain.csr.edge_count(), "{}", mode.name());
+            for v in plain.csr.nodes().take(50) {
+                assert_eq!(
+                    prepared.csr.degree(r.new_of(v)),
+                    plain.csr.degree(v),
+                    "{}: degree diverged at {v:?}",
+                    mode.name()
+                );
+            }
         }
     }
 

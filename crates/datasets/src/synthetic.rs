@@ -122,15 +122,11 @@ pub fn generate(dataset: Dataset, scale: f64, seed: u64) -> Result<SocialGraph, 
             preferential_attachment_fractional(n, mean_attach, &mut rng)?
         }
     };
-    let generated = builder.build(WeightScheme::UniformByDegree)?;
-    let mut perm: Vec<usize> = (0..generated.node_count()).collect();
+    let mut builder = builder;
+    let mut perm: Vec<usize> = (0..builder.node_count()).collect();
     perm.shuffle(&mut rng);
-    let mut shuffled = GraphBuilder::with_capacity(generated.edge_count());
-    shuffled.reserve_nodes(generated.node_count());
-    for (u, v) in generated.edges() {
-        shuffled.add_edge(perm[u.index()], perm[v.index()])?;
-    }
-    shuffled.build(WeightScheme::UniformByDegree)
+    builder.permute_nodes(&perm)?;
+    builder.build(WeightScheme::UniformByDegree)
 }
 
 /// Preferential attachment with a fractional mean attachment count: each
@@ -138,10 +134,26 @@ pub fn generate(dataset: Dataset, scale: f64, seed: u64) -> Result<SocialGraph, 
 /// mean is exactly `m` — hitting non-integer Table I densities like
 /// Youtube's 5.45 edges per node.
 ///
+/// The inner loop is **O(attach)** per node: draws come from the
+/// endpoint list (one entry per edge endpoint — constant-time sampling
+/// of the live degree distribution), and distinctness is checked against
+/// a generation-stamped seen array instead of the old linear
+/// `chosen.contains` scan (O(attach) per draw, quadratic per node).
+/// When rejection sampling stalls on a degenerate degree sequence (one
+/// hub holding nearly all the mass), the remaining targets come from a
+/// deterministic prefix-sum sweep of the degree distribution — exact by
+/// construction (always `attach` distinct targets, debug-asserted,
+/// where the old guard path re-ran a `contains`-scanning id sweep
+/// inside the fill loop) and RNG-free, so the draw stream stays
+/// identical whether or not the fallback fires.
+///
 /// # Errors
 ///
-/// Returns [`GraphError::InvalidParameter`] when `mean_attach < 1` or the
-/// graph is too small to host the seed clique.
+/// Returns [`GraphError::InvalidParameter`] when `mean_attach < 1`, when
+/// the attachment count would reach `n` (`⌈m⌉ ≥ n` — a dedicated
+/// diagnostic naming the attachment count, where the seed-clique check
+/// below reports only a node-count bound), or when the graph is too
+/// small to host the seed clique.
 pub fn preferential_attachment_fractional<R: Rng>(
     n: usize,
     mean_attach: f64,
@@ -154,6 +166,11 @@ pub fn preferential_attachment_fractional<R: Rng>(
     }
     let lo = mean_attach.floor() as usize;
     let hi = mean_attach.ceil() as usize;
+    if hi >= n {
+        return Err(GraphError::InvalidParameter {
+            message: format!("attachment count {hi} must stay below the node count {n}"),
+        });
+    }
     let frac_hi = mean_attach - lo as f64;
     let seed_size = hi + 1;
     if n <= seed_size {
@@ -164,42 +181,101 @@ pub fn preferential_attachment_fractional<R: Rng>(
     let mut b = GraphBuilder::with_capacity((n as f64 * mean_attach) as usize);
     b.reserve_nodes(n);
     let mut endpoints: Vec<u32> = Vec::with_capacity(2 * (n as f64 * mean_attach) as usize);
+    // degree[u] mirrors the endpoint list (the fallback's sampling
+    // weights); stamp[u] == v marks u as already chosen for node v — one
+    // O(1) probe replaces the old O(attach) `chosen.contains` scan, and
+    // resetting is free because each node uses its own id as the stamp.
+    let mut degree: Vec<u32> = vec![0; n];
+    let mut stamp: Vec<u32> = vec![u32::MAX; n];
     for u in 0..seed_size {
         for v in (u + 1)..seed_size {
             b.add_edge(u, v)?;
             endpoints.push(u as u32);
             endpoints.push(v as u32);
+            degree[u] += 1;
+            degree[v] += 1;
         }
     }
-    let mut chosen: Vec<usize> = Vec::new();
+    let mut chosen: Vec<u32> = Vec::with_capacity(hi);
     for v in seed_size..n {
         let attach = if rng.gen::<f64>() < frac_hi { hi } else { lo };
         chosen.clear();
+        let mark = v as u32;
         let mut guard = 0usize;
         while chosen.len() < attach {
             let u = endpoints[rng.gen_range(0..endpoints.len())] as usize;
-            if !chosen.contains(&u) {
-                chosen.push(u);
+            // Self-loop guard: endpoints only lists nodes below v today,
+            // but the invariant is one refactor away from silent
+            // breakage, and a stamped probe makes the guard free.
+            if u != v && stamp[u] != mark {
+                stamp[u] = mark;
+                chosen.push(u as u32);
             }
             guard += 1;
             if guard > 100 * attach {
-                for u in 0..v {
-                    if chosen.len() == attach {
-                        break;
-                    }
-                    if !chosen.contains(&u) {
-                        chosen.push(u);
-                    }
-                }
+                fill_by_degree_prefix_sum(&degree[..v], &mut stamp, mark, attach, &mut chosen);
+                break;
             }
         }
+        debug_assert_eq!(chosen.len(), attach, "under-attached node {v}");
         for &u in &chosen {
-            b.add_edge(u, v)?;
-            endpoints.push(u as u32);
+            b.add_edge(u as usize, v)?;
+            endpoints.push(u);
             endpoints.push(v as u32);
+            degree[u as usize] += 1;
+            degree[v] += 1;
         }
     }
     Ok(b)
+}
+
+/// Deterministic, exact fallback for a stalled rejection loop: picks the
+/// missing attachment targets by sweeping evenly spaced quantiles of the
+/// prefix-summed degree distribution over the existing nodes `0..v`
+/// (every one of which has degree ≥ 1), skipping already-stamped nodes
+/// by advancing to the next unstamped candidate (wrapping once).
+///
+/// Degree-biased like the rejection path, consumes no RNG, and always
+/// fills `chosen` to exactly `attach` entries: the caller guarantees
+/// `attach < v`, so at least `attach - chosen.len()` unstamped
+/// candidates exist.
+fn fill_by_degree_prefix_sum(
+    degree: &[u32],
+    stamp: &mut [u32],
+    mark: u32,
+    attach: usize,
+    chosen: &mut Vec<u32>,
+) {
+    let v = degree.len();
+    debug_assert!(attach < v, "cannot pick {attach} distinct targets from {v} nodes");
+    let need = attach - chosen.len();
+    if need == 0 {
+        return;
+    }
+    let total: u64 = degree.iter().map(|&d| u64::from(d)).sum();
+    let mut cum = 0u64;
+    let mut cursor = 0usize; // candidate index, advanced with the quantiles
+    for i in 0..need {
+        // Mid-bucket quantile of the degree mass for the i-th pick.
+        let pos = ((2 * i as u64 + 1) * total) / (2 * need as u64);
+        while cursor < v && cum + u64::from(degree[cursor]) <= pos {
+            cum += u64::from(degree[cursor]);
+            cursor += 1;
+        }
+        // Next unstamped candidate at or after the quantile, wrapping.
+        let mut pick = cursor.min(v - 1);
+        let mut scanned = 0usize;
+        while stamp[pick] == mark {
+            pick += 1;
+            if pick == v {
+                pick = 0;
+            }
+            scanned += 1;
+            debug_assert!(scanned <= v, "no unstamped candidate left");
+        }
+        stamp[pick] = mark;
+        chosen.push(pick as u32);
+    }
 }
 
 /// Calibration check helper: relative deviation between a generated
@@ -341,5 +417,87 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         assert!(preferential_attachment_fractional(100, 0.5, &mut rng).is_err());
         assert!(preferential_attachment_fractional(3, 5.0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn fractional_rejects_attach_count_reaching_n() {
+        // n = lo + 1: a node could never find `attach` distinct earlier
+        // targets — the generator must reject the parameters up front so
+        // the fill loop never has to cope with an unsatisfiable request.
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(matches!(
+            preferential_attachment_fractional(6, 5.0, &mut rng),
+            Err(GraphError::InvalidParameter { .. })
+        ));
+        // ⌈m⌉ ≥ n: the dedicated diagnostic names the attachment count.
+        match preferential_attachment_fractional(4, 5.45, &mut rng) {
+            Err(GraphError::InvalidParameter { message }) => {
+                assert!(message.contains("attachment count 6"), "message: {message}");
+            }
+            other => panic!("expected InvalidParameter, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn smallest_valid_n_is_simple_and_fully_attached() {
+        // n = seed_size + 1 = ⌈m⌉ + 2, the tightest legal instance: the
+        // single non-seed node must attach to exactly ⌈m⌉ = ⌊m⌋ distinct
+        // targets, with no self-loops — across seeds (and surviving the
+        // id shuffle `generate` applies on top, which is where a broken
+        // permutation would first manufacture a self-loop).
+        for seed in 0..20u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let b = preferential_attachment_fractional(7, 5.0, &mut rng).unwrap();
+            let g = b.build(WeightScheme::UniformByDegree).unwrap();
+            assert_eq!(g.edge_count(), 6 * 5 / 2 + 5, "seed {seed}");
+            for (u, v) in g.edges() {
+                assert_ne!(u, v, "self-loop at seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn non_seed_nodes_are_never_under_attached() {
+        // Every node beyond the seed clique contributes ≥ ⌊m⌋ distinct
+        // edges of its own; degree ≥ ⌊m⌋ everywhere is the observable
+        // form of "the fill loop is exact".
+        let mut rng = StdRng::seed_from_u64(11);
+        let b = preferential_attachment_fractional(2_000, 5.45, &mut rng).unwrap();
+        let g = b.build(WeightScheme::UniformByDegree).unwrap();
+        for v in g.nodes() {
+            assert!(g.degree(v) >= 5, "node {v:?} under-attached: degree {}", g.degree(v));
+        }
+    }
+
+    #[test]
+    fn prefix_sum_fallback_is_exact_deterministic_and_degree_biased() {
+        // Hub-dominated degenerate degree sequence — the shape that
+        // stalls rejection sampling and trips the guard.
+        let degree = [100u32, 1, 1, 1, 1];
+        let run = |preseed: Option<u32>| {
+            let mut stamp = vec![u32::MAX; 5];
+            let mut chosen: Vec<u32> = Vec::new();
+            if let Some(u) = preseed {
+                stamp[u as usize] = 9;
+                chosen.push(u);
+            }
+            fill_by_degree_prefix_sum(&degree, &mut stamp, 9, 3, &mut chosen);
+            chosen
+        };
+        let picks = run(None);
+        assert_eq!(picks.len(), 3, "fallback under-filled");
+        let mut distinct = picks.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        assert_eq!(distinct.len(), 3, "fallback repeated a target: {picks:?}");
+        assert!(picks.contains(&0), "the degree-mass holder was skipped: {picks:?}");
+        assert_eq!(picks, run(None), "fallback is not deterministic");
+        // Resuming a partially filled pick set stays exact and distinct.
+        let resumed = run(Some(0));
+        assert_eq!(resumed.len(), 3);
+        let mut d = resumed.clone();
+        d.sort_unstable();
+        d.dedup();
+        assert_eq!(d.len(), 3, "resumed fallback repeated: {resumed:?}");
     }
 }

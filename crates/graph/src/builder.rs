@@ -112,6 +112,46 @@ impl GraphBuilder {
         Ok(self)
     }
 
+    /// Renumbers every stored edge through `perm` (`perm[old] = new`),
+    /// in place. A bijection maps distinct endpoints to distinct
+    /// endpoints, so the builder stays a valid simple graph with the
+    /// same edge count; the dedup index is rebuilt under the new ids.
+    ///
+    /// This is how the synthetic dataset stand-ins shuffle node ids to
+    /// match real SNAP crawl order — permuting the edge list directly is
+    /// one pass, where the previous build → re-add → rebuild cycle paid
+    /// a full intermediate graph construction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidParameter`] when `perm` is not a
+    /// permutation of `0..self.node_count()`.
+    pub fn permute_nodes(&mut self, perm: &[usize]) -> Result<&mut Self, GraphError> {
+        let n = self.node_count;
+        if perm.len() != n {
+            return Err(GraphError::InvalidParameter {
+                message: format!("permutation covers {} nodes but the builder has {n}", perm.len()),
+            });
+        }
+        let mut hit = vec![false; n];
+        for &image in perm {
+            if image >= n || hit[image] {
+                return Err(GraphError::InvalidParameter {
+                    message: format!(
+                        "not a permutation of 0..{n}: image {image} repeats or overflows"
+                    ),
+                });
+            }
+            hit[image] = true;
+        }
+        for edge in &mut self.edges {
+            *edge = Self::key(perm[edge.0 as usize] as u32, perm[edge.1 as usize] as u32);
+        }
+        self.seen.clear();
+        self.seen.extend(self.edges.iter().copied());
+        Ok(self)
+    }
+
     /// Finalizes the graph, assigning weights with `scheme`.
     ///
     /// # Errors
@@ -120,7 +160,15 @@ impl GraphBuilder {
     /// [`WeightScheme::weights_for`].
     pub fn build(&self, scheme: WeightScheme) -> Result<SocialGraph, GraphError> {
         let n = self.node_count;
-        let mut adj: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        // Exact per-node preallocation: at million-node generator scale
+        // the incremental regrowth of 2m random-order pushes dominated
+        // the build.
+        let mut degree = vec![0usize; n];
+        for &(u, v) in &self.edges {
+            degree[u as usize] += 1;
+            degree[v as usize] += 1;
+        }
+        let mut adj: Vec<Vec<NodeId>> = degree.into_iter().map(Vec::with_capacity).collect();
         for &(u, v) in &self.edges {
             adj[u as usize].push(NodeId::from(v));
             adj[v as usize].push(NodeId::from(u));
@@ -237,5 +285,61 @@ mod tests {
         let mut b = GraphBuilder::with_capacity(100);
         b.add_edge(0, 1).unwrap();
         assert_eq!(b.edge_count(), 1);
+    }
+
+    #[test]
+    fn permute_nodes_relabels_edges_and_dedup_index() {
+        let mut b = GraphBuilder::new();
+        b.add_edges(vec![(0, 1), (1, 2), (2, 3)]).unwrap();
+        // perm: 0→3, 1→2, 2→1, 3→0.
+        b.permute_nodes(&[3, 2, 1, 0]).unwrap();
+        assert_eq!(b.edge_count(), 3);
+        assert!(b.contains_edge(3, 2) && b.contains_edge(2, 1) && b.contains_edge(1, 0));
+        assert!(!b.contains_edge(0, 3));
+        // The dedup index survives the renumbering: re-adding a mapped
+        // edge is a no-op, a genuinely new edge lands.
+        b.add_edge(2, 3).unwrap();
+        assert_eq!(b.edge_count(), 3);
+        b.add_edge(0, 3).unwrap();
+        assert_eq!(b.edge_count(), 4);
+    }
+
+    #[test]
+    fn permute_nodes_matches_rebuild_through_add_edge() {
+        // The permuted builder must build the exact graph the old
+        // build → re-add cycle produced (adjacency is sorted at build,
+        // so edge-vec order differences are invisible).
+        let mut b = GraphBuilder::new();
+        b.add_edges(vec![(0, 4), (4, 2), (2, 0), (1, 3)]).unwrap();
+        let perm = [2usize, 0, 4, 3, 1];
+        let direct = {
+            let mut p = b.clone();
+            p.permute_nodes(&perm).unwrap();
+            p.build(WeightScheme::UniformByDegree).unwrap()
+        };
+        let rebuilt = {
+            let g = b.build(WeightScheme::UniformByDegree).unwrap();
+            let mut p = GraphBuilder::with_capacity(g.edge_count());
+            p.reserve_nodes(g.node_count());
+            for (u, v) in g.edges() {
+                p.add_edge(perm[u.index()], perm[v.index()]).unwrap();
+            }
+            p.build(WeightScheme::UniformByDegree).unwrap()
+        };
+        assert_eq!(direct.edges().collect::<Vec<_>>(), rebuilt.edges().collect::<Vec<_>>());
+        for v in 0..5 {
+            assert_eq!(direct.degree(NodeId::new(v)), rebuilt.degree(NodeId::new(v)));
+        }
+    }
+
+    #[test]
+    fn permute_nodes_rejects_non_permutations() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1).unwrap();
+        assert!(b.permute_nodes(&[0]).is_err()); // wrong length
+        assert!(b.permute_nodes(&[0, 0]).is_err()); // repeated image
+        assert!(b.permute_nodes(&[0, 2]).is_err()); // image out of range
+                                                    // The failed calls left the edges untouched.
+        assert!(b.contains_edge(0, 1));
     }
 }

@@ -208,6 +208,7 @@ fn cmd_bench_json(args: &CliArgs) -> Result<(), Box<dyn std::error::Error>> {
             workload: Workload::Synthetic(topology),
             nodes: args.get_or("nodes", 10_000)?,
             threads: args.get_or("threads", threads_from_env())?,
+            bakeoff: false,
         }]
     } else if profile == BenchProfile::Quick {
         quick_matrix()
@@ -253,7 +254,19 @@ fn cmd_bench_json(args: &CliArgs) -> Result<(), Box<dyn std::error::Error>> {
             report.unique_paths,
             report.dedup_factor(),
         );
-        if report.has_relabeled() {
+        if report.layouts.len() > 1 {
+            // Bake-off cells: the full per-order table (hub-BFS included,
+            // so the single-layout line below would be redundant).
+            let plain = arena_total as f64;
+            for timing in &report.layouts {
+                println!(
+                    "{name}: layout {:>11} {:.1} ms  →  {:.2}x vs plain arena",
+                    timing.order.name(),
+                    timing.total_ns() as f64 / 1e6,
+                    plain / timing.total_ns() as f64,
+                );
+            }
+        } else if report.has_relabeled() {
             let hub_ms = (report.relabeled_sample_ns + report.relabeled_solve_ns) as f64 / 1e6;
             println!(
                 "{name}: hub-BFS layout {hub_ms:.1} ms  →  relabel speedup {:.2}x",
@@ -317,9 +330,11 @@ fn cmd_bench_json(args: &CliArgs) -> Result<(), Box<dyn std::error::Error>> {
 /// dataset × an α grid × a realization-budget grid, RAF vs the HD/SP
 /// baselines at matched invitation-set size, reported as a
 /// schema-versioned CSV (always) and JSON (with `--out-json`). Datasets
-/// load through the hub-BFS relabeled CSR layout unless `--no-relabel`
-/// is given; real SNAP files in `--data-dir` override the synthetic
-/// stand-ins. Deterministic for a fixed `(flags, --seed, --threads)`.
+/// load through the hub-BFS relabeled CSR layout by default; `--relabel
+/// plain|hub_bfs|degree_desc|rcm` selects another layout order and
+/// `--no-relabel` is shorthand for `--relabel plain`. Real SNAP files in
+/// `--data-dir` override the synthetic stand-ins. Deterministic for a
+/// fixed `(flags, --seed, --threads)`.
 fn cmd_experiment(args: &CliArgs) -> Result<(), Box<dyn std::error::Error>> {
     use raf_bench::experiments::sweep::{self, SweepConfig};
     use raf_datasets::{Dataset, RelabelMode};
@@ -356,6 +371,19 @@ fn cmd_experiment(args: &CliArgs) -> Result<(), Box<dyn std::error::Error>> {
     config.threads = args.get_or("threads", threads_from_env())?;
     if let Some(dir) = args.get("data-dir") {
         config.data_dir = std::path::PathBuf::from(dir);
+    }
+    if let Some(raw) = args.get("relabel") {
+        config.relabel = RelabelMode::parse(raw).ok_or_else(|| {
+            // Derived from the order registry so a future layout shows up
+            // here without touching this file.
+            let names: Vec<&str> = std::iter::once(RelabelMode::Plain.name())
+                .chain(raf_graph::RelabelOrder::ALL.iter().map(|o| o.name()))
+                .collect();
+            format!("unknown relabel layout {raw:?} (expected one of: {})", names.join(", "))
+        })?;
+        if args.is_set("no-relabel") && config.relabel != RelabelMode::Plain {
+            return Err("--no-relabel conflicts with --relabel (drop one)".into());
+        }
     }
     if args.is_set("no-relabel") {
         config.relabel = RelabelMode::Plain;
@@ -409,16 +437,18 @@ USAGE:
   raf experiment [--dataset wiki|hepth|hepph|youtube|all] [--quick]
             [--alphas A,B,...] [--budgets N,M,...] [--pairs N]
             [--scale F] [--eval-samples N] [--seed N] [--threads N]
-            [--data-dir DIR] [--no-relabel]
-            [--out-csv FILE] [--out-json FILE]
+            [--data-dir DIR] [--relabel plain|hub_bfs|degree_desc|rcm]
+            [--no-relabel] [--out-csv FILE] [--out-json FILE]
 
 bench-json appends one history entry per scenario to FILE (default
 BENCH_sampling.json). Without --scenario it runs the whole matrix
-(--quick: the CI-sized slice); --check-regression fails when a
-scenario's sampling+solve total regresses > R (default 0.15) against
-the last committed entry of the same scenario and profile. Dataset
-scenarios (dataset_wiki_7k_t1, ...) also record the hub-BFS relabeled
-layout's timings.
+(--quick: the CI-sized slice, which skips the 1M-node bake-off cell);
+--check-regression fails when a scenario's sampling+solve total
+regresses > R (default 0.15) against the last committed entry of the
+same scenario and profile. Dataset scenarios (dataset_wiki_7k_t1, ...)
+also record the hub-BFS relabeled layout's timings; the bake-off cell
+(dataset_youtube_1m_t4) times every layout order — hub_bfs,
+degree_desc, rcm — on the same graph and records them as layout_ns.
 
 experiment runs the Table-I sweep (RAF vs HD/SP over an alpha × budget
 grid per dataset) and writes a schema-versioned CSV (default

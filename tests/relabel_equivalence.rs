@@ -1,4 +1,6 @@
-//! Relabeling isomorphism property: the hub-BFS relabeled CSR layout is
+//! Relabeling isomorphism property: every relabeled CSR layout —
+//! hub-BFS, degree-descending, and reverse Cuthill–McKee, the three
+//! [`RelabelOrder`] candidates of the layout bake-off — is
 //! *observationally invisible*. Sampling and solving on a relabeled
 //! snapshot must yield identical acceptance estimates, identical pool
 //! multiplicity histograms, and identical (mapped-back) invitation sets
@@ -11,7 +13,7 @@
 //! too.
 
 use proptest::prelude::*;
-use raf_graph::{generators, NodeId, Relabeling, SocialGraph, WeightScheme};
+use raf_graph::{generators, NodeId, RelabelOrder, SocialGraph, WeightScheme};
 use raf_model::pmax::estimate_pmax_fixed;
 use raf_model::sampler::{sample_pool_parallel, threads_from_env};
 use raf_model::{acceptance::estimate_acceptance, FriendingInstance, InvitationSet};
@@ -70,9 +72,10 @@ fn multiplicity_histogram(pool: &raf_model::sampler::PathPool) -> Vec<u32> {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
-    /// Pools sampled on the two layouts are bit-identical: same unique
-    /// paths in the same canonical order, same multiplicity histogram,
-    /// same implied acceptance estimates.
+    /// Pools sampled on every layout are bit-identical to the plain
+    /// layout's: same unique paths in the same canonical order, same
+    /// multiplicity histogram, same implied acceptance estimates — for
+    /// hub-BFS, degree-descending, and RCM orders alike.
     #[test]
     fn pools_and_estimates_are_layout_invariant(
         seed in 0u64..500,
@@ -82,37 +85,41 @@ proptest! {
         let social = random_graph(family, nodes, seed);
         let Some((s, t)) = pick_pair(&social) else { return Ok(()); };
         let plain_csr = social.to_csr();
-        let relabeling = Arc::new(Relabeling::hub_bfs(&social));
-        let hub_csr = social.to_csr_relabeled(&relabeling);
         let plain = FriendingInstance::new(&plain_csr, s, t).unwrap();
-        let hub = FriendingInstance::relabeled(&hub_csr, s, t, relabeling.clone()).unwrap();
-        for threads in thread_matrix() {
-            let walks = 6_000u64;
-            let a = sample_pool_parallel(&plain, walks, seed ^ 0x51, threads);
-            let b = sample_pool_parallel(&hub, walks, seed ^ 0x51, threads);
-            // Identical pools ⇒ identical multiplicity histograms and
-            // identical pmax/coverage estimates, but assert the named
-            // observables explicitly for the stronger failure message.
-            prop_assert_eq!(multiplicity_histogram(&a), multiplicity_histogram(&b),
-                "multiplicity histogram diverged (threads={})", threads);
-            prop_assert_eq!(a.pmax_estimate(), b.pmax_estimate(),
-                "pmax estimate diverged (threads={})", threads);
-            prop_assert_eq!(&a, &b, "pools diverged (threads={})", threads);
-            // Acceptance estimates against a shared invitation set.
-            let full = InvitationSet::full(social.node_count());
-            prop_assert_eq!(a.coverage(&full), b.coverage(&full));
+        for order in RelabelOrder::ALL {
+            let relabeling = Arc::new(order.relabeling(&social));
+            let relabeled_csr = social.to_csr_relabeled(&relabeling);
+            let relabeled =
+                FriendingInstance::relabeled(&relabeled_csr, s, t, relabeling.clone()).unwrap();
+            for threads in thread_matrix() {
+                let walks = 6_000u64;
+                let a = sample_pool_parallel(&plain, walks, seed ^ 0x51, threads);
+                let b = sample_pool_parallel(&relabeled, walks, seed ^ 0x51, threads);
+                // Identical pools ⇒ identical multiplicity histograms and
+                // identical pmax/coverage estimates, but assert the named
+                // observables explicitly for the stronger failure message.
+                prop_assert_eq!(multiplicity_histogram(&a), multiplicity_histogram(&b),
+                    "multiplicity histogram diverged ({}, threads={})", order.name(), threads);
+                prop_assert_eq!(a.pmax_estimate(), b.pmax_estimate(),
+                    "pmax estimate diverged ({}, threads={})", order.name(), threads);
+                prop_assert_eq!(&a, &b, "pools diverged ({}, threads={})", order.name(), threads);
+                // Acceptance estimates against a shared invitation set.
+                let full = InvitationSet::full(social.node_count());
+                prop_assert_eq!(a.coverage(&full), b.coverage(&full));
+            }
+            // Per-walk estimators agree too (sample_target_path maps back).
+            let mut rng_a = StdRng::seed_from_u64(seed ^ 0x9);
+            let mut rng_b = StdRng::seed_from_u64(seed ^ 0x9);
+            let pa = estimate_pmax_fixed(&plain, 2_000, &mut rng_a);
+            let pb = estimate_pmax_fixed(&relabeled, 2_000, &mut rng_b);
+            prop_assert_eq!(pa, pb, "fixed pmax estimator diverged ({})", order.name());
         }
-        // Per-walk estimators agree too (sample_target_path maps back).
-        let mut rng_a = StdRng::seed_from_u64(seed ^ 0x9);
-        let mut rng_b = StdRng::seed_from_u64(seed ^ 0x9);
-        let pa = estimate_pmax_fixed(&plain, 2_000, &mut rng_a);
-        let pb = estimate_pmax_fixed(&hub, 2_000, &mut rng_b);
-        prop_assert_eq!(pa, pb, "fixed pmax estimator diverged");
     }
 
     /// The full Alg. 4 pipeline — parameters, pmax phase, pool, cover
     /// solve — returns the identical invitation set (already mapped back
-    /// to original ids) on both layouts, across seeds and thread counts.
+    /// to original ids) on every layout order, across seeds and thread
+    /// counts.
     #[test]
     fn raf_invitation_sets_are_layout_invariant(
         seed in 0u64..200,
@@ -123,46 +130,51 @@ proptest! {
         let social = random_graph(family, nodes, seed);
         let Some((s, t)) = pick_pair(&social) else { return Ok(()); };
         let plain_csr = social.to_csr();
-        let relabeling = Arc::new(Relabeling::hub_bfs(&social));
-        let hub_csr = social.to_csr_relabeled(&relabeling);
         let plain = FriendingInstance::new(&plain_csr, s, t).unwrap();
-        let hub = FriendingInstance::relabeled(&hub_csr, s, t, relabeling.clone()).unwrap();
-        for threads in thread_matrix() {
-            let cfg = RafConfig::with_alpha(0.3)
-                .seed(seed ^ 0xAB)
-                .threads(threads)
-                .budget(RealizationBudget::Fixed(8_000));
-            let a = RafAlgorithm::new(cfg.clone()).run(&plain);
-            let b = RafAlgorithm::new(cfg).run(&hub);
-            match (a, b) {
-                (Ok(ra), Ok(rb)) => {
-                    prop_assert_eq!(&ra.invitations, &rb.invitations,
-                        "invitation sets diverged (threads={})", threads);
-                    prop_assert_eq!(ra.type1_count, rb.type1_count);
-                    prop_assert_eq!(ra.cover_p, rb.cover_p);
-                    prop_assert_eq!(ra.covered, rb.covered);
-                    prop_assert_eq!(ra.pmax_estimate, rb.pmax_estimate);
-                    prop_assert_eq!(ra.vmax_size, rb.vmax_size);
-                    // The acceptance estimate of the (shared) solution is
-                    // likewise layout-independent.
-                    let mut ea = StdRng::seed_from_u64(seed ^ 0x77);
-                    let mut eb = StdRng::seed_from_u64(seed ^ 0x77);
-                    let fa = estimate_acceptance(&plain, &ra.invitations, 3_000, &mut ea);
-                    let fb = estimate_acceptance(&hub, &rb.invitations, 3_000, &mut eb);
-                    prop_assert_eq!(fa, fb, "acceptance estimate diverged");
+        for order in RelabelOrder::ALL {
+            let relabeling = Arc::new(order.relabeling(&social));
+            let relabeled_csr = social.to_csr_relabeled(&relabeling);
+            let relabeled =
+                FriendingInstance::relabeled(&relabeled_csr, s, t, relabeling.clone()).unwrap();
+            for threads in thread_matrix() {
+                let cfg = RafConfig::with_alpha(0.3)
+                    .seed(seed ^ 0xAB)
+                    .threads(threads)
+                    .budget(RealizationBudget::Fixed(8_000));
+                let a = RafAlgorithm::new(cfg.clone()).run(&plain);
+                let b = RafAlgorithm::new(cfg).run(&relabeled);
+                match (a, b) {
+                    (Ok(ra), Ok(rb)) => {
+                        prop_assert_eq!(&ra.invitations, &rb.invitations,
+                            "invitation sets diverged ({}, threads={})", order.name(), threads);
+                        prop_assert_eq!(ra.type1_count, rb.type1_count);
+                        prop_assert_eq!(ra.cover_p, rb.cover_p);
+                        prop_assert_eq!(ra.covered, rb.covered);
+                        prop_assert_eq!(ra.pmax_estimate, rb.pmax_estimate);
+                        prop_assert_eq!(ra.vmax_size, rb.vmax_size);
+                        // The acceptance estimate of the (shared) solution
+                        // is likewise layout-independent.
+                        let mut ea = StdRng::seed_from_u64(seed ^ 0x77);
+                        let mut eb = StdRng::seed_from_u64(seed ^ 0x77);
+                        let fa = estimate_acceptance(&plain, &ra.invitations, 3_000, &mut ea);
+                        let fb = estimate_acceptance(&relabeled, &rb.invitations, 3_000, &mut eb);
+                        prop_assert_eq!(fa, fb,
+                            "acceptance estimate diverged ({})", order.name());
+                    }
+                    (Err(CoreError::TargetUnreachable { .. }),
+                     Err(CoreError::TargetUnreachable { .. })) => {}
+                    (a, b) => prop_assert!(false,
+                        "layouts disagree on failure ({}): plain={:?} relabeled={:?}",
+                        order.name(),
+                        a.map(|r| r.invitation_size()), b.map(|r| r.invitation_size())),
                 }
-                (Err(CoreError::TargetUnreachable { .. }),
-                 Err(CoreError::TargetUnreachable { .. })) => {}
-                (a, b) => prop_assert!(false,
-                    "layouts disagree on failure: plain={:?} hub={:?}",
-                    a.map(|r| r.invitation_size()), b.map(|r| r.invitation_size())),
             }
         }
     }
 }
 
 /// `V_max` and the baselines report original-space sets on relabeled
-/// instances — byte-equal to the plain layout's.
+/// instances — byte-equal to the plain layout's, whatever the order.
 #[test]
 fn vmax_and_baselines_are_layout_invariant() {
     use raf_core::baselines::{Baseline, HighDegree};
@@ -171,24 +183,37 @@ fn vmax_and_baselines_are_layout_invariant() {
         let social = random_graph(seed as u8, 90, seed);
         let Some((s, t)) = pick_pair(&social) else { continue };
         let plain_csr = social.to_csr();
-        let relabeling = Arc::new(Relabeling::hub_bfs(&social));
-        let hub_csr = social.to_csr_relabeled(&relabeling);
         let plain = FriendingInstance::new(&plain_csr, s, t).unwrap();
-        let hub = FriendingInstance::relabeled(&hub_csr, s, t, relabeling.clone()).unwrap();
-        assert_eq!(vmax_exact(&plain), vmax_exact(&hub), "V_max diverged at seed {seed}");
-        // HD ranks by (degree, id); degrees are isomorphism-invariant and
-        // ties in *original* id order differ from relabeled order, so
-        // compare only the degree multiset of the chosen sets — and the
-        // target membership contract.
-        let a = HighDegree::new().build(&plain, 5);
-        let b = HighDegree::new().build(&hub, 5);
-        assert_eq!(a.len(), b.len());
-        assert!(a.contains(t) && b.contains(t));
-        let degrees = |inv: &InvitationSet| {
-            let mut d: Vec<usize> = inv.iter().map(|v| plain_csr.degree(v)).collect();
-            d.sort_unstable();
-            d
-        };
-        assert_eq!(degrees(&a), degrees(&b), "HD degree profile diverged at seed {seed}");
+        for order in RelabelOrder::ALL {
+            let relabeling = Arc::new(order.relabeling(&social));
+            let relabeled_csr = social.to_csr_relabeled(&relabeling);
+            let relabeled =
+                FriendingInstance::relabeled(&relabeled_csr, s, t, relabeling.clone()).unwrap();
+            assert_eq!(
+                vmax_exact(&plain),
+                vmax_exact(&relabeled),
+                "V_max diverged at seed {seed} ({})",
+                order.name()
+            );
+            // HD ranks by (degree, id); degrees are isomorphism-invariant
+            // and ties in *original* id order differ from relabeled
+            // order, so compare only the degree multiset of the chosen
+            // sets — and the target membership contract.
+            let a = HighDegree::new().build(&plain, 5);
+            let b = HighDegree::new().build(&relabeled, 5);
+            assert_eq!(a.len(), b.len());
+            assert!(a.contains(t) && b.contains(t));
+            let degrees = |inv: &InvitationSet| {
+                let mut d: Vec<usize> = inv.iter().map(|v| plain_csr.degree(v)).collect();
+                d.sort_unstable();
+                d
+            };
+            assert_eq!(
+                degrees(&a),
+                degrees(&b),
+                "HD degree profile diverged at seed {seed} ({})",
+                order.name()
+            );
+        }
     }
 }
