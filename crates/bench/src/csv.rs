@@ -69,7 +69,10 @@ impl CsvTable {
 }
 
 fn escape(cell: &str) -> String {
-    if cell.contains([',', '"', '\n']) {
+    // RFC 4180 §2.6: fields containing commas, quotes, or *either* line
+    // break character must be quoted — a bare `\r` corrupts the row for
+    // readers that accept CR line endings.
+    if cell.contains([',', '"', '\n', '\r']) {
         format!("\"{}\"", cell.replace('"', "\"\""))
     } else {
         cell.to_string()
@@ -106,6 +109,22 @@ mod tests {
         let s = String::from_utf8(out).unwrap();
         assert!(s.contains("\"a,b\""));
         assert!(s.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn escapes_line_breaks_including_carriage_returns() {
+        let mut t = CsvTable::new(["name"]);
+        t.push_row(["two\nlines"]);
+        t.push_row(["mac\rclassic"]);
+        t.push_row(["dos\r\nending"]);
+        let mut out = Vec::new();
+        t.write_to(&mut out).unwrap();
+        let s = String::from_utf8(out).unwrap();
+        assert!(s.contains("\"two\nlines\""));
+        assert!(s.contains("\"mac\rclassic\""), "bare CR cells must be quoted");
+        assert!(s.contains("\"dos\r\nending\""));
+        // Un-special cells stay unquoted.
+        assert!(!s.contains("\"name\""));
     }
 
     #[test]

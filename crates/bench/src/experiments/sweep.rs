@@ -29,9 +29,15 @@ use raf_datasets::{
     RelabelMode,
 };
 use raf_graph::NodeId;
-use raf_model::sampler::sample_pool_parallel;
+use raf_serve::{ServeConfig, SessionContext};
 use std::path::PathBuf;
 use std::time::Instant;
+
+/// Byte budget of the per-dataset evaluation-pool cache. Eval pools are
+/// small (tens of thousands of walks), so this comfortably holds every
+/// screened pair's pool for the whole grid; the cap only matters as a
+/// backstop on misconfigured runs.
+const EVAL_CACHE_BYTES: usize = 64 << 20;
 
 /// Version stamped into every report (CSV `schema` column, JSON
 /// `schema_version` field). Bump on any column/field change.
@@ -280,6 +286,21 @@ pub fn run_dataset(config: &SweepConfig, dataset: Dataset) -> Vec<SweepRow> {
         ..Default::default()
     };
     let pairs = sample_pairs(&prep.csr, &pair_cfg);
+    // The evaluation pools go through the serving layer's pool cache:
+    // the first grid cell that needs a pair's pool samples it (a miss),
+    // and every later cell of the same pair reuses the resident pool (a
+    // hit) — the same amortization `raf serve` gives repeat queries.
+    let serve_cfg = ServeConfig {
+        walks: config.eval_samples,
+        epsilon: 0.01,
+        seed: config.seed ^ 0xE7A,
+        threads: config.threads,
+        cache_bytes: EVAL_CACHE_BYTES,
+    };
+    let mut eval_ctx = match &prep.relabeling {
+        Some(r) => SessionContext::with_relabeling(&prep.csr, r.clone(), serve_cfg),
+        None => SessionContext::new(&prep.csr, serve_cfg),
+    };
     let (a_len, b_len) = (config.alphas.len(), config.budgets.len());
     let mut acc = vec![CellAcc::default(); a_len * b_len];
     for pair in &pairs {
@@ -289,15 +310,6 @@ pub fn run_dataset(config: &SweepConfig, dataset: Dataset) -> Vec<SweepRow> {
         let Ok(instance) = prep.instance(s, t) else {
             continue;
         };
-        // One shared evaluation pool per pair (common random numbers):
-        // every strategy at every grid point is scored against the same
-        // walks, so differences reflect the strategies, not the noise.
-        let eval_pool = sample_pool_parallel(
-            &instance,
-            config.eval_samples,
-            config.seed ^ 0xE7A ^ t.index() as u64,
-            config.threads,
-        );
         // HD/SP depend only on (pair, size) and |I_RAF| repeats across
         // grid cells, so memoize their coverage per size instead of
         // re-sorting the whole candidate list per cell.
@@ -305,6 +317,14 @@ pub fn run_dataset(config: &SweepConfig, dataset: Dataset) -> Vec<SweepRow> {
             std::collections::HashMap::new();
         for (ai, &alpha) in config.alphas.iter().enumerate() {
             for (bi, &budget) in config.budgets.iter().enumerate() {
+                // One shared evaluation pool per pair (common random
+                // numbers): every strategy at every grid point is scored
+                // against the same walks, so differences reflect the
+                // strategies, not the noise. Cached, so only the first
+                // cell pays the sampling.
+                let Ok(eval_pool) = eval_ctx.pool(s, t, config.eval_samples) else {
+                    continue;
+                };
                 let raf_cfg = RafConfig {
                     alpha,
                     epsilon: 0.01,
@@ -389,6 +409,7 @@ pub fn print(dataset: Dataset, rows: &[SweepRow]) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use raf_model::sampler::sample_pool_parallel;
 
     fn tiny_config() -> SweepConfig {
         SweepConfig {

@@ -23,6 +23,7 @@ pub mod csv;
 pub mod experiments;
 pub mod history;
 pub mod sampling;
+pub mod serving;
 
 mod config;
 

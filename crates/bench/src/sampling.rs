@@ -90,12 +90,20 @@ pub struct Scenario {
     /// else only hub-BFS is timed. Bake-off cells are excluded from the
     /// `--quick` CI matrix (they run in the weekly full matrix).
     pub bakeoff: bool,
+    /// Whether this cell measures the **query-serving** lineage instead
+    /// of the legacy-vs-arena pipeline comparison: cold-pool vs
+    /// warm-pool (cache-hit) query latency through
+    /// `raf_serve::SessionContext` (see [`crate::serving`]). Serving
+    /// entries record `serving_ns` percentiles and cache counters rather
+    /// than `arena_ns`, so the regression gate skips them.
+    pub serving: bool,
 }
 
 impl Scenario {
     /// The canonical scenario name, e.g. `powerlaw_cluster_10k_t1`,
-    /// `dataset_wiki_7k_t1`, or `dataset_youtube_1m_t4` — the key the
-    /// bench history and the CI regression gate group by.
+    /// `dataset_wiki_7k_t1`, `dataset_youtube_1m_t4`, or — for the
+    /// query-serving lineage — `serving_wiki_7k_t1`: the key the bench
+    /// history and the CI regression gate group by.
     pub fn name(&self) -> String {
         let scale = if self.nodes.is_multiple_of(1_000_000) {
             format!("{}m", self.nodes / 1_000_000)
@@ -106,6 +114,9 @@ impl Scenario {
         };
         match self.workload {
             Workload::Synthetic(t) => format!("{}_{}_t{}", t.name(), scale, self.threads),
+            Workload::Dataset(d) if self.serving => {
+                format!("serving_{}_{}_t{}", d.spec().file_stem, scale, self.threads)
+            }
             Workload::Dataset(d) => {
                 format!("dataset_{}_{}_t{}", d.spec().file_stem, scale, self.threads)
             }
@@ -120,7 +131,10 @@ impl Scenario {
 /// L2, where the hub-BFS relabeling win first appears), and the
 /// `dataset_youtube_1m_t4` **bake-off** cell (1M nodes — metadata far
 /// exceeds L3, the scale where the three [`RelabelOrder`] layouts can
-/// genuinely diverge; each run times all of them).
+/// genuinely diverge; each run times all of them) — plus the `serving`
+/// lineage: cold-vs-warm query latency through the pool cache on dataset
+/// cells spanning the same scale ladder, with the 1M Youtube cell (like
+/// the bake-off) reserved for the weekly full matrix.
 pub fn scenario_matrix() -> Vec<Scenario> {
     let mut matrix = Vec::new();
     for topology in Topology::ALL {
@@ -131,6 +145,7 @@ pub fn scenario_matrix() -> Vec<Scenario> {
                     nodes,
                     threads,
                     bakeoff: false,
+                    serving: false,
                 });
             }
         }
@@ -142,6 +157,7 @@ pub fn scenario_matrix() -> Vec<Scenario> {
                 nodes: dataset.spec().nodes,
                 threads,
                 bakeoff: false,
+                serving: false,
             });
         }
     }
@@ -150,26 +166,44 @@ pub fn scenario_matrix() -> Vec<Scenario> {
         nodes: 220_000,
         threads: 4,
         bakeoff: false,
+        serving: false,
     });
     matrix.push(Scenario {
         workload: Workload::Dataset(Dataset::Youtube),
         nodes: 1_000_000,
         threads: 4,
         bakeoff: true,
+        serving: false,
     });
+    for (dataset, nodes, threads) in [
+        (Dataset::Wiki, Dataset::Wiki.spec().nodes, 1usize),
+        (Dataset::HepTh, Dataset::HepTh.spec().nodes, 1),
+        (Dataset::HepPh, Dataset::HepPh.spec().nodes, 4),
+        (Dataset::Youtube, 220_000, 4),
+        (Dataset::Youtube, 1_000_000, 4),
+    ] {
+        matrix.push(Scenario {
+            workload: Workload::Dataset(dataset),
+            nodes,
+            threads,
+            bakeoff: false,
+            serving: true,
+        });
+    }
     matrix
 }
 
 /// The quick (CI-sized) matrix: the 10k-node synthetic slice plus the
-/// dataset cells (the lineage the CI gate watches for relabeling
-/// regressions) — **except** the bake-off cells, whose 1M-node graphs
-/// belong in the weekly full-matrix job, not the per-push gate.
+/// dataset and serving cells (the lineages the CI gate watches) —
+/// **except** the bake-off cells and the 1M-node serving cell, whose
+/// 1M-node graphs belong in the weekly full-matrix job, not the per-push
+/// gate.
 pub fn quick_matrix() -> Vec<Scenario> {
     scenario_matrix()
         .into_iter()
         .filter(|s| match s.workload {
             Workload::Synthetic(_) => s.nodes == 10_000,
-            Workload::Dataset(_) => !s.bakeoff,
+            Workload::Dataset(_) => !s.bakeoff && s.nodes < 1_000_000,
         })
         .collect()
 }
@@ -279,6 +313,10 @@ impl SamplingBenchConfig {
             nodes: self.nodes,
             threads: self.threads,
             bakeoff: self.bakeoff,
+            // The pipeline comparison never runs on serving cells (those
+            // route through `crate::serving`), so this is always a
+            // non-serving scenario.
+            serving: false,
         }
     }
 }
@@ -961,8 +999,8 @@ mod tests {
         let matrix = scenario_matrix();
         // Synthetic lineage (4 × 2 × 2) plus the dataset lineage:
         // {wiki, hepth, hepph} × {1, 4}, the scaled Youtube cell, and
-        // the 1M-node Youtube bake-off cell.
-        assert_eq!(matrix.len(), Topology::ALL.len() * 2 * 2 + 3 * 2 + 2);
+        // the 1M-node Youtube bake-off cell — plus the 5 serving cells.
+        assert_eq!(matrix.len(), Topology::ALL.len() * 2 * 2 + 3 * 2 + 2 + 5);
         let names: std::collections::HashSet<String> = matrix.iter().map(Scenario::name).collect();
         assert_eq!(names.len(), matrix.len(), "scenario names collide");
         for required in [
@@ -978,6 +1016,11 @@ mod tests {
             "dataset_hepph_35k_t4",
             "dataset_youtube_220k_t4",
             "dataset_youtube_1m_t4",
+            "serving_wiki_7k_t1",
+            "serving_hepth_28k_t1",
+            "serving_hepph_35k_t4",
+            "serving_youtube_220k_t4",
+            "serving_youtube_1m_t4",
         ] {
             assert!(names.contains(required), "matrix lacks {required}");
             assert!(find_scenario(required).is_some());
@@ -987,15 +1030,27 @@ mod tests {
         let one_m = find_scenario("dataset_youtube_1m_t4").unwrap();
         assert!(one_m.bakeoff && one_m.nodes == 1_000_000);
         assert_eq!(matrix.iter().filter(|s| s.bakeoff).count(), 1);
+        // Serving cells are dataset-only and never double as bake-offs.
+        assert_eq!(matrix.iter().filter(|s| s.serving).count(), 5);
+        assert!(matrix
+            .iter()
+            .filter(|s| s.serving)
+            .all(|s| matches!(s.workload, Workload::Dataset(_)) && !s.bakeoff));
         // Quick keeps the synthetic 10k slice and every non-bake-off
-        // dataset cell; bake-off cells belong to the weekly full matrix.
+        // dataset/serving cell below 1M nodes; the 1M graphs belong to
+        // the weekly full matrix.
         let quick = quick_matrix();
         assert!(quick
             .iter()
             .all(|s| !matches!(s.workload, Workload::Synthetic(_)) || s.nodes == 10_000));
-        assert_eq!(quick.len(), Topology::ALL.len() * 2 + 3 * 2 + 1);
+        assert_eq!(quick.len(), Topology::ALL.len() * 2 + 3 * 2 + 1 + 4);
         assert!(quick.iter().any(|s| s.name() == "dataset_youtube_220k_t4"));
+        assert!(quick.iter().any(|s| s.name() == "serving_youtube_220k_t4"));
         assert!(quick.iter().all(|s| !s.bakeoff), "--quick must skip the bake-off cells");
+        assert!(
+            quick.iter().all(|s| s.name() != "serving_youtube_1m_t4"),
+            "--quick must skip the 1M serving cell"
+        );
     }
 
     #[test]

@@ -1,0 +1,386 @@
+//! The query-serving benchmark behind the `serving_*` scenario cells.
+//!
+//! Measures what the [`raf_serve::SessionContext`] pool cache actually
+//! buys on dataset workloads: the **cold** latency of a query whose pool
+//! must be sampled (a true key miss) against the **warm** latency of a
+//! query answered from the resident pool (same pair, different `α` —
+//! only the cover phase re-runs). Both paths produce bit-identical
+//! answers for the same key (property-tested in
+//! `tests/serving_equivalence.rs`), so the cold/warm ratio is a pure
+//! amortization measurement, not a quality trade.
+//!
+//! Each run screens a pair batch on the hub-BFS relabeled snapshot (the
+//! production serving layout), then per pair times one cold query
+//! followed by `warm_reps × |alphas|` warm queries, asserting the cache
+//! outcome of every single one. Latencies are reported as nearest-rank
+//! p50/p99 over all pairs, and the entry carries the session's cache
+//! counters. Serving entries have no `arena_ns`, so the CI regression
+//! gate skips them (see `Scenario::serving`).
+
+use crate::sampling::{BenchProfile, Scenario, Workload};
+use raf_datasets::{
+    load_dataset_csr, sample_pairs, Dataset, DatasetSource, PairSamplerConfig, RelabelMode,
+};
+use raf_graph::NodeId;
+use raf_serve::{Query, ServeConfig, SessionContext};
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Knobs of one serving benchmark run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServingBenchConfig {
+    /// The Table-I dataset backing the resident graph.
+    pub dataset: Dataset,
+    /// Requested node count (the dataset is scaled to it).
+    pub nodes: usize,
+    /// Sampler threads of the serving context.
+    pub threads: usize,
+    /// Walk ceiling per pool ([`ServeConfig::walks`]); every query uses
+    /// this as its budget, so each pair is exactly one pool.
+    pub walks: u64,
+    /// Master seed (graph generation, pair screening, pool seeds).
+    pub seed: u64,
+    /// Screened pairs to serve (each contributes one cold sample and
+    /// `warm_reps × |alphas|` warm samples).
+    pub pairs: usize,
+    /// Warm repetitions of the alpha sweep per pair.
+    pub warm_reps: usize,
+    /// The `α` grid warm queries sweep (all share the pair's pool).
+    pub alphas: Vec<f64>,
+    /// Byte budget of the pool cache.
+    pub cache_bytes: usize,
+    /// History-lineage label (see [`BenchProfile`]).
+    pub profile: &'static str,
+    /// Directory searched for real SNAP files.
+    pub data_dir: PathBuf,
+}
+
+/// The benchmark configuration for one serving scenario cell under a
+/// profile.
+///
+/// # Panics
+///
+/// Panics when the scenario is not a serving cell (serving cells are
+/// dataset-only by construction of the matrix).
+pub fn serving_config(scenario: Scenario, profile: BenchProfile) -> ServingBenchConfig {
+    let Workload::Dataset(dataset) = scenario.workload else {
+        panic!("serving cells are dataset-only; got {}", scenario.name());
+    };
+    assert!(scenario.serving, "{} is not a serving cell", scenario.name());
+    let (pairs, warm_reps, alphas) = match profile {
+        BenchProfile::Full => (6, 3, vec![0.1, 0.2, 0.3]),
+        BenchProfile::Quick => (4, 2, vec![0.1, 0.3]),
+    };
+    ServingBenchConfig {
+        dataset,
+        nodes: scenario.nodes,
+        threads: scenario.threads,
+        walks: profile.walks(),
+        seed: 7,
+        pairs,
+        warm_reps,
+        alphas,
+        cache_bytes: 256 << 20,
+        profile: profile.name(),
+        data_dir: PathBuf::from("data"),
+    }
+}
+
+impl ServingBenchConfig {
+    /// The scenario cell this configuration measures.
+    pub fn scenario(&self) -> Scenario {
+        Scenario {
+            workload: Workload::Dataset(self.dataset),
+            nodes: self.nodes,
+            threads: self.threads,
+            bakeoff: false,
+            serving: true,
+        }
+    }
+}
+
+/// Measured outcome of one serving benchmark run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServingBenchReport {
+    /// The configuration that produced this report.
+    pub config: ServingBenchConfig,
+    /// `"real"` or `"synthetic"` graph source.
+    pub source: &'static str,
+    /// Nodes of the loaded graph.
+    pub nodes: usize,
+    /// Edges of the loaded graph.
+    pub edges: usize,
+    /// Pairs that served successfully (unreachable pairs are skipped).
+    pub pairs_measured: usize,
+    /// Pairs skipped because their cold query failed.
+    pub pairs_skipped: usize,
+    /// Cold (key-miss) query latency, nearest-rank p50 (ns).
+    pub cold_p50_ns: u128,
+    /// Cold query latency, nearest-rank p99 (ns).
+    pub cold_p99_ns: u128,
+    /// Warm (cache-hit) query latency, nearest-rank p50 (ns).
+    pub warm_p50_ns: u128,
+    /// Warm query latency, nearest-rank p99 (ns).
+    pub warm_p99_ns: u128,
+    /// Final cache counters of the session.
+    pub stats: raf_serve::CacheStats,
+    /// Pools resident when the run finished.
+    pub cached_pools: usize,
+    /// Bytes charged against the cache budget when the run finished.
+    pub resident_bytes: usize,
+}
+
+impl ServingBenchReport {
+    /// Cold-over-warm latency ratio at p50 — the amortization factor the
+    /// acceptance gate watches (≥ 5× on dataset cells).
+    pub fn warm_speedup(&self) -> f64 {
+        if self.warm_p50_ns == 0 {
+            f64::INFINITY
+        } else {
+            self.cold_p50_ns as f64 / self.warm_p50_ns as f64
+        }
+    }
+
+    /// Hand-rolled JSON rendering (stable field order): one
+    /// `BENCH_sampling.json` history entry of the `serving` lineage.
+    /// Deliberately has no `arena_ns`, which is how the regression gate
+    /// recognizes and skips serving entries.
+    pub fn to_json(&self) -> String {
+        let alphas =
+            self.config.alphas.iter().map(|a| format!("{a}")).collect::<Vec<_>>().join(", ");
+        format!(
+            "{{\n  \"scenario\": \"{}\",\n  \"profile\": \"{}\",\n  \"graph\": {{ \"kind\": \"{}\", \"source\": \"{}\", \"nodes\": {}, \"edges\": {} }},\n  \"config\": {{ \"walks\": {}, \"seed\": {}, \"threads\": {}, \"pairs\": {}, \"warm_reps\": {}, \"alphas\": [{}] }},\n  \"serving_ns\": {{ \"cold_p50\": {}, \"cold_p99\": {}, \"warm_p50\": {}, \"warm_p99\": {} }},\n  \"cache\": {{ \"hits\": {}, \"misses\": {}, \"evictions\": {}, \"pools\": {}, \"resident_bytes\": {} }},\n  \"pairs\": {{ \"measured\": {}, \"skipped\": {} }},\n  \"warm_speedup\": {:.3}\n}}\n",
+            self.config.scenario().name(),
+            self.config.profile,
+            self.config.dataset.spec().file_stem,
+            self.source,
+            self.nodes,
+            self.edges,
+            self.config.walks,
+            self.config.seed,
+            self.config.threads,
+            self.config.pairs,
+            self.config.warm_reps,
+            alphas,
+            self.cold_p50_ns,
+            self.cold_p99_ns,
+            self.warm_p50_ns,
+            self.warm_p99_ns,
+            self.stats.hits,
+            self.stats.misses,
+            self.stats.evictions,
+            self.cached_pools,
+            self.resident_bytes,
+            self.pairs_measured,
+            self.pairs_skipped,
+            self.warm_speedup(),
+        )
+    }
+}
+
+/// Nearest-rank percentile of an unsorted sample set (`p` in `[0, 100]`).
+///
+/// # Panics
+///
+/// Panics on an empty sample set.
+pub fn percentile_ns(samples: &[u128], p: f64) -> u128 {
+    assert!(!samples.is_empty(), "percentile of an empty sample set");
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Runs the serving benchmark: load the dataset on the hub-BFS layout,
+/// screen pairs, and per pair time one cold query then the warm `α`
+/// sweep, asserting every query's cache outcome.
+///
+/// # Panics
+///
+/// Panics when no screened pair serves successfully (degenerate
+/// workload) or when a query's cache outcome contradicts the key
+/// discipline — either would mean the measurement is wrong, not slow.
+pub fn run_serving_bench(config: ServingBenchConfig) -> ServingBenchReport {
+    let scale = config.nodes as f64 / config.dataset.spec().nodes as f64;
+    let prep =
+        load_dataset_csr(config.dataset, scale, config.seed, &config.data_dir, RelabelMode::HubBfs)
+            .expect("dataset loading cannot fail at bench scales");
+    let source = match prep.source {
+        DatasetSource::Real => "real",
+        DatasetSource::Synthetic => "synthetic",
+    };
+    let pair_cfg = PairSamplerConfig {
+        pairs: config.pairs,
+        screen_samples: 2_000,
+        seed: config.seed.wrapping_mul(31).wrapping_add(7),
+        ..Default::default()
+    };
+    let pairs = sample_pairs(&prep.csr, &pair_cfg);
+    let serve_cfg = ServeConfig {
+        walks: config.walks,
+        epsilon: 0.01,
+        seed: config.seed,
+        threads: config.threads,
+        cache_bytes: config.cache_bytes,
+    };
+    let mut ctx = match &prep.relabeling {
+        Some(r) => SessionContext::with_relabeling(&prep.csr, r.clone(), serve_cfg),
+        None => SessionContext::new(&prep.csr, serve_cfg),
+    };
+
+    let mut cold_ns: Vec<u128> = Vec::new();
+    let mut warm_ns: Vec<u128> = Vec::new();
+    let mut skipped = 0usize;
+    for pair in &pairs {
+        // Screening ran in snapshot space; queries take original ids.
+        let (s, t) = match &prep.relabeling {
+            None => (NodeId::new(pair.s as usize), NodeId::new(pair.t as usize)),
+            Some(r) => (
+                r.original_of(NodeId::new(pair.s as usize)),
+                r.original_of(NodeId::new(pair.t as usize)),
+            ),
+        };
+        let cold_query = Query { s, t, alpha: config.alphas[0], budget: config.walks };
+        let start = Instant::now();
+        let cold = ctx.query(&cold_query);
+        let elapsed = start.elapsed().as_nanos();
+        let Ok(cold) = cold else {
+            skipped += 1;
+            continue;
+        };
+        assert!(!cold.cache_hit, "first query on a fresh pair must miss");
+        cold_ns.push(elapsed);
+        for _ in 0..config.warm_reps {
+            for &alpha in &config.alphas {
+                let warm_query = Query { s, t, alpha, budget: config.walks };
+                let start = Instant::now();
+                let warm = ctx.query(&warm_query).expect("warm query on a served pool");
+                warm_ns.push(start.elapsed().as_nanos());
+                assert!(warm.cache_hit, "alpha-only change must reuse the pool");
+            }
+        }
+    }
+    assert!(!cold_ns.is_empty(), "no screened pair served successfully; change the seed");
+
+    ServingBenchReport {
+        source,
+        nodes: prep.csr.node_count(),
+        edges: prep.csr.edge_count(),
+        pairs_measured: cold_ns.len(),
+        pairs_skipped: skipped,
+        cold_p50_ns: percentile_ns(&cold_ns, 50.0),
+        cold_p99_ns: percentile_ns(&cold_ns, 99.0),
+        warm_p50_ns: percentile_ns(&warm_ns, 50.0),
+        warm_p99_ns: percentile_ns(&warm_ns, 99.0),
+        stats: ctx.stats(),
+        cached_pools: ctx.cached_pools(),
+        resident_bytes: ctx.resident_bytes(),
+        config,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampling::find_scenario;
+
+    fn tiny_config() -> ServingBenchConfig {
+        ServingBenchConfig {
+            dataset: Dataset::Wiki,
+            nodes: 400,
+            threads: 1,
+            walks: 4_000,
+            seed: 3,
+            pairs: 3,
+            warm_reps: 2,
+            alphas: vec![0.2, 0.3],
+            cache_bytes: 64 << 20,
+            profile: "full",
+            data_dir: PathBuf::from("data"),
+        }
+    }
+
+    #[test]
+    fn serving_config_applies_profile() {
+        let s = find_scenario("serving_hepth_28k_t1").unwrap();
+        let quick = serving_config(s, BenchProfile::Quick);
+        assert_eq!(quick.dataset, Dataset::HepTh);
+        assert_eq!(quick.nodes, 28_000);
+        assert_eq!(quick.threads, 1);
+        assert_eq!(quick.walks, BenchProfile::Quick.walks());
+        assert_eq!(quick.profile, "quick");
+        assert_eq!(quick.scenario(), s);
+        let full = serving_config(s, BenchProfile::Full);
+        assert_eq!(full.walks, 200_000);
+        assert!(full.pairs > quick.pairs);
+        assert!(full.alphas.len() > quick.alphas.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "not a serving cell")]
+    fn serving_config_rejects_pipeline_cells() {
+        let s = find_scenario("dataset_wiki_7k_t1").unwrap();
+        serving_config(s, BenchProfile::Quick);
+    }
+
+    #[test]
+    fn nearest_rank_percentiles() {
+        let samples = vec![50u128, 10, 40, 20, 30];
+        assert_eq!(percentile_ns(&samples, 50.0), 30);
+        assert_eq!(percentile_ns(&samples, 99.0), 50);
+        assert_eq!(percentile_ns(&samples, 0.0), 10);
+        assert_eq!(percentile_ns(&[7], 50.0), 7);
+    }
+
+    #[test]
+    fn serving_bench_measures_cold_and_warm() {
+        let config = tiny_config();
+        let report = run_serving_bench(config.clone());
+        assert!(report.pairs_measured > 0, "no pair served on the stand-in");
+        assert!(report.cold_p50_ns > 0 && report.warm_p50_ns > 0);
+        assert!(report.cold_p99_ns >= report.cold_p50_ns);
+        assert!(report.warm_p99_ns >= report.warm_p50_ns);
+        // Every measured pair contributed exactly one miss and a full
+        // warm sweep of hits (skipped pairs may add error-path misses).
+        let expected_hits = (report.pairs_measured * config.warm_reps * config.alphas.len()) as u64;
+        assert_eq!(report.stats.hits, expected_hits);
+        assert!(report.stats.misses >= report.pairs_measured as u64);
+        assert!(report.cached_pools > 0 && report.resident_bytes > 0);
+        assert!(report.warm_speedup() > 0.0);
+    }
+
+    #[test]
+    fn serving_report_json_round_trips_the_history() {
+        let report = run_serving_bench(tiny_config());
+        let json = report.to_json();
+        assert!(!json.contains("arena_ns"), "serving entries must not carry arena_ns");
+        let value = crate::history::parse_json(&json).unwrap();
+        assert_eq!(
+            value.get("scenario").and_then(crate::history::JsonValue::as_str),
+            Some("serving_wiki_400_t1")
+        );
+        assert_eq!(value.get("profile").and_then(crate::history::JsonValue::as_str), Some("full"));
+        assert!(value.path_f64(&["serving_ns", "cold_p50"]).unwrap() > 0.0);
+        assert!(value.path_f64(&["serving_ns", "warm_p99"]).unwrap() > 0.0);
+        assert!(value.path_f64(&["cache", "hits"]).unwrap() > 0.0);
+        assert!(value.path_f64(&["warm_speedup"]).unwrap() > 0.0);
+        // The entry survives the append-only history round trip.
+        let mut history = crate::history::BenchHistory::default();
+        history.push(value.clone());
+        let reloaded = crate::history::BenchHistory::from_text(&history.to_text()).unwrap();
+        assert_eq!(
+            reloaded.entries[0].path_f64(&["serving_ns", "warm_p50"]),
+            value.path_f64(&["serving_ns", "warm_p50"])
+        );
+    }
+
+    #[test]
+    fn serving_runs_are_deterministic_modulo_timing() {
+        let a = run_serving_bench(tiny_config());
+        let b = run_serving_bench(tiny_config());
+        assert_eq!(a.pairs_measured, b.pairs_measured);
+        assert_eq!(a.pairs_skipped, b.pairs_skipped);
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.resident_bytes, b.resident_bytes);
+    }
+}

@@ -97,6 +97,15 @@ impl CoverInstance {
         self.universe
     }
 
+    /// Logical heap footprint of the instance's arena in bytes (lengths,
+    /// not capacities, of the flat tables) — the counterpart of
+    /// `PathPool::heap_bytes` for byte-budgeted caches that keep the
+    /// built cover instance resident next to the pool it came from.
+    pub fn heap_bytes(&self) -> usize {
+        (self.elems.len() + self.offsets.len() + self.weights.as_ref().map_or(0, Vec::len))
+            * std::mem::size_of::<u32>()
+    }
+
     /// Number of distinct sets `m` in the family.
     #[inline]
     pub fn set_count(&self) -> usize {

@@ -230,6 +230,15 @@ impl PathPool {
     pub fn into_flat_parts(self) -> (Vec<u32>, Vec<u32>, Vec<u32>) {
         (self.nodes, self.offsets, self.multiplicity)
     }
+
+    /// Logical heap footprint of the pool's arena in bytes: the *length*
+    /// (not capacity) of the three flat tables. Deterministic for a fixed
+    /// pool content regardless of allocator growth history, which is what
+    /// a byte-budgeted cache needs for reproducible eviction decisions.
+    pub fn heap_bytes(&self) -> usize {
+        (self.nodes.len() + self.offsets.len() + self.multiplicity.len())
+            * std::mem::size_of::<u32>()
+    }
 }
 
 /// A thread-private streaming sampler shard: each walk runs in reusable

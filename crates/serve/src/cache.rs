@@ -1,0 +1,252 @@
+//! The byte-budgeted LRU pool cache behind [`crate::SessionContext`].
+
+use raf_cover::CoverInstance;
+use raf_model::sampler::PathPool;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The identity of a cached pool: the pair plus the walk parameters the
+/// pool was sampled with. `α` and the raw realization budget are
+/// deliberately **absent** — neither changes the sampled walks (the
+/// budget only participates through the effective `walks` clamp), which
+/// is exactly the reuse the cache exists to exploit. The source is part
+/// of the key because backward walks terminate on the source's seed
+/// frontier `N(s)`: pools for the same target under different sources
+/// are different distributions.
+///
+/// The master seed and thread count also shape the sampled walk multiset,
+/// but they are context-wide constants (fixed in
+/// [`crate::ServeConfig`]), so they live in the configuration rather
+/// than in every key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PoolKey {
+    /// The source (original-space id).
+    pub s: u32,
+    /// The target (original-space id).
+    pub t: u32,
+    /// Effective walk count the pool was sampled with.
+    pub walks: u64,
+}
+
+/// One resident cache entry: the sampled pool and the weighted cover
+/// instance built from it. Both are `α`-independent, so a warm query
+/// re-runs only the solve. `Arc`-shared so answers can keep reading a
+/// pool that eviction has already dropped from the cache.
+#[derive(Debug, Clone)]
+pub struct CachedPool {
+    /// The sampled (deduplicated, canonical-order) pool.
+    pub pool: Arc<PathPool>,
+    /// The cover instance over the pool, built once per miss.
+    pub cover: Arc<CoverInstance>,
+}
+
+impl CachedPool {
+    /// Logical bytes this entry charges against the cache budget: the
+    /// pool's arena plus the cover instance's (the two are the same order
+    /// of magnitude — the cover mirrors the pool's flat tables).
+    pub fn heap_bytes(&self) -> usize {
+        self.pool.heap_bytes() + self.cover.heap_bytes()
+    }
+}
+
+/// Cache counters, cumulative over the owning context's lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from a resident entry.
+    pub hits: u64,
+    /// Lookups that required sampling a fresh pool.
+    pub misses: u64,
+    /// Entries dropped to fit the byte budget.
+    pub evictions: u64,
+}
+
+/// An LRU cache of [`CachedPool`]s under a byte-size budget.
+///
+/// Recency is a vector of keys (least-recent first): touches are `O(k)`
+/// in the resident entry count, which is bounded by
+/// `budget / smallest-pool-size` — tiny for realistic budgets — and in
+/// exchange the eviction order is trivially deterministic and
+/// inspectable ([`lru_keys`](Self::lru_keys)).
+///
+/// The newest entry is always retained, even when it alone exceeds the
+/// budget: evicting the pool a query is about to read would turn the
+/// cache into a thrash loop for every over-budget pool.
+#[derive(Debug, Default)]
+pub struct PoolCache {
+    budget_bytes: usize,
+    entries: HashMap<PoolKey, CachedPool>,
+    /// Keys in recency order, least recent first.
+    order: Vec<PoolKey>,
+    bytes: usize,
+    stats: CacheStats,
+}
+
+impl PoolCache {
+    /// An empty cache with the given byte budget.
+    pub fn new(budget_bytes: usize) -> Self {
+        PoolCache { budget_bytes, ..Default::default() }
+    }
+
+    /// The configured byte budget.
+    pub fn budget_bytes(&self) -> usize {
+        self.budget_bytes
+    }
+
+    /// Bytes currently charged by resident entries.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The cumulative counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Resident keys in recency order, least recent first (the order
+    /// eviction would take them in).
+    pub fn lru_keys(&self) -> &[PoolKey] {
+        &self.order
+    }
+
+    /// Looks a key up, counting a hit (and refreshing recency) or a miss.
+    pub fn get(&mut self, key: &PoolKey) -> Option<CachedPool> {
+        match self.entries.get(key) {
+            Some(entry) => {
+                self.stats.hits += 1;
+                let entry = entry.clone();
+                self.touch(key);
+                Some(entry)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts an entry as most-recent and evicts least-recent entries
+    /// until the budget holds (the fresh entry itself is never evicted).
+    /// Re-inserting a resident key replaces the entry.
+    pub fn insert(&mut self, key: PoolKey, entry: CachedPool) {
+        if let Some(old) = self.entries.remove(&key) {
+            self.bytes -= old.heap_bytes();
+            self.order.retain(|k| k != &key);
+        }
+        self.bytes += entry.heap_bytes();
+        self.entries.insert(key, entry);
+        self.order.push(key);
+        while self.bytes > self.budget_bytes && self.order.len() > 1 {
+            let victim = self.order.remove(0);
+            let dropped = self.entries.remove(&victim).expect("order/entries in sync");
+            self.bytes -= dropped.heap_bytes();
+            self.stats.evictions += 1;
+        }
+    }
+
+    fn touch(&mut self, key: &PoolKey) {
+        if let Some(pos) = self.order.iter().position(|k| k == key) {
+            let k = self.order.remove(pos);
+            self.order.push(k);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raf_graph::{GraphBuilder, NodeId, WeightScheme};
+    use raf_model::sampler::sample_pool_parallel;
+    use raf_model::FriendingInstance;
+
+    fn entry(walks: u64) -> CachedPool {
+        // A real pool/cover pair off a tiny line graph; `walks` scales
+        // nothing here (one unique path), it only differentiates keys.
+        let mut b = GraphBuilder::new();
+        b.add_edges((0..4).map(|i| (i, i + 1))).unwrap();
+        let g = b.build(WeightScheme::UniformByDegree).unwrap().to_csr();
+        let inst = FriendingInstance::new(&g, NodeId::new(0), NodeId::new(4)).unwrap();
+        let pool = sample_pool_parallel(&inst, walks, 3, 1);
+        let cover = CoverInstance::from_path_pool(g.node_count(), pool.clone()).unwrap();
+        CachedPool { pool: Arc::new(pool), cover: Arc::new(cover) }
+    }
+
+    fn key(s: u32) -> PoolKey {
+        PoolKey { s, t: 99, walks: 1_000 }
+    }
+
+    #[test]
+    fn hit_miss_counters_and_recency() {
+        let mut cache = PoolCache::new(usize::MAX);
+        assert!(cache.get(&key(1)).is_none());
+        assert_eq!(cache.stats(), CacheStats { hits: 0, misses: 1, evictions: 0 });
+        cache.insert(key(1), entry(500));
+        cache.insert(key(2), entry(500));
+        assert!(cache.get(&key(1)).is_some());
+        assert_eq!(cache.stats().hits, 1);
+        // The hit refreshed key(1): key(2) is now the LRU victim.
+        assert_eq!(cache.lru_keys(), &[key(2), key(1)]);
+    }
+
+    #[test]
+    fn evicts_in_lru_order_under_byte_budget() {
+        let one = entry(500).heap_bytes();
+        // Room for exactly two entries.
+        let mut cache = PoolCache::new(2 * one);
+        cache.insert(key(1), entry(500));
+        cache.insert(key(2), entry(500));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.bytes(), 2 * one);
+        // Third entry evicts the least-recent (key 1).
+        cache.insert(key(3), entry(500));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 1);
+        assert!(cache.get(&key(1)).is_none());
+        assert!(cache.get(&key(2)).is_some());
+        // Touch key(2), then insert: key(3) — now least recent — goes.
+        cache.insert(key(4), entry(500));
+        assert!(cache.get(&key(3)).is_none());
+        assert!(cache.get(&key(2)).is_some());
+        assert!(cache.get(&key(4)).is_some());
+    }
+
+    #[test]
+    fn byte_accounting_is_exact() {
+        let e = entry(500);
+        let one = e.heap_bytes();
+        assert_eq!(
+            one,
+            e.pool.heap_bytes() + e.cover.heap_bytes(),
+            "entry bytes must be the sum of its parts"
+        );
+        let mut cache = PoolCache::new(10 * one);
+        for s in 0..3 {
+            cache.insert(key(s), entry(500));
+        }
+        assert_eq!(cache.bytes(), 3 * one);
+        // Replacing a resident key must not double-charge.
+        cache.insert(key(1), entry(500));
+        assert_eq!(cache.bytes(), 3 * one);
+        assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn oversized_newest_entry_is_retained() {
+        let mut cache = PoolCache::new(1); // nothing fits
+        cache.insert(key(1), entry(500));
+        assert_eq!(cache.len(), 1, "the newest entry must survive an over-budget insert");
+        cache.insert(key(2), entry(500));
+        assert_eq!(cache.len(), 1);
+        assert!(cache.get(&key(2)).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+}

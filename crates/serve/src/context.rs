@@ -1,0 +1,460 @@
+//! The resident-graph session context and its query pipeline.
+
+use crate::cache::{CacheStats, CachedPool, PoolCache, PoolKey};
+use raf_core::{CoreError, ParameterSet};
+use raf_cover::{ChlamtacPortfolio, CoverError, CoverInstance};
+use raf_graph::{CsrGraph, NodeId, Relabeling};
+use raf_model::sampler::{sample_pool_parallel, PathPool};
+use raf_model::{FriendingInstance, InvitationSet, ModelError};
+use std::fmt;
+use std::sync::Arc;
+
+/// Context-wide serving knobs. Together with the resident graph these
+/// fully determine every answer: the same `(config, query)` always
+/// yields the same invitation set, cached or not.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeConfig {
+    /// Walk-count ceiling per pool: a query's realization budget is
+    /// clamped to this before it becomes part of the pool key.
+    pub walks: u64,
+    /// Slack `ε` of the parameter system (eq. 17); queries must use
+    /// `α ∈ (ε, 1]`.
+    pub epsilon: f64,
+    /// Master seed; per-pair pool seeds are derived from it (and from
+    /// nothing else but the pair), so answers never depend on query
+    /// arrival order.
+    pub seed: u64,
+    /// Sampler threads.
+    pub threads: usize,
+    /// Byte budget of the pool cache.
+    pub cache_bytes: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig { walks: 100_000, epsilon: 0.01, seed: 1, threads: 1, cache_bytes: 256 << 20 }
+    }
+}
+
+/// One friending query against the resident graph: find a small
+/// invitation set for `s` to befriend `t` reaching `α · p_max`, sampling
+/// at most `budget` realizations (clamped to the context's walk
+/// ceiling). Ids are original-space even on relabeled snapshots.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Query {
+    /// The initiator.
+    pub s: NodeId,
+    /// The target.
+    pub t: NodeId,
+    /// Approximation target `α ∈ (ε, 1]`.
+    pub alpha: f64,
+    /// Realization budget (walk count before clamping).
+    pub budget: u64,
+}
+
+/// The answer to one [`Query`], with the intermediate quantities the
+/// paper's analysis talks about plus the cache outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryAnswer {
+    /// The invitation set `I*` (original-space ids).
+    pub invitations: InvitationSet,
+    /// The solved parameter set `(ε0, ε1, β)` for this query's `α`.
+    pub parameters: ParameterSet,
+    /// The pool's `p_max` estimate `|B¹_l| / l`.
+    pub pmax_estimate: f64,
+    /// Effective walks the pool was sampled with (the budget after the
+    /// [`ServeConfig::walks`] clamp).
+    pub walks: u64,
+    /// `|B¹_l|`: type-1 realizations in the pool.
+    pub type1_count: usize,
+    /// The cover requirement `p = ⌈β·|B¹_l|⌉`.
+    pub cover_p: usize,
+    /// Sets actually covered by `I*` (≥ `cover_p`).
+    pub covered: usize,
+    /// Whether the pool came from the cache (`false` = freshly sampled).
+    pub cache_hit: bool,
+}
+
+/// Errors from the serving layer.
+#[derive(Debug)]
+pub enum ServeError {
+    /// A query failed structural validation before touching the graph.
+    InvalidQuery(String),
+    /// Instance construction rejected the pair.
+    Instance(ModelError),
+    /// The parameter system rejected `(α, ε)`.
+    Parameters(CoreError),
+    /// The cover solve failed.
+    Solver(CoverError),
+    /// The pool observed no type-1 realization: `t` is unreachable from
+    /// `N(s)` within the sampled walks.
+    TargetUnreachable {
+        /// Walks sampled before giving up.
+        samples: u64,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::InvalidQuery(message) => write!(f, "invalid query: {message}"),
+            ServeError::Instance(e) => write!(f, "invalid pair: {e}"),
+            ServeError::Parameters(e) => write!(f, "parameter solve failed: {e}"),
+            ServeError::Solver(e) => write!(f, "cover solve failed: {e}"),
+            ServeError::TargetUnreachable { samples } => {
+                write!(f, "target unreachable within {samples} sampled walks")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<ModelError> for ServeError {
+    fn from(e: ModelError) -> Self {
+        ServeError::Instance(e)
+    }
+}
+
+impl From<CoreError> for ServeError {
+    fn from(e: CoreError) -> Self {
+        ServeError::Parameters(e)
+    }
+}
+
+impl From<CoverError> for ServeError {
+    fn from(e: CoverError) -> Self {
+        ServeError::Solver(e)
+    }
+}
+
+/// A serving session: one resident [`CsrGraph`] snapshot (optionally
+/// relabeled — queries and answers stay in original ids either way), a
+/// [`PoolCache`] of sampled pools, and the configuration that makes
+/// every answer a pure function of the query.
+#[derive(Debug)]
+pub struct SessionContext<'g> {
+    csr: &'g CsrGraph,
+    relabeling: Option<Arc<Relabeling>>,
+    config: ServeConfig,
+    cache: PoolCache,
+}
+
+impl<'g> SessionContext<'g> {
+    /// A context over a plain-layout snapshot.
+    pub fn new(csr: &'g CsrGraph, config: ServeConfig) -> Self {
+        let cache = PoolCache::new(config.cache_bytes);
+        SessionContext { csr, relabeling: None, config, cache }
+    }
+
+    /// A context over a relabeled snapshot: queries take original-space
+    /// ids and the relabeling maps them into (and pool contents out of)
+    /// the snapshot's id space, so answers are bit-identical to a
+    /// plain-layout context over the same graph.
+    pub fn with_relabeling(
+        csr: &'g CsrGraph,
+        relabeling: Arc<Relabeling>,
+        config: ServeConfig,
+    ) -> Self {
+        let cache = PoolCache::new(config.cache_bytes);
+        SessionContext { csr, relabeling: Some(relabeling), config, cache }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Cumulative cache counters.
+    pub fn stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Number of pools currently resident.
+    pub fn cached_pools(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Bytes currently charged by resident pools (and their cover
+    /// instances) against [`ServeConfig::cache_bytes`].
+    pub fn resident_bytes(&self) -> usize {
+        self.cache.bytes()
+    }
+
+    /// The pool key a query resolves to: the pair plus the effective
+    /// walk count (budget clamped to the context ceiling). Queries that
+    /// differ only in `α` — or in budgets that clamp to the same walk
+    /// count — share a key, which is the reuse the cache exploits.
+    pub fn key_for(&self, query: &Query) -> Result<PoolKey, ServeError> {
+        if query.budget == 0 {
+            return Err(ServeError::InvalidQuery("budget must be positive".into()));
+        }
+        if query.s == query.t {
+            return Err(ServeError::InvalidQuery("source and target coincide".into()));
+        }
+        Ok(PoolKey {
+            s: query.s.index() as u32,
+            t: query.t.index() as u32,
+            walks: query.budget.min(self.config.walks),
+        })
+    }
+
+    /// The per-key pool seed: a pure mix of the master seed and the
+    /// pair, independent of arrival order and of the walk count (the
+    /// walk count differentiates keys, not seeds).
+    fn pool_seed(&self, key: &PoolKey) -> u64 {
+        self.config.seed ^ splitmix64((u64::from(key.s) << 32) | u64::from(key.t))
+    }
+
+    fn instance(&self, s: NodeId, t: NodeId) -> Result<FriendingInstance<'g>, ServeError> {
+        Ok(match &self.relabeling {
+            None => FriendingInstance::new(self.csr, s, t)?,
+            Some(r) => FriendingInstance::relabeled(self.csr, s, t, Arc::clone(r))?,
+        })
+    }
+
+    /// Fetches (or samples) the entry for a key, reporting whether it was
+    /// a hit.
+    fn entry(&mut self, query: &Query) -> Result<(CachedPool, bool), ServeError> {
+        let key = self.key_for(query)?;
+        if let Some(entry) = self.cache.get(&key) {
+            return Ok((entry, true));
+        }
+        let instance = self.instance(query.s, query.t)?;
+        let pool =
+            sample_pool_parallel(&instance, key.walks, self.pool_seed(&key), self.config.threads);
+        let cover = CoverInstance::from_path_pool(self.csr.node_count(), pool.clone())?;
+        let entry = CachedPool { pool: Arc::new(pool), cover: Arc::new(cover) };
+        self.cache.insert(key, entry.clone());
+        Ok((entry, false))
+    }
+
+    /// The cached realization pool for a pair at a walk budget — the
+    /// building block `raf experiment` shares evaluation pools through.
+    /// Counts a hit or miss like any query.
+    ///
+    /// # Errors
+    ///
+    /// See [`ServeError`]; `α` plays no role here.
+    pub fn pool(&mut self, s: NodeId, t: NodeId, budget: u64) -> Result<Arc<PathPool>, ServeError> {
+        let probe = Query { s, t, alpha: 1.0, budget };
+        let (entry, _) = self.entry(&probe)?;
+        Ok(entry.pool)
+    }
+
+    /// Answers one query: pool from the cache (sampling only on a true
+    /// key miss), then the `α`-dependent cover phase on the resident
+    /// cover instance.
+    ///
+    /// # Errors
+    ///
+    /// See [`ServeError`].
+    pub fn query(&mut self, query: &Query) -> Result<QueryAnswer, ServeError> {
+        let (entry, cache_hit) = self.entry(query)?;
+        let parameters =
+            ParameterSet::solve(query.alpha, self.config.epsilon, self.csr.node_count())?;
+        let b1 = entry.pool.type1_count();
+        if b1 == 0 {
+            return Err(ServeError::TargetUnreachable { samples: entry.pool.total_samples() });
+        }
+        let p = raf_cover::cover_requirement(parameters.beta, b1);
+        let msc = raf_cover::solve_msc(&ChlamtacPortfolio::new(), &entry.cover, p)?;
+        let mut invitations = InvitationSet::empty(self.csr.node_count());
+        for &e in &msc.elements {
+            invitations.insert(NodeId::new(e as usize));
+        }
+        Ok(QueryAnswer {
+            invitations,
+            parameters,
+            pmax_estimate: entry.pool.pmax_estimate(),
+            walks: entry.pool.total_samples(),
+            type1_count: b1,
+            cover_p: p,
+            covered: msc.covered_weight,
+            cache_hit,
+        })
+    }
+
+    /// Answers a batch in order, one result per query (errors don't stop
+    /// the batch — a service keeps serving).
+    pub fn query_batch(&mut self, queries: &[Query]) -> Vec<Result<QueryAnswer, ServeError>> {
+        queries.iter().map(|q| self.query(q)).collect()
+    }
+}
+
+/// The cold reference: a fresh single-query context over the same graph
+/// and configuration. A cache-hit answer from a long-lived context is
+/// bit-identical to this (the equivalence the serving layer is built
+/// on, property-tested in `tests/serving_equivalence.rs`).
+///
+/// # Errors
+///
+/// See [`ServeError`].
+pub fn one_shot(
+    csr: &CsrGraph,
+    config: ServeConfig,
+    query: &Query,
+) -> Result<QueryAnswer, ServeError> {
+    SessionContext::new(csr, config).query(query)
+}
+
+/// SplitMix64 finalizer — the same per-seed decorrelation the sampler
+/// uses for its worker threads, here decorrelating per-pair pool seeds.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raf_graph::{GraphBuilder, WeightScheme};
+
+    fn routes_csr() -> CsrGraph {
+        let mut b = GraphBuilder::new();
+        b.add_edges(vec![(0, 2), (2, 3), (3, 1), (0, 4), (4, 5), (5, 1), (0, 6), (6, 7), (7, 1)])
+            .unwrap();
+        b.build(WeightScheme::UniformByDegree).unwrap().to_csr()
+    }
+
+    fn q(alpha: f64, budget: u64) -> Query {
+        Query { s: NodeId::new(0), t: NodeId::new(1), alpha, budget }
+    }
+
+    #[test]
+    fn warm_answer_matches_cold_one_shot() {
+        let csr = routes_csr();
+        let cfg = ServeConfig { walks: 20_000, seed: 9, ..Default::default() };
+        let cold = one_shot(&csr, cfg.clone(), &q(0.4, 20_000)).unwrap();
+        assert!(!cold.cache_hit);
+        let mut ctx = SessionContext::new(&csr, cfg);
+        // Prime with a *different* alpha, then hit with the tested one.
+        let primed = ctx.query(&q(0.7, 20_000)).unwrap();
+        assert!(!primed.cache_hit);
+        let warm = ctx.query(&q(0.4, 20_000)).unwrap();
+        assert!(warm.cache_hit);
+        assert_eq!(warm.invitations, cold.invitations);
+        assert_eq!(warm.type1_count, cold.type1_count);
+        assert_eq!(warm.cover_p, cold.cover_p);
+        assert_eq!(warm.pmax_estimate, cold.pmax_estimate);
+        assert_eq!(ctx.stats(), CacheStats { hits: 1, misses: 1, evictions: 0 });
+    }
+
+    #[test]
+    fn alpha_and_clamped_budget_share_a_key() {
+        let csr = routes_csr();
+        let cfg = ServeConfig { walks: 10_000, seed: 3, ..Default::default() };
+        let mut ctx = SessionContext::new(&csr, cfg);
+        let a = ctx.key_for(&q(0.2, 10_000)).unwrap();
+        // Bigger budget clamps to the context ceiling: same key.
+        let b = ctx.key_for(&q(0.9, 1_000_000)).unwrap();
+        assert_eq!(a, b);
+        // A genuinely smaller budget is a different pool.
+        let c = ctx.key_for(&q(0.2, 5_000)).unwrap();
+        assert_ne!(a, c);
+        ctx.query(&q(0.2, 10_000)).unwrap();
+        let hit = ctx.query(&q(0.9, 1_000_000)).unwrap();
+        assert!(hit.cache_hit);
+        assert_eq!(hit.walks, 10_000);
+        let miss = ctx.query(&q(0.2, 5_000)).unwrap();
+        assert!(!miss.cache_hit);
+        assert_eq!(miss.walks, 5_000);
+    }
+
+    #[test]
+    fn source_is_part_of_the_key() {
+        // Pools depend on the source's seed frontier N(s), so two sources
+        // aiming at one target must not share a pool.
+        let csr = routes_csr();
+        let ctx = SessionContext::new(&csr, ServeConfig::default());
+        let k0 = ctx.key_for(&q(0.3, 1_000)).unwrap();
+        let k2 = ctx
+            .key_for(&Query { s: NodeId::new(2), t: NodeId::new(1), alpha: 0.3, budget: 1_000 })
+            .unwrap();
+        assert_ne!(k0, k2);
+    }
+
+    #[test]
+    fn answers_are_arrival_order_independent() {
+        // Pool seeds derive from (master seed, pair) only, so a pair's
+        // answer is the same whether it was queried first or after other
+        // pairs populated the cache.
+        let csr = routes_csr();
+        let cfg = ServeConfig { walks: 8_000, seed: 21, ..Default::default() };
+        let mut fresh = SessionContext::new(&csr, cfg.clone());
+        let direct = fresh.query(&q(0.5, 8_000)).unwrap();
+        let mut busy = SessionContext::new(&csr, cfg);
+        busy.query(&Query { s: NodeId::new(2), t: NodeId::new(1), alpha: 0.3, budget: 8_000 })
+            .unwrap();
+        busy.query(&Query { s: NodeId::new(0), t: NodeId::new(5), alpha: 0.3, budget: 8_000 })
+            .unwrap();
+        let after = busy.query(&q(0.5, 8_000)).unwrap();
+        assert_eq!(direct.invitations, after.invitations);
+        assert_eq!(direct.pmax_estimate, after.pmax_estimate);
+    }
+
+    #[test]
+    fn relabeled_context_is_bit_identical_to_plain() {
+        let mut b = GraphBuilder::new();
+        b.add_edges(vec![(0, 2), (2, 3), (3, 1), (0, 4), (4, 1), (2, 4), (3, 5), (5, 1)]).unwrap();
+        let social = b.build(WeightScheme::UniformByDegree).unwrap();
+        let plain_csr = social.to_csr();
+        let r = Arc::new(Relabeling::hub_bfs(&social));
+        assert!(!r.is_identity());
+        let relab_csr = social.to_csr_relabeled(&r);
+        let cfg = ServeConfig { walks: 20_000, seed: 5, ..Default::default() };
+        let mut plain = SessionContext::new(&plain_csr, cfg.clone());
+        let mut relab = SessionContext::with_relabeling(&relab_csr, r, cfg);
+        for alpha in [0.3, 0.6] {
+            let a = plain.query(&q(alpha, 20_000)).unwrap();
+            let b = relab.query(&q(alpha, 20_000)).unwrap();
+            assert_eq!(a.invitations, b.invitations, "alpha={alpha}");
+            assert_eq!(a.pmax_estimate, b.pmax_estimate);
+            assert_eq!(a.covered, b.covered);
+        }
+        // Both contexts saw one miss then one hit.
+        assert_eq!(plain.stats(), relab.stats());
+    }
+
+    #[test]
+    fn invalid_queries_are_rejected() {
+        let csr = routes_csr();
+        let mut ctx = SessionContext::new(&csr, ServeConfig::default());
+        assert!(matches!(ctx.query(&q(0.3, 0)), Err(ServeError::InvalidQuery(_))));
+        let same = Query { s: NodeId::new(1), t: NodeId::new(1), alpha: 0.3, budget: 100 };
+        assert!(matches!(ctx.query(&same), Err(ServeError::InvalidQuery(_))));
+        // alpha must exceed epsilon: the parameter system rejects it.
+        assert!(matches!(ctx.query(&q(0.001, 100)), Err(ServeError::Parameters(_))));
+        // Unreachable target: a node with no inbound route from N(s).
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1).unwrap();
+        b.add_edge(2, 3).unwrap();
+        let island = b.build(WeightScheme::UniformByDegree).unwrap().to_csr();
+        let mut ctx = SessionContext::new(&island, ServeConfig::default());
+        let across = Query { s: NodeId::new(0), t: NodeId::new(3), alpha: 0.3, budget: 500 };
+        assert!(matches!(ctx.query(&across), Err(ServeError::TargetUnreachable { .. })));
+    }
+
+    #[test]
+    fn batch_keeps_serving_past_errors() {
+        let csr = routes_csr();
+        let mut ctx = SessionContext::new(&csr, ServeConfig::default());
+        let batch = [q(0.4, 5_000), q(0.4, 0), q(0.6, 5_000), q(0.2, 5_000)];
+        let answers = ctx.query_batch(&batch);
+        assert_eq!(answers.len(), 4);
+        assert!(answers[0].is_ok() && answers[1].is_err());
+        assert!(answers[2].as_ref().unwrap().cache_hit);
+        assert!(answers[3].as_ref().unwrap().cache_hit);
+        let stats = ctx.stats();
+        assert_eq!((stats.hits, stats.misses), (2, 1));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = ServeError::InvalidQuery("budget must be positive".into());
+        assert!(e.to_string().contains("budget"));
+        assert!(ServeError::TargetUnreachable { samples: 42 }.to_string().contains("42"));
+    }
+}

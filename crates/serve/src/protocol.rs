@@ -1,0 +1,117 @@
+//! The `raf serve` line protocol: whitespace-separated request lines in,
+//! one `ok`/`err` response line per request out. No network, no framing
+//! beyond newlines — the format works identically for a batch request
+//! file and an interactive stdin session.
+//!
+//! Request: `s t alpha [budget]` (ids in original space; `budget`
+//! defaults to the context's walk ceiling). Blank lines and `#` comments
+//! are skipped.
+//!
+//! Response: `ok s=<s> t=<t> alpha=<α> hit=<0|1> walks=<l> size=<|I*|>
+//! covered=<c> p=<p> pmax=<estimate> inv=<id,id,...>` on success,
+//! `err s=<s> t=<t>: <message>` on a per-query failure.
+
+use crate::context::{Query, QueryAnswer, ServeError};
+use raf_graph::NodeId;
+
+/// Parses one request line. Returns `Ok(None)` for blank lines and `#`
+/// comments (skipped, no response emitted).
+///
+/// # Errors
+///
+/// A human-readable description of the malformed line.
+pub fn parse_request(line: &str, default_budget: u64) -> Result<Option<Query>, String> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return Ok(None);
+    }
+    let fields: Vec<&str> = line.split_whitespace().collect();
+    if !(3..=4).contains(&fields.len()) {
+        return Err(format!("expected `s t alpha [budget]`, got {} field(s)", fields.len()));
+    }
+    let s: usize = fields[0].parse().map_err(|_| format!("bad source id {:?}", fields[0]))?;
+    let t: usize = fields[1].parse().map_err(|_| format!("bad target id {:?}", fields[1]))?;
+    let alpha: f64 = fields[2].parse().map_err(|_| format!("bad alpha {:?}", fields[2]))?;
+    let budget: u64 = match fields.get(3) {
+        None => default_budget,
+        Some(raw) => raw.parse().map_err(|_| format!("bad budget {raw:?}"))?,
+    };
+    Ok(Some(Query { s: NodeId::new(s), t: NodeId::new(t), alpha, budget }))
+}
+
+/// Renders a successful answer as one `ok` response line.
+pub fn format_answer(query: &Query, answer: &QueryAnswer) -> String {
+    let inv: Vec<String> = answer.invitations.iter().map(|v| v.index().to_string()).collect();
+    format!(
+        "ok s={} t={} alpha={} hit={} walks={} size={} covered={} p={} pmax={:.6} inv={}",
+        query.s.index(),
+        query.t.index(),
+        query.alpha,
+        u8::from(answer.cache_hit),
+        answer.walks,
+        answer.invitations.len(),
+        answer.covered,
+        answer.cover_p,
+        answer.pmax_estimate,
+        inv.join(","),
+    )
+}
+
+/// Renders a per-query failure as one `err` response line.
+pub fn format_error(query: &Query, error: &ServeError) -> String {
+    format!("err s={} t={}: {error}", query.s.index(), query.t.index())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_requests_with_and_without_budget() {
+        let q = parse_request("3 99 0.3 20000", 50_000).unwrap().unwrap();
+        assert_eq!((q.s.index(), q.t.index()), (3, 99));
+        assert_eq!(q.alpha, 0.3);
+        assert_eq!(q.budget, 20_000);
+        let q = parse_request("  3\t99  0.3 ", 50_000).unwrap().unwrap();
+        assert_eq!(q.budget, 50_000, "budget defaults to the context ceiling");
+    }
+
+    #[test]
+    fn skips_blanks_and_comments() {
+        assert_eq!(parse_request("", 1).unwrap(), None);
+        assert_eq!(parse_request("   ", 1).unwrap(), None);
+        assert_eq!(parse_request("# s t alpha", 1).unwrap(), None);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse_request("3 99", 1).unwrap_err().contains("field"));
+        assert!(parse_request("3 99 0.3 20000 extra", 1).is_err());
+        assert!(parse_request("x 99 0.3", 1).unwrap_err().contains("source"));
+        assert!(parse_request("3 y 0.3", 1).unwrap_err().contains("target"));
+        assert!(parse_request("3 99 zz", 1).unwrap_err().contains("alpha"));
+        assert!(parse_request("3 99 0.3 -1", 1).unwrap_err().contains("budget"));
+    }
+
+    #[test]
+    fn responses_round_trip_through_the_format() {
+        use crate::{ServeConfig, SessionContext};
+        use raf_graph::{GraphBuilder, WeightScheme};
+        let mut b = GraphBuilder::new();
+        b.add_edges(vec![(0, 2), (2, 3), (3, 1), (0, 4), (4, 1)]).unwrap();
+        let csr = b.build(WeightScheme::UniformByDegree).unwrap().to_csr();
+        let mut ctx = SessionContext::new(&csr, ServeConfig::default());
+        let q = parse_request("0 1 0.5 10000", 50_000).unwrap().unwrap();
+        let a = ctx.query(&q).unwrap();
+        let line = format_answer(&q, &a);
+        assert!(line.starts_with("ok s=0 t=1 alpha=0.5 hit=0 walks=10000 "));
+        assert!(line.contains(&format!("size={}", a.invitations.len())));
+        assert!(line.contains("inv="));
+        // The target is always invited, so its id appears in the list.
+        assert!(line.split("inv=").nth(1).unwrap().split(',').any(|v| v == "1"));
+        let err = ctx.query(&Query { budget: 0, ..q }).unwrap_err();
+        let line = format_error(&q, &err);
+        assert!(line.starts_with("err s=0 t=1: "));
+        assert!(line.contains("budget"));
+    }
+}

@@ -8,6 +8,8 @@
 //!           [--epsilon 0.01] [--budget 50000] [--seed 1] [--threads 1]
 //! raf max   --graph network.txt --s 3 --t 99 --k 10
 //!           [--realizations 50000] [--seed 1]
+//! raf serve --graph network.txt [--requests batch.txt] [--walks 100000]
+//!           [--seed 1] [--threads 1] [--cache-mb 256] [--no-relabel]
 //! raf bench-json [--out BENCH_sampling.json] [--scenario NAME]
 //!           [--list-scenarios] [--quick] [--check-regression]
 //!           [--max-regression 0.15] [--topology powerlaw_cluster]
@@ -18,7 +20,7 @@
 //! `#` comments); weights follow the paper's `w(u,v) = 1/|N_v|`.
 //! `--threads` defaults to the `RAF_THREADS` environment variable.
 
-use active_friending::cli::CliArgs;
+use active_friending::cli::{wants_help, CliArgs};
 use active_friending::prelude::*;
 use raf_core::{MaxFriending, MaxFriendingConfig};
 use raf_graph::io::{read_edge_list_path, EdgeListOptions};
@@ -31,7 +33,9 @@ const SWITCHES: &[&str] = &["quick", "list-scenarios", "check-regression", "no-r
 
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
-    if raw.is_empty() || raw[0] == "--help" || raw[0] == "help" {
+    // `--help` anywhere is a help request: it is in no subcommand's
+    // switch list, so letting it reach the parser would demand a value.
+    if wants_help(&raw) {
         print_usage();
         return ExitCode::SUCCESS;
     }
@@ -61,6 +65,7 @@ fn dispatch(args: &CliArgs) -> Result<(), Box<dyn std::error::Error>> {
         "max" => cmd_max(args),
         "bench-json" => cmd_bench_json(args),
         "experiment" => cmd_experiment(args),
+        "serve" => cmd_serve(args),
         other => Err(format!("unknown command {other:?} (try --help)").into()),
     }
 }
@@ -184,15 +189,20 @@ fn cmd_bench_json(args: &CliArgs) -> Result<(), Box<dyn std::error::Error>> {
     let max_regression: f64 = args.get_or("max-regression", 0.15)?;
     let out = args.get("out").unwrap_or("BENCH_sampling.json").to_string();
 
-    let custom_cell = ["topology", "nodes", "threads"].iter().any(|f| args.get(f).is_some());
+    // Only the axes that *define* a cell trigger the custom-cell path.
+    // `--threads` used to be a trigger too, which made
+    // `bench-json --quick --threads 8` silently collapse the whole quick
+    // matrix into one powerlaw cell; it is now a matrix-wide knob
+    // override (recorded under the custom lineage), like `--walks`.
+    let custom_cell = ["topology", "nodes"].iter().any(|f| args.get(f).is_some());
     let scenarios: Vec<Scenario> = if let Some(name) = args.get("scenario") {
         if custom_cell {
-            // A named scenario pins topology/nodes/threads; silently
-            // ignoring the conflicting flags would record a measurement
-            // the user did not ask for.
+            // A named scenario pins topology/nodes; silently ignoring
+            // the conflicting flags would record a measurement the user
+            // did not ask for.
             return Err(
-                "--scenario conflicts with --topology/--nodes/--threads (drop --scenario to \
-                 benchmark a custom cell)"
+                "--scenario conflicts with --topology/--nodes (drop --scenario to benchmark a \
+                 custom cell)"
                     .into(),
             );
         }
@@ -209,6 +219,7 @@ fn cmd_bench_json(args: &CliArgs) -> Result<(), Box<dyn std::error::Error>> {
             nodes: args.get_or("nodes", 10_000)?,
             threads: args.get_or("threads", threads_from_env())?,
             bakeoff: false,
+            serving: false,
         }]
     } else if profile == BenchProfile::Quick {
         quick_matrix()
@@ -225,11 +236,19 @@ fn cmd_bench_json(args: &CliArgs) -> Result<(), Box<dyn std::error::Error>> {
     };
     let mut regressions: Vec<String> = Vec::new();
     for scenario in scenarios {
+        if scenario.serving {
+            // Serving cells measure cold-vs-warm query latency through
+            // the pool cache; they have no arena_ns, so the regression
+            // gate below never sees them.
+            run_serving_cell(args, scenario, profile, &mut history)?;
+            continue;
+        }
         let mut config = scenario_config(scenario, profile);
         config.walks = args.get_or("walks", config.walks)?;
         config.reps = args.get_or("reps", config.reps)?;
         config.seed = args.get_or("seed", config.seed)?;
         config.beta = args.get_or("beta", config.beta)?;
+        config.threads = args.get_or("threads", config.threads)?;
         // A measurement that deviates from the profile's standard knobs
         // must not become the full/quick baseline: record it under the
         // "custom" lineage so it can never poison the regression gate.
@@ -323,6 +342,142 @@ fn cmd_bench_json(args: &CliArgs) -> Result<(), Box<dyn std::error::Error>> {
         )
         .into());
     }
+    Ok(())
+}
+
+/// Runs one `serving_*` scenario cell for `cmd_bench_json`: cold
+/// (key-miss) vs warm (cache-hit) query latency through the
+/// [`SessionContext`] pool cache, appended to the history as a `serving`
+/// entry. Knob overrides (`--walks`/`--seed`/`--threads`; `--reps` maps
+/// to warm repetitions) route the entry to the `custom` lineage exactly
+/// like pipeline cells.
+fn run_serving_cell(
+    args: &CliArgs,
+    scenario: raf_bench::sampling::Scenario,
+    profile: raf_bench::sampling::BenchProfile,
+    history: &mut raf_bench::history::BenchHistory,
+) -> Result<(), Box<dyn std::error::Error>> {
+    use raf_bench::history::parse_json;
+    use raf_bench::serving::{run_serving_bench, serving_config};
+
+    let mut config = serving_config(scenario, profile);
+    config.walks = args.get_or("walks", config.walks)?;
+    config.seed = args.get_or("seed", config.seed)?;
+    config.threads = args.get_or("threads", config.threads)?;
+    config.warm_reps = args.get_or("reps", config.warm_reps)?;
+    let standard = serving_config(scenario, profile);
+    if config != standard {
+        config.profile = "custom";
+    }
+    let name = scenario.name();
+    eprintln!(
+        "benchmarking {name} [{}]: {} nodes, {} walks/pool, {} thread(s), {} pair(s)…",
+        config.profile, config.nodes, config.walks, config.threads, config.pairs
+    );
+    let report = run_serving_bench(config);
+    println!(
+        "{name}: cold p50 {:.1} ms / p99 {:.1} ms, warm p50 {:.3} ms / p99 {:.3} ms  →  \
+         warm speedup {:.1}x  ({} pools, {} hits / {} misses)",
+        report.cold_p50_ns as f64 / 1e6,
+        report.cold_p99_ns as f64 / 1e6,
+        report.warm_p50_ns as f64 / 1e6,
+        report.warm_p99_ns as f64 / 1e6,
+        report.warm_speedup(),
+        report.cached_pools,
+        report.stats.hits,
+        report.stats.misses,
+    );
+    history.push(parse_json(&report.to_json()).map_err(|e| format!("entry JSON: {e}"))?);
+    Ok(())
+}
+
+/// The query-serving session (`raf serve`): load a SNAP edge list once,
+/// keep it resident behind a [`SessionContext`], and answer
+/// `s t alpha [budget]` request lines — from `--requests FILE` in batch
+/// mode, from stdin otherwise — one `ok`/`err` response line each (see
+/// `raf_serve::protocol`). Queries on the same pair share one sampled
+/// pool; the cache summary goes to stderr on exit. The graph serves from
+/// the hub-BFS relabeled layout (the production layout; ids stay
+/// original-space) unless `--no-relabel` keeps the file order.
+fn cmd_serve(args: &CliArgs) -> Result<(), Box<dyn std::error::Error>> {
+    use active_friending::serve::protocol;
+    use std::io::{BufRead, Write};
+    use std::sync::Arc;
+
+    let path = args.require("graph")?;
+    let builder = read_edge_list_path(Path::new(path), &EdgeListOptions::default())?;
+    let social = builder.build(WeightScheme::UniformByDegree)?;
+    let config = ServeConfig {
+        walks: args.get_or("walks", 100_000)?,
+        epsilon: args.get_or("epsilon", 0.01)?,
+        seed: args.get_or("seed", 1)?,
+        threads: args.get_or("threads", threads_from_env())?,
+        cache_bytes: args.get_or::<usize>("cache-mb", 256)? << 20,
+    };
+    let default_budget = config.walks;
+    let relabeling = if args.is_set("no-relabel") {
+        None
+    } else {
+        Some(Arc::new(raf_graph::Relabeling::hub_bfs(&social)))
+    };
+    let csr = match &relabeling {
+        None => social.to_csr(),
+        Some(r) => social.to_csr_relabeled(r),
+    };
+    let mut ctx = match relabeling {
+        None => SessionContext::new(&csr, config),
+        Some(r) => SessionContext::with_relabeling(&csr, r, config),
+    };
+    eprintln!(
+        "serving {} ({} nodes, {} edges); requests: s t alpha [budget]",
+        path,
+        csr.node_count(),
+        csr.edge_count()
+    );
+
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let serve_line = |ctx: &mut SessionContext<'_>,
+                      line: &str,
+                      out: &mut dyn Write|
+     -> Result<(), Box<dyn std::error::Error>> {
+        match protocol::parse_request(line, default_budget) {
+            Ok(None) => {}
+            Ok(Some(query)) => {
+                let response = match ctx.query(&query) {
+                    Ok(answer) => protocol::format_answer(&query, &answer),
+                    Err(e) => protocol::format_error(&query, &e),
+                };
+                writeln!(out, "{response}")?;
+            }
+            Err(message) => writeln!(out, "err parse: {message}")?,
+        }
+        Ok(())
+    };
+    if let Some(requests) = args.get("requests") {
+        // Batch mode: one pass over the request file, then exit.
+        let text = std::fs::read_to_string(requests)?;
+        for line in text.lines() {
+            serve_line(&mut ctx, line, &mut out)?;
+        }
+    } else {
+        // Interactive mode: serve stdin until EOF, flushing per line so
+        // a driving process sees each answer immediately.
+        let stdin = std::io::stdin();
+        for line in stdin.lock().lines() {
+            serve_line(&mut ctx, &line?, &mut out)?;
+            out.flush()?;
+        }
+    }
+    let stats = ctx.stats();
+    eprintln!(
+        "session: {} hits, {} misses, {} evictions; {} pool(s) resident, {:.1} MiB",
+        stats.hits,
+        stats.misses,
+        stats.evictions,
+        ctx.cached_pools(),
+        ctx.resident_bytes() as f64 / (1 << 20) as f64,
+    );
     Ok(())
 }
 
@@ -430,6 +585,9 @@ USAGE:
             [--epsilon E] [--budget N] [--seed N] [--threads N]
   raf max   --graph <edge-list> --s <id> --t <id> --k BUDGET
             [--realizations N] [--seed N]
+  raf serve --graph <edge-list> [--requests FILE] [--walks N]
+            [--seed N] [--threads N] [--cache-mb N] [--epsilon E]
+            [--no-relabel]
   raf bench-json [--out FILE] [--scenario NAME] [--list-scenarios]
             [--quick] [--check-regression] [--max-regression R]
             [--topology NAME] [--nodes N] [--walks N] [--seed N]
@@ -440,15 +598,29 @@ USAGE:
             [--data-dir DIR] [--relabel plain|hub_bfs|degree_desc|rcm]
             [--no-relabel] [--out-csv FILE] [--out-json FILE]
 
+serve keeps the graph resident and answers `s t alpha [budget]` request
+lines — one per line from --requests FILE (batch) or stdin
+(interactive) — as `ok`/`err` response lines on stdout. Queries on the
+same (s, t) pair share one sampled realization pool through an LRU
+cache (--cache-mb, default 256), so repeat queries that differ only in
+alpha or budget skip sampling entirely; the hit/miss summary prints to
+stderr on exit.
+
 bench-json appends one history entry per scenario to FILE (default
 BENCH_sampling.json). Without --scenario it runs the whole matrix
-(--quick: the CI-sized slice, which skips the 1M-node bake-off cell);
---check-regression fails when a scenario's sampling+solve total
-regresses > R (default 0.15) against the last committed entry of the
-same scenario and profile. Dataset scenarios (dataset_wiki_7k_t1, ...)
-also record the hub-BFS relabeled layout's timings; the bake-off cell
+(--quick: the CI-sized slice, which skips the 1M-node bake-off and
+serving cells); --check-regression fails when a scenario's
+sampling+solve total regresses > R (default 0.15) against the last
+committed entry of the same scenario and profile. Only --topology and
+--nodes define a custom one-off cell; --walks/--seed/--threads/--reps/
+--beta override knobs matrix-wide and reroute the runs to the `custom'
+lineage. Dataset scenarios (dataset_wiki_7k_t1, ...) also record the
+hub-BFS relabeled layout's timings; the bake-off cell
 (dataset_youtube_1m_t4) times every layout order — hub_bfs,
 degree_desc, rcm — on the same graph and records them as layout_ns.
+Serving scenarios (serving_wiki_7k_t1, ...) record cold-vs-warm query
+latency through the serve-layer pool cache instead (no regression
+gate).
 
 experiment runs the Table-I sweep (RAF vs HD/SP over an alpha × budget
 grid per dataset) and writes a schema-versioned CSV (default

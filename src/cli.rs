@@ -42,6 +42,13 @@ pub enum CliError {
         /// The raw value.
         value: String,
     },
+    /// A flag was given more than once. Repeats used to silently
+    /// last-win (`raf run --seed 1 --seed 2` ran with 2 and no
+    /// diagnostic), which hides typos in long command lines.
+    DuplicateFlag {
+        /// The repeated flag.
+        flag: String,
+    },
 }
 
 impl fmt::Display for CliError {
@@ -54,11 +61,25 @@ impl fmt::Display for CliError {
             CliError::InvalidValue { flag, value } => {
                 write!(f, "invalid value {value:?} for --{flag}")
             }
+            CliError::DuplicateFlag { flag } => {
+                write!(f, "flag --{flag} given more than once")
+            }
         }
     }
 }
 
 impl std::error::Error for CliError {}
+
+/// Whether a raw argument vector is a help request: no arguments at all,
+/// a leading `help` word, or `--help` at **any** position. The
+/// any-position rule matters because `--help` is not in any subcommand's
+/// switch list, so letting it reach the parser turns
+/// `raf bench-json --help` into the baffling `flag --help needs a value`.
+pub fn wants_help<S: AsRef<str>>(args: &[S]) -> bool {
+    args.is_empty()
+        || args.first().is_some_and(|a| a.as_ref() == "help")
+        || args.iter().any(|a| a.as_ref() == "--help")
+}
 
 impl CliArgs {
     /// Parses raw arguments (excluding the program name).
@@ -97,13 +118,14 @@ impl CliArgs {
             let Some(name) = token.strip_prefix("--") else {
                 return Err(CliError::UnexpectedToken { token });
             };
-            if switches.contains(&name) {
-                flags.insert(name.to_string(), "true".to_string());
-                continue;
+            let value = if switches.contains(&name) {
+                "true".to_string()
+            } else {
+                iter.next().ok_or_else(|| CliError::MissingValue { flag: name.to_string() })?
+            };
+            if flags.insert(name.to_string(), value).is_some() {
+                return Err(CliError::DuplicateFlag { flag: name.to_string() });
             }
-            let value =
-                iter.next().ok_or_else(|| CliError::MissingValue { flag: name.to_string() })?;
-            flags.insert(name.to_string(), value);
         }
         Ok(CliArgs { command, flags })
     }
@@ -219,5 +241,42 @@ mod tests {
     fn error_display() {
         assert_eq!(CliError::MissingCommand.to_string(), "missing subcommand");
         assert!(CliError::MissingFlag { flag: "t".into() }.to_string().contains("--t"));
+        assert!(CliError::DuplicateFlag { flag: "seed".into() }.to_string().contains("--seed"));
+    }
+
+    #[test]
+    fn rejects_repeated_flags() {
+        // The old parser silently kept the last value; now the repeat is
+        // a hard error whether the values differ or not.
+        assert_eq!(
+            CliArgs::parse(["run", "--seed", "1", "--seed", "2"]),
+            Err(CliError::DuplicateFlag { flag: "seed".into() })
+        );
+        assert_eq!(
+            CliArgs::parse(["run", "--seed", "1", "--seed", "1"]),
+            Err(CliError::DuplicateFlag { flag: "seed".into() })
+        );
+        // Repeated switches are just as wrong.
+        assert_eq!(
+            CliArgs::parse_with_switches(["bench-json", "--quick", "--quick"], &["quick"]),
+            Err(CliError::DuplicateFlag { flag: "quick".into() })
+        );
+        // Distinct flags still parse.
+        let ok = CliArgs::parse(["run", "--seed", "1", "--alpha", "0.2"]).unwrap();
+        assert_eq!(ok.get("seed"), Some("1"));
+    }
+
+    #[test]
+    fn help_is_detected_at_any_position() {
+        assert!(wants_help::<&str>(&[]));
+        assert!(wants_help(&["help"]));
+        assert!(wants_help(&["--help"]));
+        assert!(wants_help(&["bench-json", "--help"]));
+        assert!(wants_help(&["bench-json", "--quick", "--help"]));
+        assert!(wants_help(&["serve", "--graph", "g.txt", "--help"]));
+        assert!(!wants_help(&["bench-json", "--quick"]));
+        // `help` only counts in command position — as a flag *value* it
+        // is data (`--out help` names a file).
+        assert!(!wants_help(&["run", "--out", "help"]));
     }
 }

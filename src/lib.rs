@@ -55,6 +55,7 @@
 //! | [`cover`] (`raf-cover`) | Minimum p-Union / Minimum Subset Cover solvers |
 //! | [`core`] (`raf-core`) | the RAF algorithm, `V_max`, baselines, evaluation helpers |
 //! | [`datasets`] (`raf-datasets`) | Table I dataset stand-ins, SNAP loader, pair sampling |
+//! | [`serve`] (`raf-serve`) | amortized query serving: resident graph + LRU pool cache |
 //!
 //! See `DESIGN.md` for the system inventory and the per-experiment index,
 //! and `EXPERIMENTS.md` for paper-vs-measured results.
@@ -69,6 +70,7 @@ pub use raf_cover as cover;
 pub use raf_datasets as datasets;
 pub use raf_graph as graph;
 pub use raf_model as model;
+pub use raf_serve as serve;
 
 /// One-stop prelude for applications: graph building, instances, RAF, the
 /// baselines, and the estimators.
@@ -88,4 +90,5 @@ pub mod prelude {
     pub use raf_model::pmax::{estimate_pmax_dklr, estimate_pmax_fixed};
     pub use raf_model::sampler::threads_from_env;
     pub use raf_model::{FriendingInstance, InvitationSet, ModelError};
+    pub use raf_serve::{one_shot, Query, QueryAnswer, ServeConfig, ServeError, SessionContext};
 }
