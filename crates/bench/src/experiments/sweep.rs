@@ -296,6 +296,7 @@ pub fn run_dataset(config: &SweepConfig, dataset: Dataset) -> Vec<SweepRow> {
         seed: config.seed ^ 0xE7A,
         threads: config.threads,
         cache_bytes: EVAL_CACHE_BYTES,
+        ..Default::default()
     };
     let mut eval_ctx = match &prep.relabeling {
         Some(r) => SessionContext::with_relabeling(&prep.csr, r.clone(), serve_cfg),

@@ -124,6 +124,10 @@ pub struct ServingBenchReport {
     pub warm_p99_ns: u128,
     /// Final cache counters of the session.
     pub stats: raf_serve::CacheStats,
+    /// Final robustness counters of the session (degraded and shed
+    /// queries stay zero on the unlimited-policy bench, but the entry
+    /// records them so history can tell a degraded run from a full one).
+    pub session: raf_serve::SessionStats,
     /// Pools resident when the run finished.
     pub cached_pools: usize,
     /// Bytes charged against the cache budget when the run finished.
@@ -149,7 +153,7 @@ impl ServingBenchReport {
         let alphas =
             self.config.alphas.iter().map(|a| format!("{a}")).collect::<Vec<_>>().join(", ");
         format!(
-            "{{\n  \"scenario\": \"{}\",\n  \"profile\": \"{}\",\n  \"graph\": {{ \"kind\": \"{}\", \"source\": \"{}\", \"nodes\": {}, \"edges\": {} }},\n  \"config\": {{ \"walks\": {}, \"seed\": {}, \"threads\": {}, \"pairs\": {}, \"warm_reps\": {}, \"alphas\": [{}] }},\n  \"serving_ns\": {{ \"cold_p50\": {}, \"cold_p99\": {}, \"warm_p50\": {}, \"warm_p99\": {} }},\n  \"cache\": {{ \"hits\": {}, \"misses\": {}, \"evictions\": {}, \"pools\": {}, \"resident_bytes\": {} }},\n  \"pairs\": {{ \"measured\": {}, \"skipped\": {} }},\n  \"warm_speedup\": {:.3}\n}}\n",
+            "{{\n  \"scenario\": \"{}\",\n  \"profile\": \"{}\",\n  \"graph\": {{ \"kind\": \"{}\", \"source\": \"{}\", \"nodes\": {}, \"edges\": {} }},\n  \"config\": {{ \"walks\": {}, \"seed\": {}, \"threads\": {}, \"pairs\": {}, \"warm_reps\": {}, \"alphas\": [{}] }},\n  \"serving_ns\": {{ \"cold_p50\": {}, \"cold_p99\": {}, \"warm_p50\": {}, \"warm_p99\": {} }},\n  \"cache\": {{ \"hits\": {}, \"misses\": {}, \"evictions\": {}, \"pools\": {}, \"resident_bytes\": {} }},\n  \"robustness\": {{ \"degraded\": {}, \"shed\": {} }},\n  \"pairs\": {{ \"measured\": {}, \"skipped\": {} }},\n  \"warm_speedup\": {:.3}\n}}\n",
             self.config.scenario().name(),
             self.config.profile,
             self.config.dataset.spec().file_stem,
@@ -171,6 +175,8 @@ impl ServingBenchReport {
             self.stats.evictions,
             self.cached_pools,
             self.resident_bytes,
+            self.session.degraded,
+            self.session.shed,
             self.pairs_measured,
             self.pairs_skipped,
             self.warm_speedup(),
@@ -222,6 +228,7 @@ pub fn run_serving_bench(config: ServingBenchConfig) -> ServingBenchReport {
         seed: config.seed,
         threads: config.threads,
         cache_bytes: config.cache_bytes,
+        ..Default::default()
     };
     let mut ctx = match &prep.relabeling {
         Some(r) => SessionContext::with_relabeling(&prep.csr, r.clone(), serve_cfg),
@@ -273,6 +280,7 @@ pub fn run_serving_bench(config: ServingBenchConfig) -> ServingBenchReport {
         warm_p50_ns: percentile_ns(&warm_ns, 50.0),
         warm_p99_ns: percentile_ns(&warm_ns, 99.0),
         stats: ctx.stats(),
+        session: ctx.session_stats(),
         cached_pools: ctx.cached_pools(),
         resident_bytes: ctx.resident_bytes(),
         config,
@@ -363,6 +371,10 @@ mod tests {
         assert!(value.path_f64(&["serving_ns", "cold_p50"]).unwrap() > 0.0);
         assert!(value.path_f64(&["serving_ns", "warm_p99"]).unwrap() > 0.0);
         assert!(value.path_f64(&["cache", "hits"]).unwrap() > 0.0);
+        // Robustness counters ride along ungated; the unlimited-policy
+        // bench never degrades or sheds, so both are present and zero.
+        assert_eq!(value.path_f64(&["robustness", "degraded"]), Some(0.0));
+        assert_eq!(value.path_f64(&["robustness", "shed"]), Some(0.0));
         assert!(value.path_f64(&["warm_speedup"]).unwrap() > 0.0);
         // The entry survives the append-only history round trip.
         let mut history = crate::history::BenchHistory::default();

@@ -41,6 +41,70 @@ use rand::{Rng, SeedableRng};
 /// every `threads` value (only the master seed matters).
 pub const PARALLEL_THRESHOLD: u64 = 4_096;
 
+/// Walks sampled between cooperative-cancellation checks: at every
+/// multiple of this count a worker consults its [`SampleControl`]
+/// (step budget, wall-clock deadline, probe) before starting the next
+/// batch. Coarse enough that an uncontrolled run pays nothing
+/// measurable, fine enough that a budgeted run overshoots its budget by
+/// at most one batch of walks — and because the check sits on a walk
+/// *count* boundary, the truncation point is deterministic for a fixed
+/// `(seed, budget, threads)`.
+pub const CANCEL_CHECK_INTERVAL: u64 = 256;
+
+/// Cooperative control over a pool-sampling run: the cancellation token
+/// the serving layer threads through the walk loop. All limits are
+/// checked at [`CANCEL_CHECK_INTERVAL`] walk boundaries, never mid-walk,
+/// so a controlled run samples a deterministic prefix of the
+/// uncontrolled run's walk stream (identical RNG draws per walk).
+///
+/// `max_steps` is the *deterministic* budget: walk-steps (node advances
+/// plus the terminating draw) are a pure function of the RNG stream, so
+/// two runs with the same `(seed, max_steps, threads)` truncate at the
+/// same walk and produce bit-identical pools. `deadline` is the
+/// wall-clock cap layered on top — inherently nondeterministic, for
+/// latency protection rather than reproducibility.
+#[derive(Clone, Copy, Default)]
+pub struct SampleControl<'a> {
+    /// Walk-step budget across the run; `None` = unlimited. Split across
+    /// workers like the walk shares, so parallel truncation is
+    /// deterministic too.
+    pub max_steps: Option<u64>,
+    /// Wall-clock deadline; `None` = no time cap.
+    pub deadline: Option<std::time::Instant>,
+    /// Batch-boundary observer, called by each worker with the number of
+    /// walks it has completed so far (before every batch, including the
+    /// first at 0). This is the fault-injection seam: a probe may panic
+    /// (caught and isolated by the serving layer) or sleep (forcing the
+    /// wall-clock path). It must not affect the RNG stream.
+    pub probe: Option<&'a (dyn Fn(u64) + Sync)>,
+}
+
+impl std::fmt::Debug for SampleControl<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SampleControl")
+            .field("max_steps", &self.max_steps)
+            .field("deadline", &self.deadline)
+            .field("probe", &self.probe.map(|_| "…"))
+            .finish()
+    }
+}
+
+impl SampleControl<'_> {
+    /// No limits, no probe: [`sample_pool_controlled`] behaves exactly
+    /// like [`sample_pool_parallel`].
+    pub const UNLIMITED: SampleControl<'static> =
+        SampleControl { max_steps: None, deadline: None, probe: None };
+
+    /// Whether a worker that has spent `steps` of its `budget` (its
+    /// share of `max_steps`) must stop before the next batch.
+    fn exhausted(&self, steps: u64, budget: Option<u64>) -> bool {
+        if budget.is_some_and(|b| steps >= b) {
+            return true;
+        }
+        self.deadline.is_some_and(|d| std::time::Instant::now() >= d)
+    }
+}
+
 /// A pool of sampled backward walks: the `B_l` of the paper, with the
 /// type-1 paths `t(g)` (the `B¹_l`) stored deduplicated in a flat arena
 /// and the type-0 walks tallied by outcome.
@@ -262,13 +326,49 @@ impl WalkShard {
         }
     }
 
-    /// Samples one backward walk and streams it into the interner.
-    fn sample<R: Rng>(&mut self, instance: &FriendingInstance<'_>, rng: &mut R) {
-        match sample_walk_scratch(instance, rng, &mut self.scratch) {
+    /// Samples one backward walk and streams it into the interner,
+    /// returning the walk's *step cost*: the nodes it recorded plus the
+    /// terminating draw. Steps are a pure function of the RNG stream, so
+    /// they are the deterministic work unit the budgeted sampler meters.
+    fn sample<R: Rng>(&mut self, instance: &FriendingInstance<'_>, rng: &mut R) -> u64 {
+        let outcome = sample_walk_scratch(instance, rng, &mut self.scratch);
+        match outcome {
             WalkOutcome::ReachedSeed => self.interner.intern_copy(self.scratch.nodes(), 1),
             WalkOutcome::Dangling => self.dangling += 1,
             WalkOutcome::Cycle => self.cycles += 1,
         }
+        self.scratch.nodes().len() as u64 + 1
+    }
+
+    /// Samples up to `l` walks under a control's limits (a worker's
+    /// `budget` share of `SampleControl::max_steps`), returning the walks
+    /// actually sampled. Limits and the probe fire only at
+    /// [`CANCEL_CHECK_INTERVAL`] boundaries, so the sampled walks are a
+    /// deterministic prefix of the uncontrolled stream.
+    fn run<R: Rng>(
+        &mut self,
+        instance: &FriendingInstance<'_>,
+        l: u64,
+        rng: &mut R,
+        control: &SampleControl<'_>,
+        budget: Option<u64>,
+    ) -> u64 {
+        let mut sampled = 0u64;
+        let mut steps = 0u64;
+        while sampled < l {
+            if let Some(probe) = control.probe {
+                probe(sampled);
+            }
+            if control.exhausted(steps, budget) {
+                break;
+            }
+            let batch = (l - sampled).min(CANCEL_CHECK_INTERVAL);
+            for _ in 0..batch {
+                steps += self.sample(instance, rng);
+            }
+            sampled += batch;
+        }
+        sampled
     }
 }
 
@@ -281,6 +381,60 @@ pub fn sample_pool<R: Rng>(instance: &FriendingInstance<'_>, l: u64, rng: &mut R
         shard.sample(instance, rng);
     }
     PathPool::assemble(vec![shard], l, instance.original_table())
+}
+
+/// [`sample_pool_parallel`] with cooperative cancellation: walks sample
+/// in [`CANCEL_CHECK_INTERVAL`]-sized batches and the control's limits
+/// are consulted between batches. The returned pool's
+/// [`total_samples`](PathPool::total_samples) reports the walks
+/// *actually* sampled — under an exhausted budget that is less than `l`,
+/// and every multiplicity-weighted estimator on the partial pool is
+/// still exact for the prefix it observed (the anytime property the
+/// degrading server leans on).
+///
+/// Determinism: with `deadline: None`, the sampled walk multiset — and
+/// therefore the pool, bit for bit — is a pure function of
+/// `(instance, l, master_seed, threads, max_steps)`. The step budget is
+/// split across workers exactly like the walk shares, each worker stops
+/// independently at a batch boundary, and the per-thread interner merge
+/// is unchanged. With [`SampleControl::UNLIMITED`] the result is
+/// bit-identical to [`sample_pool_parallel`].
+pub fn sample_pool_controlled(
+    instance: &FriendingInstance<'_>,
+    l: u64,
+    master_seed: u64,
+    threads: usize,
+    control: &SampleControl<'_>,
+) -> PathPool {
+    let threads = threads.max(1);
+    if threads == 1 || l < PARALLEL_THRESHOLD {
+        let mut rng = StdRng::seed_from_u64(master_seed);
+        let mut shard = WalkShard::new();
+        let sampled = shard.run(instance, l, &mut rng, control, control.max_steps);
+        return PathPool::assemble(vec![shard], sampled, instance.original_table());
+    }
+    let results: Vec<(WalkShard, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|i| {
+                let share = l / threads as u64 + u64::from((l % threads as u64) > i as u64);
+                let budget = control
+                    .max_steps
+                    .map(|b| b / threads as u64 + u64::from((b % threads as u64) > i as u64));
+                let instance = &instance;
+                let control = &control;
+                scope.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(master_seed ^ splitmix64(i as u64 + 1));
+                    let mut shard = WalkShard::new();
+                    let sampled = shard.run(instance, share, &mut rng, control, budget);
+                    (shard, sampled)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("sampler thread panicked")).collect()
+    });
+    let sampled: u64 = results.iter().map(|(_, s)| s).sum();
+    let shards: Vec<WalkShard> = results.into_iter().map(|(shard, _)| shard).collect();
+    PathPool::assemble(shards, sampled, instance.original_table())
 }
 
 /// Worker thread count from the `RAF_THREADS` environment variable
@@ -317,29 +471,7 @@ pub fn sample_pool_parallel(
     master_seed: u64,
     threads: usize,
 ) -> PathPool {
-    let threads = threads.max(1);
-    if threads == 1 || l < PARALLEL_THRESHOLD {
-        let mut rng = StdRng::seed_from_u64(master_seed);
-        return sample_pool(instance, l, &mut rng);
-    }
-    let shards: Vec<WalkShard> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|i| {
-                let share = l / threads as u64 + u64::from((l % threads as u64) > i as u64);
-                let instance = &instance;
-                scope.spawn(move || {
-                    let mut rng = StdRng::seed_from_u64(master_seed ^ splitmix64(i as u64 + 1));
-                    let mut shard = WalkShard::new();
-                    for _ in 0..share {
-                        shard.sample(instance, &mut rng);
-                    }
-                    shard
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("sampler thread panicked")).collect()
-    });
-    PathPool::assemble(shards, l, instance.original_table())
+    sample_pool_controlled(instance, l, master_seed, threads, &SampleControl::UNLIMITED)
 }
 
 /// SplitMix64 finalizer — decorrelates per-thread seeds.
@@ -410,6 +542,113 @@ mod tests {
             let par = sample_pool_parallel(&inst, l, 5, threads);
             assert_eq!(par, seq, "threads = {threads}");
         }
+    }
+
+    #[test]
+    fn unlimited_control_is_bit_identical_to_parallel() {
+        let g = path_csr(5);
+        let inst = FriendingInstance::new(&g, NodeId::new(0), NodeId::new(4)).unwrap();
+        for (l, threads) in [(2_000u64, 1usize), (20_000, 4)] {
+            let plain = sample_pool_parallel(&inst, l, 42, threads);
+            let controlled =
+                sample_pool_controlled(&inst, l, 42, threads, &SampleControl::UNLIMITED);
+            assert_eq!(plain, controlled, "l={l} threads={threads}");
+        }
+    }
+
+    #[test]
+    fn step_budget_truncates_deterministically() {
+        let g = path_csr(5);
+        let inst = FriendingInstance::new(&g, NodeId::new(0), NodeId::new(4)).unwrap();
+        let control = SampleControl { max_steps: Some(3_000), ..SampleControl::UNLIMITED };
+        let a = sample_pool_controlled(&inst, 50_000, 9, 1, &control);
+        let b = sample_pool_controlled(&inst, 50_000, 9, 1, &control);
+        assert_eq!(a, b, "same (seed, budget) must truncate identically");
+        assert!(a.total_samples() < 50_000, "budget must actually truncate");
+        assert!(a.total_samples() > 0, "a positive budget samples at least one batch");
+        // Truncation lands on a batch boundary.
+        assert_eq!(a.total_samples() % CANCEL_CHECK_INTERVAL, 0);
+        // The truncated pool is a prefix of the full run's walk stream:
+        // resampling exactly that many walks uncontrolled is identical.
+        let prefix = sample_pool_parallel(&inst, a.total_samples(), 9, 1);
+        assert_eq!(a, prefix);
+    }
+
+    #[test]
+    fn step_budget_is_monotone_in_walks() {
+        let g = path_csr(5);
+        let inst = FriendingInstance::new(&g, NodeId::new(0), NodeId::new(4)).unwrap();
+        let mut last = 0u64;
+        for budget in [500u64, 2_000, 8_000, 64_000, u64::MAX] {
+            let control = SampleControl { max_steps: Some(budget), ..SampleControl::UNLIMITED };
+            let pool = sample_pool_controlled(&inst, 10_000, 5, 1, &control);
+            assert!(
+                pool.total_samples() >= last,
+                "budget {budget}: {} < {last} walks",
+                pool.total_samples()
+            );
+            last = pool.total_samples();
+        }
+        assert_eq!(last, 10_000, "an unlimited budget samples every requested walk");
+    }
+
+    #[test]
+    fn parallel_budget_split_is_deterministic() {
+        let g = path_csr(5);
+        let inst = FriendingInstance::new(&g, NodeId::new(0), NodeId::new(4)).unwrap();
+        let control = SampleControl { max_steps: Some(20_000), ..SampleControl::UNLIMITED };
+        let a = sample_pool_controlled(&inst, 40_000, 11, 4, &control);
+        let b = sample_pool_controlled(&inst, 40_000, 11, 4, &control);
+        assert_eq!(a, b);
+        assert!(a.total_samples() < 40_000);
+    }
+
+    #[test]
+    fn zero_budget_yields_empty_pool() {
+        let g = path_csr(5);
+        let inst = FriendingInstance::new(&g, NodeId::new(0), NodeId::new(4)).unwrap();
+        let control = SampleControl { max_steps: Some(0), ..SampleControl::UNLIMITED };
+        let pool = sample_pool_controlled(&inst, 10_000, 5, 1, &control);
+        assert_eq!(pool.total_samples(), 0);
+        assert_eq!(pool.unique_count(), 0);
+    }
+
+    #[test]
+    fn probe_sees_batch_boundaries_and_may_panic() {
+        let g = path_csr(5);
+        let inst = FriendingInstance::new(&g, NodeId::new(0), NodeId::new(4)).unwrap();
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let calls = AtomicU64::new(0);
+        let probe = |_walks: u64| {
+            calls.fetch_add(1, Ordering::SeqCst);
+        };
+        let control = SampleControl { probe: Some(&probe), ..SampleControl::UNLIMITED };
+        let pool = sample_pool_controlled(&inst, CANCEL_CHECK_INTERVAL * 3, 5, 1, &control);
+        assert_eq!(pool.total_samples(), CANCEL_CHECK_INTERVAL * 3);
+        assert_eq!(calls.load(Ordering::SeqCst), 3, "one probe call per batch");
+        // A panicking probe unwinds out of the sampler (the serving layer
+        // catches it); the RNG stream up to the panic is untouched.
+        let trap = |walks: u64| {
+            assert!(walks < CANCEL_CHECK_INTERVAL * 2, "fault injection: panic at walk {walks}");
+        };
+        let control = SampleControl { probe: Some(&trap), ..SampleControl::UNLIMITED };
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            sample_pool_controlled(&inst, CANCEL_CHECK_INTERVAL * 4, 5, 1, &control)
+        }));
+        assert!(result.is_err(), "the probe's panic must propagate");
+    }
+
+    #[test]
+    fn wall_clock_deadline_stops_sampling() {
+        let g = path_csr(5);
+        let inst = FriendingInstance::new(&g, NodeId::new(0), NodeId::new(4)).unwrap();
+        // A deadline already in the past stops at the first boundary.
+        let control = SampleControl {
+            deadline: Some(std::time::Instant::now() - std::time::Duration::from_millis(1)),
+            ..SampleControl::UNLIMITED
+        };
+        let pool = sample_pool_controlled(&inst, 100_000, 5, 1, &control);
+        assert_eq!(pool.total_samples(), 0, "an expired deadline samples nothing");
     }
 
     #[test]

@@ -32,15 +32,59 @@ pub struct PoolKey {
 /// instance built from it. Both are `α`-independent, so a warm query
 /// re-runs only the solve. `Arc`-shared so answers can keep reading a
 /// pool that eviction has already dropped from the cache.
+///
+/// Each entry carries an integrity fingerprint of its pool, stamped at
+/// construction and re-checked on every cache lookup: an entry whose
+/// stored pool no longer matches its fingerprint (the
+/// [`CorruptCacheEntry`](crate::FaultKind::CorruptCacheEntry) fault, or
+/// a real corruption bug) is evicted and resampled instead of served.
 #[derive(Debug, Clone)]
 pub struct CachedPool {
     /// The sampled (deduplicated, canonical-order) pool.
     pub pool: Arc<PathPool>,
     /// The cover instance over the pool, built once per miss.
     pub cover: Arc<CoverInstance>,
+    /// FNV-1a fingerprint of the pool's summary (see
+    /// [`fingerprint`](Self::fingerprint)).
+    checksum: u64,
 }
 
 impl CachedPool {
+    /// Builds an entry over a freshly sampled pool/cover pair, stamping
+    /// its integrity fingerprint.
+    pub fn new(pool: Arc<PathPool>, cover: Arc<CoverInstance>) -> Self {
+        let checksum = Self::fingerprint(&pool);
+        CachedPool { pool, cover, checksum }
+    }
+
+    /// FNV-1a over the pool's summary statistics — cheap enough to run
+    /// on every lookup, and any fault that changes what the pool would
+    /// answer (walk count, type-1 mass, estimate, arena size) changes at
+    /// least one of them.
+    fn fingerprint(pool: &PathPool) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let words = [
+            pool.total_samples(),
+            pool.type1_count() as u64,
+            pool.pmax_estimate().to_bits(),
+            pool.heap_bytes() as u64,
+        ];
+        let mut hash = FNV_OFFSET;
+        for word in words {
+            for byte in word.to_le_bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(FNV_PRIME);
+            }
+        }
+        hash
+    }
+
+    /// Whether the entry's pool still matches its stamped fingerprint.
+    pub fn verify(&self) -> bool {
+        Self::fingerprint(&self.pool) == self.checksum
+    }
+
     /// Logical bytes this entry charges against the cache budget: the
     /// pool's arena plus the cover instance's (the two are the same order
     /// of magnitude — the cover mirrors the pool's flat tables).
@@ -54,10 +98,19 @@ impl CachedPool {
 pub struct CacheStats {
     /// Lookups answered from a resident entry.
     pub hits: u64,
-    /// Lookups that required sampling a fresh pool.
+    /// Lookups that required sampling a fresh pool (including lookups
+    /// that found a corrupt entry — see `integrity_evictions`).
     pub misses: u64,
     /// Entries dropped to fit the byte budget.
     pub evictions: u64,
+    /// Inserts refused because the entry alone exceeds the whole byte
+    /// budget (the entry is passed through to the caller uncached;
+    /// resident entries are untouched).
+    pub rejected: u64,
+    /// Entries evicted because their integrity fingerprint no longer
+    /// matched on lookup (each also counts as a miss: the caller
+    /// resamples).
+    pub integrity_evictions: u64,
 }
 
 /// An LRU cache of [`CachedPool`]s under a byte-size budget.
@@ -68,9 +121,11 @@ pub struct CacheStats {
 /// exchange the eviction order is trivially deterministic and
 /// inspectable ([`lru_keys`](Self::lru_keys)).
 ///
-/// The newest entry is always retained, even when it alone exceeds the
-/// budget: evicting the pool a query is about to read would turn the
-/// cache into a thrash loop for every over-budget pool.
+/// An entry that alone exceeds the whole budget is **rejected** (passed
+/// through to the caller uncached, counted in
+/// [`CacheStats::rejected`]): admitting it would evict every resident
+/// entry to cache something that still doesn't fit, turning one
+/// oversized query into a whole-cache flush.
 #[derive(Debug, Default)]
 pub struct PoolCache {
     budget_bytes: usize,
@@ -118,14 +173,22 @@ impl PoolCache {
         &self.order
     }
 
-    /// Looks a key up, counting a hit (and refreshing recency) or a miss.
+    /// Looks a key up, counting a hit (and refreshing recency) or a
+    /// miss. An entry that fails its integrity check is evicted and
+    /// reported as a miss, so the caller transparently resamples.
     pub fn get(&mut self, key: &PoolKey) -> Option<CachedPool> {
         match self.entries.get(key) {
-            Some(entry) => {
+            Some(entry) if entry.verify() => {
                 self.stats.hits += 1;
                 let entry = entry.clone();
                 self.touch(key);
                 Some(entry)
+            }
+            Some(_) => {
+                self.evict(key);
+                self.stats.integrity_evictions += 1;
+                self.stats.misses += 1;
+                None
             }
             None => {
                 self.stats.misses += 1;
@@ -135,9 +198,15 @@ impl PoolCache {
     }
 
     /// Inserts an entry as most-recent and evicts least-recent entries
-    /// until the budget holds (the fresh entry itself is never evicted).
-    /// Re-inserting a resident key replaces the entry.
+    /// until the budget holds. Re-inserting a resident key replaces the
+    /// entry. An entry that alone exceeds the whole budget is rejected
+    /// (resident entries untouched, [`CacheStats::rejected`] bumped) —
+    /// the caller already holds the entry and loses nothing but reuse.
     pub fn insert(&mut self, key: PoolKey, entry: CachedPool) {
+        if entry.heap_bytes() > self.budget_bytes {
+            self.stats.rejected += 1;
+            return;
+        }
         if let Some(old) = self.entries.remove(&key) {
             self.bytes -= old.heap_bytes();
             self.order.retain(|k| k != &key);
@@ -150,6 +219,38 @@ impl PoolCache {
             let dropped = self.entries.remove(&victim).expect("order/entries in sync");
             self.bytes -= dropped.heap_bytes();
             self.stats.evictions += 1;
+        }
+    }
+
+    /// Drops a key outright (no counter changes) — the consistency hook
+    /// the session uses to discard a possibly half-built entry after a
+    /// caught panic. Returns whether the key was resident.
+    pub fn remove(&mut self, key: &PoolKey) -> bool {
+        self.evict(key)
+    }
+
+    /// Fault-injection hook ([`crate::FaultKind::CorruptCacheEntry`]):
+    /// invalidates the resident entry's integrity fingerprint in place,
+    /// so the next [`get`](Self::get) detects corruption, evicts, and
+    /// forces a resample. Returns whether the key was resident.
+    pub fn corrupt_entry(&mut self, key: &PoolKey) -> bool {
+        match self.entries.get_mut(key) {
+            Some(entry) => {
+                entry.checksum ^= 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn evict(&mut self, key: &PoolKey) -> bool {
+        match self.entries.remove(key) {
+            Some(dropped) => {
+                self.bytes -= dropped.heap_bytes();
+                self.order.retain(|k| k != key);
+                true
+            }
+            None => false,
         }
     }
 
@@ -177,7 +278,7 @@ mod tests {
         let inst = FriendingInstance::new(&g, NodeId::new(0), NodeId::new(4)).unwrap();
         let pool = sample_pool_parallel(&inst, walks, 3, 1);
         let cover = CoverInstance::from_path_pool(g.node_count(), pool.clone()).unwrap();
-        CachedPool { pool: Arc::new(pool), cover: Arc::new(cover) }
+        CachedPool::new(Arc::new(pool), Arc::new(cover))
     }
 
     fn key(s: u32) -> PoolKey {
@@ -188,7 +289,7 @@ mod tests {
     fn hit_miss_counters_and_recency() {
         let mut cache = PoolCache::new(usize::MAX);
         assert!(cache.get(&key(1)).is_none());
-        assert_eq!(cache.stats(), CacheStats { hits: 0, misses: 1, evictions: 0 });
+        assert_eq!(cache.stats(), CacheStats { misses: 1, ..Default::default() });
         cache.insert(key(1), entry(500));
         cache.insert(key(2), entry(500));
         assert!(cache.get(&key(1)).is_some());
@@ -240,13 +341,86 @@ mod tests {
     }
 
     #[test]
-    fn oversized_newest_entry_is_retained() {
-        let mut cache = PoolCache::new(1); // nothing fits
+    fn oversized_entry_is_rejected_not_cached() {
+        // Regression: an entry larger than the whole budget used to be
+        // retained while every resident entry was evicted — one oversized
+        // query flushed the cache and cached nothing usable. It must pass
+        // through instead, leaving residents untouched.
+        let one = entry(500).heap_bytes();
+        let mut cache = PoolCache::new(2 * one);
         cache.insert(key(1), entry(500));
-        assert_eq!(cache.len(), 1, "the newest entry must survive an over-budget insert");
         cache.insert(key(2), entry(500));
-        assert_eq!(cache.len(), 1);
+        let giant = {
+            // Many distinct walks on a wider graph: strictly bigger than
+            // the two-entry budget.
+            let mut b = GraphBuilder::new();
+            b.add_edges((0..40usize).map(|i| (i, i + 1))).unwrap();
+            b.add_edges((1..40usize).map(|i| (i, 41))).unwrap();
+            let g = b.build(WeightScheme::UniformByDegree).unwrap().to_csr();
+            let inst = FriendingInstance::new(&g, NodeId::new(0), NodeId::new(41)).unwrap();
+            let pool = sample_pool_parallel(&inst, 20_000, 3, 1);
+            let cover = CoverInstance::from_path_pool(g.node_count(), pool.clone()).unwrap();
+            CachedPool::new(Arc::new(pool), Arc::new(cover))
+        };
+        assert!(giant.heap_bytes() > 2 * one, "fixture must exceed the budget");
+        cache.insert(key(9), giant);
+        // Pass-through: nothing evicted, nothing cached, counter bumped.
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.bytes(), 2 * one);
+        assert_eq!(cache.stats().rejected, 1);
+        assert_eq!(cache.stats().evictions, 0);
+        assert!(cache.get(&key(1)).is_some());
         assert!(cache.get(&key(2)).is_some());
-        assert_eq!(cache.stats().evictions, 1);
+        assert!(cache.get(&key(9)).is_none());
+    }
+
+    #[test]
+    fn nothing_fits_budget_rejects_everything() {
+        let mut cache = PoolCache::new(1);
+        cache.insert(key(1), entry(500));
+        cache.insert(key(2), entry(500));
+        assert!(cache.is_empty());
+        assert_eq!(cache.bytes(), 0);
+        assert_eq!(cache.stats().rejected, 2);
+        assert_eq!(cache.stats().evictions, 0);
+    }
+
+    #[test]
+    fn corrupt_entry_is_detected_evicted_and_remissed() {
+        let mut cache = PoolCache::new(usize::MAX);
+        cache.insert(key(1), entry(500));
+        assert!(cache.get(&key(1)).is_some());
+        assert!(cache.corrupt_entry(&key(1)));
+        assert!(!cache.corrupt_entry(&key(7)), "absent keys cannot be corrupted");
+        // The corrupted entry is evicted on lookup and reported as a miss.
+        assert!(cache.get(&key(1)).is_none());
+        let stats = cache.stats();
+        assert_eq!(stats.integrity_evictions, 1);
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert!(cache.is_empty());
+        // Reinsert recovers: the fresh entry verifies again.
+        cache.insert(key(1), entry(500));
+        assert!(cache.get(&key(1)).is_some());
+    }
+
+    #[test]
+    fn remove_discards_without_counting() {
+        let mut cache = PoolCache::new(usize::MAX);
+        cache.insert(key(1), entry(500));
+        let stats_before = cache.stats();
+        assert!(cache.remove(&key(1)));
+        assert!(!cache.remove(&key(1)));
+        assert_eq!(cache.stats(), stats_before, "remove is not an eviction");
+        assert!(cache.is_empty());
+        assert_eq!(cache.bytes(), 0);
+        assert!(cache.lru_keys().is_empty());
+    }
+
+    #[test]
+    fn fresh_entries_verify() {
+        let e = entry(500);
+        assert!(e.verify());
+        let clone = e.clone();
+        assert!(clone.verify(), "fingerprints survive cloning");
     }
 }

@@ -1,17 +1,23 @@
 //! The resident-graph session context and its query pipeline.
 
 use crate::cache::{CacheStats, CachedPool, PoolCache, PoolKey};
+use crate::deadline::{AdmissionPolicy, DeadlinePolicy, ShedReason};
+use crate::fault::{FaultKind, FaultPlan};
 use raf_core::{CoreError, ParameterSet};
 use raf_cover::{ChlamtacPortfolio, CoverError, CoverInstance};
 use raf_graph::{CsrGraph, NodeId, Relabeling};
-use raf_model::sampler::{sample_pool_parallel, PathPool};
+use raf_model::sampler::{sample_pool_controlled, PathPool, SampleControl};
 use raf_model::{FriendingInstance, InvitationSet, ModelError};
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
 /// Context-wide serving knobs. Together with the resident graph these
 /// fully determine every answer: the same `(config, query)` always
-/// yields the same invitation set, cached or not.
+/// yields the same invitation set, cached or not — including degraded
+/// answers, as long as truncation comes from the deterministic
+/// [`DeadlinePolicy::work_budget`] (a wall-clock cap trades that
+/// reproducibility for latency protection).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServeConfig {
     /// Walk-count ceiling per pool: a query's realization budget is
@@ -28,11 +34,27 @@ pub struct ServeConfig {
     pub threads: usize,
     /// Byte budget of the pool cache.
     pub cache_bytes: usize,
+    /// Per-query deadlines (work budget in walk-steps, optional
+    /// wall-clock cap). Exhaustion degrades the answer — see
+    /// [`QueryAnswer::degraded`] — it never fails the query.
+    pub deadline: DeadlinePolicy,
+    /// Admission limits; queries over them are shed with
+    /// [`ServeError::Overloaded`] instead of being allowed to stall the
+    /// session.
+    pub admission: AdmissionPolicy,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
-        ServeConfig { walks: 100_000, epsilon: 0.01, seed: 1, threads: 1, cache_bytes: 256 << 20 }
+        ServeConfig {
+            walks: 100_000,
+            epsilon: 0.01,
+            seed: 1,
+            threads: 1,
+            cache_bytes: 256 << 20,
+            deadline: DeadlinePolicy::UNLIMITED,
+            admission: AdmissionPolicy::OPEN,
+        }
     }
 }
 
@@ -62,8 +84,9 @@ pub struct QueryAnswer {
     pub parameters: ParameterSet,
     /// The pool's `p_max` estimate `|B¹_l| / l`.
     pub pmax_estimate: f64,
-    /// Effective walks the pool was sampled with (the budget after the
-    /// [`ServeConfig::walks`] clamp).
+    /// Walks actually sampled into the pool: the effective budget (after
+    /// the [`ServeConfig::walks`] clamp), or fewer when the deadline
+    /// truncated sampling (then [`degraded`](Self::degraded) is set).
     pub walks: u64,
     /// `|B¹_l|`: type-1 realizations in the pool.
     pub type1_count: usize,
@@ -73,13 +96,52 @@ pub struct QueryAnswer {
     pub covered: usize,
     /// Whether the pool came from the cache (`false` = freshly sampled).
     pub cache_hit: bool,
+    /// Whether the pool is a deadline-truncated prefix of the requested
+    /// walk count. The estimator is *anytime*: a partial pool's answer
+    /// is still valid, just wider — and for a pure work-budget deadline
+    /// it is bit-identical for a given `(seed, budget)`.
+    pub degraded: bool,
 }
 
-/// Errors from the serving layer.
+/// Why a query failed structural validation before touching the graph —
+/// the payload of [`ServeError::InvalidQuery`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryRejection {
+    /// The realization budget was zero.
+    ZeroBudget,
+    /// Source and target are the same node.
+    SourceIsTarget,
+    /// A node id does not exist in the resident graph. Caught up front,
+    /// before key construction, so invalid ids never form pool keys or
+    /// pollute the cache's miss counters on their way to instance
+    /// validation.
+    NodeOutOfRange {
+        /// The offending id.
+        node: usize,
+        /// Nodes in the resident graph.
+        node_count: usize,
+    },
+}
+
+impl fmt::Display for QueryRejection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryRejection::ZeroBudget => write!(f, "budget must be positive"),
+            QueryRejection::SourceIsTarget => write!(f, "source and target coincide"),
+            QueryRejection::NodeOutOfRange { node, node_count } => {
+                write!(f, "node {node} out of range (graph has {node_count} nodes)")
+            }
+        }
+    }
+}
+
+/// Errors from the serving layer, one variant per failure surface so
+/// callers (and the line protocol) can react per class instead of
+/// string-matching.
 #[derive(Debug)]
 pub enum ServeError {
     /// A query failed structural validation before touching the graph.
-    InvalidQuery(String),
+    InvalidQuery(QueryRejection),
     /// Instance construction rejected the pair.
     Instance(ModelError),
     /// The parameter system rejected `(α, ε)`.
@@ -92,18 +154,66 @@ pub enum ServeError {
         /// Walks sampled before giving up.
         samples: u64,
     },
+    /// Admission control shed the query; the payload carries a retry
+    /// hint. Nothing was sampled and session state is unchanged.
+    Overloaded(ShedReason),
+    /// The query's pool exceeded its allocation cap; the pool was
+    /// discarded, never cached.
+    ResourceExhausted {
+        /// Bytes the pool needed.
+        needed: usize,
+        /// The allocation cap it exceeded.
+        cap: usize,
+    },
+    /// A panic escaped the query pipeline and was contained: any
+    /// half-built cache entry was evicted and the session remains
+    /// consistent (subsequent queries answer bit-identically to a fresh
+    /// session).
+    Internal {
+        /// The panic message, as far as it could be recovered.
+        reason: String,
+    },
+}
+
+impl ServeError {
+    /// A stable, short machine-readable class label (the error taxonomy
+    /// as counters and logs see it).
+    pub fn code(&self) -> &'static str {
+        match self {
+            ServeError::InvalidQuery(_) => "invalid-query",
+            ServeError::Instance(_) => "invalid-pair",
+            ServeError::Parameters(_) => "parameters",
+            ServeError::Solver(_) => "solver",
+            ServeError::TargetUnreachable { .. } => "unreachable",
+            ServeError::Overloaded(_) => "overloaded",
+            ServeError::ResourceExhausted { .. } => "resource-exhausted",
+            ServeError::Internal { .. } => "internal",
+        }
+    }
+
+    /// Whether retrying the identical query later can succeed without
+    /// changing it (back-pressure, not rejection) — the class batch
+    /// drivers requeue.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, ServeError::Overloaded(ShedReason::SessionSaturated { .. }))
+    }
 }
 
 impl fmt::Display for ServeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ServeError::InvalidQuery(message) => write!(f, "invalid query: {message}"),
+            ServeError::InvalidQuery(rejection) => write!(f, "invalid query: {rejection}"),
             ServeError::Instance(e) => write!(f, "invalid pair: {e}"),
             ServeError::Parameters(e) => write!(f, "parameter solve failed: {e}"),
             ServeError::Solver(e) => write!(f, "cover solve failed: {e}"),
             ServeError::TargetUnreachable { samples } => {
                 write!(f, "target unreachable within {samples} sampled walks")
             }
+            ServeError::Overloaded(reason) => write!(f, "overloaded: {reason}"),
+            ServeError::ResourceExhausted { needed, cap } => {
+                write!(f, "resource exhausted: pool needs {needed} bytes, allocation cap is {cap}")
+            }
+            ServeError::Internal { reason } => write!(f, "internal: {reason}"),
         }
     }
 }
@@ -128,23 +238,63 @@ impl From<CoverError> for ServeError {
     }
 }
 
+/// Robustness counters of a session, cumulative over its lifetime (the
+/// cache has its own, see [`CacheStats`]). Only [`SessionContext::query`]
+/// calls count — pool prefetches via [`SessionContext::pool`] are not
+/// queries.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Queries answered (successfully or not).
+    pub queries: u64,
+    /// Queries answered from a deadline-truncated partial pool.
+    pub degraded: u64,
+    /// Queries shed by admission control ([`ServeError::Overloaded`]).
+    pub shed: u64,
+    /// Queries that tripped panic isolation ([`ServeError::Internal`]).
+    pub internal: u64,
+    /// Queries rejected for exceeding an allocation cap
+    /// ([`ServeError::ResourceExhausted`]).
+    pub resource: u64,
+}
+
 /// A serving session: one resident [`CsrGraph`] snapshot (optionally
 /// relabeled — queries and answers stay in original ids either way), a
 /// [`PoolCache`] of sampled pools, and the configuration that makes
 /// every answer a pure function of the query.
+///
+/// Failure paths are part of the contract: a panic anywhere in the query
+/// pipeline is contained to that query ([`ServeError::Internal`]), and a
+/// deterministic [`FaultPlan`] can be attached
+/// ([`set_fault_plan`](Self::set_fault_plan)) to exercise every failure
+/// surface reproducibly. With the default (empty) plan and unlimited
+/// policies, behavior is bit-identical to a context without any of this
+/// machinery.
 #[derive(Debug)]
 pub struct SessionContext<'g> {
     csr: &'g CsrGraph,
     relabeling: Option<Arc<Relabeling>>,
     config: ServeConfig,
     cache: PoolCache,
+    faults: FaultPlan,
+    /// Zero-based index the next `query()` call gets (fault sites are
+    /// addressed by it).
+    serial: u64,
+    session: SessionStats,
 }
 
 impl<'g> SessionContext<'g> {
     /// A context over a plain-layout snapshot.
     pub fn new(csr: &'g CsrGraph, config: ServeConfig) -> Self {
         let cache = PoolCache::new(config.cache_bytes);
-        SessionContext { csr, relabeling: None, config, cache }
+        SessionContext {
+            csr,
+            relabeling: None,
+            config,
+            cache,
+            faults: FaultPlan::empty(),
+            serial: 0,
+            session: SessionStats::default(),
+        }
     }
 
     /// A context over a relabeled snapshot: queries take original-space
@@ -157,7 +307,15 @@ impl<'g> SessionContext<'g> {
         config: ServeConfig,
     ) -> Self {
         let cache = PoolCache::new(config.cache_bytes);
-        SessionContext { csr, relabeling: Some(relabeling), config, cache }
+        SessionContext {
+            csr,
+            relabeling: Some(relabeling),
+            config,
+            cache,
+            faults: FaultPlan::empty(),
+            serial: 0,
+            session: SessionStats::default(),
+        }
     }
 
     /// The active configuration.
@@ -168,6 +326,24 @@ impl<'g> SessionContext<'g> {
     /// Cumulative cache counters.
     pub fn stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    /// Cumulative robustness counters.
+    pub fn session_stats(&self) -> SessionStats {
+        self.session
+    }
+
+    /// Attaches a fault-injection plan (replacing any previous one).
+    /// Sites are addressed by the zero-based serial of subsequent
+    /// [`query`](Self::query) calls. An empty plan leaves behavior
+    /// bit-identical to a plan-free context.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = plan;
+    }
+
+    /// The attached fault plan (empty by default).
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.faults
     }
 
     /// Number of pools currently resident.
@@ -187,14 +363,27 @@ impl<'g> SessionContext<'g> {
     /// count — share a key, which is the reuse the cache exploits.
     pub fn key_for(&self, query: &Query) -> Result<PoolKey, ServeError> {
         if query.budget == 0 {
-            return Err(ServeError::InvalidQuery("budget must be positive".into()));
+            return Err(ServeError::InvalidQuery(QueryRejection::ZeroBudget));
         }
         if query.s == query.t {
-            return Err(ServeError::InvalidQuery("source and target coincide".into()));
+            return Err(ServeError::InvalidQuery(QueryRejection::SourceIsTarget));
         }
+        let node_count = self.csr.node_count();
+        let narrow = |node: NodeId| -> Result<u32, ServeError> {
+            let index = node.index();
+            if index >= node_count {
+                return Err(ServeError::InvalidQuery(QueryRejection::NodeOutOfRange {
+                    node: index,
+                    node_count,
+                }));
+            }
+            u32::try_from(index).map_err(|_| {
+                ServeError::InvalidQuery(QueryRejection::NodeOutOfRange { node: index, node_count })
+            })
+        };
         Ok(PoolKey {
-            s: query.s.index() as u32,
-            t: query.t.index() as u32,
+            s: narrow(query.s)?,
+            t: narrow(query.t)?,
             walks: query.budget.min(self.config.walks),
         })
     }
@@ -213,32 +402,93 @@ impl<'g> SessionContext<'g> {
         })
     }
 
+    fn check_query_cap(&self, key: &PoolKey) -> Result<(), ServeError> {
+        if let Some(cap) = self.config.admission.max_query_walks {
+            if key.walks > cap {
+                return Err(ServeError::Overloaded(ShedReason::QueryTooLarge {
+                    walks: key.walks,
+                    cap,
+                }));
+            }
+        }
+        Ok(())
+    }
+
     /// Fetches (or samples) the entry for a key, reporting whether it was
-    /// a hit.
-    fn entry(&mut self, query: &Query) -> Result<(CachedPool, bool), ServeError> {
-        let key = self.key_for(query)?;
-        if let Some(entry) = self.cache.get(&key) {
+    /// a hit. A cache miss samples under the context's deadline policy
+    /// (so the pool may be a deterministic truncation) and under any
+    /// faults injected for this query.
+    fn entry_for(
+        &mut self,
+        query: &Query,
+        key: &PoolKey,
+        faults: &[FaultKind],
+    ) -> Result<(CachedPool, bool), ServeError> {
+        if let Some(entry) = self.cache.get(key) {
             return Ok((entry, true));
         }
         let instance = self.instance(query.s, query.t)?;
-        let pool =
-            sample_pool_parallel(&instance, key.walks, self.pool_seed(&key), self.config.threads);
+        let panic_at = faults.iter().find_map(|f| match f {
+            FaultKind::PanicAtWalk(w) => Some(*w),
+            _ => None,
+        });
+        let slow_ms = faults.iter().find_map(|f| match f {
+            FaultKind::SlowBatchMs(ms) => Some(*ms),
+            _ => None,
+        });
+        let probe = move |walks: u64| {
+            if let Some(ms) = slow_ms {
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+            }
+            if let Some(at) = panic_at {
+                if walks >= at {
+                    panic!("injected fault: panic at walk {walks}");
+                }
+            }
+        };
+        let control = SampleControl {
+            max_steps: self.config.deadline.work_budget,
+            deadline: self.config.deadline.deadline_from_now(),
+            probe: if panic_at.is_some() || slow_ms.is_some() { Some(&probe) } else { None },
+        };
+        let pool = sample_pool_controlled(
+            &instance,
+            key.walks,
+            self.pool_seed(key),
+            self.config.threads,
+            &control,
+        );
+        if let Some(cap) = faults.iter().find_map(|f| match f {
+            FaultKind::AllocCap(b) => Some(*b),
+            _ => None,
+        }) {
+            let needed = pool.heap_bytes();
+            if needed > cap {
+                return Err(ServeError::ResourceExhausted { needed, cap });
+            }
+        }
         let cover = CoverInstance::from_path_pool(self.csr.node_count(), pool.clone())?;
-        let entry = CachedPool { pool: Arc::new(pool), cover: Arc::new(cover) };
-        self.cache.insert(key, entry.clone());
+        let entry = CachedPool::new(Arc::new(pool), Arc::new(cover));
+        self.cache.insert(*key, entry.clone());
+        if faults.contains(&FaultKind::CorruptCacheEntry) {
+            self.cache.corrupt_entry(key);
+        }
         Ok((entry, false))
     }
 
     /// The cached realization pool for a pair at a walk budget — the
     /// building block `raf experiment` shares evaluation pools through.
-    /// Counts a hit or miss like any query.
+    /// Counts a hit or miss like any query, but does not consume a query
+    /// serial (fault sites address `query()` calls only).
     ///
     /// # Errors
     ///
     /// See [`ServeError`]; `α` plays no role here.
     pub fn pool(&mut self, s: NodeId, t: NodeId, budget: u64) -> Result<Arc<PathPool>, ServeError> {
         let probe = Query { s, t, alpha: 1.0, budget };
-        let (entry, _) = self.entry(&probe)?;
+        let key = self.key_for(&probe)?;
+        self.check_query_cap(&key)?;
+        let (entry, _) = self.entry_for(&probe, &key, &[])?;
         Ok(entry.pool)
     }
 
@@ -246,11 +496,58 @@ impl<'g> SessionContext<'g> {
     /// key miss), then the `α`-dependent cover phase on the resident
     /// cover instance.
     ///
+    /// The whole pipeline runs behind panic isolation: a panic (injected
+    /// or real) is contained to this query as [`ServeError::Internal`],
+    /// any half-built cache entry is evicted, and the session stays
+    /// consistent — subsequent queries answer bit-identically to a fresh
+    /// session.
+    ///
     /// # Errors
     ///
     /// See [`ServeError`].
     pub fn query(&mut self, query: &Query) -> Result<QueryAnswer, ServeError> {
-        let (entry, cache_hit) = self.entry(query)?;
+        let serial = self.serial;
+        self.serial += 1;
+        self.session.queries += 1;
+        let faults: Vec<FaultKind> = self.faults.for_query(serial).collect();
+        let result = self.query_guarded(query, &faults);
+        match &result {
+            Ok(answer) if answer.degraded => self.session.degraded += 1,
+            Err(ServeError::Overloaded(_)) => self.session.shed += 1,
+            Err(ServeError::Internal { .. }) => self.session.internal += 1,
+            Err(ServeError::ResourceExhausted { .. }) => self.session.resource += 1,
+            _ => {}
+        }
+        result
+    }
+
+    fn query_guarded(
+        &mut self,
+        query: &Query,
+        faults: &[FaultKind],
+    ) -> Result<QueryAnswer, ServeError> {
+        let key = self.key_for(query)?;
+        self.check_query_cap(&key)?;
+        match catch_unwind(AssertUnwindSafe(|| self.query_inner(query, &key, faults))) {
+            Ok(result) => result,
+            Err(payload) => {
+                // The entry (if any made it in) may be half-built: evict
+                // it so the next query on this key resamples from the
+                // pure seed instead of trusting post-panic state.
+                self.cache.remove(&key);
+                Err(ServeError::Internal { reason: panic_reason(payload.as_ref()) })
+            }
+        }
+    }
+
+    fn query_inner(
+        &mut self,
+        query: &Query,
+        key: &PoolKey,
+        faults: &[FaultKind],
+    ) -> Result<QueryAnswer, ServeError> {
+        let (entry, cache_hit) = self.entry_for(query, key, faults)?;
+        let degraded = entry.pool.total_samples() < key.walks;
         let parameters =
             ParameterSet::solve(query.alpha, self.config.epsilon, self.csr.node_count())?;
         let b1 = entry.pool.type1_count();
@@ -272,6 +569,7 @@ impl<'g> SessionContext<'g> {
             cover_p: p,
             covered: msc.covered_weight,
             cache_hit,
+            degraded,
         })
     }
 
@@ -285,7 +583,8 @@ impl<'g> SessionContext<'g> {
 /// The cold reference: a fresh single-query context over the same graph
 /// and configuration. A cache-hit answer from a long-lived context is
 /// bit-identical to this (the equivalence the serving layer is built
-/// on, property-tested in `tests/serving_equivalence.rs`).
+/// on, property-tested in `tests/serving_equivalence.rs`) — including
+/// degraded answers, because the work budget lives in the config.
 ///
 /// # Errors
 ///
@@ -296,6 +595,17 @@ pub fn one_shot(
     query: &Query,
 ) -> Result<QueryAnswer, ServeError> {
     SessionContext::new(csr, config).query(query)
+}
+
+/// Recovers a human-readable message from a caught panic payload.
+fn panic_reason(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "query worker panicked".to_string()
+    }
 }
 
 /// SplitMix64 finalizer — the same per-seed decorrelation the sampler
@@ -310,6 +620,7 @@ fn splitmix64(mut x: u64) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultSite;
     use raf_graph::{GraphBuilder, WeightScheme};
 
     fn routes_csr() -> CsrGraph {
@@ -321,6 +632,18 @@ mod tests {
 
     fn q(alpha: f64, budget: u64) -> Query {
         Query { s: NodeId::new(0), t: NodeId::new(1), alpha, budget }
+    }
+
+    fn assert_equivalent(a: &QueryAnswer, b: &QueryAnswer) {
+        // Everything except cache_hit, which legitimately differs
+        // between warm and cold paths.
+        assert_eq!(a.invitations, b.invitations);
+        assert_eq!(a.pmax_estimate, b.pmax_estimate);
+        assert_eq!(a.walks, b.walks);
+        assert_eq!(a.type1_count, b.type1_count);
+        assert_eq!(a.cover_p, b.cover_p);
+        assert_eq!(a.covered, b.covered);
+        assert_eq!(a.degraded, b.degraded);
     }
 
     #[test]
@@ -339,7 +662,7 @@ mod tests {
         assert_eq!(warm.type1_count, cold.type1_count);
         assert_eq!(warm.cover_p, cold.cover_p);
         assert_eq!(warm.pmax_estimate, cold.pmax_estimate);
-        assert_eq!(ctx.stats(), CacheStats { hits: 1, misses: 1, evictions: 0 });
+        assert_eq!(ctx.stats(), CacheStats { hits: 1, misses: 1, ..Default::default() });
     }
 
     #[test]
@@ -422,9 +745,15 @@ mod tests {
     fn invalid_queries_are_rejected() {
         let csr = routes_csr();
         let mut ctx = SessionContext::new(&csr, ServeConfig::default());
-        assert!(matches!(ctx.query(&q(0.3, 0)), Err(ServeError::InvalidQuery(_))));
+        assert!(matches!(
+            ctx.query(&q(0.3, 0)),
+            Err(ServeError::InvalidQuery(QueryRejection::ZeroBudget))
+        ));
         let same = Query { s: NodeId::new(1), t: NodeId::new(1), alpha: 0.3, budget: 100 };
-        assert!(matches!(ctx.query(&same), Err(ServeError::InvalidQuery(_))));
+        assert!(matches!(
+            ctx.query(&same),
+            Err(ServeError::InvalidQuery(QueryRejection::SourceIsTarget))
+        ));
         // alpha must exceed epsilon: the parameter system rejects it.
         assert!(matches!(ctx.query(&q(0.001, 100)), Err(ServeError::Parameters(_))));
         // Unreachable target: a node with no inbound route from N(s).
@@ -435,6 +764,29 @@ mod tests {
         let mut ctx = SessionContext::new(&island, ServeConfig::default());
         let across = Query { s: NodeId::new(0), t: NodeId::new(3), alpha: 0.3, budget: 500 };
         assert!(matches!(ctx.query(&across), Err(ServeError::TargetUnreachable { .. })));
+    }
+
+    #[test]
+    fn out_of_range_ids_are_rejected_before_the_cache() {
+        // Out-of-graph ids used to sail through key construction and
+        // count a cache miss before instance validation rejected them;
+        // now they fail structural validation without touching the
+        // cache. (Ids beyond u32 never get this far: the protocol
+        // parser rejects them before NodeId construction, which would
+        // otherwise truncate in release builds — see protocol.rs.)
+        let csr = routes_csr();
+        let mut ctx = SessionContext::new(&csr, ServeConfig::default());
+        let plain_oob = Query { s: NodeId::new(0), t: NodeId::new(999), alpha: 0.3, budget: 5_000 };
+        assert!(matches!(
+            ctx.query(&plain_oob),
+            Err(ServeError::InvalidQuery(QueryRejection::NodeOutOfRange {
+                node: 999,
+                node_count: 8
+            }))
+        ));
+        assert_eq!(ctx.stats(), CacheStats::default(), "rejection must not touch the cache");
+        let err = ctx.query(&plain_oob).unwrap_err();
+        assert_eq!(err.to_string(), "invalid query: node 999 out of range (graph has 8 nodes)");
     }
 
     #[test]
@@ -449,12 +801,178 @@ mod tests {
         assert!(answers[3].as_ref().unwrap().cache_hit);
         let stats = ctx.stats();
         assert_eq!((stats.hits, stats.misses), (2, 1));
+        assert_eq!(ctx.session_stats().queries, 4);
     }
 
     #[test]
     fn error_display_is_informative() {
-        let e = ServeError::InvalidQuery("budget must be positive".into());
-        assert!(e.to_string().contains("budget"));
+        let e = ServeError::InvalidQuery(QueryRejection::ZeroBudget);
+        assert_eq!(e.to_string(), "invalid query: budget must be positive");
+        assert_eq!(e.code(), "invalid-query");
+        let e = ServeError::InvalidQuery(QueryRejection::SourceIsTarget);
+        assert_eq!(e.to_string(), "invalid query: source and target coincide");
         assert!(ServeError::TargetUnreachable { samples: 42 }.to_string().contains("42"));
+        let e = ServeError::Internal { reason: "boom".into() };
+        assert_eq!(e.to_string(), "internal: boom");
+        assert_eq!(e.code(), "internal");
+        let e = ServeError::ResourceExhausted { needed: 100, cap: 10 };
+        assert!(e.to_string().starts_with("resource exhausted:"));
+        assert!(!e.is_retryable());
+        let shed = ServeError::Overloaded(ShedReason::SessionSaturated {
+            inflight: 10,
+            queries: 2,
+            cap: 8,
+        });
+        assert!(shed.to_string().starts_with("overloaded:"));
+        assert!(shed.is_retryable());
+        let too_big = ServeError::Overloaded(ShedReason::QueryTooLarge { walks: 9, cap: 5 });
+        assert!(!too_big.is_retryable(), "shrinking is on the client, not on time");
+    }
+
+    #[test]
+    fn work_budget_degrades_deterministically() {
+        let csr = routes_csr();
+        let budgeted = ServeConfig {
+            walks: 20_000,
+            seed: 9,
+            deadline: DeadlinePolicy { work_budget: Some(4_000), wall_clock_ms: None },
+            ..Default::default()
+        };
+        let mut ctx = SessionContext::new(&csr, budgeted.clone());
+        let first = ctx.query(&q(0.4, 20_000)).unwrap();
+        assert!(first.degraded, "4k steps cannot sample 20k walks");
+        assert!(!first.cache_hit);
+        assert!(first.walks < 20_000 && first.walks > 0);
+        // Degraded pools are cached; the hit is degraded the same way.
+        let warm = ctx.query(&q(0.4, 20_000)).unwrap();
+        assert!(warm.cache_hit);
+        assert_equivalent(&first, &warm);
+        // And a cold one-shot with the same config is bit-identical:
+        // the work budget is part of the pure function.
+        let cold = one_shot(&csr, budgeted, &q(0.4, 20_000)).unwrap();
+        assert_equivalent(&first, &cold);
+        assert_eq!(ctx.session_stats().degraded, 2);
+    }
+
+    #[test]
+    fn degraded_walks_are_monotone_in_work_budget() {
+        let csr = routes_csr();
+        let mut last_walks = 0;
+        for budget in [500u64, 2_000, 8_000, 32_000] {
+            let cfg = ServeConfig {
+                walks: 10_000,
+                seed: 9,
+                deadline: DeadlinePolicy { work_budget: Some(budget), wall_clock_ms: None },
+                ..Default::default()
+            };
+            let answer = one_shot(&csr, cfg, &q(0.4, 10_000)).unwrap();
+            assert!(answer.walks >= last_walks, "budget {budget} lost walks");
+            last_walks = answer.walks;
+        }
+        // A generous budget is not degraded at all and matches the
+        // unlimited answer exactly.
+        let unlimited = one_shot(
+            &csr,
+            ServeConfig { walks: 10_000, seed: 9, ..Default::default() },
+            &q(0.4, 10_000),
+        )
+        .unwrap();
+        assert!(!unlimited.degraded);
+        assert_eq!(last_walks, unlimited.walks);
+    }
+
+    #[test]
+    fn injected_panic_is_contained_and_session_recovers() {
+        let csr = routes_csr();
+        let cfg = ServeConfig { walks: 10_000, seed: 9, ..Default::default() };
+        let mut plan = FaultPlan::empty();
+        plan.push(FaultSite { query: 0, kind: FaultKind::PanicAtWalk(0) });
+        let mut faulty = SessionContext::new(&csr, cfg.clone());
+        faulty.set_fault_plan(plan);
+        let err = faulty.query(&q(0.4, 10_000)).unwrap_err();
+        assert!(matches!(&err, ServeError::Internal { reason } if reason.contains("injected")));
+        assert_eq!(faulty.session_stats().internal, 1);
+        assert_eq!(faulty.cached_pools(), 0, "no half-built entry may survive");
+        // The session recovers: the same query now answers exactly like
+        // a fresh fault-free session.
+        let after = faulty.query(&q(0.4, 10_000)).unwrap();
+        let fresh = one_shot(&csr, cfg, &q(0.4, 10_000)).unwrap();
+        assert_equivalent(&after, &fresh);
+    }
+
+    #[test]
+    fn alloc_cap_fault_rejects_without_caching() {
+        let csr = routes_csr();
+        let cfg = ServeConfig { walks: 10_000, seed: 9, ..Default::default() };
+        let mut ctx = SessionContext::new(&csr, cfg.clone());
+        let mut plan = FaultPlan::empty();
+        plan.push(FaultSite { query: 0, kind: FaultKind::AllocCap(1) });
+        ctx.set_fault_plan(plan);
+        let err = ctx.query(&q(0.4, 10_000)).unwrap_err();
+        assert!(matches!(err, ServeError::ResourceExhausted { cap: 1, .. }));
+        assert_eq!(ctx.cached_pools(), 0, "an over-cap pool must not be cached");
+        assert_eq!(ctx.session_stats().resource, 1);
+        let after = ctx.query(&q(0.4, 10_000)).unwrap();
+        let fresh = one_shot(&csr, cfg, &q(0.4, 10_000)).unwrap();
+        assert_equivalent(&after, &fresh);
+    }
+
+    #[test]
+    fn corruption_fault_forces_integrity_eviction_and_resample() {
+        let csr = routes_csr();
+        let cfg = ServeConfig { walks: 10_000, seed: 9, ..Default::default() };
+        let mut ctx = SessionContext::new(&csr, cfg);
+        let mut plan = FaultPlan::empty();
+        plan.push(FaultSite { query: 0, kind: FaultKind::CorruptCacheEntry });
+        ctx.set_fault_plan(plan);
+        let first = ctx.query(&q(0.4, 10_000)).unwrap();
+        // The corrupted entry is detected on the next lookup: evicted,
+        // resampled, and — pools being pure — the answer is unchanged.
+        let second = ctx.query(&q(0.4, 10_000)).unwrap();
+        assert!(!second.cache_hit, "a corrupt entry must not serve as a hit");
+        assert_equivalent(&first, &second);
+        assert_eq!(ctx.stats().integrity_evictions, 1);
+        // The resampled (clean) entry serves hits again.
+        let third = ctx.query(&q(0.4, 10_000)).unwrap();
+        assert!(third.cache_hit);
+    }
+
+    #[test]
+    fn per_query_cap_sheds_oversized_queries() {
+        let csr = routes_csr();
+        let cfg = ServeConfig {
+            walks: 50_000,
+            admission: AdmissionPolicy { max_query_walks: Some(6_000), max_inflight_walks: None },
+            ..Default::default()
+        };
+        let mut ctx = SessionContext::new(&csr, cfg);
+        let err = ctx.query(&q(0.4, 10_000)).unwrap_err();
+        assert!(matches!(
+            err,
+            ServeError::Overloaded(ShedReason::QueryTooLarge { walks: 10_000, cap: 6_000 })
+        ));
+        assert_eq!(ctx.session_stats().shed, 1);
+        assert_eq!(ctx.stats(), CacheStats::default(), "shed queries never touch the cache");
+        // Within the cap, business as usual.
+        let ok = ctx.query(&q(0.4, 6_000)).unwrap();
+        assert!(!ok.degraded);
+        assert_eq!(ok.walks, 6_000);
+    }
+
+    #[test]
+    fn empty_fault_plan_is_bit_identical_to_no_plan() {
+        let csr = routes_csr();
+        let cfg = ServeConfig { walks: 10_000, seed: 9, ..Default::default() };
+        let mut bare = SessionContext::new(&csr, cfg.clone());
+        let mut planned = SessionContext::new(&csr, cfg);
+        planned.set_fault_plan(FaultPlan::empty());
+        for alpha in [0.3, 0.5, 0.3] {
+            let a = bare.query(&q(alpha, 10_000)).unwrap();
+            let b = planned.query(&q(alpha, 10_000)).unwrap();
+            assert_eq!(a.cache_hit, b.cache_hit);
+            assert_equivalent(&a, &b);
+        }
+        assert_eq!(bare.stats(), planned.stats());
+        assert_eq!(bare.session_stats(), planned.session_stats());
     }
 }

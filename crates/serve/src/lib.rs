@@ -17,6 +17,18 @@
 //! * [`protocol`] is the line-oriented request/response format behind
 //!   `raf serve` (batch request files or stdin/stdout, no network).
 //!
+//! On top of the happy path sits a robustness layer: per-query
+//! [`DeadlinePolicy`] work budgets that *degrade* answers (partial pool,
+//! `degraded` marker) instead of failing them, [`AdmissionPolicy`]
+//! caps that shed over-limit queries with a retry hint
+//! ([`ServeError::Overloaded`]), panic isolation that contains any
+//! query-pipeline panic to an [`ServeError::Internal`] response, cache
+//! integrity fingerprints that evict corrupt entries transparently, and
+//! a deterministic [`FaultPlan`] harness (`raf serve --fault-plan`) that
+//! drives every one of those failure paths reproducibly in tests. With
+//! an empty plan and default policies, all of it is invisible: output is
+//! bit-identical to a context without the machinery.
+//!
 //! A query whose `(source, target, effective walk count)` key is cached
 //! re-solves only the `α`-dependent cover phase on the resident
 //! instance; a true key miss resamples. Answers are a pure function of
@@ -51,7 +63,14 @@
 
 mod cache;
 mod context;
+mod deadline;
+mod fault;
 pub mod protocol;
 
 pub use cache::{CacheStats, CachedPool, PoolCache, PoolKey};
-pub use context::{one_shot, Query, QueryAnswer, ServeConfig, ServeError, SessionContext};
+pub use context::{
+    one_shot, Query, QueryAnswer, QueryRejection, ServeConfig, ServeError, SessionContext,
+    SessionStats,
+};
+pub use deadline::{AdmissionLedger, AdmissionPolicy, DeadlinePolicy, ShedReason};
+pub use fault::{FaultKind, FaultPlan, FaultSite};

@@ -8,41 +8,100 @@
 //! are skipped.
 //!
 //! Response: `ok s=<s> t=<t> alpha=<α> hit=<0|1> walks=<l> size=<|I*|>
-//! covered=<c> p=<p> pmax=<estimate> inv=<id,id,...>` on success,
+//! covered=<c> p=<p> pmax=<estimate> inv=<id,id,...>` on success — with
+//! ` degraded=1` appended when the answer came from a deadline-truncated
+//! partial pool (`walks` then reports the walks actually sampled) — and
 //! `err s=<s> t=<t>: <message>` on a per-query failure.
+//!
+//! Parsing is total: any byte sequence — non-UTF-8, NUL bytes, absurd
+//! field counts, kilobyte-long numbers — produces either a request or a
+//! deterministic error string, never a panic and never a dead session
+//! (fuzzed in `crates/serve/tests/proptest_protocol.rs`).
 
 use crate::context::{Query, QueryAnswer, ServeError};
 use raf_graph::NodeId;
+
+/// Longest field rendering quoted back in a parse error: a hostile
+/// kilobyte-long "number" gets truncated instead of echoed in full, so
+/// error lines stay bounded no matter the input.
+const QUOTE_CAP: usize = 32;
+
+fn snippet(field: &str) -> String {
+    if field.chars().count() <= QUOTE_CAP {
+        field.to_string()
+    } else {
+        let head: String = field.chars().take(QUOTE_CAP).collect();
+        format!("{head}… ({} bytes)", field.len())
+    }
+}
 
 /// Parses one request line. Returns `Ok(None)` for blank lines and `#`
 /// comments (skipped, no response emitted).
 ///
 /// # Errors
 ///
-/// A human-readable description of the malformed line.
+/// A human-readable description of the malformed line, deterministic in
+/// the input bytes and bounded in length.
 pub fn parse_request(line: &str, default_budget: u64) -> Result<Option<Query>, String> {
     let line = line.trim();
     if line.is_empty() || line.starts_with('#') {
         return Ok(None);
     }
-    let fields: Vec<&str> = line.split_whitespace().collect();
-    if !(3..=4).contains(&fields.len()) {
-        return Err(format!("expected `s t alpha [budget]`, got {} field(s)", fields.len()));
+    let mut fields = line.split_whitespace();
+    let (s_raw, t_raw, alpha_raw) = match (fields.next(), fields.next(), fields.next()) {
+        (Some(s), Some(t), Some(a)) => (s, t, a),
+        _ => {
+            let n = line.split_whitespace().count();
+            return Err(format!("expected `s t alpha [budget]`, got {n} field(s)"));
+        }
+    };
+    let budget_raw = fields.next();
+    if fields.next().is_some() {
+        let n = line.split_whitespace().count();
+        return Err(format!("expected `s t alpha [budget]`, got {n} field(s)"));
     }
-    let s: usize = fields[0].parse().map_err(|_| format!("bad source id {:?}", fields[0]))?;
-    let t: usize = fields[1].parse().map_err(|_| format!("bad target id {:?}", fields[1]))?;
-    let alpha: f64 = fields[2].parse().map_err(|_| format!("bad alpha {:?}", fields[2]))?;
-    let budget: u64 = match fields.get(3) {
+    // Ids must fit the graph layer's u32 id space *before* NodeId
+    // construction: `NodeId::new` debug-asserts the bound, so an
+    // oversized id would panic a debug serve session — and silently
+    // truncate (aliasing a small id) in release.
+    let parse_id = |raw: &str, what: &str| -> Result<usize, String> {
+        let id: usize = raw.parse().map_err(|_| format!("bad {what} id {:?}", snippet(raw)))?;
+        if id > u32::MAX as usize {
+            return Err(format!("{what} id {id} overflows the 32-bit id space"));
+        }
+        Ok(id)
+    };
+    let s = parse_id(s_raw, "source")?;
+    let t = parse_id(t_raw, "target")?;
+    let alpha: f64 =
+        alpha_raw.parse().map_err(|_| format!("bad alpha {:?}", snippet(alpha_raw)))?;
+    let budget: u64 = match budget_raw {
         None => default_budget,
-        Some(raw) => raw.parse().map_err(|_| format!("bad budget {raw:?}"))?,
+        Some(raw) => raw.parse().map_err(|_| format!("bad budget {:?}", snippet(raw)))?,
     };
     Ok(Some(Query { s: NodeId::new(s), t: NodeId::new(t), alpha, budget }))
 }
 
-/// Renders a successful answer as one `ok` response line.
+/// Parses one raw request line that may not be valid UTF-8 — the entry
+/// point `raf serve` reads stdin and batch files through, so a client
+/// writing garbage bytes gets an `err` response instead of killing the
+/// session. Invalid sequences decode lossily (U+FFFD), which can never
+/// form a digit, so they surface as ordinary deterministic parse errors.
+///
+/// # Errors
+///
+/// Same contract as [`parse_request`].
+pub fn parse_request_bytes(line: &[u8], default_budget: u64) -> Result<Option<Query>, String> {
+    parse_request(&String::from_utf8_lossy(line), default_budget)
+}
+
+/// Renders a successful answer as one `ok` response line. Degraded
+/// answers (deadline-truncated pool) carry a trailing ` degraded=1`
+/// marker; full answers render byte-identically to a protocol without
+/// the extension.
 pub fn format_answer(query: &Query, answer: &QueryAnswer) -> String {
     let inv: Vec<String> = answer.invitations.iter().map(|v| v.index().to_string()).collect();
-    format!(
+    let mut line = format!(
         "ok s={} t={} alpha={} hit={} walks={} size={} covered={} p={} pmax={:.6} inv={}",
         query.s.index(),
         query.t.index(),
@@ -54,7 +113,11 @@ pub fn format_answer(query: &Query, answer: &QueryAnswer) -> String {
         answer.cover_p,
         answer.pmax_estimate,
         inv.join(","),
-    )
+    );
+    if answer.degraded {
+        line.push_str(" degraded=1");
+    }
+    line
 }
 
 /// Renders a per-query failure as one `err` response line.
@@ -91,6 +154,70 @@ mod tests {
         assert!(parse_request("3 y 0.3", 1).unwrap_err().contains("target"));
         assert!(parse_request("3 99 zz", 1).unwrap_err().contains("alpha"));
         assert!(parse_request("3 99 0.3 -1", 1).unwrap_err().contains("budget"));
+    }
+
+    #[test]
+    fn byte_lines_never_kill_the_parser() {
+        // Valid UTF-8 passes through unchanged.
+        let q = parse_request_bytes(b"3 99 0.3 20000", 1).unwrap().unwrap();
+        assert_eq!((q.s.index(), q.t.index()), (3, 99));
+        // Invalid UTF-8 decodes lossily and fails as a plain parse error,
+        // deterministically.
+        let a = parse_request_bytes(b"\xff\xfe 99 0.3", 1).unwrap_err();
+        let b = parse_request_bytes(b"\xff\xfe 99 0.3", 1).unwrap_err();
+        assert_eq!(a, b);
+        assert!(a.contains("source"), "{a}");
+        // NUL bytes are field content, not separators.
+        assert!(parse_request_bytes(b"3\x0099 0.3", 1).is_err());
+        // Non-UTF-8 comments are still comments.
+        assert_eq!(parse_request_bytes(b"# \xff\xfe", 1).unwrap(), None);
+    }
+
+    #[test]
+    fn ids_beyond_u32_are_rejected_not_truncated() {
+        // Regression: ids over u32::MAX used to reach NodeId::new, which
+        // debug-asserts (killing a debug serve session) and truncates in
+        // release — so id 2^32 would silently alias node 0, pool key and
+        // cache entry included. The parser must reject them first.
+        let over = (1u64 << 32).to_string();
+        let err = parse_request(&format!("{over} 1 0.3"), 1).unwrap_err();
+        assert_eq!(err, "source id 4294967296 overflows the 32-bit id space");
+        let err = parse_request(&format!("1 {over} 0.3"), 1).unwrap_err();
+        assert!(err.contains("target id"), "{err}");
+        // The largest representable id still parses.
+        let q = parse_request(&format!("{} 1 0.3", u32::MAX), 1).unwrap().unwrap();
+        assert_eq!(q.s.index(), u32::MAX as usize);
+    }
+
+    #[test]
+    fn hostile_fields_are_quoted_bounded() {
+        let huge = format!("{} 99 0.3", "9".repeat(4_096));
+        let err = parse_request(&huge, 1).unwrap_err();
+        assert!(err.len() < 128, "error must stay bounded, got {} bytes", err.len());
+        assert!(err.contains("(4096 bytes)"), "{err}");
+        // Short fields keep the legacy full quoting.
+        assert_eq!(parse_request("x 99 0.3", 1).unwrap_err(), "bad source id \"x\"");
+    }
+
+    #[test]
+    fn degraded_marker_appears_only_when_degraded() {
+        use crate::{DeadlinePolicy, ServeConfig, SessionContext};
+        use raf_graph::{GraphBuilder, WeightScheme};
+        let mut b = GraphBuilder::new();
+        b.add_edges(vec![(0, 2), (2, 3), (3, 1), (0, 4), (4, 1)]).unwrap();
+        let csr = b.build(WeightScheme::UniformByDegree).unwrap().to_csr();
+        let q = parse_request("0 1 0.5 10000", 1).unwrap().unwrap();
+        let full = SessionContext::new(&csr, ServeConfig::default()).query(&q).unwrap();
+        assert!(!format_answer(&q, &full).contains("degraded"));
+        let limited = ServeConfig {
+            deadline: DeadlinePolicy { work_budget: Some(2_000), wall_clock_ms: None },
+            ..Default::default()
+        };
+        let partial = SessionContext::new(&csr, limited).query(&q).unwrap();
+        assert!(partial.degraded);
+        let line = format_answer(&q, &partial);
+        assert!(line.ends_with(" degraded=1"), "{line}");
+        assert!(line.contains(&format!("walks={}", partial.walks)));
     }
 
     #[test]

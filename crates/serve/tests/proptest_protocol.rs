@@ -1,0 +1,97 @@
+//! Fuzz hardening for the `raf serve` line protocol: parsing is *total*.
+//!
+//! Any byte sequence a client can write — raw binary, NUL bytes, absurd
+//! column counts, kilobyte-long "numbers", ids past the 32-bit node id
+//! space — must produce either a parsed request or a deterministic,
+//! bounded, single-line error string. Never a panic (a panic would kill
+//! an interactive serve session before the robustness layer can even
+//! answer `err`), never an unbounded echo of hostile input, and never a
+//! silently truncated id (the historical bug: ids over `u32::MAX`
+//! reached `NodeId::new`, which debug-asserts in debug builds and
+//! wraps in release — so id 2^32 aliased node 0, cache key included).
+
+use proptest::prelude::*;
+use raf_serve::protocol::{parse_request, parse_request_bytes};
+
+// Hostile-ish tokens: digit runs of absurd length, signs, NULs, UTF-8
+// fragments, and plain valid numbers, so generated lines sit on both
+// sides of every parse branch.
+prop_compose! {
+    fn token()(kind in 0u8..8, n in 1usize..40, digit in 0u8..10) -> Vec<u8> {
+        match kind {
+            0 => vec![b'0' + digit; n],                  // short digit run
+            1 => vec![b'0' + digit; 1_024 + n],          // kilobyte number
+            2 => vec![0xFF; n],                          // invalid UTF-8
+            3 => vec![0x00; n],                          // NULs
+            4 => format!("-{}", u64::from(digit)).into_bytes(),
+            5 => format!("{}.{}", digit, digit).into_bytes(),
+            6 => format!("{}", u64::from(digit) << 60).into_bytes(),
+            _ => format!("{}", u32::from(digit)).into_bytes(),
+        }
+    }
+}
+
+prop_compose! {
+    fn request_line()(tokens in proptest::collection::vec(token(), 0..8)) -> Vec<u8> {
+        tokens.join(&b' ')
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Raw bytes: parsing never panics, and the outcome is a pure
+    /// function of the line (same bytes, same result — the protocol
+    /// promises deterministic errors, not just *some* error).
+    #[test]
+    fn arbitrary_bytes_parse_totally(line in proptest::collection::vec(0u8..=255, 0..300)) {
+        let first = parse_request_bytes(&line, 1_000);
+        let second = parse_request_bytes(&line, 1_000);
+        prop_assert_eq!(&first, &second);
+        if let Err(message) = first {
+            prop_assert!(message.len() <= 200, "unbounded error ({} bytes)", message.len());
+            prop_assert!(!message.contains('\n'), "error must stay one response line");
+        }
+    }
+
+    /// Structured hostile lines (whitespace-joined hostile tokens) hit
+    /// the field-count and per-field branches without panicking, and
+    /// every accepted request carries in-range ids — the truncation
+    /// guard, fuzzed.
+    #[test]
+    fn hostile_tokens_never_truncate_ids(line in request_line()) {
+        match parse_request_bytes(&line, 1_000) {
+            Ok(Some(query)) => {
+                prop_assert!(query.s.index() <= u32::MAX as usize);
+                prop_assert!(query.t.index() <= u32::MAX as usize);
+            }
+            Ok(None) => prop_assert!(line.is_empty() || line[0] == b'#'),
+            Err(message) => {
+                prop_assert!(message.len() <= 200, "unbounded error ({} bytes)", message.len());
+                prop_assert!(!message.contains('\n'));
+            }
+        }
+    }
+
+    /// Well-formed requests round-trip exactly as long as the ids fit
+    /// the 32-bit space; past it, the parse *must* fail (ids used to
+    /// truncate into the cache key space there).
+    #[test]
+    fn id_boundary_is_exact(s in 0u64..1 << 40, t in 0u64..1 << 40, budget in 1u64..1 << 48) {
+        let line = format!("{s} {t} 0.5 {budget}");
+        let fits = s <= u64::from(u32::MAX) && t <= u64::from(u32::MAX);
+        match parse_request(&line, 7) {
+            Ok(Some(query)) => {
+                prop_assert!(fits);
+                prop_assert_eq!(query.s.index() as u64, s);
+                prop_assert_eq!(query.t.index() as u64, t);
+                prop_assert_eq!(query.budget, budget);
+            }
+            Ok(None) => prop_assert!(false, "non-blank line skipped"),
+            Err(message) => {
+                prop_assert!(!fits, "in-range request rejected: {}", message);
+                prop_assert!(message.contains("overflows the 32-bit id space"), "{}", message);
+            }
+        }
+    }
+}

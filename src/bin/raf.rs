@@ -10,6 +10,8 @@
 //!           [--realizations 50000] [--seed 1]
 //! raf serve --graph network.txt [--requests batch.txt] [--walks 100000]
 //!           [--seed 1] [--threads 1] [--cache-mb 256] [--no-relabel]
+//!           [--work-budget N] [--deadline-ms N] [--max-query-walks N]
+//!           [--max-inflight-walks N] [--retries N] [--fault-plan SPEC]
 //! raf bench-json [--out BENCH_sampling.json] [--scenario NAME]
 //!           [--list-scenarios] [--quick] [--check-regression]
 //!           [--max-regression 0.15] [--topology powerlaw_cluster]
@@ -391,6 +393,19 @@ fn run_serving_cell(
     Ok(())
 }
 
+/// Splits raw request bytes into lines with `str::lines` semantics —
+/// `\n` separators, optional trailing `\r` stripped, no phantom empty
+/// line after a trailing newline — without requiring the file to be
+/// valid UTF-8 (a garbage line must produce an `err parse` response,
+/// not kill the whole batch).
+fn byte_lines(bytes: &[u8]) -> impl Iterator<Item = &[u8]> {
+    let mut lines: Vec<&[u8]> = bytes.split(|&b| b == b'\n').collect();
+    if lines.last() == Some(&&b""[..]) {
+        lines.pop();
+    }
+    lines.into_iter().map(|l| l.strip_suffix(b"\r").unwrap_or(l))
+}
+
 /// The query-serving session (`raf serve`): load a SNAP edge list once,
 /// keep it resident behind a [`SessionContext`], and answer
 /// `s t alpha [budget]` request lines — from `--requests FILE` in batch
@@ -399,6 +414,13 @@ fn run_serving_cell(
 /// pool; the cache summary goes to stderr on exit. The graph serves from
 /// the hub-BFS relabeled layout (the production layout; ids stay
 /// original-space) unless `--no-relabel` keeps the file order.
+///
+/// Robustness knobs: `--work-budget`/`--deadline-ms` degrade over-limit
+/// answers instead of failing them; `--max-query-walks` and
+/// `--max-inflight-walks` shed oversized / over-admitted queries with a
+/// retry hint (batch mode retries saturation sheds itself, in rounds, up
+/// to `--retries` times); `--fault-plan` injects deterministic faults
+/// for recovery testing (see `FaultPlan::parse` for the spec grammar).
 fn cmd_serve(args: &CliArgs) -> Result<(), Box<dyn std::error::Error>> {
     use active_friending::serve::protocol;
     use std::io::{BufRead, Write};
@@ -413,8 +435,22 @@ fn cmd_serve(args: &CliArgs) -> Result<(), Box<dyn std::error::Error>> {
         seed: args.get_or("seed", 1)?,
         threads: args.get_or("threads", threads_from_env())?,
         cache_bytes: args.get_or::<usize>("cache-mb", 256)? << 20,
+        deadline: DeadlinePolicy {
+            work_budget: args.get_typed("work-budget")?,
+            wall_clock_ms: args.get_typed("deadline-ms")?,
+        },
+        admission: AdmissionPolicy {
+            max_query_walks: args.get_typed("max-query-walks")?,
+            max_inflight_walks: args.get_typed("max-inflight-walks")?,
+        },
     };
+    let fault_plan = match args.get("fault-plan") {
+        None => FaultPlan::empty(),
+        Some(spec) => FaultPlan::parse(spec).map_err(|e| format!("--fault-plan: {e}"))?,
+    };
+    let retries: u32 = args.get_or("retries", 2)?;
     let default_budget = config.walks;
+    let admission = config.admission;
     let relabeling = if args.is_set("no-relabel") {
         None
     } else {
@@ -428,6 +464,7 @@ fn cmd_serve(args: &CliArgs) -> Result<(), Box<dyn std::error::Error>> {
         None => SessionContext::new(&csr, config),
         Some(r) => SessionContext::with_relabeling(&csr, r, config),
     };
+    ctx.set_fault_plan(fault_plan);
     eprintln!(
         "serving {} ({} nodes, {} edges); requests: s t alpha [budget]",
         path,
@@ -437,35 +474,108 @@ fn cmd_serve(args: &CliArgs) -> Result<(), Box<dyn std::error::Error>> {
 
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
-    let serve_line = |ctx: &mut SessionContext<'_>,
-                      line: &str,
-                      out: &mut dyn Write|
-     -> Result<(), Box<dyn std::error::Error>> {
-        match protocol::parse_request(line, default_budget) {
-            Ok(None) => {}
-            Ok(Some(query)) => {
-                let response = match ctx.query(&query) {
-                    Ok(answer) => protocol::format_answer(&query, &answer),
-                    Err(e) => protocol::format_error(&query, &e),
-                };
-                writeln!(out, "{response}")?;
-            }
-            Err(message) => writeln!(out, "err parse: {message}")?,
+    // Saturation sheds happen in the batch driver's admission window,
+    // outside the context, so they are tallied here and folded into the
+    // session's shed count on exit.
+    let mut saturated_sheds = 0u64;
+    let run_query = |ctx: &mut SessionContext<'_>, query: &Query| -> String {
+        match ctx.query(query) {
+            Ok(answer) => protocol::format_answer(query, &answer),
+            Err(e) => protocol::format_error(query, &e),
         }
-        Ok(())
     };
     if let Some(requests) = args.get("requests") {
-        // Batch mode: one pass over the request file, then exit.
-        let text = std::fs::read_to_string(requests)?;
-        for line in text.lines() {
-            serve_line(&mut ctx, line, &mut out)?;
+        // Batch mode: parse every line up front, answer in admission
+        // rounds, and print responses in request order. A round models
+        // one admission window: reservations accumulate in the ledger
+        // until the round ends, so --max-inflight-walks caps how much
+        // sampling work a single window may admit. Saturation sheds
+        // (retryable by contract) are deferred to the next round — the
+        // deterministic analogue of client backoff-and-retry — for up to
+        // --retries extra rounds; per-query-cap sheds are permanent and
+        // fail immediately.
+        enum Slot {
+            /// Response line ready (answered, failed, or parse error).
+            Done(String),
+            /// Parsed query still waiting for admission.
+            Pending(Query),
+            /// Blank/comment line: no response.
+            Skip,
+        }
+        let bytes = std::fs::read(requests)?;
+        let mut slots: Vec<Slot> = byte_lines(&bytes)
+            .map(|line| match protocol::parse_request_bytes(line, default_budget) {
+                Ok(None) => Slot::Skip,
+                Ok(Some(query)) => Slot::Pending(query),
+                Err(message) => Slot::Done(format!("err parse: {message}")),
+            })
+            .collect();
+        let mut round = 0u32;
+        loop {
+            let mut ledger = AdmissionLedger::new();
+            let mut deferred = 0usize;
+            for slot in &mut slots {
+                let Slot::Pending(query) = slot else { continue };
+                let walks = query.budget.min(default_budget);
+                match ledger.try_reserve(&admission, walks) {
+                    Ok(())
+                    // The context enforces the per-query cap itself (and
+                    // counts the shed in its session stats), so a
+                    // too-large query goes through it for the answer —
+                    // retrying could never admit it anyway.
+                    | Err(ShedReason::QueryTooLarge { .. }) => {
+                        // Admitted reservations are held until the
+                        // window closes: the ledger drains only when the
+                        // round does.
+                        *slot = Slot::Done(run_query(&mut ctx, query));
+                    }
+                    Err(ShedReason::SessionSaturated { .. }) if round < retries => {
+                        deferred += 1;
+                    }
+                    Err(shed) => {
+                        saturated_sheds += 1;
+                        *slot = Slot::Done(protocol::format_error(
+                            query,
+                            &ServeError::Overloaded(shed),
+                        ));
+                    }
+                }
+            }
+            if deferred == 0 {
+                break;
+            }
+            round += 1;
+        }
+        for slot in &slots {
+            if let Slot::Done(response) = slot {
+                writeln!(out, "{response}")?;
+            }
         }
     } else {
         // Interactive mode: serve stdin until EOF, flushing per line so
-        // a driving process sees each answer immediately.
+        // a driving process sees each answer immediately. One query is
+        // in flight at a time, so the window cap is moot here; the
+        // per-query cap still applies inside the context. Lines are read
+        // as raw bytes — a non-UTF-8 line answers `err parse`, it does
+        // not end the session.
         let stdin = std::io::stdin();
-        for line in stdin.lock().lines() {
-            serve_line(&mut ctx, &line?, &mut out)?;
+        let mut reader = stdin.lock();
+        let mut buf = Vec::new();
+        loop {
+            buf.clear();
+            if reader.read_until(b'\n', &mut buf)? == 0 {
+                break;
+            }
+            let line = buf.strip_suffix(b"\n").unwrap_or(&buf);
+            let line = line.strip_suffix(b"\r").unwrap_or(line);
+            match protocol::parse_request_bytes(line, default_budget) {
+                Ok(None) => {}
+                Ok(Some(query)) => {
+                    let response = run_query(&mut ctx, &query);
+                    writeln!(out, "{response}")?;
+                }
+                Err(message) => writeln!(out, "err parse: {message}")?,
+            }
             out.flush()?;
         }
     }
@@ -477,6 +587,17 @@ fn cmd_serve(args: &CliArgs) -> Result<(), Box<dyn std::error::Error>> {
         stats.evictions,
         ctx.cached_pools(),
         ctx.resident_bytes() as f64 / (1 << 20) as f64,
+    );
+    let session = ctx.session_stats();
+    eprintln!(
+        "robustness: {} degraded, {} shed, {} internal, {} resource-capped; \
+         cache: {} oversized rejected, {} integrity evictions",
+        session.degraded,
+        session.shed + saturated_sheds,
+        session.internal,
+        session.resource,
+        stats.rejected,
+        stats.integrity_evictions,
     );
     Ok(())
 }
@@ -587,7 +708,9 @@ USAGE:
             [--realizations N] [--seed N]
   raf serve --graph <edge-list> [--requests FILE] [--walks N]
             [--seed N] [--threads N] [--cache-mb N] [--epsilon E]
-            [--no-relabel]
+            [--no-relabel] [--work-budget N] [--deadline-ms N]
+            [--max-query-walks N] [--max-inflight-walks N]
+            [--retries N] [--fault-plan SPEC]
   raf bench-json [--out FILE] [--scenario NAME] [--list-scenarios]
             [--quick] [--check-regression] [--max-regression R]
             [--topology NAME] [--nodes N] [--walks N] [--seed N]
@@ -604,7 +727,17 @@ lines — one per line from --requests FILE (batch) or stdin
 same (s, t) pair share one sampled realization pool through an LRU
 cache (--cache-mb, default 256), so repeat queries that differ only in
 alpha or budget skip sampling entirely; the hit/miss summary prints to
-stderr on exit.
+stderr on exit. --work-budget caps the walk steps a query may spend
+(exhaustion returns a partial-pool answer tagged ` degraded=1`, still
+deterministic in the seed); --deadline-ms adds a wall-clock cap
+(answers then depend on timing). --max-query-walks sheds any query
+whose walk budget exceeds the cap; --max-inflight-walks caps the walks
+admitted per batch window — batch mode retries saturation sheds in up
+to --retries (default 2) extra rounds, deterministically, before
+answering `err ... overloaded`. --fault-plan injects deterministic
+faults (`panic@Q[:W]`, `alloc@Q:BYTES`, `slow@Q[:MS]`, `corrupt@Q`,
+comma-separated; Q indexes queries in execution order) to exercise the
+recovery paths; an empty plan leaves output bit-identical.
 
 bench-json appends one history entry per scenario to FILE (default
 BENCH_sampling.json). Without --scenario it runs the whole matrix

@@ -165,6 +165,25 @@ impl CliArgs {
         }
     }
 
+    /// An optional typed flag: `Ok(None)` when absent, `Ok(Some(v))`
+    /// when present and parseable. Unlike [`get_or`](Self::get_or) there
+    /// is no default — the caller keeps "not given" distinguishable from
+    /// any sentinel value (e.g. an optional cap where every number is a
+    /// legal cap).
+    ///
+    /// # Errors
+    ///
+    /// [`CliError::InvalidValue`] when present but unparseable.
+    pub fn get_typed<T: std::str::FromStr>(&self, flag: &str) -> Result<Option<T>, CliError> {
+        match self.get(flag) {
+            None => Ok(None),
+            Some(raw) => raw.parse().map(Some).map_err(|_| CliError::InvalidValue {
+                flag: flag.to_string(),
+                value: raw.to_string(),
+            }),
+        }
+    }
+
     /// A required typed flag.
     ///
     /// # Errors
@@ -207,6 +226,23 @@ mod tests {
     #[test]
     fn rejects_positional_after_command() {
         assert!(matches!(CliArgs::parse(["run", "stray"]), Err(CliError::UnexpectedToken { .. })));
+    }
+
+    #[test]
+    fn optional_typed_flags() {
+        let args = CliArgs::parse(["serve", "--work-budget", "50000"]).unwrap();
+        assert_eq!(args.get_typed::<u64>("work-budget").unwrap(), Some(50_000));
+        assert_eq!(args.get_typed::<u64>("deadline-ms").unwrap(), None);
+        assert_eq!(
+            args.get_typed::<u64>("work-budget").unwrap().is_some(),
+            args.get("work-budget").is_some(),
+            "absence must stay observable"
+        );
+        let bad = CliArgs::parse(["serve", "--work-budget", "soon"]).unwrap();
+        assert_eq!(
+            bad.get_typed::<u64>("work-budget"),
+            Err(CliError::InvalidValue { flag: "work-budget".into(), value: "soon".into() })
+        );
     }
 
     #[test]

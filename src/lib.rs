@@ -90,5 +90,8 @@ pub mod prelude {
     pub use raf_model::pmax::{estimate_pmax_dklr, estimate_pmax_fixed};
     pub use raf_model::sampler::threads_from_env;
     pub use raf_model::{FriendingInstance, InvitationSet, ModelError};
-    pub use raf_serve::{one_shot, Query, QueryAnswer, ServeConfig, ServeError, SessionContext};
+    pub use raf_serve::{
+        one_shot, AdmissionLedger, AdmissionPolicy, DeadlinePolicy, FaultPlan, Query, QueryAnswer,
+        ServeConfig, ServeError, SessionContext, ShedReason,
+    };
 }

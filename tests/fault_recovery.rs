@@ -1,0 +1,180 @@
+//! Fault-recovery properties for the serving robustness layer.
+//!
+//! The contract under test: a [`FaultPlan`] can make individual queries
+//! fail (injected panic, allocation-cap breach, corrupted cache entry),
+//! but it can never make the *session* lie. After the last injected
+//! fault, every answer is bit-identical (modulo the `cache_hit` flag,
+//! which honestly reports the eviction history) to the same stream on a
+//! fresh fault-free session; the faulted run itself is deterministic
+//! down to the cache counters; and an empty plan is invisible — full
+//! protocol output byte-identical to a session without the machinery.
+
+use active_friending::prelude::*;
+use active_friending::serve::protocol;
+use proptest::prelude::*;
+use raf_serve::FaultPlan;
+
+/// Two disjoint-ish routes 0→1 plus a second source 5, so the stream
+/// below alternates between two pool keys.
+fn fixture_csr() -> CsrGraph {
+    let mut b = GraphBuilder::new();
+    b.add_edges(vec![(0, 2), (2, 3), (3, 1), (0, 4), (4, 1), (5, 4), (5, 3)]).unwrap();
+    b.build(WeightScheme::UniformByDegree).unwrap().to_csr()
+}
+
+fn fixture_config() -> ServeConfig {
+    ServeConfig { walks: 4_000, seed: 11, threads: 1, ..Default::default() }
+}
+
+/// Eight queries over two pairs: enough traffic for hits, misses, and
+/// post-fault resampling on both keys.
+fn query_stream() -> Vec<Query> {
+    let q = |s: usize, t: usize, alpha: f64| Query {
+        s: NodeId::new(s),
+        t: NodeId::new(t),
+        alpha,
+        budget: 4_000,
+    };
+    vec![
+        q(0, 1, 0.5),
+        q(0, 1, 0.3),
+        q(5, 1, 0.4),
+        q(0, 1, 0.6),
+        q(5, 1, 0.2),
+        q(0, 1, 0.45),
+        q(5, 1, 0.35),
+        q(0, 1, 0.55),
+    ]
+}
+
+fn run_stream(
+    csr: &CsrGraph,
+    plan: &FaultPlan,
+) -> (Vec<Result<QueryAnswer, ServeError>>, raf_serve::CacheStats) {
+    let mut ctx = SessionContext::new(csr, fixture_config());
+    ctx.set_fault_plan(plan.clone());
+    let results = query_stream().iter().map(|q| ctx.query(q)).collect();
+    (results, ctx.stats())
+}
+
+/// Answer equality minus `cache_hit`: the one field that legitimately
+/// remembers whether a fault evicted the pool earlier in the session.
+fn equivalent(a: &Result<QueryAnswer, ServeError>, b: &Result<QueryAnswer, ServeError>) -> bool {
+    match (a, b) {
+        (Ok(a), Ok(b)) => {
+            a.invitations.iter().collect::<Vec<_>>() == b.invitations.iter().collect::<Vec<_>>()
+                && a.pmax_estimate.to_bits() == b.pmax_estimate.to_bits()
+                && a.walks == b.walks
+                && a.cover_p == b.cover_p
+                && a.covered == b.covered
+                && a.degraded == b.degraded
+        }
+        (Err(a), Err(b)) => a.to_string() == b.to_string(),
+        _ => false,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// For *any* seed-driven fault plan: the stream after the last
+    /// injected fault matches a fresh fault-free session, and with an
+    /// empty plan the full protocol output (every byte of every
+    /// response line) matches too.
+    #[test]
+    fn post_fault_suffix_matches_fresh_session(seed in 0u64..1 << 32) {
+        let csr = fixture_csr();
+        let queries = query_stream();
+        let plan = FaultPlan::from_seed(seed, queries.len() as u64);
+        let (faulted, _) = run_stream(&csr, &plan);
+        let (fresh, _) = run_stream(&csr, &FaultPlan::empty());
+        let suffix_start = plan.last_fault_query().map_or(0, |q| q as usize + 1);
+        for i in suffix_start..queries.len() {
+            prop_assert!(
+                equivalent(&faulted[i], &fresh[i]),
+                "query {} diverged after last fault (plan {:?}): {:?} vs {:?}",
+                i, plan, faulted[i], fresh[i],
+            );
+        }
+        if plan.is_empty() {
+            for (i, q) in queries.iter().enumerate() {
+                let a = render(q, &faulted[i]);
+                let b = render(q, &fresh[i]);
+                prop_assert_eq!(a, b, "empty plan changed protocol output at query {}", i);
+            }
+        }
+    }
+
+    /// The faulted run itself is reproducible: same plan, same stream,
+    /// same everything — responses byte-for-byte, cache counters
+    /// included. Fault injection is a harness, not a randomizer.
+    #[test]
+    fn faulted_runs_are_deterministic(seed in 0u64..1 << 32) {
+        let csr = fixture_csr();
+        let queries = query_stream();
+        let plan = FaultPlan::from_seed(seed, queries.len() as u64);
+        let (first, first_stats) = run_stream(&csr, &plan);
+        let (second, second_stats) = run_stream(&csr, &plan);
+        for (i, q) in queries.iter().enumerate() {
+            prop_assert_eq!(render(q, &first[i]), render(q, &second[i]));
+        }
+        prop_assert_eq!(first_stats, second_stats);
+    }
+}
+
+fn render(query: &Query, result: &Result<QueryAnswer, ServeError>) -> String {
+    match result {
+        Ok(answer) => protocol::format_answer(query, answer),
+        Err(e) => protocol::format_error(query, e),
+    }
+}
+
+/// The satellite end-to-end scenario, pinned concretely: a panic on the
+/// first `(5,1)` query and a corruption on its resampled pool. Checks
+/// the suffix against a fresh session *and* the exact cache-counter
+/// bookkeeping — every get accounted, the panic eviction silent (it is
+/// a rollback, not a capacity eviction), the corruption surfacing as
+/// exactly one integrity eviction.
+#[test]
+fn mid_batch_fault_keeps_suffix_consistent_counters_included() {
+    let csr = fixture_csr();
+    let queries = query_stream();
+    // Query 2 is the first (5,1) miss: panic at walk 0 kills it and
+    // rolls back the entry. Query 4 re-misses (5,1) and corrupts the
+    // freshly inserted pool, so query 6 trips the integrity check.
+    let plan = FaultPlan::parse("panic@2:0,corrupt@4").unwrap();
+    let mut ctx = SessionContext::new(&csr, fixture_config());
+    ctx.set_fault_plan(plan.clone());
+    let faulted: Vec<_> = queries.iter().map(|q| ctx.query(q)).collect();
+
+    match &faulted[2] {
+        Err(ServeError::Internal { reason }) => {
+            assert!(reason.contains("injected fault"), "{reason}")
+        }
+        other => panic!("query 2 should fail internally, got {other:?}"),
+    }
+    let (fresh, _) = run_stream(&csr, &FaultPlan::empty());
+    let suffix_start = plan.last_fault_query().unwrap() as usize + 1;
+    assert_eq!(suffix_start, 5);
+    for i in suffix_start..queries.len() {
+        assert!(
+            equivalent(&faulted[i], &fresh[i]),
+            "query {i} diverged: {:?} vs {:?}",
+            faulted[i],
+            fresh[i],
+        );
+    }
+
+    // Exact ledger: q0 miss, q1 hit, q2 miss+panic (rolled back), q3
+    // hit, q4 miss (corrupted after insert), q5 hit, q6 integrity
+    // eviction + re-miss, q7 hit.
+    let stats = ctx.stats();
+    assert_eq!((stats.hits, stats.misses), (4, 4));
+    assert_eq!(stats.evictions, 0, "rollback and integrity paths are not capacity evictions");
+    assert_eq!(stats.integrity_evictions, 1);
+    assert_eq!(stats.rejected, 0);
+    let session = ctx.session_stats();
+    assert_eq!(session.queries, 8);
+    assert_eq!(session.internal, 1);
+    assert_eq!((session.shed, session.resource, session.degraded), (0, 0, 0));
+}
