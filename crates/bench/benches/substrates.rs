@@ -9,7 +9,7 @@ use raf_graph::{CsrGraph, NodeId};
 use raf_model::process::run_process;
 use raf_model::realization::Realization;
 use raf_model::reverse::sample_target_path;
-use raf_model::sampler::sample_pool;
+use raf_model::sampler::SampleRequest;
 use raf_model::{FriendingInstance, InvitationSet};
 use rand::SeedableRng;
 
@@ -61,8 +61,7 @@ fn bench_pool(c: &mut Criterion) {
     let csr = standin(Dataset::HepTh, 0.01);
     let instance = screened_instance(&csr);
     c.bench_function("pool_10k_walks", |b| {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
-        b.iter(|| sample_pool(&instance, 10_000, &mut rng))
+        b.iter(|| SampleRequest::new(10_000).seed(4).run(&instance))
     });
 }
 
@@ -70,8 +69,7 @@ fn bench_cover_solvers(c: &mut Criterion) {
     // A realistic RAF-shaped instance: overlapping path sets.
     let csr = standin(Dataset::Wiki, 0.02);
     let instance = screened_instance(&csr);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(9);
-    let pool = sample_pool(&instance, 30_000, &mut rng);
+    let pool = SampleRequest::new(30_000).seed(9).run(&instance);
     let m = pool.type1_count().max(1);
     let inst = CoverInstance::from_path_pool(csr.node_count(), pool).unwrap();
     let p = (m * 3 / 10).max(1);

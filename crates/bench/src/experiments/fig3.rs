@@ -12,7 +12,7 @@ use raf_core::baselines::{Baseline, HighDegree, ShortestPath};
 use raf_core::{CoreError, RafAlgorithm, RafConfig, RealizationBudget};
 use raf_datasets::Dataset;
 use raf_graph::NodeId;
-use raf_model::sampler::sample_pool_parallel;
+use raf_model::sampler::SampleRequest;
 use raf_model::FriendingInstance;
 use serde::{Deserialize, Serialize};
 
@@ -75,12 +75,10 @@ fn point(config: &ExperimentConfig, prep: &PreparedDataset, alpha: f64) -> Fig3P
         // All strategies are evaluated on ONE shared walk pool (common
         // random numbers): differences reflect the strategies, not the
         // sampling noise.
-        let eval_pool = sample_pool_parallel(
-            &instance,
-            config.eval_samples,
-            config.seed ^ 0xE7A ^ pair.t as u64,
-            config.threads,
-        );
+        let eval_pool = SampleRequest::new(config.eval_samples)
+            .seed(config.seed ^ 0xE7A ^ pair.t as u64)
+            .threads(config.threads)
+            .run(&instance);
         s_pm += pair.pmax_estimate;
         s_raf += eval_pool.coverage(&result.invitations);
         s_hd += eval_pool.coverage(&hd);

@@ -14,7 +14,7 @@ use raf_core::report::RatioCurve;
 use raf_core::{CoreError, RafAlgorithm, RafConfig, RealizationBudget};
 use raf_datasets::Dataset;
 use raf_graph::NodeId;
-use raf_model::sampler::sample_pool_parallel;
+use raf_model::sampler::SampleRequest;
 use raf_model::FriendingInstance;
 
 /// Which baseline the ratio experiment grows (Fig. 4 = HD, Fig. 5 = SP).
@@ -80,12 +80,10 @@ pub fn run(
         };
         // One walk pool per pair: RAF and the growing baseline are scored
         // against identical randomness.
-        let eval_pool = sample_pool_parallel(
-            &instance,
-            config.eval_samples,
-            config.seed ^ 0xF45 ^ pair.t as u64,
-            config.threads,
-        );
+        let eval_pool = SampleRequest::new(config.eval_samples)
+            .seed(config.seed ^ 0xF45 ^ pair.t as u64)
+            .threads(config.threads)
+            .run(&instance);
         let f_raf = eval_pool.coverage(&result.invitations);
         if f_raf <= 0.0 {
             continue;

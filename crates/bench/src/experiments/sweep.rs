@@ -410,7 +410,7 @@ pub fn print(dataset: Dataset, rows: &[SweepRow]) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use raf_model::sampler::sample_pool_parallel;
+    use raf_model::sampler::SampleRequest;
 
     fn tiny_config() -> SweepConfig {
         SweepConfig {
@@ -501,8 +501,8 @@ mod tests {
             let (Ok(a), Ok(b)) = (plain.instance(s, t), hub.instance(s, t)) else {
                 continue;
             };
-            let pool_a = sample_pool_parallel(&a, 2_000, 9, 1);
-            let pool_b = sample_pool_parallel(&b, 2_000, 9, 1);
+            let pool_a = SampleRequest::new(2_000).seed(9).run(&a);
+            let pool_b = SampleRequest::new(2_000).seed(9).run(&b);
             assert_eq!(pool_a, pool_b, "pools diverged for pair ({s:?}, {t:?})");
             let raf_cfg = RafConfig {
                 alpha: 0.2,

@@ -38,8 +38,9 @@ use raf_cover::{ChlamtacPortfolio, CoverInstance, CoverSolution, MpuSolver};
 use raf_datasets::synthetic::{generate_topology, Topology};
 use raf_datasets::Dataset;
 use raf_graph::{generators, CsrGraph, NodeId, RelabelOrder, SocialGraph, WeightScheme};
+use raf_model::frontcode::FrontCodedPool;
 use raf_model::reverse::WalkOutcome;
-use raf_model::sampler::{sample_pool_parallel, PathPool};
+use raf_model::sampler::{PathPool, SampleRequest, WalkKernel};
 use raf_model::FriendingInstance;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -287,6 +288,11 @@ pub struct SamplingBenchConfig {
     /// Whether to time every [`RelabelOrder`] layout (see
     /// [`Scenario::bakeoff`]); dataset cells time hub-BFS alone otherwise.
     pub bakeoff: bool,
+    /// Walk kernel the arena pipeline samples with (never changes pools,
+    /// only speed). Dataset cells additionally run the **kernel
+    /// bake-off** — both kernels timed on the same workload with pool
+    /// equality asserted on every rep — regardless of this setting.
+    pub kernel: WalkKernel,
 }
 
 impl Default for SamplingBenchConfig {
@@ -301,6 +307,7 @@ impl Default for SamplingBenchConfig {
             beta: 0.3,
             profile: BenchProfile::Full.name(),
             bakeoff: false,
+            kernel: WalkKernel::Scalar,
         }
     }
 }
@@ -360,6 +367,23 @@ pub struct SamplingBenchReport {
     /// [`RelabelOrder`]; hub-BFS only for ordinary dataset cells, all
     /// three for bake-off cells, empty for synthetic cells).
     pub layouts: Vec<LayoutTiming>,
+    /// Kernel bake-off: best-of-reps sampling time (ns) of the scalar
+    /// kernel at [`SamplingBenchReport::kernel_lanes`] lanes. Measured
+    /// only for dataset workloads; 0 means not measured.
+    pub kernel_scalar_ns: u128,
+    /// Kernel bake-off: best-of-reps sampling time (ns) of the lockstep
+    /// kernel on the *bit-identical* pool (equality asserted per rep).
+    /// 0 means not measured.
+    pub kernel_lockstep_ns: u128,
+    /// Lane count both bake-off kernels ran with (16 per OS thread, so
+    /// the cohort width — not the thread count — is what differs from
+    /// the legacy-compatible arena run).
+    pub kernel_lanes: usize,
+    /// Heap bytes of the sampled pool's flat arena.
+    pub pool_arena_bytes: usize,
+    /// Heap bytes of the same pool front-coded (see
+    /// [`raf_model::frontcode::FrontCodedPool`]).
+    pub pool_frontcoded_bytes: usize,
     /// Union cost of the legacy solve.
     pub legacy_cost: usize,
     /// Union cost of the arena solve.
@@ -426,12 +450,28 @@ impl SamplingBenchReport {
         }
     }
 
+    /// Whether the kernel bake-off ran (dataset cells).
+    pub fn has_kernels(&self) -> bool {
+        self.kernel_scalar_ns > 0 && self.kernel_lockstep_ns > 0
+    }
+
+    /// Sampling speedup of the lockstep kernel over the scalar kernel at
+    /// the same lane count (1.0 when not measured).
+    pub fn kernel_speedup(&self) -> f64 {
+        if !self.has_kernels() {
+            return 1.0;
+        }
+        self.kernel_scalar_ns as f64 / self.kernel_lockstep_ns as f64
+    }
+
     /// Hand-rolled JSON rendering (the workspace's serde is an offline
     /// no-op shim), stable field order: one `BENCH_sampling.json` history
     /// entry (see [`crate::history`]). Dataset cells add a
     /// `relabeled_ns` object — the arena pipeline on the hub-BFS layout —
-    /// and a `relabel_speedup` next to the legacy-vs-arena `speedup`;
-    /// bake-off cells additionally record a `layout_ns` object with one
+    /// and a `relabel_speedup` next to the legacy-vs-arena `speedup`,
+    /// plus a `kernel_ns` object (scalar vs lockstep sampling at the
+    /// bake-off lane count) and a `kernel_speedup`; bake-off cells
+    /// additionally record a `layout_ns` object with one
     /// `{ sample, solve, total }` triple per measured [`RelabelOrder`].
     pub fn to_json(&self) -> String {
         let mut relabeled = if self.has_relabeled() {
@@ -462,8 +502,18 @@ impl SamplingBenchReport {
                 .collect();
             relabeled.push_str(&format!("  \"layout_ns\": {{ {} }},\n", columns.join(", ")));
         }
+        if self.has_kernels() {
+            relabeled.push_str(&format!(
+                "  \"kernel_ns\": {{ \"scalar\": {}, \"lockstep\": {}, \"lanes\": {} }},\n  \
+                 \"kernel_speedup\": {:.3},\n",
+                self.kernel_scalar_ns,
+                self.kernel_lockstep_ns,
+                self.kernel_lanes,
+                self.kernel_speedup(),
+            ));
+        }
         format!(
-            "{{\n  \"scenario\": \"{}\",\n  \"profile\": \"{}\",\n  \"graph\": {{ \"kind\": \"{}\", \"nodes\": {}, \"edges\": {}, \"s\": {}, \"t\": {} }},\n  \"config\": {{ \"walks\": {}, \"seed\": {}, \"threads\": {}, \"reps\": {}, \"beta\": {} }},\n  \"pool\": {{ \"type1\": {}, \"unique_paths\": {}, \"dedup_factor\": {:.3}, \"pmax_estimate\": {:.6}, \"cover_p\": {} }},\n  \"legacy_ns\": {{ \"sample\": {}, \"solve\": {}, \"total\": {} }},\n  \"arena_ns\": {{ \"sample\": {}, \"solve\": {}, \"total\": {} }},\n{relabeled}  \"cost\": {{ \"legacy\": {}, \"arena\": {} }},\n  \"speedup\": {:.3}\n}}\n",
+            "{{\n  \"scenario\": \"{}\",\n  \"profile\": \"{}\",\n  \"graph\": {{ \"kind\": \"{}\", \"nodes\": {}, \"edges\": {}, \"s\": {}, \"t\": {} }},\n  \"config\": {{ \"walks\": {}, \"seed\": {}, \"threads\": {}, \"reps\": {}, \"beta\": {}, \"kernel\": \"{}\" }},\n  \"pool\": {{ \"type1\": {}, \"unique_paths\": {}, \"dedup_factor\": {:.3}, \"pmax_estimate\": {:.6}, \"cover_p\": {}, \"arena_bytes\": {}, \"frontcoded_bytes\": {} }},\n  \"legacy_ns\": {{ \"sample\": {}, \"solve\": {}, \"total\": {} }},\n  \"arena_ns\": {{ \"sample\": {}, \"solve\": {}, \"total\": {} }},\n{relabeled}  \"cost\": {{ \"legacy\": {}, \"arena\": {} }},\n  \"speedup\": {:.3}\n}}\n",
             self.config.scenario().name(),
             self.config.profile,
             self.config.workload.kind_name(),
@@ -476,11 +526,14 @@ impl SamplingBenchReport {
             self.config.threads,
             self.config.reps,
             self.config.beta,
+            self.config.kernel,
             self.type1,
             self.unique_paths,
             self.dedup_factor(),
             self.pmax_estimate,
             self.cover_p,
+            self.pool_arena_bytes,
+            self.pool_frontcoded_bytes,
             self.legacy_sample_ns,
             self.legacy_solve_ns,
             self.legacy_sample_ns + self.legacy_solve_ns,
@@ -794,14 +847,16 @@ pub fn legacy_solve(universe: usize, pool: &LegacyPool, beta: f64) -> CoverSolut
     ChlamtacPortfolio::new().solve(&cover, p).expect("feasible legacy instance")
 }
 
-/// Arena sampling: the current `PathPool` pipeline.
+/// Arena sampling: the current `PathPool` pipeline, through the unified
+/// [`SampleRequest`] API. The kernel never changes the pool, only speed.
 pub fn arena_sample_pool(
     instance: &FriendingInstance<'_>,
     l: u64,
     master_seed: u64,
     threads: usize,
+    kernel: WalkKernel,
 ) -> PathPool {
-    sample_pool_parallel(instance, l, master_seed, threads)
+    SampleRequest::new(l).seed(master_seed).threads(threads).kernel(kernel).run(instance)
 }
 
 /// Arena cover phase: zero-copy handoff and weighted portfolio solve.
@@ -849,18 +904,58 @@ pub fn run_sampling_bench(config: SamplingBenchConfig) -> SamplingBenchReport {
     let mut unique_paths = 0usize;
     let mut pmax_estimate = 0.0f64;
     let mut cover_p = 0usize;
+    let mut pool_arena_bytes = 0usize;
+    let mut pool_frontcoded_bytes = 0usize;
     for _ in 0..config.reps.max(1) {
         let start = Instant::now();
-        let pool = arena_sample_pool(&instance, config.walks, config.seed, config.threads);
+        let pool =
+            arena_sample_pool(&instance, config.walks, config.seed, config.threads, config.kernel);
         arena_sample_ns = arena_sample_ns.min(start.elapsed().as_nanos());
         type1 = pool.type1_count();
         unique_paths = pool.unique_count();
         pmax_estimate = pool.pmax_estimate();
         cover_p = raf_cover::cover_requirement(config.beta, type1);
+        pool_arena_bytes = pool.heap_bytes();
+        pool_frontcoded_bytes = FrontCodedPool::from_pool(&pool).heap_bytes();
         let start = Instant::now();
         let sol = arena_solve(n, pool, config.beta);
         arena_solve_ns = arena_solve_ns.min(start.elapsed().as_nanos());
         arena_cost = sol.cost();
+    }
+
+    // Kernel bake-off: dataset cells time both walk kernels at a fixed
+    // cohort width (16 lanes per OS thread — wide enough to keep that
+    // many prefetches in flight, narrow enough that the lane states sit
+    // in L1). Lanes, not threads, so the comparison isolates the kernel
+    // itself; every rep's pool is asserted bit-identical to the
+    // reference, which is what licenses calling this a *kernel* change.
+    let mut kernel_scalar_ns = 0u128;
+    let mut kernel_lockstep_ns = 0u128;
+    let kernel_lanes = 16 * config.threads.max(1);
+    if matches!(config.workload, Workload::Dataset(_)) {
+        let reference = SampleRequest::new(config.walks)
+            .seed(config.seed)
+            .threads(config.threads)
+            .lanes(kernel_lanes)
+            .run(&instance);
+        for kernel in WalkKernel::ALL {
+            let mut best = u128::MAX;
+            for _ in 0..config.reps.max(1) {
+                let start = Instant::now();
+                let pool = SampleRequest::new(config.walks)
+                    .seed(config.seed)
+                    .threads(config.threads)
+                    .lanes(kernel_lanes)
+                    .kernel(kernel)
+                    .run(&instance);
+                best = best.min(start.elapsed().as_nanos());
+                assert_eq!(reference, pool, "{kernel} kernel diverged from the reference pool");
+            }
+            match kernel {
+                WalkKernel::Scalar => kernel_scalar_ns = best,
+                WalkKernel::Lockstep => kernel_lockstep_ns = best,
+            }
+        }
     }
 
     let mut relabeled_sample_ns = 0u128;
@@ -870,7 +965,8 @@ pub fn run_sampling_bench(config: SamplingBenchConfig) -> SamplingBenchReport {
         // Equivariance reference: every layout must sample the exact
         // same (original-space) pool — any divergence would mean the
         // timings measure different work.
-        let plain_pool = arena_sample_pool(&instance, config.walks, config.seed, config.threads);
+        let plain_pool =
+            arena_sample_pool(&instance, config.walks, config.seed, config.threads, config.kernel);
         for &order in &prepared.orders {
             // Built (and dropped) per order: one relabeled snapshot
             // resident at a time, not the whole bake-off slate.
@@ -879,8 +975,13 @@ pub fn run_sampling_bench(config: SamplingBenchConfig) -> SamplingBenchReport {
             let layout_instance =
                 FriendingInstance::relabeled(&layout_csr, s, t, relabeling.clone())
                     .expect("screened pair is valid under relabeling");
-            let layout_pool =
-                arena_sample_pool(&layout_instance, config.walks, config.seed, config.threads);
+            let layout_pool = arena_sample_pool(
+                &layout_instance,
+                config.walks,
+                config.seed,
+                config.threads,
+                config.kernel,
+            );
             assert_eq!(
                 plain_pool,
                 layout_pool,
@@ -891,8 +992,13 @@ pub fn run_sampling_bench(config: SamplingBenchConfig) -> SamplingBenchReport {
             let mut solve_ns = u128::MAX;
             for _ in 0..config.reps.max(1) {
                 let start = Instant::now();
-                let pool =
-                    arena_sample_pool(&layout_instance, config.walks, config.seed, config.threads);
+                let pool = arena_sample_pool(
+                    &layout_instance,
+                    config.walks,
+                    config.seed,
+                    config.threads,
+                    config.kernel,
+                );
                 sample_ns = sample_ns.min(start.elapsed().as_nanos());
                 let start = Instant::now();
                 let sol = arena_solve(n, pool, config.beta);
@@ -928,6 +1034,11 @@ pub fn run_sampling_bench(config: SamplingBenchConfig) -> SamplingBenchReport {
         relabeled_sample_ns,
         relabeled_solve_ns,
         layouts,
+        kernel_scalar_ns,
+        kernel_lockstep_ns,
+        kernel_lanes,
+        pool_arena_bytes,
+        pool_frontcoded_bytes,
         legacy_cost,
         arena_cost,
     }
@@ -945,7 +1056,10 @@ mod tests {
         let instance = FriendingInstance::new(&csr, s, t).unwrap();
         let legacy_csr = LegacyCsr::from_csr(&csr);
         let legacy = legacy_sample_pool(&instance, &legacy_csr, walks, seed, threads);
-        let arena = arena_sample_pool(&instance, walks, seed, threads);
+        let arena = arena_sample_pool(&instance, walks, seed, threads, WalkKernel::Scalar);
+        // The lockstep kernel is pure reordering: same pool, any kernel.
+        let lockstep = arena_sample_pool(&instance, walks, seed, threads, WalkKernel::Lockstep);
+        assert_eq!(arena, lockstep, "threads={threads}");
         // Same seeds ⇒ the exact same walk multiset ⇒ identical pmax.
         assert_eq!(legacy.type1_paths.len(), arena.type1_count(), "threads={threads}");
         let legacy_pmax = legacy.type1_paths.len() as f64 / walks as f64;
@@ -1106,9 +1220,16 @@ mod tests {
         // A non-bake-off dataset cell times hub-BFS alone — no layout_ns.
         assert_eq!(report.layouts.len(), 1);
         assert_eq!(report.layouts[0].order, RelabelOrder::HubBfs);
+        // Dataset cells run the kernel bake-off: both kernels timed, pool
+        // equality asserted inside the runner.
+        assert!(report.has_kernels(), "dataset cells must run the kernel bake-off");
+        assert_eq!(report.kernel_lanes, 16 * report.config.threads.max(1));
+        assert!(report.kernel_speedup() > 0.0);
         let json = report.to_json();
         assert!(json.contains("\"relabeled_ns\""));
         assert!(json.contains("\"relabel_speedup\""));
+        assert!(json.contains("\"kernel_ns\""));
+        assert!(json.contains("\"kernel_speedup\""));
         assert!(!json.contains("\"layout_ns\""), "single-layout cells must not emit layout_ns");
         let value = crate::history::parse_json(&json).unwrap();
         assert_eq!(
@@ -1116,6 +1237,10 @@ mod tests {
             Some("dataset_wiki_400_t1")
         );
         assert!(value.path_f64(&["relabeled_ns", "total"]).unwrap() > 0.0);
+        assert!(value.path_f64(&["kernel_ns", "scalar"]).unwrap() > 0.0);
+        assert!(value.path_f64(&["kernel_ns", "lockstep"]).unwrap() > 0.0);
+        assert_eq!(value.path_f64(&["kernel_ns", "lanes"]), Some(16.0));
+        assert!(value.path_f64(&["pool", "frontcoded_bytes"]).unwrap() > 0.0);
         assert_eq!(
             value.get("graph").unwrap().get("kind").and_then(crate::history::JsonValue::as_str),
             Some("wiki")
@@ -1196,6 +1321,12 @@ mod tests {
         );
         assert_eq!(value.get("profile").and_then(crate::history::JsonValue::as_str), Some("full"));
         assert!(value.path_f64(&["arena_ns", "total"]).unwrap() > 0.0);
+        // Synthetic cells skip the kernel bake-off but always record the
+        // arena-vs-front-coded pool footprint.
+        assert!(!report.has_kernels(), "synthetic cells skip the kernel bake-off");
+        assert!(!json.contains("\"kernel_ns\""));
+        assert!(report.pool_arena_bytes > report.pool_frontcoded_bytes);
+        assert!(value.path_f64(&["pool", "arena_bytes"]).unwrap() > 0.0);
     }
 
     #[test]

@@ -182,11 +182,10 @@ mod tests {
 
     #[test]
     fn pooled_growth_matches_unpooled_shape() {
-        use raf_model::sampler::sample_pool;
+        use raf_model::sampler::SampleRequest;
         let g = line_csr(4);
         let inst = FriendingInstance::new(&g, NodeId::new(0), NodeId::new(3)).unwrap();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
-        let pool = sample_pool(&inst, 30_000, &mut rng);
+        let pool = SampleRequest::new(30_000).seed(5).run(&inst);
         let curve = grow_until_match_pooled(&inst, &ShortestPath::new(), 0.45, &pool, 10, 8, 1.5);
         assert_eq!(curve.matched_size, Some(2));
         // Pooled trajectories are monotone by construction (nested sets

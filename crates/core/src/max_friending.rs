@@ -18,7 +18,7 @@
 //! * [`MaxFriending`] — the full pipeline: sample a pool, run the greedy,
 //!   return the invitation set and its in-pool coverage estimate.
 
-use raf_model::sampler::{sample_pool_parallel, PathPool};
+use raf_model::sampler::{PathPool, SampleRequest};
 use raf_model::{FriendingInstance, InvitationSet};
 use serde::{Deserialize, Serialize};
 
@@ -126,12 +126,10 @@ impl MaxFriending {
 
     /// Runs the pipeline.
     pub fn run(&self, instance: &FriendingInstance<'_>) -> MaxFriendingResult {
-        let pool = sample_pool_parallel(
-            instance,
-            self.config.realizations,
-            self.config.seed,
-            self.config.threads,
-        );
+        let pool = SampleRequest::new(self.config.realizations)
+            .seed(self.config.seed)
+            .threads(self.config.threads)
+            .run(instance);
         let invitations = greedy_max_coverage_paths(instance, &pool, self.config.budget);
         let covered = pool.covered_count(&invitations);
         MaxFriendingResult {
@@ -148,7 +146,6 @@ impl MaxFriending {
 mod tests {
     use super::*;
     use raf_graph::{CsrGraph, GraphBuilder, NodeId, WeightScheme};
-    use raf_model::sampler::sample_pool;
     use rand::SeedableRng;
 
     /// Two routes: short 0-2-3-1 (non-seed interior {3}) and long
@@ -219,8 +216,7 @@ mod tests {
         use rand::seq::SliceRandom;
         let g = two_routes();
         let inst = FriendingInstance::new(&g, NodeId::new(0), NodeId::new(1)).unwrap();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
-        let pool = sample_pool(&inst, 20_000, &mut rng);
+        let pool = SampleRequest::new(20_000).seed(5).run(&inst);
         let budget = 3;
         let greedy = greedy_max_coverage_paths(&inst, &pool, budget);
         // Random budget-sized subsets of candidate nodes.

@@ -221,9 +221,8 @@ mod tests {
         // 40 distinct sets with duplicates (weighted path): small p must
         // enumerate Σ C(40, k≤2) ≈ 820 subsets, not 2^40.
         use raf_graph::{GraphBuilder, NodeId, WeightScheme};
-        use raf_model::sampler::sample_pool;
+        use raf_model::sampler::SampleRequest;
         use raf_model::FriendingInstance;
-        use rand::SeedableRng;
         let mut b = GraphBuilder::new();
         // Star of 40 routes of interior length 2 between s=0 and t=1.
         let mut edges = Vec::new();
@@ -234,8 +233,7 @@ mod tests {
         b.add_edges(edges).unwrap();
         let g = b.build(WeightScheme::UniformByDegree).unwrap().to_csr();
         let fi = FriendingInstance::new(&g, NodeId::new(0), NodeId::new(1)).unwrap();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
-        let pool = sample_pool(&fi, 60_000, &mut rng);
+        let pool = SampleRequest::new(60_000).seed(5).run(&fi);
         assert!(pool.unique_count() >= 25, "unique {}", pool.unique_count());
         assert!(pool.type1_count() > pool.unique_count(), "needs real multiplicities");
         let inst = CoverInstance::from_path_pool(g.node_count(), pool).unwrap();

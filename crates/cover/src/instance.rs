@@ -229,16 +229,14 @@ mod tests {
     #[test]
     fn from_path_pool_is_weighted() {
         use raf_graph::{GraphBuilder, NodeId, WeightScheme};
-        use raf_model::sampler::sample_pool;
+        use raf_model::sampler::SampleRequest;
         use raf_model::FriendingInstance;
-        use rand::SeedableRng;
         // 0-1-2-3-4 line: the only type-1 path is [4, 3, 2].
         let mut b = GraphBuilder::new();
         b.add_edges((0..4).map(|i| (i, i + 1))).unwrap();
         let g = b.build(WeightScheme::UniformByDegree).unwrap().to_csr();
         let fi = FriendingInstance::new(&g, NodeId::new(0), NodeId::new(4)).unwrap();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
-        let pool = sample_pool(&fi, 4_000, &mut rng);
+        let pool = SampleRequest::new(4_000).seed(9).run(&fi);
         let type1 = pool.type1_count();
         assert!(type1 > 0);
         let inst = CoverInstance::from_path_pool(5, pool).unwrap();
@@ -247,8 +245,7 @@ mod tests {
         assert_eq!(inst.weight(0), type1);
         assert_eq!(inst.total_weight(), type1);
         // Universe too small: the node ids 2..=4 are out of range.
-        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
-        let pool = sample_pool(&fi, 4_000, &mut rng);
+        let pool = SampleRequest::new(4_000).seed(9).run(&fi);
         assert!(matches!(
             CoverInstance::from_path_pool(3, pool),
             Err(CoverError::ElementOutOfRange { .. })

@@ -258,6 +258,80 @@ impl CsrGraph {
         Some(self.neighbors[base + idx.min(d - 1)])
     }
 
+    /// Hints the CPU to pull `v`'s packed metadata record into cache.
+    ///
+    /// A backward-walk step is a serial dependent-load chain — metadata
+    /// record, then neighbor slice — so a walk's throughput is bounded by
+    /// memory latency once the graph overflows L3. Kernels that know the
+    /// *next* node early (the lockstep cohort sampler) call this to start
+    /// the load while other work proceeds, converting the serial chain
+    /// into memory-level parallelism. Purely a performance hint: it never
+    /// faults, never changes results, and compiles to nothing on
+    /// non-x86_64 targets.
+    #[inline]
+    pub fn prefetch_node(&self, v: NodeId) {
+        #[cfg(target_arch = "x86_64")]
+        {
+            let meta: *const NodeMeta = &self.meta[v.index()];
+            // SAFETY: `_mm_prefetch` is a hint instruction — it performs
+            // no architectural memory access, so any pointer value is
+            // sound; this one is in-bounds anyway (checked by the index).
+            #[allow(unsafe_code)]
+            unsafe {
+                use core::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+                _mm_prefetch::<_MM_HINT_T0>(meta.cast::<i8>());
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            let _ = v;
+        }
+    }
+
+    /// [`select_with`](Self::select_with) with a guided guess-then-scan
+    /// search in place of the binary search over non-uniform cumulative
+    /// weight tables. Returns **exactly** the same neighbor as
+    /// `select_with` for every `(v, r)` — the guess only changes where
+    /// the search *starts*, never where it lands — so the two are freely
+    /// interchangeable in deterministic pipelines (property-tested).
+    ///
+    /// The guess is the reciprocal fast path applied to a non-uniform
+    /// table: if the weights *were* equal the hit would be at
+    /// `⌊r · degree/total⌋`, so start there and scan outward to the true
+    /// partition point. Near-uniform tables (the common case under the
+    /// paper's degree-based weight schemes) resolve in O(1) expected
+    /// steps with no branch-mispredicting bisection; heavily skewed
+    /// tables degrade toward a linear scan, which is why
+    /// [`select_with`](Self::select_with) (O(log d) worst case) remains
+    /// the default outside the lockstep kernel.
+    #[inline]
+    pub fn select_guided(&self, v: NodeId, r: f64) -> Option<NodeId> {
+        let m = self.meta[v.index()];
+        if r >= m.total {
+            return None;
+        }
+        let base = m.base as usize;
+        let d = m.degree();
+        debug_assert!(d > 0, "node with zero total weight cannot select");
+        if m.is_uniform() {
+            let idx = (r * m.scale) as usize;
+            return Some(self.neighbors[base + idx.min(d - 1)]);
+        }
+        let slice = &self.cum_weights[base..base + d];
+        let mut idx = ((r * m.scale) as usize).min(d - 1);
+        // Restore the partition-point invariants around the guess: every
+        // cumulative weight before `idx` must be ≤ r, the one at `idx`
+        // (if any) must exceed r. The table is nondecreasing, so the
+        // fixed point is unique and equals `partition_point(|&c| c <= r)`.
+        while idx > 0 && slice[idx - 1] > r {
+            idx -= 1;
+        }
+        while idx < d && slice[idx] <= r {
+            idx += 1;
+        }
+        Some(self.neighbors[base + idx.min(d - 1)])
+    }
+
     /// Iterates over all node ids.
     pub fn nodes(&self) -> impl ExactSizeIterator<Item = NodeId> {
         (0..self.node_count()).map(NodeId::new)
@@ -405,6 +479,49 @@ mod tests {
             let expected = plain.select_with(v, draw).map(|u| r.new_of(u));
             assert_eq!(relabeled.select_with(r.new_of(v), draw), expected);
         }
+    }
+
+    #[test]
+    fn guided_selection_is_exactly_select_with() {
+        use rand::{Rng, SeedableRng};
+        use std::collections::HashMap;
+        // A non-uniform star (exercises the guided scan), a uniform path
+        // (exercises the reciprocal fast path), and boundary draws.
+        let mut weights = HashMap::new();
+        weights.insert((1, 0), 0.05);
+        weights.insert((2, 0), 0.5);
+        weights.insert((3, 0), 0.2);
+        weights.insert((4, 0), 0.1);
+        weights.insert((0, 1), 0.3);
+        weights.insert((0, 2), 0.3);
+        weights.insert((0, 3), 0.3);
+        weights.insert((0, 4), 0.3);
+        let mut b = GraphBuilder::new();
+        b.add_edges((1..5).map(|i| (0, i))).unwrap();
+        let skewed = b.build(WeightScheme::Custom { weights }).unwrap().to_csr();
+        let uniform = path4().to_csr();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        for csr in [&skewed, &uniform] {
+            for v in csr.nodes() {
+                for r in [0.0, 1e-12, 0.5, 0.999_999, 1.0] {
+                    assert_eq!(csr.select_guided(v, r), csr.select_with(v, r), "v={v:?} r={r}");
+                }
+                for _ in 0..2_000 {
+                    let r = rng.gen::<f64>();
+                    assert_eq!(csr.select_guided(v, r), csr.select_with(v, r), "v={v:?} r={r}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prefetch_is_a_harmless_hint() {
+        // No observable effect, valid for every node id in range.
+        let csr = path4().to_csr();
+        for v in csr.nodes() {
+            csr.prefetch_node(v);
+        }
+        assert_eq!(csr.select_with(NodeId::new(1), 0.0), Some(NodeId::new(0)));
     }
 
     #[test]

@@ -1,0 +1,149 @@
+//! Front-coded (prefix-interned) storage for a [`PathPool`]'s arena.
+//!
+//! Backward walks all start at `t` and heavily share early nodes, and
+//! the pool's canonical order is lexicographic — so *adjacent* unique
+//! paths share long prefixes. Front coding stores, for each path, only
+//! the length of the prefix it shares with its predecessor plus the
+//! non-shared suffix: paths sharing tails of the (forward) friending
+//! chain share arena storage instead of repeating it.
+//!
+//! This is a compression representation, not a replacement for the flat
+//! arena: random access requires replaying predecessors, so the sampling
+//! and solving hot paths keep the flat [`PathPool`]. Use it where bytes
+//! matter more than random access — cold cache tiers, persisted pools,
+//! network handoff — and for the bench harness's storage accounting.
+//!
+//! [`PathPool`]: crate::sampler::PathPool
+
+use crate::sampler::PathPool;
+
+/// A [`PathPool`]'s unique paths, front-coded in canonical order, with
+/// multiplicities. Lossless: [`for_each`](FrontCodedPool::for_each)
+/// replays exactly the `(path, multiplicity)` sequence of
+/// [`PathPool::iter`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrontCodedPool {
+    /// Per path: how many leading nodes it shares with its predecessor
+    /// (0 for the first path).
+    lcp: Vec<u32>,
+    /// Concatenated non-shared suffixes.
+    suffix: Vec<u32>,
+    /// CSR offsets into `suffix`; `offsets.len() == unique_count() + 1`.
+    offsets: Vec<u32>,
+    /// How many sampled walks produced each unique path.
+    multiplicity: Vec<u32>,
+}
+
+impl FrontCodedPool {
+    /// Front-codes `pool`'s arena. `O(total arena size)`.
+    pub fn from_pool(pool: &PathPool) -> Self {
+        let unique = pool.unique_count();
+        let mut lcp = Vec::with_capacity(unique);
+        let mut suffix = Vec::new();
+        let mut offsets = Vec::with_capacity(unique + 1);
+        let mut multiplicity = Vec::with_capacity(unique);
+        offsets.push(0u32);
+        let mut prev: &[u32] = &[];
+        for (path, mult) in pool.iter() {
+            let shared = prev.iter().zip(path.iter()).take_while(|(a, b)| a == b).count();
+            lcp.push(shared as u32);
+            suffix.extend_from_slice(&path[shared..]);
+            offsets.push(suffix.len() as u32);
+            multiplicity.push(mult);
+            prev = path;
+        }
+        FrontCodedPool { lcp, suffix, offsets, multiplicity }
+    }
+
+    /// Number of unique paths stored.
+    #[inline]
+    pub fn unique_count(&self) -> usize {
+        self.multiplicity.len()
+    }
+
+    /// Logical heap footprint in bytes (lengths, not capacities) — the
+    /// same accounting rule as [`PathPool::heap_bytes`], so the two are
+    /// directly comparable.
+    pub fn heap_bytes(&self) -> usize {
+        (self.lcp.len() + self.suffix.len() + self.offsets.len() + self.multiplicity.len())
+            * std::mem::size_of::<u32>()
+    }
+
+    /// Decodes every `(path, multiplicity)` in canonical order into `f`,
+    /// reusing one internal buffer — the sequential replay that front
+    /// coding trades random access away for.
+    pub fn for_each(&self, mut f: impl FnMut(&[u32], u32)) {
+        let mut buf: Vec<u32> = Vec::new();
+        for i in 0..self.unique_count() {
+            buf.truncate(self.lcp[i] as usize);
+            buf.extend_from_slice(
+                &self.suffix[self.offsets[i] as usize..self.offsets[i + 1] as usize],
+            );
+            f(&buf, self.multiplicity[i]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampler::SampleRequest;
+    use crate::FriendingInstance;
+    use raf_graph::{GraphBuilder, NodeId, WeightScheme};
+
+    fn sampled_pool(edges: Vec<(usize, usize)>, walks: u64, seed: u64) -> PathPool {
+        let mut b = GraphBuilder::new();
+        b.add_edges(edges).unwrap();
+        let g = b.build(WeightScheme::UniformByDegree).unwrap().to_csr();
+        let inst = FriendingInstance::new(&g, NodeId::new(0), NodeId::new(1)).unwrap();
+        SampleRequest::new(walks).seed(seed).run(&inst)
+    }
+
+    #[test]
+    fn roundtrip_replays_the_pool_exactly() {
+        // Branching routes: multiple unique paths with shared prefixes.
+        let pool = sampled_pool(
+            vec![(0, 2), (2, 3), (3, 1), (0, 4), (4, 1), (2, 4), (3, 5), (5, 1), (5, 4)],
+            30_000,
+            7,
+        );
+        assert!(pool.unique_count() >= 3, "fixture should have several unique paths");
+        let coded = FrontCodedPool::from_pool(&pool);
+        assert_eq!(coded.unique_count(), pool.unique_count());
+        let mut replayed: Vec<(Vec<u32>, u32)> = Vec::new();
+        coded.for_each(|path, mult| replayed.push((path.to_vec(), mult)));
+        let expected: Vec<(Vec<u32>, u32)> =
+            pool.iter().map(|(path, mult)| (path.to_vec(), mult)).collect();
+        assert_eq!(replayed, expected);
+    }
+
+    #[test]
+    fn shared_prefixes_actually_compress() {
+        // All paths start at the target, so a pool with several unique
+        // paths must share at least those nodes; the sorted order makes
+        // the sharing adjacent. The coded form stores strictly fewer
+        // node words whenever any prefix is shared.
+        let pool = sampled_pool(
+            vec![(0, 2), (2, 3), (3, 1), (0, 4), (4, 1), (2, 4), (3, 5), (5, 1), (5, 4)],
+            30_000,
+            7,
+        );
+        let coded = FrontCodedPool::from_pool(&pool);
+        let shared: u64 = coded.lcp.iter().map(|&s| u64::from(s)).sum();
+        assert!(shared > 0, "sorted sibling paths should share prefixes");
+        // Accounting identity: suffix words + shared words = arena words.
+        let arena_words: usize = (0..pool.unique_count()).map(|i| pool.path(i).len()).sum();
+        assert_eq!(coded.suffix.len() + shared as usize, arena_words);
+    }
+
+    #[test]
+    fn empty_pool_codes_to_empty() {
+        let pool = sampled_pool(vec![(0, 2), (2, 1)], 0, 1);
+        let coded = FrontCodedPool::from_pool(&pool);
+        assert_eq!(coded.unique_count(), 0);
+        let mut count = 0;
+        coded.for_each(|_, _| count += 1);
+        assert_eq!(count, 0);
+        assert_eq!(coded.heap_bytes(), std::mem::size_of::<u32>());
+    }
+}

@@ -25,13 +25,17 @@
 //! * [`intern`] — the streaming hash interner behind the pool: walks are
 //!   deduplicated the moment they are sampled (open addressing over a
 //!   vendored FxHash-style hasher), replacing the old sort-based
-//!   assembly.
+//!   assembly;
+//! * [`frontcode`] — front-coded (prefix-interned) pool storage:
+//!   adjacent paths in the canonical order share prefixes, so cold
+//!   tiers can store the arena in a fraction of the bytes.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod acceptance;
 pub mod bounds;
+pub mod frontcode;
 pub mod intern;
 pub mod pmax;
 pub mod process;
@@ -52,6 +56,8 @@ pub mod prelude {
     pub use crate::acceptance::estimate_acceptance;
     pub use crate::pmax::{estimate_pmax_dklr, estimate_pmax_fixed, PmaxEstimate};
     pub use crate::reverse::{sample_target_path, sample_walk_into, TargetPath, WalkOutcome};
-    pub use crate::sampler::{sample_pool, sample_pool_parallel, threads_from_env, PathPool};
+    #[allow(deprecated)]
+    pub use crate::sampler::{sample_pool, sample_pool_parallel};
+    pub use crate::sampler::{threads_from_env, PathPool, SampleRequest, WalkKernel};
     pub use crate::{FriendingInstance, InvitationSet, ModelError};
 }

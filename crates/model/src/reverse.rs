@@ -181,6 +181,8 @@ pub struct WalkScratch {
     spill: Vec<u32>,
     /// Membership set, only for spilled walks.
     seen: std::collections::HashSet<u32>,
+    /// Whether the current walk has spilled past the fixed array.
+    spilled: bool,
 }
 
 impl Default for WalkScratch {
@@ -197,16 +199,62 @@ impl WalkScratch {
             len: 0,
             spill: Vec::new(),
             seen: std::collections::HashSet::new(),
+            spilled: false,
         }
     }
 
     /// The nodes of the most recent walk (`t` first, walk order).
     #[inline]
     pub fn nodes(&self) -> &[u32] {
-        if self.spill.is_empty() {
-            &self.head[..self.len]
-        } else {
+        if self.spilled {
             &self.spill
+        } else {
+            &self.head[..self.len]
+        }
+    }
+
+    /// Starts a new walk at `t`, discarding the previous one. Together
+    /// with [`contains`](Self::contains) and [`push`](Self::push) this is
+    /// the stepwise face of the scratch: [`sample_walk_scratch`] drives a
+    /// whole walk through it, and the lockstep cohort kernel drives many
+    /// walks one step at a time — both against the *same* storage policy,
+    /// so walk semantics have a single source of truth.
+    #[inline]
+    pub fn begin(&mut self, t: u32) {
+        self.head[0] = t;
+        self.len = 1;
+        self.spill.clear();
+        self.spilled = false;
+    }
+
+    /// Whether `id` is already on the current walk (the line-6 cycle
+    /// check of Alg. 1): a linear scan over the L1-resident array, or a
+    /// hash probe once the walk has spilled.
+    #[inline]
+    pub fn contains(&self, id: u32) -> bool {
+        if self.spilled {
+            self.seen.contains(&id)
+        } else {
+            self.head[..self.len].contains(&id)
+        }
+    }
+
+    /// Appends `id` to the current walk, upgrading to heap storage (and
+    /// a hash membership set) when the walk outgrows the fixed array.
+    #[inline]
+    pub fn push(&mut self, id: u32) {
+        if !self.spilled && self.len < SCAN_LIMIT {
+            self.head[self.len] = id;
+            self.len += 1;
+        } else {
+            if !self.spilled {
+                self.spilled = true;
+                self.spill.extend_from_slice(&self.head);
+                self.seen.clear();
+                self.seen.extend(self.head.iter().copied());
+            }
+            self.spill.push(id);
+            self.seen.insert(id);
         }
     }
 }
@@ -222,10 +270,7 @@ pub fn sample_walk_scratch<R: Rng>(
 ) -> WalkOutcome {
     let g = instance.graph();
     let t = instance.target();
-    scratch.head[0] = t.index() as u32;
-    scratch.len = 1;
-    scratch.spill.clear();
-    let mut spilled = false;
+    scratch.begin(t.index() as u32);
     let mut current = t;
     loop {
         match g.select_with(current, rng.gen::<f64>()) {
@@ -236,27 +281,10 @@ pub fn sample_walk_scratch<R: Rng>(
                     return WalkOutcome::ReachedSeed;
                 }
                 let next_id = next.index() as u32;
-                let revisited = if spilled {
-                    scratch.seen.contains(&next_id)
-                } else {
-                    scratch.head[..scratch.len].contains(&next_id)
-                };
-                if revisited {
+                if scratch.contains(next_id) {
                     return WalkOutcome::Cycle;
                 }
-                if !spilled && scratch.len < SCAN_LIMIT {
-                    scratch.head[scratch.len] = next_id;
-                    scratch.len += 1;
-                } else {
-                    if !spilled {
-                        spilled = true;
-                        scratch.spill.extend_from_slice(&scratch.head);
-                        scratch.seen.clear();
-                        scratch.seen.extend(scratch.head.iter().copied());
-                    }
-                    scratch.spill.push(next_id);
-                    scratch.seen.insert(next_id);
-                }
+                scratch.push(next_id);
                 current = next;
             }
         }

@@ -31,6 +31,7 @@
 use crate::intern::PathInterner;
 use crate::reverse::{sample_walk_scratch, WalkOutcome, WalkScratch};
 use crate::FriendingInstance;
+use raf_graph::NodeId;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -332,6 +333,15 @@ impl WalkShard {
     /// they are the deterministic work unit the budgeted sampler meters.
     fn sample<R: Rng>(&mut self, instance: &FriendingInstance<'_>, rng: &mut R) -> u64 {
         let outcome = sample_walk_scratch(instance, rng, &mut self.scratch);
+        self.finish(outcome)
+    }
+
+    /// Books the walk currently in `scratch` under `outcome` — interning
+    /// a type-1 path, tallying a type-0 termination — and returns its
+    /// step cost. Shared by the scalar path (via
+    /// [`sample`](Self::sample)) and the lockstep kernel's stepwise
+    /// walks, so both meter identical work units per walk.
+    fn finish(&mut self, outcome: WalkOutcome) -> u64 {
         match outcome {
             WalkOutcome::ReachedSeed => self.interner.intern_copy(self.scratch.nodes(), 1),
             WalkOutcome::Dangling => self.dangling += 1,
@@ -372,9 +382,394 @@ impl WalkShard {
     }
 }
 
+/// Which inner loop executes a sampling run's walks.
+///
+/// The kernel is a pure *scheduling* choice: every kernel consumes the
+/// same per-lane RNG streams in the same per-lane order, so for a fixed
+/// [`SampleRequest`] configuration (walks, seed, lanes, budget) the
+/// returned pool is bit-identical across kernels. Only wall-clock
+/// behavior differs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub enum WalkKernel {
+    /// One walk at a time per lane, to completion — the classic loop.
+    /// Each walk step is a serial dependent-load chain (metadata record,
+    /// then neighbor slice), so throughput is memory-latency-bound once
+    /// the graph overflows the last-level cache.
+    #[default]
+    Scalar,
+    /// All of a worker's lanes advance together, one step per lane per
+    /// round, and each step software-prefetches the *next* node's
+    /// metadata record before the scheduler moves to the other lanes —
+    /// by the time the cohort wheels back, the load has (ideally)
+    /// arrived. Converts the scalar kernel's serial latency chain into
+    /// memory-level parallelism across the cohort. Loses on graphs small
+    /// enough to sit in L2, where there is no latency to hide and the
+    /// round-robin bookkeeping is pure overhead.
+    Lockstep,
+}
+
+impl WalkKernel {
+    /// Both kernels, in bake-off order (scalar is the reference).
+    pub const ALL: [WalkKernel; 2] = [WalkKernel::Scalar, WalkKernel::Lockstep];
+
+    /// Stable lowercase name, as used by `--walk-kernel` and the bench
+    /// history's `kernel_ns` keys.
+    pub fn name(self) -> &'static str {
+        match self {
+            WalkKernel::Scalar => "scalar",
+            WalkKernel::Lockstep => "lockstep",
+        }
+    }
+
+    /// Inverse of [`name`](Self::name); `None` for unknown spellings.
+    pub fn parse(raw: &str) -> Option<WalkKernel> {
+        match raw {
+            "scalar" => Some(WalkKernel::Scalar),
+            "lockstep" => Some(WalkKernel::Lockstep),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for WalkKernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One lane's slice of a sampling run: its decorrelated RNG seed, its
+/// share of the requested walks, and its share of the step budget.
+struct LaneSpec {
+    seed: u64,
+    share: u64,
+    budget: Option<u64>,
+}
+
+/// A typed sampling run: the single entry point that replaced
+/// `sample_pool` / `sample_pool_controlled` / `sample_pool_parallel`.
+///
+/// ```
+/// use raf_graph::{GraphBuilder, NodeId, WeightScheme};
+/// use raf_model::sampler::{SampleRequest, WalkKernel};
+/// use raf_model::FriendingInstance;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = GraphBuilder::new();
+/// b.add_edges(vec![(0, 1), (1, 2), (2, 3)])?;
+/// let g = b.build(WeightScheme::UniformByDegree)?.to_csr();
+/// let inst = FriendingInstance::new(&g, NodeId::new(0), NodeId::new(3))?;
+/// let pool = SampleRequest::new(10_000)
+///     .seed(7)
+///     .kernel(WalkKernel::Lockstep)
+///     .run(&inst);
+/// assert_eq!(pool.total_samples(), 10_000);
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Determinism model: lanes
+///
+/// A run is decomposed into `L` **lanes** — virtual workers. Lane `i`
+/// draws from `StdRng::seed_from_u64(seed ⊕ splitmix(i+1))` (the master
+/// seed directly when `L == 1`) and owns a fixed share of the walks
+/// (`walks/L`, the remainder spread over the low lane indices), exactly
+/// like the per-thread split always did. The
+/// per-lane interners merge in lane-index order at assembly. The pool is
+/// therefore a pure function of `(instance, walks, seed, lanes,
+/// max_steps)`: OS thread count and kernel choice never change the
+/// result, only how fast it arrives. By default `L` follows the legacy
+/// rule — one lane when `threads == 1` or `walks <`
+/// [`PARALLEL_THRESHOLD`], otherwise `threads` lanes — which keeps every
+/// pool bit-identical to what the deprecated entry points produced.
+/// [`lanes`](Self::lanes) overrides `L` explicitly (e.g. to give the
+/// lockstep kernel a wide cohort on a single core, or to pin pools
+/// across machines with different core counts).
+///
+/// # Budget unit
+///
+/// `SampleControl::max_steps` is denominated in **walk-steps**: one unit
+/// per node a walk records plus one for its terminating draw — a pure
+/// function of the RNG stream, unlike wall-clock time. The budget is
+/// split across lanes exactly like the walk shares. Each lane checks its
+/// spent steps (and the probe, and the deadline) only at
+/// [`CANCEL_CHECK_INTERVAL`]-walk boundaries, never mid-walk and never
+/// mid-batch, so a budgeted run samples a deterministic prefix of the
+/// unbudgeted run's per-lane walk streams — identical across kernels and
+/// OS thread counts (property-tested in `tests/kernel_equivalence.rs`).
+#[derive(Debug, Clone, Copy)]
+pub struct SampleRequest<'a> {
+    walks: u64,
+    seed: u64,
+    threads: usize,
+    lanes: Option<usize>,
+    kernel: WalkKernel,
+    control: Option<&'a SampleControl<'a>>,
+}
+
+impl<'a> SampleRequest<'a> {
+    /// A request for `walks` backward walks: sequential, master seed 0,
+    /// scalar kernel, no control — refine with the builder methods.
+    pub fn new(walks: u64) -> SampleRequest<'a> {
+        SampleRequest {
+            walks,
+            seed: 0,
+            threads: 1,
+            lanes: None,
+            kernel: WalkKernel::Scalar,
+            control: None,
+        }
+    }
+
+    /// Master seed the lane seeds derive from.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// OS worker threads (minimum 1). Threads only *execute* lanes —
+    /// contiguous chunks, merged in lane order — so the thread count
+    /// never changes the pool, only the default lane count (see the
+    /// determinism model above).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Pins the lane count (minimum 1), overriding the legacy
+    /// `threads`-derived default. The pool then depends on `lanes` but
+    /// not on `threads`.
+    pub fn lanes(mut self, lanes: usize) -> Self {
+        self.lanes = Some(lanes.max(1));
+        self
+    }
+
+    /// Selects the inner loop. Never changes the pool.
+    pub fn kernel(mut self, kernel: WalkKernel) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// Attaches cooperative control (step budget, deadline, probe).
+    pub fn control(mut self, control: &'a SampleControl<'a>) -> Self {
+        self.control = Some(control);
+        self
+    }
+
+    /// The lane count this request resolves to: the explicit override,
+    /// or the legacy rule (1 when `threads <= 1` or `walks <`
+    /// [`PARALLEL_THRESHOLD`], else `threads`).
+    pub fn effective_lanes(&self) -> usize {
+        match self.lanes {
+            Some(lanes) => lanes,
+            None => {
+                let threads = self.threads.max(1);
+                if threads == 1 || self.walks < PARALLEL_THRESHOLD {
+                    1
+                } else {
+                    threads
+                }
+            }
+        }
+    }
+
+    /// Runs the request and assembles the pool. See the type-level docs
+    /// for the determinism guarantees; panics propagate from a panicking
+    /// probe (the fault-injection seam the serving layer catches).
+    pub fn run(&self, instance: &FriendingInstance<'_>) -> PathPool {
+        let unlimited = SampleControl::UNLIMITED;
+        let control = self.control.unwrap_or(&unlimited);
+        let lanes = self.effective_lanes();
+        let specs: Vec<LaneSpec> = (0..lanes as u64)
+            .map(|i| LaneSpec {
+                seed: if lanes == 1 { self.seed } else { self.seed ^ splitmix64(i + 1) },
+                share: self.walks / lanes as u64 + u64::from((self.walks % lanes as u64) > i),
+                budget: control
+                    .max_steps
+                    .map(|b| b / lanes as u64 + u64::from((b % lanes as u64) > i)),
+            })
+            .collect();
+        let threads = self.threads.max(1).min(lanes);
+        let kernel = self.kernel;
+        let groups: Vec<(Vec<WalkShard>, u64)> = if threads == 1 {
+            vec![run_lane_group(instance, &specs, control, kernel)]
+        } else {
+            std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(threads);
+                let mut start = 0usize;
+                for i in 0..threads {
+                    let count = lanes / threads + usize::from(lanes % threads > i);
+                    let chunk = &specs[start..start + count];
+                    start += count;
+                    handles.push(
+                        scope.spawn(move || run_lane_group(instance, chunk, control, kernel)),
+                    );
+                }
+                handles.into_iter().map(|h| h.join().expect("sampler thread panicked")).collect()
+            })
+        };
+        let sampled = groups.iter().map(|(_, s)| s).sum();
+        let shards: Vec<WalkShard> = groups.into_iter().flat_map(|(shards, _)| shards).collect();
+        PathPool::assemble(shards, sampled, instance.original_table())
+    }
+}
+
+/// Executes one OS thread's contiguous chunk of lanes under `kernel`.
+fn run_lane_group(
+    instance: &FriendingInstance<'_>,
+    specs: &[LaneSpec],
+    control: &SampleControl<'_>,
+    kernel: WalkKernel,
+) -> (Vec<WalkShard>, u64) {
+    match kernel {
+        WalkKernel::Scalar => run_lanes_scalar(instance, specs, control),
+        WalkKernel::Lockstep => run_lanes_lockstep(instance, specs, control),
+    }
+}
+
+/// The scalar kernel: each lane runs to completion in turn, exactly the
+/// loop the deprecated entry points ran per thread.
+fn run_lanes_scalar(
+    instance: &FriendingInstance<'_>,
+    specs: &[LaneSpec],
+    control: &SampleControl<'_>,
+) -> (Vec<WalkShard>, u64) {
+    let mut shards = Vec::with_capacity(specs.len());
+    let mut sampled = 0u64;
+    for spec in specs {
+        let mut rng = StdRng::seed_from_u64(spec.seed);
+        let mut shard = WalkShard::new();
+        sampled += shard.run(instance, spec.share, &mut rng, control, spec.budget);
+        shards.push(shard);
+    }
+    (shards, sampled)
+}
+
+/// Per-lane state for the lockstep kernel: the quantities the scalar
+/// [`WalkShard::run`] loop keeps in locals, plus the in-flight walk
+/// position, so the cohort scheduler can advance a lane one step at a
+/// time and put it down again.
+struct LaneState {
+    shard: WalkShard,
+    rng: StdRng,
+    share: u64,
+    budget: Option<u64>,
+    sampled: u64,
+    steps: u64,
+    /// Walks left before the next batch-boundary control check.
+    batch_left: u64,
+    /// Node the in-flight walk stands on; meaningful iff `walking`.
+    current: u32,
+    walking: bool,
+    done: bool,
+}
+
+impl LaneState {
+    fn new(spec: &LaneSpec) -> Self {
+        LaneState {
+            shard: WalkShard::new(),
+            rng: StdRng::seed_from_u64(spec.seed),
+            share: spec.share,
+            budget: spec.budget,
+            sampled: 0,
+            steps: 0,
+            batch_left: 0,
+            current: 0,
+            walking: false,
+            done: false,
+        }
+    }
+
+    /// Advances this lane by one walk step (starting a new walk — and,
+    /// at batch boundaries, running the probe/budget/deadline checks —
+    /// as needed). Mirrors [`WalkShard::run`] + `sample_walk_scratch`
+    /// exactly: per-lane RNG draws, probe calls, batch accounting, and
+    /// walk outcomes are identical; only the interleaving across lanes
+    /// differs, which the per-lane RNG streams make unobservable in the
+    /// pool.
+    fn advance(&mut self, instance: &FriendingInstance<'_>, control: &SampleControl<'_>) {
+        if !self.walking {
+            if self.batch_left == 0 {
+                if self.sampled >= self.share {
+                    self.done = true;
+                    return;
+                }
+                if let Some(probe) = control.probe {
+                    probe(self.sampled);
+                }
+                if control.exhausted(self.steps, self.budget) {
+                    self.done = true;
+                    return;
+                }
+                self.batch_left = (self.share - self.sampled).min(CANCEL_CHECK_INTERVAL);
+            }
+            let t = instance.target();
+            self.shard.scratch.begin(t.index() as u32);
+            self.current = t.index() as u32;
+            self.walking = true;
+        }
+        let g = instance.graph();
+        match g.select_guided(NodeId::new(self.current as usize), self.rng.gen::<f64>()) {
+            None => self.complete(WalkOutcome::Dangling),
+            Some(next) => {
+                // Seed and cycle checks commute — see sample_walk_into.
+                if instance.is_seed(next) {
+                    self.complete(WalkOutcome::ReachedSeed);
+                    return;
+                }
+                let next_id = next.index() as u32;
+                if self.shard.scratch.contains(next_id) {
+                    self.complete(WalkOutcome::Cycle);
+                    return;
+                }
+                self.shard.scratch.push(next_id);
+                // The next step's dependent load: start pulling this
+                // lane's metadata record now, so it lands while the rest
+                // of the cohort takes its turn.
+                g.prefetch_node(next);
+                self.current = next_id;
+            }
+        }
+    }
+
+    fn complete(&mut self, outcome: WalkOutcome) {
+        self.steps += self.shard.finish(outcome);
+        self.sampled += 1;
+        self.batch_left -= 1;
+        self.walking = false;
+    }
+}
+
+/// The lockstep kernel: round-robin over the chunk's live lanes, one
+/// step per lane per round, so each lane's freshly issued prefetch has
+/// the whole rest of the cohort's work to complete under.
+fn run_lanes_lockstep(
+    instance: &FriendingInstance<'_>,
+    specs: &[LaneSpec],
+    control: &SampleControl<'_>,
+) -> (Vec<WalkShard>, u64) {
+    let mut lanes: Vec<LaneState> = specs.iter().map(LaneState::new).collect();
+    let mut live: Vec<usize> = (0..lanes.len()).collect();
+    while !live.is_empty() {
+        live.retain(|&i| {
+            lanes[i].advance(instance, control);
+            !lanes[i].done
+        });
+    }
+    let sampled = lanes.iter().map(|lane| lane.sampled).sum();
+    (lanes.into_iter().map(|lane| lane.shard).collect(), sampled)
+}
+
 /// Samples `l` backward walks sequentially, keeping the type-1 paths.
 /// On relabeled instances the pool's node ids are in original space (see
 /// [`FriendingInstance::relabeled`]).
+///
+/// Deprecated: for a seeded one-shot run,
+/// `SampleRequest::new(l).seed(s).run(instance)` draws the identical
+/// walk stream (`StdRng::seed_from_u64(s)`, one lane). Only callers
+/// that genuinely need to sample mid-stream from a shared generic RNG
+/// have no `SampleRequest` equivalent — that use case is going away with
+/// this function.
+#[deprecated(since = "0.1.0", note = "use `SampleRequest::new(l).seed(s).run(instance)`")]
 pub fn sample_pool<R: Rng>(instance: &FriendingInstance<'_>, l: u64, rng: &mut R) -> PathPool {
     let mut shard = WalkShard::new();
     for _ in 0..l {
@@ -399,6 +794,10 @@ pub fn sample_pool<R: Rng>(instance: &FriendingInstance<'_>, l: u64, rng: &mut R
 /// independently at a batch boundary, and the per-thread interner merge
 /// is unchanged. With [`SampleControl::UNLIMITED`] the result is
 /// bit-identical to [`sample_pool_parallel`].
+#[deprecated(
+    since = "0.1.0",
+    note = "use `SampleRequest::new(l).seed(s).threads(t).control(c).run(instance)`"
+)]
 pub fn sample_pool_controlled(
     instance: &FriendingInstance<'_>,
     l: u64,
@@ -406,35 +805,7 @@ pub fn sample_pool_controlled(
     threads: usize,
     control: &SampleControl<'_>,
 ) -> PathPool {
-    let threads = threads.max(1);
-    if threads == 1 || l < PARALLEL_THRESHOLD {
-        let mut rng = StdRng::seed_from_u64(master_seed);
-        let mut shard = WalkShard::new();
-        let sampled = shard.run(instance, l, &mut rng, control, control.max_steps);
-        return PathPool::assemble(vec![shard], sampled, instance.original_table());
-    }
-    let results: Vec<(WalkShard, u64)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|i| {
-                let share = l / threads as u64 + u64::from((l % threads as u64) > i as u64);
-                let budget = control
-                    .max_steps
-                    .map(|b| b / threads as u64 + u64::from((b % threads as u64) > i as u64));
-                let instance = &instance;
-                let control = &control;
-                scope.spawn(move || {
-                    let mut rng = StdRng::seed_from_u64(master_seed ^ splitmix64(i as u64 + 1));
-                    let mut shard = WalkShard::new();
-                    let sampled = shard.run(instance, share, &mut rng, control, budget);
-                    (shard, sampled)
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("sampler thread panicked")).collect()
-    });
-    let sampled: u64 = results.iter().map(|(_, s)| s).sum();
-    let shards: Vec<WalkShard> = results.into_iter().map(|(shard, _)| shard).collect();
-    PathPool::assemble(shards, sampled, instance.original_table())
+    SampleRequest::new(l).seed(master_seed).threads(threads).control(control).run(instance)
 }
 
 /// Worker thread count from the `RAF_THREADS` environment variable
@@ -465,13 +836,17 @@ pub fn threads_from_env() -> usize {
 /// *identical for every thread count* — `threads ∈ {1, 2, 4}` all return
 /// the `threads == 1` pool. At or above the threshold, different thread
 /// counts sample different (equally distributed) walk multisets.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `SampleRequest::new(l).seed(s).threads(t).run(instance)`"
+)]
 pub fn sample_pool_parallel(
     instance: &FriendingInstance<'_>,
     l: u64,
     master_seed: u64,
     threads: usize,
 ) -> PathPool {
-    sample_pool_controlled(instance, l, master_seed, threads, &SampleControl::UNLIMITED)
+    SampleRequest::new(l).seed(master_seed).threads(threads).run(instance)
 }
 
 /// SplitMix64 finalizer — decorrelates per-thread seeds.
@@ -497,8 +872,7 @@ mod tests {
     fn pool_counts_consistent() {
         let g = path_csr(5);
         let inst = FriendingInstance::new(&g, NodeId::new(0), NodeId::new(4)).unwrap();
-        let mut rng = StdRng::seed_from_u64(3);
-        let pool = sample_pool(&inst, 10_000, &mut rng);
+        let pool = SampleRequest::new(10_000).seed(3).run(&inst);
         assert_eq!(pool.total_samples(), 10_000);
         assert!(pool.type1_count() <= 10_000);
         assert_eq!(pool.type1_count() as u64 + pool.dangling_count() + pool.cycle_count(), 10_000);
@@ -514,7 +888,7 @@ mod tests {
     fn parallel_matches_sequential_rate() {
         let g = path_csr(5);
         let inst = FriendingInstance::new(&g, NodeId::new(0), NodeId::new(4)).unwrap();
-        let pool = sample_pool_parallel(&inst, 40_000, 17, 4);
+        let pool = SampleRequest::new(40_000).seed(17).threads(4).run(&inst);
         assert_eq!(pool.total_samples(), 40_000);
         assert!((pool.pmax_estimate() - 0.25).abs() < 0.02, "rate {}", pool.pmax_estimate());
     }
@@ -523,37 +897,122 @@ mod tests {
     fn parallel_reproducible() {
         let g = path_csr(5);
         let inst = FriendingInstance::new(&g, NodeId::new(0), NodeId::new(4)).unwrap();
-        let a = sample_pool_parallel(&inst, 20_000, 99, 4);
-        let b = sample_pool_parallel(&inst, 20_000, 99, 4);
+        let a = SampleRequest::new(20_000).seed(99).threads(4).run(&inst);
+        let b = SampleRequest::new(20_000).seed(99).threads(4).run(&inst);
         assert_eq!(a.type1_count(), b.type1_count());
         assert_eq!(a, b);
     }
 
     #[test]
     fn below_threshold_is_thread_count_independent() {
-        // l < PARALLEL_THRESHOLD ⇒ every thread count takes the
-        // sequential fallback with the master seed: byte-identical pools.
+        // l < PARALLEL_THRESHOLD ⇒ every thread count resolves to one
+        // lane with the master seed: byte-identical pools.
         let g = path_csr(5);
         let inst = FriendingInstance::new(&g, NodeId::new(0), NodeId::new(4)).unwrap();
         let l = PARALLEL_THRESHOLD - 1;
-        let mut rng = StdRng::seed_from_u64(5);
-        let seq = sample_pool(&inst, l, &mut rng);
+        let seq = SampleRequest::new(l).seed(5).run(&inst);
         for threads in [1usize, 2, 4, 8] {
-            let par = sample_pool_parallel(&inst, l, 5, threads);
+            let par = SampleRequest::new(l).seed(5).threads(threads).run(&inst);
             assert_eq!(par, seq, "threads = {threads}");
         }
     }
 
     #[test]
-    fn unlimited_control_is_bit_identical_to_parallel() {
+    fn unlimited_control_is_bit_identical_to_uncontrolled() {
         let g = path_csr(5);
         let inst = FriendingInstance::new(&g, NodeId::new(0), NodeId::new(4)).unwrap();
         for (l, threads) in [(2_000u64, 1usize), (20_000, 4)] {
-            let plain = sample_pool_parallel(&inst, l, 42, threads);
-            let controlled =
-                sample_pool_controlled(&inst, l, 42, threads, &SampleControl::UNLIMITED);
+            let plain = SampleRequest::new(l).seed(42).threads(threads).run(&inst);
+            let controlled = SampleRequest::new(l)
+                .seed(42)
+                .threads(threads)
+                .control(&SampleControl::UNLIMITED)
+                .run(&inst);
             assert_eq!(plain, controlled, "l={l} threads={threads}");
         }
+    }
+
+    #[test]
+    fn deprecated_shims_match_the_request_api() {
+        // The shims forward to SampleRequest; pin that they (and the
+        // still-bodied generic-RNG sampler) draw the identical streams.
+        #![allow(deprecated)]
+        let g = path_csr(5);
+        let inst = FriendingInstance::new(&g, NodeId::new(0), NodeId::new(4)).unwrap();
+        let mut rng = StdRng::seed_from_u64(6);
+        let seq = sample_pool(&inst, 3_000, &mut rng);
+        assert_eq!(seq, SampleRequest::new(3_000).seed(6).run(&inst));
+        let par = sample_pool_parallel(&inst, 20_000, 13, 4);
+        assert_eq!(par, SampleRequest::new(20_000).seed(13).threads(4).run(&inst));
+        let control = SampleControl { max_steps: Some(9_000), ..SampleControl::UNLIMITED };
+        let ctl = sample_pool_controlled(&inst, 20_000, 13, 4, &control);
+        assert_eq!(
+            ctl,
+            SampleRequest::new(20_000).seed(13).threads(4).control(&control).run(&inst)
+        );
+    }
+
+    #[test]
+    fn kernels_produce_identical_pools() {
+        // The tentpole invariant: lockstep scheduling is a pure
+        // reordering. For matched lane counts the pools are bit-equal —
+        // across budgets, lane counts, and OS thread counts.
+        let mut b = GraphBuilder::new();
+        b.add_edges(vec![(0, 2), (2, 3), (3, 1), (0, 4), (4, 1), (2, 4), (3, 5), (5, 1)]).unwrap();
+        let g = b.build(WeightScheme::UniformByDegree).unwrap().to_csr();
+        let inst = FriendingInstance::new(&g, NodeId::new(0), NodeId::new(1)).unwrap();
+        let budgeted = SampleControl { max_steps: Some(7_000), ..SampleControl::UNLIMITED };
+        for lanes in [1usize, 3, 16] {
+            for threads in [1usize, 4] {
+                for control in [&SampleControl::UNLIMITED, &budgeted] {
+                    let run = |kernel| {
+                        SampleRequest::new(12_000)
+                            .seed(29)
+                            .threads(threads)
+                            .lanes(lanes)
+                            .kernel(kernel)
+                            .control(control)
+                            .run(&inst)
+                    };
+                    let scalar = run(WalkKernel::Scalar);
+                    let lockstep = run(WalkKernel::Lockstep);
+                    assert_eq!(
+                        scalar, lockstep,
+                        "kernel divergence at lanes={lanes} threads={threads} budget={:?}",
+                        control.max_steps
+                    );
+                    assert!(scalar.total_samples() > 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lanes_override_decouples_pool_from_threads() {
+        let g = path_csr(5);
+        let inst = FriendingInstance::new(&g, NodeId::new(0), NodeId::new(4)).unwrap();
+        let reference = SampleRequest::new(9_000).seed(3).lanes(8).run(&inst);
+        for threads in [1usize, 2, 4, 8, 16] {
+            for kernel in WalkKernel::ALL {
+                let pool = SampleRequest::new(9_000)
+                    .seed(3)
+                    .threads(threads)
+                    .lanes(8)
+                    .kernel(kernel)
+                    .run(&inst);
+                assert_eq!(pool, reference, "threads={threads} kernel={kernel}");
+            }
+        }
+    }
+
+    #[test]
+    fn default_lanes_follow_the_legacy_rule() {
+        assert_eq!(SampleRequest::new(PARALLEL_THRESHOLD).effective_lanes(), 1);
+        assert_eq!(SampleRequest::new(PARALLEL_THRESHOLD).threads(4).effective_lanes(), 4);
+        assert_eq!(SampleRequest::new(PARALLEL_THRESHOLD - 1).threads(4).effective_lanes(), 1);
+        assert_eq!(SampleRequest::new(PARALLEL_THRESHOLD).threads(0).effective_lanes(), 1);
+        assert_eq!(SampleRequest::new(10).threads(4).lanes(7).effective_lanes(), 7);
+        assert_eq!(SampleRequest::new(10).lanes(0).effective_lanes(), 1, "lanes clamps to 1");
     }
 
     #[test]
@@ -561,8 +1020,9 @@ mod tests {
         let g = path_csr(5);
         let inst = FriendingInstance::new(&g, NodeId::new(0), NodeId::new(4)).unwrap();
         let control = SampleControl { max_steps: Some(3_000), ..SampleControl::UNLIMITED };
-        let a = sample_pool_controlled(&inst, 50_000, 9, 1, &control);
-        let b = sample_pool_controlled(&inst, 50_000, 9, 1, &control);
+        let request = SampleRequest::new(50_000).seed(9).control(&control);
+        let a = request.run(&inst);
+        let b = request.run(&inst);
         assert_eq!(a, b, "same (seed, budget) must truncate identically");
         assert!(a.total_samples() < 50_000, "budget must actually truncate");
         assert!(a.total_samples() > 0, "a positive budget samples at least one batch");
@@ -570,7 +1030,7 @@ mod tests {
         assert_eq!(a.total_samples() % CANCEL_CHECK_INTERVAL, 0);
         // The truncated pool is a prefix of the full run's walk stream:
         // resampling exactly that many walks uncontrolled is identical.
-        let prefix = sample_pool_parallel(&inst, a.total_samples(), 9, 1);
+        let prefix = SampleRequest::new(a.total_samples()).seed(9).run(&inst);
         assert_eq!(a, prefix);
     }
 
@@ -581,7 +1041,7 @@ mod tests {
         let mut last = 0u64;
         for budget in [500u64, 2_000, 8_000, 64_000, u64::MAX] {
             let control = SampleControl { max_steps: Some(budget), ..SampleControl::UNLIMITED };
-            let pool = sample_pool_controlled(&inst, 10_000, 5, 1, &control);
+            let pool = SampleRequest::new(10_000).seed(5).control(&control).run(&inst);
             assert!(
                 pool.total_samples() >= last,
                 "budget {budget}: {} < {last} walks",
@@ -597,8 +1057,9 @@ mod tests {
         let g = path_csr(5);
         let inst = FriendingInstance::new(&g, NodeId::new(0), NodeId::new(4)).unwrap();
         let control = SampleControl { max_steps: Some(20_000), ..SampleControl::UNLIMITED };
-        let a = sample_pool_controlled(&inst, 40_000, 11, 4, &control);
-        let b = sample_pool_controlled(&inst, 40_000, 11, 4, &control);
+        let request = SampleRequest::new(40_000).seed(11).threads(4).control(&control);
+        let a = request.run(&inst);
+        let b = request.run(&inst);
         assert_eq!(a, b);
         assert!(a.total_samples() < 40_000);
     }
@@ -608,9 +1069,12 @@ mod tests {
         let g = path_csr(5);
         let inst = FriendingInstance::new(&g, NodeId::new(0), NodeId::new(4)).unwrap();
         let control = SampleControl { max_steps: Some(0), ..SampleControl::UNLIMITED };
-        let pool = sample_pool_controlled(&inst, 10_000, 5, 1, &control);
-        assert_eq!(pool.total_samples(), 0);
-        assert_eq!(pool.unique_count(), 0);
+        for kernel in WalkKernel::ALL {
+            let pool =
+                SampleRequest::new(10_000).seed(5).kernel(kernel).control(&control).run(&inst);
+            assert_eq!(pool.total_samples(), 0, "kernel={kernel}");
+            assert_eq!(pool.unique_count(), 0, "kernel={kernel}");
+        }
     }
 
     #[test]
@@ -618,24 +1082,38 @@ mod tests {
         let g = path_csr(5);
         let inst = FriendingInstance::new(&g, NodeId::new(0), NodeId::new(4)).unwrap();
         use std::sync::atomic::{AtomicU64, Ordering};
-        let calls = AtomicU64::new(0);
-        let probe = |_walks: u64| {
-            calls.fetch_add(1, Ordering::SeqCst);
-        };
-        let control = SampleControl { probe: Some(&probe), ..SampleControl::UNLIMITED };
-        let pool = sample_pool_controlled(&inst, CANCEL_CHECK_INTERVAL * 3, 5, 1, &control);
-        assert_eq!(pool.total_samples(), CANCEL_CHECK_INTERVAL * 3);
-        assert_eq!(calls.load(Ordering::SeqCst), 3, "one probe call per batch");
-        // A panicking probe unwinds out of the sampler (the serving layer
-        // catches it); the RNG stream up to the panic is untouched.
-        let trap = |walks: u64| {
-            assert!(walks < CANCEL_CHECK_INTERVAL * 2, "fault injection: panic at walk {walks}");
-        };
-        let control = SampleControl { probe: Some(&trap), ..SampleControl::UNLIMITED };
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            sample_pool_controlled(&inst, CANCEL_CHECK_INTERVAL * 4, 5, 1, &control)
-        }));
-        assert!(result.is_err(), "the probe's panic must propagate");
+        for kernel in WalkKernel::ALL {
+            let calls = AtomicU64::new(0);
+            let probe = |_walks: u64| {
+                calls.fetch_add(1, Ordering::SeqCst);
+            };
+            let control = SampleControl { probe: Some(&probe), ..SampleControl::UNLIMITED };
+            let pool = SampleRequest::new(CANCEL_CHECK_INTERVAL * 3)
+                .seed(5)
+                .kernel(kernel)
+                .control(&control)
+                .run(&inst);
+            assert_eq!(pool.total_samples(), CANCEL_CHECK_INTERVAL * 3);
+            assert_eq!(calls.load(Ordering::SeqCst), 3, "one probe call per batch ({kernel})");
+            // A panicking probe unwinds out of the sampler (the serving
+            // layer catches it); the RNG stream up to the panic is
+            // untouched.
+            let trap = |walks: u64| {
+                assert!(
+                    walks < CANCEL_CHECK_INTERVAL * 2,
+                    "fault injection: panic at walk {walks}"
+                );
+            };
+            let control = SampleControl { probe: Some(&trap), ..SampleControl::UNLIMITED };
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                SampleRequest::new(CANCEL_CHECK_INTERVAL * 4)
+                    .seed(5)
+                    .kernel(kernel)
+                    .control(&control)
+                    .run(&inst)
+            }));
+            assert!(result.is_err(), "the probe's panic must propagate ({kernel})");
+        }
     }
 
     #[test]
@@ -647,16 +1125,27 @@ mod tests {
             deadline: Some(std::time::Instant::now() - std::time::Duration::from_millis(1)),
             ..SampleControl::UNLIMITED
         };
-        let pool = sample_pool_controlled(&inst, 100_000, 5, 1, &control);
-        assert_eq!(pool.total_samples(), 0, "an expired deadline samples nothing");
+        for kernel in WalkKernel::ALL {
+            let pool =
+                SampleRequest::new(100_000).seed(5).kernel(kernel).control(&control).run(&inst);
+            assert_eq!(pool.total_samples(), 0, "an expired deadline samples nothing ({kernel})");
+        }
+    }
+
+    #[test]
+    fn kernel_names_round_trip() {
+        for kernel in WalkKernel::ALL {
+            assert_eq!(WalkKernel::parse(kernel.name()), Some(kernel));
+        }
+        assert_eq!(WalkKernel::parse("vectorized"), None);
+        assert_eq!(WalkKernel::default(), WalkKernel::Scalar);
     }
 
     #[test]
     fn empty_pool() {
         let g = path_csr(5);
         let inst = FriendingInstance::new(&g, NodeId::new(0), NodeId::new(4)).unwrap();
-        let mut rng = StdRng::seed_from_u64(1);
-        let pool = sample_pool(&inst, 0, &mut rng);
+        let pool = SampleRequest::new(0).seed(1).run(&inst);
         assert_eq!(pool.total_samples(), 0);
         assert_eq!(pool.pmax_estimate(), 0.0);
         assert_eq!(pool.unique_count(), 0);
@@ -667,8 +1156,7 @@ mod tests {
     fn coverage_matches_independent_estimate() {
         let g = path_csr(4);
         let inst = FriendingInstance::new(&g, NodeId::new(0), NodeId::new(3)).unwrap();
-        let mut rng = StdRng::seed_from_u64(21);
-        let pool = sample_pool(&inst, 40_000, &mut rng);
+        let pool = SampleRequest::new(40_000).seed(21).run(&inst);
         let full = crate::InvitationSet::full(4);
         // Closed form f(V) = 1/2 on the 4-node line.
         assert!((pool.coverage(&full) - 0.5).abs() < 0.02);
@@ -681,8 +1169,7 @@ mod tests {
     fn coverage_monotone_in_invitations() {
         let g = path_csr(5);
         let inst = FriendingInstance::new(&g, NodeId::new(0), NodeId::new(4)).unwrap();
-        let mut rng = StdRng::seed_from_u64(22);
-        let pool = sample_pool(&inst, 20_000, &mut rng);
+        let pool = SampleRequest::new(20_000).seed(22).run(&inst);
         let small = crate::InvitationSet::from_nodes(5, [NodeId::new(4)]);
         let big = crate::InvitationSet::full(5);
         assert!(pool.coverage(&small) <= pool.coverage(&big));
@@ -692,8 +1179,7 @@ mod tests {
     fn all_type1_paths_contain_target() {
         let g = path_csr(6);
         let inst = FriendingInstance::new(&g, NodeId::new(0), NodeId::new(5)).unwrap();
-        let mut rng = StdRng::seed_from_u64(2);
-        let pool = sample_pool(&inst, 5_000, &mut rng);
+        let pool = SampleRequest::new(5_000).seed(2).run(&inst);
         assert!(pool.unique_count() > 0);
         for (path, mult) in pool.iter() {
             assert_eq!(path[0], 5);
@@ -717,10 +1203,14 @@ mod tests {
         let relab = FriendingInstance::relabeled(&relabeled_csr, NodeId::new(0), NodeId::new(1), r)
             .unwrap();
         for threads in [1usize, 4] {
-            let a = sample_pool_parallel(&plain, 20_000, 33, threads);
-            let b = sample_pool_parallel(&relab, 20_000, 33, threads);
-            assert_eq!(a, b, "threads={threads}");
-            assert!(a.unique_count() >= 2);
+            for kernel in WalkKernel::ALL {
+                let a =
+                    SampleRequest::new(20_000).seed(33).threads(threads).kernel(kernel).run(&plain);
+                let b =
+                    SampleRequest::new(20_000).seed(33).threads(threads).kernel(kernel).run(&relab);
+                assert_eq!(a, b, "threads={threads} kernel={kernel}");
+                assert!(a.unique_count() >= 2);
+            }
         }
     }
 
@@ -732,8 +1222,7 @@ mod tests {
         b.add_edges(vec![(0, 2), (2, 3), (3, 1), (0, 4), (4, 5), (5, 1)]).unwrap();
         let g = b.build(WeightScheme::UniformByDegree).unwrap().to_csr();
         let inst = FriendingInstance::new(&g, NodeId::new(0), NodeId::new(1)).unwrap();
-        let mut rng = StdRng::seed_from_u64(7);
-        let pool = sample_pool(&inst, 30_000, &mut rng);
+        let pool = SampleRequest::new(30_000).seed(7).run(&inst);
         assert!(pool.unique_count() >= 2, "both routes should be sampled");
         let paths: Vec<&[u32]> = (0..pool.unique_count()).map(|i| pool.path(i)).collect();
         for w in paths.windows(2) {

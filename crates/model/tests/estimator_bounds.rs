@@ -4,7 +4,7 @@
 
 use raf_graph::{CsrGraph, GraphBuilder, NodeId, WeightScheme};
 use raf_model::pmax::{estimate_pmax_dklr, estimate_pmax_fixed};
-use raf_model::sampler::sample_pool;
+use raf_model::sampler::SampleRequest;
 use raf_model::{FriendingInstance, InvitationSet};
 use rand::SeedableRng;
 
@@ -46,8 +46,7 @@ fn pool_uniform_accuracy_over_subsets() {
     let g = line5();
     let n = g.node_count();
     let inst = FriendingInstance::new(&g, NodeId::new(0), NodeId::new(4)).unwrap();
-    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
-    let pool = sample_pool(&inst, 200_000, &mut rng);
+    let pool = SampleRequest::new(200_000).seed(3).run(&inst);
     // Exact values on the line (walk: 4→3 w.p.1, 3→2 w.p.1/2, 2→1(seed)
     // w.p.1/2): f({4,3,2}) = 1/4; f({4,3}) = 0 (2 missing blocks the only
     // type-1 path shape)… t(g) = [4,3,2] always for type-1.

@@ -8,7 +8,7 @@ use proptest::prelude::*;
 use raf_graph::{generators, CsrGraph, NodeId, WeightScheme};
 use raf_model::intern::PathInterner;
 use raf_model::reverse::sample_target_path;
-use raf_model::sampler::{sample_pool, sample_pool_parallel, threads_from_env};
+use raf_model::sampler::{threads_from_env, SampleRequest};
 use raf_model::FriendingInstance;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -119,8 +119,7 @@ proptest! {
             .collect();
         let expected = sort_dedup(walks.clone());
 
-        let mut rng = StdRng::seed_from_u64(seed);
-        let pool = sample_pool(&inst, l, &mut rng);
+        let pool = SampleRequest::new(l).seed(seed).run(&inst);
         prop_assert_eq!(pool.type1_count(), walks.len());
         prop_assert_eq!(pool.pmax_estimate(), walks.len() as f64 / l as f64);
         let pool_pairs: Vec<(Vec<u32>, u32)> =
@@ -143,8 +142,8 @@ fn thread_counts_produce_consistent_pools() {
     let inst = FriendingInstance::new(&g, NodeId::new(0), NodeId::new(1)).unwrap();
     let l = raf_model::sampler::PARALLEL_THRESHOLD * 2;
     for threads in [1usize, 2, 4, threads_from_env()] {
-        let a = sample_pool_parallel(&inst, l, 77, threads);
-        let b = sample_pool_parallel(&inst, l, 77, threads);
+        let a = SampleRequest::new(l).seed(77).threads(threads).run(&inst);
+        let b = SampleRequest::new(l).seed(77).threads(threads).run(&inst);
         assert_eq!(a, b, "threads={threads} not reproducible");
         let mult_total: u64 = (0..a.unique_count()).map(|i| u64::from(a.multiplicity(i))).sum();
         assert_eq!(mult_total as usize, a.type1_count(), "threads={threads}");

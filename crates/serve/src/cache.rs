@@ -266,7 +266,7 @@ impl PoolCache {
 mod tests {
     use super::*;
     use raf_graph::{GraphBuilder, NodeId, WeightScheme};
-    use raf_model::sampler::sample_pool_parallel;
+    use raf_model::sampler::SampleRequest;
     use raf_model::FriendingInstance;
 
     fn entry(walks: u64) -> CachedPool {
@@ -276,7 +276,7 @@ mod tests {
         b.add_edges((0..4).map(|i| (i, i + 1))).unwrap();
         let g = b.build(WeightScheme::UniformByDegree).unwrap().to_csr();
         let inst = FriendingInstance::new(&g, NodeId::new(0), NodeId::new(4)).unwrap();
-        let pool = sample_pool_parallel(&inst, walks, 3, 1);
+        let pool = SampleRequest::new(walks).seed(3).run(&inst);
         let cover = CoverInstance::from_path_pool(g.node_count(), pool.clone()).unwrap();
         CachedPool::new(Arc::new(pool), Arc::new(cover))
     }
@@ -358,7 +358,7 @@ mod tests {
             b.add_edges((1..40usize).map(|i| (i, 41))).unwrap();
             let g = b.build(WeightScheme::UniformByDegree).unwrap().to_csr();
             let inst = FriendingInstance::new(&g, NodeId::new(0), NodeId::new(41)).unwrap();
-            let pool = sample_pool_parallel(&inst, 20_000, 3, 1);
+            let pool = SampleRequest::new(20_000).seed(3).run(&inst);
             let cover = CoverInstance::from_path_pool(g.node_count(), pool.clone()).unwrap();
             CachedPool::new(Arc::new(pool), Arc::new(cover))
         };

@@ -6,7 +6,7 @@ use crate::fault::{FaultKind, FaultPlan};
 use raf_core::{CoreError, ParameterSet};
 use raf_cover::{ChlamtacPortfolio, CoverError, CoverInstance};
 use raf_graph::{CsrGraph, NodeId, Relabeling};
-use raf_model::sampler::{sample_pool_controlled, PathPool, SampleControl};
+use raf_model::sampler::{PathPool, SampleControl, SampleRequest};
 use raf_model::{FriendingInstance, InvitationSet, ModelError};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -451,13 +451,11 @@ impl<'g> SessionContext<'g> {
             deadline: self.config.deadline.deadline_from_now(),
             probe: if panic_at.is_some() || slow_ms.is_some() { Some(&probe) } else { None },
         };
-        let pool = sample_pool_controlled(
-            &instance,
-            key.walks,
-            self.pool_seed(key),
-            self.config.threads,
-            &control,
-        );
+        let pool = SampleRequest::new(key.walks)
+            .seed(self.pool_seed(key))
+            .threads(self.config.threads)
+            .control(&control)
+            .run(&instance);
         if let Some(cap) = faults.iter().find_map(|f| match f {
             FaultKind::AllocCap(b) => Some(*b),
             _ => None,

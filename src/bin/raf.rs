@@ -6,6 +6,7 @@
 //! raf vmax  --graph network.txt --s 3 --t 99
 //! raf run   --graph network.txt --s 3 --t 99 --alpha 0.3
 //!           [--epsilon 0.01] [--budget 50000] [--seed 1] [--threads 1]
+//!           [--walk-kernel scalar|lockstep]
 //! raf max   --graph network.txt --s 3 --t 99 --k 10
 //!           [--realizations 50000] [--seed 1]
 //! raf serve --graph network.txt [--requests batch.txt] [--walks 100000]
@@ -16,6 +17,7 @@
 //!           [--list-scenarios] [--quick] [--check-regression]
 //!           [--max-regression 0.15] [--topology powerlaw_cluster]
 //!           [--nodes N] [--walks N] [--seed 7] [--threads N] [--reps N]
+//!           [--walk-kernel scalar|lockstep]
 //! ```
 //!
 //! The graph file is a SNAP-style edge list (whitespace-separated ids,
@@ -69,6 +71,17 @@ fn dispatch(args: &CliArgs) -> Result<(), Box<dyn std::error::Error>> {
         "experiment" => cmd_experiment(args),
         "serve" => cmd_serve(args),
         other => Err(format!("unknown command {other:?} (try --help)").into()),
+    }
+}
+
+/// Parses `--walk-kernel` (default scalar — see [`WalkKernel`]; the
+/// kernel never changes results, only sampling speed).
+fn walk_kernel(args: &CliArgs) -> Result<WalkKernel, Box<dyn std::error::Error>> {
+    match args.get("walk-kernel") {
+        None => Ok(WalkKernel::default()),
+        Some(raw) => WalkKernel::parse(raw)
+            .ok_or_else(|| format!("unknown walk kernel {raw:?} (expected scalar or lockstep)"))
+            .map_err(Into::into),
     }
 }
 
@@ -127,6 +140,7 @@ fn cmd_run(args: &CliArgs) -> Result<(), Box<dyn std::error::Error>> {
         budget: RealizationBudget::Capped(args.get_or("budget", 50_000)?),
         seed: args.get_or("seed", 1)?,
         threads: args.get_or("threads", threads_from_env())?,
+        kernel: walk_kernel(args)?,
         ..Default::default()
     };
     let result = RafAlgorithm::new(config).run(&instance)?;
@@ -251,6 +265,7 @@ fn cmd_bench_json(args: &CliArgs) -> Result<(), Box<dyn std::error::Error>> {
         config.seed = args.get_or("seed", config.seed)?;
         config.beta = args.get_or("beta", config.beta)?;
         config.threads = args.get_or("threads", config.threads)?;
+        config.kernel = walk_kernel(args)?;
         // A measurement that deviates from the profile's standard knobs
         // must not become the full/quick baseline: record it under the
         // "custom" lineage so it can never poison the regression gate.
@@ -294,6 +309,16 @@ fn cmd_bench_json(args: &CliArgs) -> Result<(), Box<dyn std::error::Error>> {
                 report.relabel_speedup()
             );
         }
+        if report.has_kernels() {
+            println!(
+                "{name}: kernels ({} lanes) scalar {:.1} ms, lockstep {:.1} ms  →  \
+                 kernel speedup {:.2}x",
+                report.kernel_lanes,
+                report.kernel_scalar_ns as f64 / 1e6,
+                report.kernel_lockstep_ns as f64 / 1e6,
+                report.kernel_speedup(),
+            );
+        }
         if check {
             let lineage = report.config.profile;
             match history.baseline_total_ns(&name, lineage) {
@@ -326,6 +351,35 @@ fn cmd_bench_json(args: &CliArgs) -> Result<(), Box<dyn std::error::Error>> {
                     } else {
                         println!(
                             "{name}: {:+.1}% vs baseline (machine-normalized) — ok",
+                            (ratio - 1.0) * 100.0
+                        );
+                    }
+                }
+            }
+            // The walk-kernel gate: the lockstep kernel must not regress
+            // against its committed bake-off baseline. Normalized by the
+            // scalar kernel measured in the same run (same role the
+            // legacy replica plays above — a code path this PR froze,
+            // timed on the same machine as the lockstep number).
+            if report.has_kernels() {
+                let lineage = report.config.profile;
+                if let Some(base) = history.baseline_kernel_ns(&name, lineage, "lockstep") {
+                    let scalar = report.kernel_scalar_ns as f64;
+                    let machine = history
+                        .baseline_kernel_ns(&name, lineage, "scalar")
+                        .filter(|&b| b > 0.0 && scalar > 0.0)
+                        .map_or(1.0, |b| scalar / b);
+                    let ratio = report.kernel_lockstep_ns as f64 / (base * machine);
+                    if ratio > 1.0 + max_regression {
+                        regressions.push(format!(
+                            "{name}: lockstep kernel {} ns vs baseline {base:.0} ns \
+                             ({:+.1}% machine-normalized)",
+                            report.kernel_lockstep_ns,
+                            (ratio - 1.0) * 100.0
+                        ));
+                    } else {
+                        println!(
+                            "{name}: lockstep kernel {:+.1}% vs baseline — ok",
                             (ratio - 1.0) * 100.0
                         );
                     }
@@ -704,6 +758,7 @@ USAGE:
   raf vmax  --graph <edge-list> --s <id> --t <id>
   raf run   --graph <edge-list> --s <id> --t <id> --alpha A
             [--epsilon E] [--budget N] [--seed N] [--threads N]
+            [--walk-kernel scalar|lockstep]
   raf max   --graph <edge-list> --s <id> --t <id> --k BUDGET
             [--realizations N] [--seed N]
   raf serve --graph <edge-list> [--requests FILE] [--walks N]
@@ -715,6 +770,7 @@ USAGE:
             [--quick] [--check-regression] [--max-regression R]
             [--topology NAME] [--nodes N] [--walks N] [--seed N]
             [--threads N] [--reps N] [--beta B]
+            [--walk-kernel scalar|lockstep]
   raf experiment [--dataset wiki|hepth|hepph|youtube|all] [--quick]
             [--alphas A,B,...] [--budgets N,M,...] [--pairs N]
             [--scale F] [--eval-samples N] [--seed N] [--threads N]
@@ -746,11 +802,13 @@ serving cells); --check-regression fails when a scenario's
 sampling+solve total regresses > R (default 0.15) against the last
 committed entry of the same scenario and profile. Only --topology and
 --nodes define a custom one-off cell; --walks/--seed/--threads/--reps/
---beta override knobs matrix-wide and reroute the runs to the `custom'
-lineage. Dataset scenarios (dataset_wiki_7k_t1, ...) also record the
-hub-BFS relabeled layout's timings; the bake-off cell
-(dataset_youtube_1m_t4) times every layout order — hub_bfs,
-degree_desc, rcm — on the same graph and records them as layout_ns.
+--beta/--walk-kernel override knobs matrix-wide and reroute the runs to
+the `custom' lineage. Dataset scenarios (dataset_wiki_7k_t1, ...) also
+record the hub-BFS relabeled layout's timings plus the walk-kernel
+bake-off (scalar vs lockstep sampling on the bit-identical pool, as
+kernel_ns); the bake-off cell (dataset_youtube_1m_t4) times every
+layout order — hub_bfs, degree_desc, rcm — on the same graph and
+records them as layout_ns.
 Serving scenarios (serving_wiki_7k_t1, ...) record cold-vs-warm query
 latency through the serve-layer pool cache instead (no regression
 gate).

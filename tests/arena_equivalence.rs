@@ -18,7 +18,7 @@ use raf_cover::{
 };
 use raf_graph::{generators, CsrGraph, NodeId, WeightScheme};
 use raf_model::reverse::{sample_target_path, TargetPath};
-use raf_model::sampler::{sample_pool, sample_pool_parallel, PathPool, PARALLEL_THRESHOLD};
+use raf_model::sampler::{PathPool, SampleRequest, PARALLEL_THRESHOLD};
 use raf_model::{FriendingInstance, InvitationSet};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -67,8 +67,7 @@ proptest! {
         let n = g.node_count();
         let inst = FriendingInstance::new(&g, NodeId::new(0), NodeId::new(1)).unwrap();
         let reference = reference_pool(&inst, l, seed);
-        let mut rng = StdRng::seed_from_u64(seed);
-        let arena = sample_pool(&inst, l, &mut rng);
+        let arena = SampleRequest::new(l).seed(seed).run(&inst);
         prop_assert_eq!(arena.total_samples(), l);
         prop_assert_eq!(arena.type1_count(), reference.len());
         let ref_pmax = reference.len() as f64 / l as f64;
@@ -105,8 +104,7 @@ proptest! {
             return Ok(());
         }
         let legacy = reference_cover(n, &reference);
-        let mut rng = StdRng::seed_from_u64(seed);
-        let arena = arena_cover(n, sample_pool(&inst, l, &mut rng));
+        let arena = arena_cover(n, SampleRequest::new(l).seed(seed).run(&inst));
         prop_assert_eq!(legacy.total_weight(), arena.total_weight());
         for beta in [0.05f64, 0.3, 0.7, 1.0] {
             let p = ((beta * b1 as f64).ceil() as usize).clamp(1, b1);
@@ -146,8 +144,7 @@ fn exact_solver_matches_reference_on_tiny_pool() {
             continue;
         }
         let legacy = reference_cover(n, &reference);
-        let mut rng = StdRng::seed_from_u64(seed);
-        let arena = arena_cover(n, sample_pool(&inst, l, &mut rng));
+        let arena = arena_cover(n, SampleRequest::new(l).seed(seed).run(&inst));
         for p in 1..=b1 {
             let e_legacy = ExactSolver::new().solve(&legacy, p).unwrap();
             let e_arena = ExactSolver::new().solve(&arena, p).unwrap();
@@ -166,15 +163,15 @@ fn pool_determinism_across_thread_counts() {
     let inst = FriendingInstance::new(&g, NodeId::new(0), NodeId::new(1)).unwrap();
     // Small l: thread count must not matter at all.
     let small = PARALLEL_THRESHOLD / 2;
-    let baseline = sample_pool_parallel(&inst, small, 11, 1);
+    let baseline = SampleRequest::new(small).seed(11).run(&inst);
     for threads in [2usize, 4] {
-        assert_eq!(sample_pool_parallel(&inst, small, 11, threads), baseline);
+        assert_eq!(SampleRequest::new(small).seed(11).threads(threads).run(&inst), baseline);
     }
     // Large l: byte-identical across runs for each fixed thread count.
     let large = PARALLEL_THRESHOLD * 4;
     for threads in [1usize, 2, 4] {
-        let a = sample_pool_parallel(&inst, large, 11, threads);
-        let b = sample_pool_parallel(&inst, large, 11, threads);
+        let a = SampleRequest::new(large).seed(11).threads(threads).run(&inst);
+        let b = SampleRequest::new(large).seed(11).threads(threads).run(&inst);
         assert_eq!(a, b, "pool not reproducible for threads={threads}");
         assert_eq!(a.total_samples(), large);
     }

@@ -8,7 +8,7 @@
 
 use raf_graph::{generators, NodeId, Relabeling, SocialGraph, WeightScheme};
 use raf_model::acceptance::{estimate_acceptance, estimate_acceptance_forward};
-use raf_model::sampler::sample_pool_parallel;
+use raf_model::sampler::SampleRequest;
 use raf_model::{FriendingInstance, InvitationSet};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -89,8 +89,8 @@ fn pool_coverage_agrees_with_forward_simulation() {
     let hub =
         FriendingInstance::relabeled(&hub_csr, NodeId::new(0), NodeId::new(1), relabeling.clone())
             .unwrap();
-    let pool_a = sample_pool_parallel(&plain, SAMPLES, 7, 1);
-    let pool_b = sample_pool_parallel(&hub, SAMPLES, 7, 1);
+    let pool_a = SampleRequest::new(SAMPLES).seed(7).run(&plain);
+    let pool_b = SampleRequest::new(SAMPLES).seed(7).run(&hub);
     assert_eq!(pool_a, pool_b, "relabeled pool diverged from plain pool");
     for (i, inv) in probe_sets(plain_csr.node_count(), NodeId::new(1)).iter().enumerate() {
         let mut rng_f = StdRng::seed_from_u64(500 + i as u64);

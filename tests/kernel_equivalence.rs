@@ -1,0 +1,175 @@
+//! Walk-kernel equivalence: the lockstep batched kernel is *pure
+//! reordering* of the scalar kernel's work. For any `(seed, lanes,
+//! budget)` configuration the two kernels must produce bit-identical
+//! pools — across thread counts (threads only chunk lanes, they never
+//! define streams), across relabeled CSR layouts (the kernels commute
+//! with the relabeling equivariance guarantee), and under controlled
+//! budget truncation (both kernels check the same per-lane budgets at
+//! the same 256-walk batch boundaries).
+//!
+//! This is the contract that lets `--walk-kernel` be a pure performance
+//! knob: committed pools, cache fingerprints, and the serve-layer fault
+//! fixtures cannot depend on which kernel sampled them.
+
+use proptest::prelude::*;
+use raf_graph::{generators, NodeId, RelabelOrder, SocialGraph, WeightScheme};
+use raf_model::sampler::{threads_from_env, SampleControl, SampleRequest, WalkKernel};
+use raf_model::FriendingInstance;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+/// A random social graph from the generator families (same recipe as the
+/// relabeling equivalence suite, so failures are comparable).
+fn random_graph(family: u8, nodes: usize, seed: u64) -> SocialGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let builder = match family % 3 {
+        0 => generators::powerlaw_cluster(nodes, 2, 0.3, &mut rng).unwrap(),
+        1 => generators::erdos_renyi_gnp(nodes, 8.0 / nodes as f64, &mut rng).unwrap(),
+        _ => generators::barabasi_albert(nodes, 3, &mut rng).unwrap(),
+    };
+    builder.build(WeightScheme::UniformByDegree).unwrap()
+}
+
+/// Picks a deterministic `(s, t)` pair that forms a valid instance, or
+/// `None` when the graph has no such pair (same rule as the relabeling
+/// equivalence suite).
+fn pick_pair(g: &SocialGraph) -> Option<(NodeId, NodeId)> {
+    let n = g.node_count();
+    for s in 0..n.min(8) {
+        let s = NodeId::new(s);
+        if g.degree(s) == 0 {
+            continue;
+        }
+        for t in (0..n).rev().take(16) {
+            let t = NodeId::new(t);
+            if t != s && !g.has_edge(s, t) && g.degree(t) > 0 {
+                return Some((s, t));
+            }
+        }
+    }
+    None
+}
+
+/// The thread counts every property is checked under.
+fn thread_matrix() -> Vec<usize> {
+    let mut threads = vec![1usize, 4];
+    let env = threads_from_env();
+    if !threads.contains(&env) {
+        threads.push(env);
+    }
+    threads
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Scalar and lockstep pools are bit-identical for every
+    /// `(lanes, threads)` combination, and independent of the thread
+    /// count for a fixed lane count.
+    #[test]
+    fn kernels_agree_across_lanes_and_threads(
+        family in 0u8..3,
+        seed in 0u64..1_000,
+        walks in 2_000u64..8_000,
+    ) {
+        let social = random_graph(family, 220, seed);
+        let Some((s, t)) = pick_pair(&social) else { return Ok(()); };
+        let csr = social.to_csr();
+        let inst = FriendingInstance::new(&csr, s, t).unwrap();
+        for lanes in [1usize, 3, 16] {
+            let mut reference = None;
+            for threads in thread_matrix() {
+                for kernel in WalkKernel::ALL {
+                    let pool = SampleRequest::new(walks)
+                        .seed(seed ^ 0xA11)
+                        .threads(threads)
+                        .lanes(lanes)
+                        .kernel(kernel)
+                        .run(&inst);
+                    match &reference {
+                        None => reference = Some(pool),
+                        Some(expected) => prop_assert_eq!(
+                            expected, &pool,
+                            "pool diverged (lanes={}, threads={}, kernel={})",
+                            lanes, threads, kernel
+                        ),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Budget-truncated pools: controlled truncation is identical across
+    /// kernels × thread counts — both kernels spend the same per-lane
+    /// walk-step budgets and stop at the same batch boundaries.
+    #[test]
+    fn budget_truncation_is_kernel_independent(
+        family in 0u8..3,
+        seed in 0u64..1_000,
+        budget in 500u64..6_000,
+    ) {
+        let social = random_graph(family, 220, seed);
+        let Some((s, t)) = pick_pair(&social) else { return Ok(()); };
+        let csr = social.to_csr();
+        let inst = FriendingInstance::new(&csr, s, t).unwrap();
+        let control = SampleControl { max_steps: Some(budget), deadline: None, probe: None };
+        let walks = 20_000u64;
+        let mut reference = None;
+        for threads in thread_matrix() {
+            for kernel in WalkKernel::ALL {
+                let pool = SampleRequest::new(walks)
+                    .seed(seed ^ 0xB5D)
+                    .threads(threads)
+                    .lanes(8)
+                    .kernel(kernel)
+                    .control(&control)
+                    .run(&inst);
+                // The budget must actually truncate (otherwise this
+                // property degenerates into the uncontrolled one).
+                prop_assert!(pool.total_samples() <= walks);
+                match &reference {
+                    None => reference = Some(pool),
+                    Some(expected) => prop_assert_eq!(
+                        expected, &pool,
+                        "truncated pool diverged (threads={}, kernel={})",
+                        threads, kernel
+                    ),
+                }
+            }
+        }
+    }
+
+    /// Relabeled CSR layouts: every `RelabelOrder` samples the same
+    /// (original-space) pool under the lockstep kernel as the plain
+    /// layout does under the scalar kernel — the kernels compose with
+    /// the relabeling equivariance guarantee.
+    #[test]
+    fn kernels_commute_with_relabeling(
+        family in 0u8..3,
+        seed in 0u64..500,
+    ) {
+        let social = random_graph(family, 180, seed);
+        let Some((s, t)) = pick_pair(&social) else { return Ok(()); };
+        let plain_csr = social.to_csr();
+        let plain = FriendingInstance::new(&plain_csr, s, t).unwrap();
+        let walks = 5_000u64;
+        let reference = SampleRequest::new(walks)
+            .seed(seed ^ 0x1E1)
+            .lanes(8)
+            .kernel(WalkKernel::Scalar)
+            .run(&plain);
+        for order in RelabelOrder::ALL {
+            let relabeling = Arc::new(order.relabeling(&social));
+            let relabeled_csr = social.to_csr_relabeled(&relabeling);
+            let relabeled =
+                FriendingInstance::relabeled(&relabeled_csr, s, t, relabeling.clone()).unwrap();
+            let pool = SampleRequest::new(walks)
+                .seed(seed ^ 0x1E1)
+                .lanes(8)
+                .kernel(WalkKernel::Lockstep)
+                .run(&relabeled);
+            prop_assert_eq!(&reference, &pool, "pool diverged under {}", order.name());
+        }
+    }
+}

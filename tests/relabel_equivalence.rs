@@ -15,7 +15,7 @@
 use proptest::prelude::*;
 use raf_graph::{generators, NodeId, RelabelOrder, SocialGraph, WeightScheme};
 use raf_model::pmax::estimate_pmax_fixed;
-use raf_model::sampler::{sample_pool_parallel, threads_from_env};
+use raf_model::sampler::{threads_from_env, SampleRequest};
 use raf_model::{acceptance::estimate_acceptance, FriendingInstance, InvitationSet};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -93,8 +93,10 @@ proptest! {
                 FriendingInstance::relabeled(&relabeled_csr, s, t, relabeling.clone()).unwrap();
             for threads in thread_matrix() {
                 let walks = 6_000u64;
-                let a = sample_pool_parallel(&plain, walks, seed ^ 0x51, threads);
-                let b = sample_pool_parallel(&relabeled, walks, seed ^ 0x51, threads);
+                let a =
+                    SampleRequest::new(walks).seed(seed ^ 0x51).threads(threads).run(&plain);
+                let b =
+                    SampleRequest::new(walks).seed(seed ^ 0x51).threads(threads).run(&relabeled);
                 // Identical pools ⇒ identical multiplicity histograms and
                 // identical pmax/coverage estimates, but assert the named
                 // observables explicitly for the stronger failure message.
