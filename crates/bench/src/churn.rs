@@ -1,0 +1,478 @@
+//! The edge-churn benchmark behind the `churn_*` scenario cells.
+//!
+//! Measures what incremental pool repair
+//! ([`SessionContext::apply_delta`]) costs under sustained graph churn —
+//! and how that cost scales with the touched-edge count. Each run warms
+//! a batch of resident pools, then applies remove/re-add delta rounds at
+//! increasing sizes (edges per delta), timing every `apply_delta` call
+//! and summing its [`raf_serve::DeltaOutcome`] counters per size. The
+//! re-add of each round restores the graph, so every round churns the
+//! same stationary workload and the buckets are directly comparable.
+//!
+//! Because repair resamples exactly the invalidated walk mass, the
+//! per-size `resampled` totals — and with them the repair latencies —
+//! grow with the delta size while staying far below `pools × walks`,
+//! the cost the repair path avoids paying (a full resample of every
+//! resident pool on every delta). Churned edges are drawn away from the
+//! warmed pair endpoints so the deltas exercise the *repair* path, not
+//! the pair-touching flush path; flushes are still counted if they
+//! happen. Churn entries carry no `arena_ns`, so the CI regression gate
+//! skips them (see [`Scenario::churn`]).
+
+use crate::sampling::{BenchProfile, Scenario, Workload};
+use crate::serving::percentile_ns;
+use raf_datasets::{load_dataset, sample_pairs, Dataset, DatasetSource, PairSamplerConfig};
+use raf_graph::{EdgeDelta, NodeId, Relabeling, WeightScheme};
+use raf_serve::{Query, ServeConfig, SessionContext};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Knobs of one churn benchmark run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChurnBenchConfig {
+    /// The Table-I dataset backing the resident graph.
+    pub dataset: Dataset,
+    /// Requested node count (the dataset is scaled to it).
+    pub nodes: usize,
+    /// Sampler threads of the serving context (queries and repairs).
+    pub threads: usize,
+    /// Walk ceiling per pool ([`ServeConfig::walks`]).
+    pub walks: u64,
+    /// Master seed (graph generation, pair screening, edge picks).
+    pub seed: u64,
+    /// Resident pools to warm before churning (one screened pair each).
+    pub pairs: usize,
+    /// Remove/re-add rounds per churn size (each round times two
+    /// `apply_delta` calls: the removal and the restoring re-add).
+    pub rounds_per_size: usize,
+    /// The churn sizes swept, in edges per delta (ascending).
+    pub churn_sizes: Vec<usize>,
+    /// Byte budget of the pool cache.
+    pub cache_bytes: usize,
+    /// History-lineage label (see [`BenchProfile`]).
+    pub profile: &'static str,
+    /// Directory searched for real SNAP files.
+    pub data_dir: PathBuf,
+}
+
+/// The benchmark configuration for one churn scenario cell under a
+/// profile.
+///
+/// # Panics
+///
+/// Panics when the scenario is not a churn cell (churn cells are
+/// dataset-only by construction of the matrix).
+pub fn churn_config(scenario: Scenario, profile: BenchProfile) -> ChurnBenchConfig {
+    let Workload::Dataset(dataset) = scenario.workload else {
+        panic!("churn cells are dataset-only; got {}", scenario.name());
+    };
+    assert!(scenario.churn, "{} is not a churn cell", scenario.name());
+    let (pairs, rounds_per_size, churn_sizes) = match profile {
+        BenchProfile::Full => (4, 4, vec![1, 4, 16]),
+        BenchProfile::Quick => (3, 2, vec![1, 8]),
+    };
+    ChurnBenchConfig {
+        dataset,
+        nodes: scenario.nodes,
+        threads: scenario.threads,
+        walks: profile.walks(),
+        seed: 11,
+        pairs,
+        rounds_per_size,
+        churn_sizes,
+        cache_bytes: 256 << 20,
+        profile: profile.name(),
+        data_dir: PathBuf::from("data"),
+    }
+}
+
+impl ChurnBenchConfig {
+    /// The scenario cell this configuration measures.
+    pub fn scenario(&self) -> Scenario {
+        Scenario {
+            workload: Workload::Dataset(self.dataset),
+            nodes: self.nodes,
+            threads: self.threads,
+            bakeoff: false,
+            serving: false,
+            churn: true,
+        }
+    }
+}
+
+/// Per-size aggregate of one churn bucket: every `apply_delta` call of
+/// that size, removals and re-adds alike.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChurnSizeStats {
+    /// Edges per delta in this bucket.
+    pub size: usize,
+    /// `apply_delta` calls timed (2 × rounds: removal + re-add).
+    pub deltas: usize,
+    /// Repair latency, nearest-rank p50 (ns).
+    pub repair_p50_ns: u128,
+    /// Repair latency, nearest-rank p99 (ns).
+    pub repair_p99_ns: u128,
+    /// Walks resampled across the bucket (the invalidated mass).
+    pub resampled: u64,
+    /// Pools repaired in place across the bucket.
+    pub repaired: u64,
+    /// Pools untouched (no stored walk met a churned endpoint).
+    pub untouched: u64,
+    /// Pools flushed (pair-touching or rejected entries).
+    pub flushed: u64,
+}
+
+/// Measured outcome of one churn benchmark run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChurnBenchReport {
+    /// The configuration that produced this report.
+    pub config: ChurnBenchConfig,
+    /// `"real"` or `"synthetic"` graph source.
+    pub source: &'static str,
+    /// Nodes of the loaded graph.
+    pub nodes: usize,
+    /// Edges of the loaded graph.
+    pub edges: usize,
+    /// Pools actually warmed (screened pairs whose cold query served).
+    pub pools_warmed: usize,
+    /// One aggregate per churn size, in `config.churn_sizes` order.
+    pub sizes: Vec<ChurnSizeStats>,
+    /// Post-churn re-queries of the warmed pairs that hit the cache —
+    /// repaired pools stay resident and keep answering warm.
+    pub post_churn_hits: u64,
+    /// Final cache counters of the session.
+    pub stats: raf_serve::CacheStats,
+    /// Pools resident when the run finished.
+    pub cached_pools: usize,
+    /// Bytes charged against the cache budget when the run finished.
+    pub resident_bytes: usize,
+}
+
+impl ChurnBenchReport {
+    /// Resampled-mass ratio of the largest churn size over the smallest —
+    /// the scaling signal the entry exists to record (repair work grows
+    /// with the touched-edge count, instead of jumping straight to a
+    /// full resample).
+    pub fn resampled_scaling(&self) -> f64 {
+        let (Some(first), Some(last)) = (self.sizes.first(), self.sizes.last()) else {
+            return 1.0;
+        };
+        last.resampled as f64 / (first.resampled as f64).max(1.0)
+    }
+
+    /// Hand-rolled JSON rendering (stable field order): one
+    /// `BENCH_sampling.json` history entry of the `churn` lineage.
+    /// Deliberately has no `arena_ns`, which is how the regression gate
+    /// recognizes and skips churn entries.
+    pub fn to_json(&self) -> String {
+        let sizes =
+            self.config.churn_sizes.iter().map(ToString::to_string).collect::<Vec<_>>().join(", ");
+        let churn_ns = self
+            .sizes
+            .iter()
+            .map(|s| {
+                format!(
+                    "\"k{}\": {{ \"repair_p50\": {}, \"repair_p99\": {} }}",
+                    s.size, s.repair_p50_ns, s.repair_p99_ns
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
+        let repair = self
+            .sizes
+            .iter()
+            .map(|s| {
+                format!(
+                    "\"k{}\": {{ \"deltas\": {}, \"resampled\": {}, \"repaired\": {}, \
+                     \"untouched\": {}, \"flushed\": {} }}",
+                    s.size, s.deltas, s.resampled, s.repaired, s.untouched, s.flushed
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!(
+            "{{\n  \"scenario\": \"{}\",\n  \"profile\": \"{}\",\n  \"graph\": {{ \"kind\": \"{}\", \"source\": \"{}\", \"nodes\": {}, \"edges\": {} }},\n  \"config\": {{ \"walks\": {}, \"seed\": {}, \"threads\": {}, \"pairs\": {}, \"rounds_per_size\": {}, \"churn_sizes\": [{}] }},\n  \"churn_ns\": {{ {} }},\n  \"repair\": {{ {} }},\n  \"cache\": {{ \"hits\": {}, \"misses\": {}, \"evictions\": {}, \"pools\": {}, \"resident_bytes\": {} }},\n  \"pools_warmed\": {},\n  \"post_churn_hits\": {},\n  \"resampled_scaling\": {:.3}\n}}\n",
+            self.config.scenario().name(),
+            self.config.profile,
+            self.config.dataset.spec().file_stem,
+            self.source,
+            self.nodes,
+            self.edges,
+            self.config.walks,
+            self.config.seed,
+            self.config.threads,
+            self.config.pairs,
+            self.config.rounds_per_size,
+            sizes,
+            churn_ns,
+            repair,
+            self.stats.hits,
+            self.stats.misses,
+            self.stats.evictions,
+            self.cached_pools,
+            self.resident_bytes,
+            self.pools_warmed,
+            self.post_churn_hits,
+            self.resampled_scaling(),
+        )
+    }
+}
+
+/// Runs the churn benchmark: load the dataset on the hub-BFS layout,
+/// warm one resident pool per screened pair, then sweep the churn sizes
+/// — per round removing a random batch of edges (avoiding the pair
+/// endpoints) and re-adding it, timing both `apply_delta` calls.
+///
+/// # Panics
+///
+/// Panics when no screened pair warms successfully, when the graph has
+/// too few churnable edges for the largest size, or when a delta is
+/// rejected — each would mean the measurement is wrong, not slow.
+pub fn run_churn_bench(config: ChurnBenchConfig) -> ChurnBenchReport {
+    let scale = config.nodes as f64 / config.dataset.spec().nodes as f64;
+    let loaded = load_dataset(config.dataset, scale, config.seed, &config.data_dir)
+        .expect("dataset loading cannot fail at bench scales");
+    let source = match loaded.source {
+        DatasetSource::Real => "real",
+        DatasetSource::Synthetic => "synthetic",
+    };
+    let mut graph = loaded.graph;
+    let relabeling = Arc::new(Relabeling::hub_bfs(&graph));
+    let csr = graph.to_csr_relabeled(&relabeling);
+    // The node set is frozen under churn and every round restores the
+    // removed edges, so both totals describe the graph throughout.
+    let nodes_total = graph.node_count();
+    let edges_total = graph.edge_count();
+    let serve_cfg = ServeConfig {
+        walks: config.walks,
+        epsilon: 0.01,
+        seed: config.seed,
+        threads: config.threads,
+        cache_bytes: config.cache_bytes,
+        ..Default::default()
+    };
+    let mut ctx = SessionContext::with_relabeling(&csr, relabeling.clone(), serve_cfg);
+
+    // Screening runs in snapshot space; queries (and the churn exclusion
+    // set) need original ids.
+    let pair_cfg = PairSamplerConfig {
+        pairs: config.pairs,
+        screen_samples: 2_000,
+        seed: config.seed.wrapping_mul(31).wrapping_add(7),
+        ..Default::default()
+    };
+    let mut warmed: Vec<(NodeId, NodeId)> = Vec::new();
+    let mut endpoints: HashSet<usize> = HashSet::new();
+    for pair in sample_pairs(&csr, &pair_cfg) {
+        let s = relabeling.original_of(NodeId::new(pair.s as usize));
+        let t = relabeling.original_of(NodeId::new(pair.t as usize));
+        let query = Query { s, t, alpha: 0.2, budget: config.walks };
+        if ctx.query(&query).is_ok() {
+            warmed.push((s, t));
+            endpoints.insert(s.index());
+            endpoints.insert(t.index());
+        }
+    }
+    assert!(!warmed.is_empty(), "no screened pair warmed successfully; change the seed");
+
+    // The churnable edge population: everything not incident to a warmed
+    // pair endpoint (so deltas repair rather than flush), fixed up front
+    // — the re-add of every round restores the graph, so the population
+    // never goes stale.
+    let churnable: Vec<(usize, usize)> = graph
+        .edges()
+        .map(|(u, v)| (u.index(), v.index()))
+        .filter(|&(u, v)| !endpoints.contains(&u) && !endpoints.contains(&v))
+        .collect();
+    let largest = config.churn_sizes.iter().copied().max().unwrap_or(1);
+    assert!(churnable.len() >= largest, "graph too small for a {largest}-edge delta");
+
+    let mut rng = StdRng::seed_from_u64(config.seed.wrapping_mul(0x9e37_79b9));
+    let mut sizes: Vec<ChurnSizeStats> = Vec::with_capacity(config.churn_sizes.len());
+    for &size in &config.churn_sizes {
+        let mut latencies: Vec<u128> = Vec::new();
+        let (mut resampled, mut repaired, mut untouched, mut flushed) = (0u64, 0u64, 0u64, 0u64);
+        let mut tally = |outcome: &raf_serve::DeltaOutcome| {
+            resampled += outcome.resampled_walks;
+            repaired += outcome.repaired as u64;
+            untouched += outcome.untouched as u64;
+            flushed += outcome.flushed as u64;
+        };
+        for _ in 0..config.rounds_per_size.max(1) {
+            let mut picked: HashSet<usize> = HashSet::new();
+            while picked.len() < size {
+                picked.insert(rng.gen_range(0..churnable.len()));
+            }
+            let batch: Vec<(usize, usize)> = picked.iter().map(|&i| churnable[i]).collect();
+            let mut removal = EdgeDelta::new();
+            let mut restore = EdgeDelta::new();
+            for &(u, v) in &batch {
+                removal.remove(u, v).expect("churnable edges are in range");
+                restore.add(u, v).expect("churnable edges are in range");
+            }
+            let start = Instant::now();
+            let out = ctx
+                .apply_delta(&removal, &mut graph, WeightScheme::UniformByDegree)
+                .expect("removing resident edges is a valid delta");
+            latencies.push(start.elapsed().as_nanos());
+            tally(&out);
+            let start = Instant::now();
+            let out = ctx
+                .apply_delta(&restore, &mut graph, WeightScheme::UniformByDegree)
+                .expect("restoring removed edges is a valid delta");
+            latencies.push(start.elapsed().as_nanos());
+            tally(&out);
+        }
+        sizes.push(ChurnSizeStats {
+            size,
+            deltas: latencies.len(),
+            repair_p50_ns: percentile_ns(&latencies, 50.0),
+            repair_p99_ns: percentile_ns(&latencies, 99.0),
+            resampled,
+            repaired,
+            untouched,
+            flushed,
+        });
+    }
+
+    // Repaired pools must still answer warm: re-query every warmed pair
+    // on the (restored) graph and count the hits.
+    let mut post_churn_hits = 0u64;
+    for &(s, t) in &warmed {
+        let query = Query { s, t, alpha: 0.2, budget: config.walks };
+        if let Ok(answer) = ctx.query(&query) {
+            post_churn_hits += u64::from(answer.cache_hit);
+        }
+    }
+
+    ChurnBenchReport {
+        source,
+        nodes: nodes_total,
+        edges: edges_total,
+        pools_warmed: warmed.len(),
+        sizes,
+        post_churn_hits,
+        stats: ctx.stats(),
+        cached_pools: ctx.cached_pools(),
+        resident_bytes: ctx.resident_bytes(),
+        config,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampling::find_scenario;
+
+    fn tiny_config() -> ChurnBenchConfig {
+        ChurnBenchConfig {
+            dataset: Dataset::Wiki,
+            nodes: 400,
+            threads: 1,
+            walks: 4_000,
+            seed: 3,
+            pairs: 3,
+            rounds_per_size: 3,
+            churn_sizes: vec![1, 8],
+            cache_bytes: 64 << 20,
+            profile: "full",
+            data_dir: PathBuf::from("data"),
+        }
+    }
+
+    #[test]
+    fn churn_config_applies_profile() {
+        let s = find_scenario("churn_wiki_7k_t1").unwrap();
+        let quick = churn_config(s, BenchProfile::Quick);
+        assert_eq!(quick.dataset, Dataset::Wiki);
+        assert_eq!(quick.nodes, 7_000);
+        assert_eq!(quick.threads, 1);
+        assert_eq!(quick.walks, BenchProfile::Quick.walks());
+        assert_eq!(quick.profile, "quick");
+        assert_eq!(quick.scenario(), s);
+        let full = churn_config(s, BenchProfile::Full);
+        assert_eq!(full.walks, 200_000);
+        assert!(full.churn_sizes.len() > quick.churn_sizes.len());
+        assert!(full.rounds_per_size > quick.rounds_per_size);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a churn cell")]
+    fn churn_config_rejects_pipeline_cells() {
+        let s = find_scenario("dataset_wiki_7k_t1").unwrap();
+        churn_config(s, BenchProfile::Quick);
+    }
+
+    #[test]
+    fn churn_bench_repairs_scale_with_delta_size() {
+        let config = tiny_config();
+        let report = run_churn_bench(config.clone());
+        assert!(report.pools_warmed > 0, "no pool warmed on the stand-in");
+        assert_eq!(report.sizes.len(), config.churn_sizes.len());
+        for (stats, &size) in report.sizes.iter().zip(&config.churn_sizes) {
+            assert_eq!(stats.size, size);
+            assert_eq!(stats.deltas, 2 * config.rounds_per_size);
+            assert!(stats.repair_p99_ns >= stats.repair_p50_ns);
+            // Endpoint-avoiding deltas never hit the pair-flush path.
+            assert_eq!(stats.flushed, 0, "size {size} flushed a pool");
+            assert_eq!(
+                stats.repaired + stats.untouched,
+                stats.deltas as u64 * report.pools_warmed as u64,
+                "every delta must account for every resident pool"
+            );
+        }
+        // The scaling signal: 8-edge deltas invalidate more walk mass
+        // than 1-edge deltas, and far less than a full resample would.
+        let (small, large) = (&report.sizes[0], &report.sizes[1]);
+        assert!(large.resampled > small.resampled, "{} vs {}", large.resampled, small.resampled);
+        let full_resample = report.pools_warmed as u64 * config.walks * large.deltas as u64;
+        assert!(large.resampled < full_resample / 2, "repair resampled near-everything");
+        // Repaired pools stay resident and keep answering warm.
+        assert_eq!(report.post_churn_hits, report.pools_warmed as u64);
+        assert!(report.cached_pools >= report.pools_warmed);
+    }
+
+    #[test]
+    fn churn_report_json_round_trips_the_history() {
+        let report = run_churn_bench(tiny_config());
+        let json = report.to_json();
+        assert!(!json.contains("arena_ns"), "churn entries must not carry arena_ns");
+        let value = crate::history::parse_json(&json).unwrap();
+        assert_eq!(
+            value.get("scenario").and_then(crate::history::JsonValue::as_str),
+            Some("churn_wiki_400_t1")
+        );
+        assert_eq!(value.get("profile").and_then(crate::history::JsonValue::as_str), Some("full"));
+        assert!(value.path_f64(&["churn_ns", "k1", "repair_p50"]).unwrap() > 0.0);
+        assert!(value.path_f64(&["churn_ns", "k8", "repair_p99"]).unwrap() > 0.0);
+        assert!(value.path_f64(&["repair", "k8", "resampled"]).unwrap() > 0.0);
+        assert_eq!(value.path_f64(&["repair", "k1", "flushed"]), Some(0.0));
+        assert!(value.path_f64(&["resampled_scaling"]).unwrap() > 1.0);
+        let mut history = crate::history::BenchHistory::default();
+        history.push(value.clone());
+        let reloaded = crate::history::BenchHistory::from_text(&history.to_text()).unwrap();
+        assert_eq!(
+            reloaded.entries[0].path_f64(&["churn_ns", "k8", "repair_p50"]),
+            value.path_f64(&["churn_ns", "k8", "repair_p50"])
+        );
+    }
+
+    #[test]
+    fn churn_runs_are_deterministic_modulo_timing() {
+        let a = run_churn_bench(tiny_config());
+        let b = run_churn_bench(tiny_config());
+        assert_eq!(a.pools_warmed, b.pools_warmed);
+        assert_eq!(a.post_churn_hits, b.post_churn_hits);
+        for (x, y) in a.sizes.iter().zip(&b.sizes) {
+            assert_eq!(x.resampled, y.resampled);
+            assert_eq!(x.repaired, y.repaired);
+            assert_eq!(x.untouched, y.untouched);
+            assert_eq!(x.flushed, y.flushed);
+        }
+        assert_eq!(a.resident_bytes, b.resident_bytes);
+    }
+}

@@ -419,6 +419,48 @@ impl BenchHistory {
     }
 }
 
+/// How the regression gate should account for machine speed when
+/// comparing a fresh measurement against a committed baseline, derived
+/// from the calibration timing (the frozen legacy sampler, or the scalar
+/// kernel) recorded in both.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MachineFactor {
+    /// Both calibration timings are sane: multiply the baseline by this
+    /// `current / baseline` factor before gating.
+    Normalize(f64),
+    /// The baseline entry predates calibration timings: compare raw ns
+    /// (the historical fallback; noisy across machines but not wrong).
+    Raw,
+    /// At least one calibration timing is zero, denormal, or non-finite.
+    /// The gate must be *skipped with this warning* — dividing by (or
+    /// multiplying with) such a value used to collapse the factor to 1.0
+    /// and pass the gate vacuously.
+    Skip(&'static str),
+}
+
+/// Derives the [`MachineFactor`] from a baseline calibration timing (as
+/// recorded in the history entry, `None` when the entry predates the
+/// field) and the same calibration measured in the current run.
+pub fn machine_factor(baseline_ns: Option<f64>, current_ns: f64) -> MachineFactor {
+    // A denormal (or zero, or non-finite) timing cannot calibrate
+    // anything: a division by it is ±inf or garbage in the last ulps.
+    // `MIN_POSITIVE` is the smallest *normal* f64, so this catches the
+    // whole subnormal range too.
+    fn unusable(x: f64) -> bool {
+        !x.is_finite() || x < f64::MIN_POSITIVE
+    }
+    match baseline_ns {
+        None => MachineFactor::Raw,
+        Some(b) if unusable(b) => {
+            MachineFactor::Skip("baseline calibration timing is zero/denormal")
+        }
+        Some(_) if unusable(current_ns) => {
+            MachineFactor::Skip("current calibration timing is zero/denormal")
+        }
+        Some(b) => MachineFactor::Normalize(current_ns / b),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -540,5 +582,56 @@ mod tests {
     fn unknown_schema_is_an_error() {
         assert!(BenchHistory::from_text("{\"foo\": 1}").is_err());
         assert!(BenchHistory::from_text("{\"schema_version\": 2}").is_err());
+    }
+
+    #[test]
+    fn machine_factor_normalizes_sane_timings() {
+        assert_eq!(machine_factor(Some(2.0e6), 1.0e6), MachineFactor::Normalize(0.5));
+        assert_eq!(machine_factor(Some(1.0e6), 3.0e6), MachineFactor::Normalize(3.0));
+        // A baseline entry predating calibration timings falls back to
+        // the raw-ns comparison, as the gate always did.
+        assert_eq!(machine_factor(None, 1.0e6), MachineFactor::Raw);
+    }
+
+    #[test]
+    fn machine_factor_skips_on_zero_or_denormal_timings() {
+        // Every unusable shape must *skip*, never normalize to 1.0: the
+        // old `.filter(...).map_or(1.0, ...)` collapsed all of these into
+        // a vacuous gate pass.
+        for bad in [0.0, -1.0, f64::MIN_POSITIVE / 2.0, f64::NAN, f64::INFINITY] {
+            assert!(
+                matches!(machine_factor(Some(bad), 1.0e6), MachineFactor::Skip(_)),
+                "baseline {bad} must skip"
+            );
+            assert!(
+                matches!(machine_factor(Some(1.0e6), bad), MachineFactor::Skip(_)),
+                "current {bad} must skip"
+            );
+        }
+        // The boundary itself is usable: MIN_POSITIVE is a normal f64.
+        assert!(matches!(
+            machine_factor(Some(f64::MIN_POSITIVE), f64::MIN_POSITIVE),
+            MachineFactor::Normalize(_)
+        ));
+    }
+
+    #[test]
+    fn machine_factor_skips_on_a_zeroed_history_entry() {
+        // A synthetic baseline entry whose legacy sampling time is zero —
+        // the exact shape that used to slip through the quick gate.
+        let entry = parse_json(
+            r#"{
+  "scenario": "powerlaw_cluster_10k_t1",
+  "profile": "quick",
+  "legacy_ns": { "sample": 0, "solve": 100, "total": 100 },
+  "arena_ns": { "sample": 50, "solve": 50, "total": 100 }
+}"#,
+        )
+        .unwrap();
+        let mut history = BenchHistory::default();
+        history.push(entry);
+        let baseline = history.baseline_legacy_sample_ns("powerlaw_cluster_10k_t1", "quick");
+        assert_eq!(baseline, Some(0.0));
+        assert!(matches!(machine_factor(baseline, 1.0e6), MachineFactor::Skip(_)));
     }
 }

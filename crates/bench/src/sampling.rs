@@ -98,6 +98,13 @@ pub struct Scenario {
     /// entries record `serving_ns` percentiles and cache counters rather
     /// than `arena_ns`, so the regression gate skips them.
     pub serving: bool,
+    /// Whether this cell measures the **edge-churn** lineage: sustained
+    /// `apply_delta` ingestion against warm resident pools, timing the
+    /// incremental repair at increasing touched-edge counts (see
+    /// [`crate::churn`]). Churn entries record `churn_ns` percentiles
+    /// per delta size rather than `arena_ns`, so the regression gate
+    /// skips them too.
+    pub churn: bool,
 }
 
 impl Scenario {
@@ -118,6 +125,9 @@ impl Scenario {
             Workload::Dataset(d) if self.serving => {
                 format!("serving_{}_{}_t{}", d.spec().file_stem, scale, self.threads)
             }
+            Workload::Dataset(d) if self.churn => {
+                format!("churn_{}_{}_t{}", d.spec().file_stem, scale, self.threads)
+            }
             Workload::Dataset(d) => {
                 format!("dataset_{}_{}_t{}", d.spec().file_stem, scale, self.threads)
             }
@@ -135,7 +145,10 @@ impl Scenario {
 /// genuinely diverge; each run times all of them) — plus the `serving`
 /// lineage: cold-vs-warm query latency through the pool cache on dataset
 /// cells spanning the same scale ladder, with the 1M Youtube cell (like
-/// the bake-off) reserved for the weekly full matrix.
+/// the bake-off) reserved for the weekly full matrix — plus the `churn`
+/// lineage: sustained edge-delta ingestion with incremental pool repair
+/// on the Wiki cell and the 220k Youtube cell (the scale where repair
+/// has to beat a genuinely expensive full resample).
 pub fn scenario_matrix() -> Vec<Scenario> {
     let mut matrix = Vec::new();
     for topology in Topology::ALL {
@@ -147,6 +160,7 @@ pub fn scenario_matrix() -> Vec<Scenario> {
                     threads,
                     bakeoff: false,
                     serving: false,
+                    churn: false,
                 });
             }
         }
@@ -159,6 +173,7 @@ pub fn scenario_matrix() -> Vec<Scenario> {
                 threads,
                 bakeoff: false,
                 serving: false,
+                churn: false,
             });
         }
     }
@@ -168,6 +183,7 @@ pub fn scenario_matrix() -> Vec<Scenario> {
         threads: 4,
         bakeoff: false,
         serving: false,
+        churn: false,
     });
     matrix.push(Scenario {
         workload: Workload::Dataset(Dataset::Youtube),
@@ -175,6 +191,7 @@ pub fn scenario_matrix() -> Vec<Scenario> {
         threads: 4,
         bakeoff: true,
         serving: false,
+        churn: false,
     });
     for (dataset, nodes, threads) in [
         (Dataset::Wiki, Dataset::Wiki.spec().nodes, 1usize),
@@ -189,13 +206,26 @@ pub fn scenario_matrix() -> Vec<Scenario> {
             threads,
             bakeoff: false,
             serving: true,
+            churn: false,
+        });
+    }
+    for (dataset, nodes, threads) in
+        [(Dataset::Wiki, Dataset::Wiki.spec().nodes, 1usize), (Dataset::Youtube, 220_000, 4)]
+    {
+        matrix.push(Scenario {
+            workload: Workload::Dataset(dataset),
+            nodes,
+            threads,
+            bakeoff: false,
+            serving: false,
+            churn: true,
         });
     }
     matrix
 }
 
 /// The quick (CI-sized) matrix: the 10k-node synthetic slice plus the
-/// dataset and serving cells (the lineages the CI gate watches) —
+/// dataset, serving, and churn cells (the lineages the CI gate watches) —
 /// **except** the bake-off cells and the 1M-node serving cell, whose
 /// 1M-node graphs belong in the weekly full-matrix job, not the per-push
 /// gate.
@@ -320,10 +350,12 @@ impl SamplingBenchConfig {
             nodes: self.nodes,
             threads: self.threads,
             bakeoff: self.bakeoff,
-            // The pipeline comparison never runs on serving cells (those
-            // route through `crate::serving`), so this is always a
-            // non-serving scenario.
+            // The pipeline comparison never runs on serving or churn
+            // cells (those route through `crate::serving` and
+            // `crate::churn`), so this is always a plain pipeline
+            // scenario.
             serving: false,
+            churn: false,
         }
     }
 }
@@ -1113,8 +1145,9 @@ mod tests {
         let matrix = scenario_matrix();
         // Synthetic lineage (4 × 2 × 2) plus the dataset lineage:
         // {wiki, hepth, hepph} × {1, 4}, the scaled Youtube cell, and
-        // the 1M-node Youtube bake-off cell — plus the 5 serving cells.
-        assert_eq!(matrix.len(), Topology::ALL.len() * 2 * 2 + 3 * 2 + 2 + 5);
+        // the 1M-node Youtube bake-off cell — plus the 5 serving cells
+        // and the 2 churn cells.
+        assert_eq!(matrix.len(), Topology::ALL.len() * 2 * 2 + 3 * 2 + 2 + 5 + 2);
         let names: std::collections::HashSet<String> = matrix.iter().map(Scenario::name).collect();
         assert_eq!(names.len(), matrix.len(), "scenario names collide");
         for required in [
@@ -1135,6 +1168,8 @@ mod tests {
             "serving_hepph_35k_t4",
             "serving_youtube_220k_t4",
             "serving_youtube_1m_t4",
+            "churn_wiki_7k_t1",
+            "churn_youtube_220k_t4",
         ] {
             assert!(names.contains(required), "matrix lacks {required}");
             assert!(find_scenario(required).is_some());
@@ -1150,16 +1185,25 @@ mod tests {
             .iter()
             .filter(|s| s.serving)
             .all(|s| matches!(s.workload, Workload::Dataset(_)) && !s.bakeoff));
+        // Churn cells are dataset-only and never double as serving or
+        // bake-off cells.
+        assert_eq!(matrix.iter().filter(|s| s.churn).count(), 2);
+        assert!(matrix.iter().filter(|s| s.churn).all(|s| matches!(
+            s.workload,
+            Workload::Dataset(_)
+        ) && !s.bakeoff
+            && !s.serving));
         // Quick keeps the synthetic 10k slice and every non-bake-off
-        // dataset/serving cell below 1M nodes; the 1M graphs belong to
-        // the weekly full matrix.
+        // dataset/serving/churn cell below 1M nodes; the 1M graphs
+        // belong to the weekly full matrix.
         let quick = quick_matrix();
         assert!(quick
             .iter()
             .all(|s| !matches!(s.workload, Workload::Synthetic(_)) || s.nodes == 10_000));
-        assert_eq!(quick.len(), Topology::ALL.len() * 2 + 3 * 2 + 1 + 4);
+        assert_eq!(quick.len(), Topology::ALL.len() * 2 + 3 * 2 + 1 + 4 + 2);
         assert!(quick.iter().any(|s| s.name() == "dataset_youtube_220k_t4"));
         assert!(quick.iter().any(|s| s.name() == "serving_youtube_220k_t4"));
+        assert!(quick.iter().any(|s| s.name() == "churn_youtube_220k_t4"));
         assert!(quick.iter().all(|s| !s.bakeoff), "--quick must skip the bake-off cells");
         assert!(
             quick.iter().all(|s| s.name() != "serving_youtube_1m_t4"),

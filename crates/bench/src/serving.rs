@@ -95,6 +95,7 @@ impl ServingBenchConfig {
             threads: self.threads,
             bakeoff: false,
             serving: true,
+            churn: false,
         }
     }
 }

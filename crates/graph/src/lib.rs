@@ -50,6 +50,7 @@ mod biconnected;
 mod builder;
 mod components;
 mod csr;
+mod delta;
 mod error;
 mod graph;
 mod metrics;
@@ -67,6 +68,7 @@ pub use biconnected::BlockCutTree;
 pub use builder::GraphBuilder;
 pub use components::{connected_components, largest_component, ComponentLabels};
 pub use csr::CsrGraph;
+pub use delta::{DeltaApplied, DeltaOp, EdgeDelta};
 pub use error::GraphError;
 pub use graph::SocialGraph;
 pub use metrics::{clustering_coefficient, DegreeHistogram, GraphMetrics};

@@ -69,6 +69,31 @@ impl FrontCodedPool {
             * std::mem::size_of::<u32>()
     }
 
+    /// Decodes back into a flat [`PathPool`], reattaching the walk
+    /// tallies the coded form does not store (`total_samples` and the
+    /// type-0 outcome counts). The exact inverse of
+    /// [`from_pool`](Self::from_pool): for matching tallies the decoded
+    /// pool is bit-identical to the original, which is what lets a
+    /// byte-budgeted cache store the coded form and still serve answers
+    /// indistinguishable from arena hits.
+    pub fn to_pool(&self, total_samples: u64, dangling: u64, cycles: u64) -> PathPool {
+        let mut nodes = Vec::new();
+        let mut offsets = Vec::with_capacity(self.unique_count() + 1);
+        offsets.push(0u32);
+        self.for_each(|path, _| {
+            nodes.extend_from_slice(path);
+            offsets.push(nodes.len() as u32);
+        });
+        PathPool::from_canonical_parts(
+            nodes,
+            offsets,
+            self.multiplicity.clone(),
+            total_samples,
+            dangling,
+            cycles,
+        )
+    }
+
     /// Decodes every `(path, multiplicity)` in canonical order into `f`,
     /// reusing one internal buffer — the sequential replay that front
     /// coding trades random access away for.
@@ -134,6 +159,22 @@ mod tests {
         // Accounting identity: suffix words + shared words = arena words.
         let arena_words: usize = (0..pool.unique_count()).map(|i| pool.path(i).len()).sum();
         assert_eq!(coded.suffix.len() + shared as usize, arena_words);
+    }
+
+    #[test]
+    fn to_pool_is_the_bit_identical_inverse() {
+        let pool = sampled_pool(
+            vec![(0, 2), (2, 3), (3, 1), (0, 4), (4, 1), (2, 4), (3, 5), (5, 1), (5, 4)],
+            30_000,
+            7,
+        );
+        let coded = FrontCodedPool::from_pool(&pool);
+        let decoded =
+            coded.to_pool(pool.total_samples(), pool.dangling_count(), pool.cycle_count());
+        assert_eq!(decoded, pool);
+        // Including the derived views a consumer would compare.
+        assert_eq!(decoded.heap_bytes(), pool.heap_bytes());
+        assert_eq!(decoded.pmax_estimate().to_bits(), pool.pmax_estimate().to_bits());
     }
 
     #[test]

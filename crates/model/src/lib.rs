@@ -28,7 +28,10 @@
 //!   assembly;
 //! * [`frontcode`] — front-coded (prefix-interned) pool storage:
 //!   adjacent paths in the canonical order share prefixes, so cold
-//!   tiers can store the arena in a fraction of the bytes.
+//!   tiers can store the arena in a fraction of the bytes;
+//! * [`walk_index`] — the edge→walk side index over the arena (a second
+//!   CSR keyed by draw-site node), resolving which stored walks an edge
+//!   delta invalidates in time proportional to the affected walks.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -42,6 +45,7 @@ pub mod process;
 pub mod realization;
 pub mod reverse;
 pub mod sampler;
+pub mod walk_index;
 
 mod error;
 mod instance;
@@ -56,8 +60,11 @@ pub mod prelude {
     pub use crate::acceptance::estimate_acceptance;
     pub use crate::pmax::{estimate_pmax_dklr, estimate_pmax_fixed, PmaxEstimate};
     pub use crate::reverse::{sample_target_path, sample_walk_into, TargetPath, WalkOutcome};
+    pub use crate::sampler::{
+        repair_pool, threads_from_env, PathPool, PoolRepair, SampleRequest, WalkKernel,
+    };
     #[allow(deprecated)]
     pub use crate::sampler::{sample_pool, sample_pool_parallel};
-    pub use crate::sampler::{threads_from_env, PathPool, SampleRequest, WalkKernel};
+    pub use crate::walk_index::EdgeWalkIndex;
     pub use crate::{FriendingInstance, InvitationSet, ModelError};
 }

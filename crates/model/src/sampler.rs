@@ -159,6 +159,27 @@ impl PathPool {
         }
     }
 
+    /// Reconstitutes a pool from already-canonical flat parts plus its
+    /// walk tallies — the inverse of [`into_flat_parts`](Self::into_flat_parts)
+    /// used by the repair path and the front-coded decoder. The caller
+    /// guarantees the parts are in canonical lexicographic order with
+    /// consistent offsets; debug builds re-check the invariants.
+    pub(crate) fn from_canonical_parts(
+        nodes: Vec<u32>,
+        offsets: Vec<u32>,
+        multiplicity: Vec<u32>,
+        total_samples: u64,
+        dangling: u64,
+        cycles: u64,
+    ) -> Self {
+        debug_assert_eq!(offsets.len(), multiplicity.len() + 1);
+        debug_assert_eq!(*offsets.last().unwrap() as usize, nodes.len());
+        debug_assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
+        let type1_total = multiplicity.iter().map(|&m| u64::from(m)).sum();
+        debug_assert!(type1_total + dangling + cycles <= total_samples || total_samples == 0);
+        PathPool { nodes, offsets, multiplicity, total_samples, type1_total, dangling, cycles }
+    }
+
     /// Assembles a pool from per-thread walk shards, merging their
     /// already-deduplicated interners in the given (thread-index) order
     /// and permuting the unique paths into canonical lexicographic order.
@@ -520,6 +541,14 @@ impl<'a> SampleRequest<'a> {
         }
     }
 
+    /// Replaces the walk count, keeping every other knob — how the
+    /// repair path turns a cache entry's request template into a
+    /// mini-request for exactly the invalidated multiplicity mass.
+    pub fn with_walks(mut self, walks: u64) -> Self {
+        self.walks = walks;
+        self
+    }
+
     /// Master seed the lane seeds derive from.
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
@@ -610,6 +639,110 @@ impl<'a> SampleRequest<'a> {
         let sampled = groups.iter().map(|(_, s)| s).sum();
         let shards: Vec<WalkShard> = groups.into_iter().flat_map(|(shards, _)| shards).collect();
         PathPool::assemble(shards, sampled, instance.original_table())
+    }
+}
+
+/// The outcome of [`repair_pool`]: either an incrementally repaired pool
+/// or a directive to resample from scratch.
+#[derive(Debug, Clone)]
+pub enum PoolRepair {
+    /// The pool was repaired in place: stale paths dropped, their
+    /// multiplicity mass re-sampled on the post-delta instance, and the
+    /// arena re-canonicalized.
+    Repaired {
+        /// The repaired pool.
+        pool: PathPool,
+        /// Unique paths that were invalidated and dropped.
+        stale_unique: usize,
+        /// Raw walks re-sampled (the invalidated multiplicity mass).
+        resampled: u64,
+    },
+    /// The delta touched the initiator or the target, changing the seed
+    /// set or the walks' first draw site — every walk (including the
+    /// untracked type-0 tallies) is stale, so the caller must resample
+    /// the full pool from its pure seed on the post-delta instance.
+    FullResample,
+}
+
+/// Incrementally repairs `pool` after an edge delta whose effective
+/// endpoint set is `touched` (original-space ids, as reported by
+/// `DeltaApplied::touched_nodes`).
+///
+/// Under degree-derived weight schemes churn on `{u, v}` renormalizes
+/// the whole in-weight distribution at both endpoints, so exactly the
+/// stored walks that *drew a step* at a touched endpoint are stale —
+/// resolved through the [`EdgeWalkIndex`] in time proportional to the
+/// affected walks. Those paths are dropped and their multiplicity mass
+/// is re-sampled on the post-delta `instance` through `template` (the
+/// entry's [`SampleRequest`] with its walk count replaced by the stale
+/// mass — the seed should be a *repair* seed derived from the pool seed
+/// and the delta serial, keeping the repaired pool a pure function of
+/// `(instance, walk history, seed, lanes)`). Kept paths and re-sampled
+/// paths merge through the interner and re-canonicalize, so two pools
+/// that agree as multisets still agree byte-for-byte after repair.
+///
+/// Conservation: `total_samples` is unchanged; the stale type-1 mass
+/// redistributes into the mini-pool's type-1/dangling/cycle tallies.
+/// Type-0 walks are tallied but not stored, so the (typically tiny)
+/// fraction of them that drew at a touched endpoint cannot be
+/// identified and keeps its old classification — the documented
+/// approximation, bounded by the type-0 share of the touched buckets
+/// and property-tested against resample-from-scratch in
+/// `tests/churn_repair.rs`.
+///
+/// Returns [`PoolRepair::FullResample`] when `touched` contains the
+/// initiator or the target (seed-set / first-draw changes invalidate
+/// walks the arena never stored).
+pub fn repair_pool(
+    pool: &PathPool,
+    index: &crate::walk_index::EdgeWalkIndex,
+    touched: &[u32],
+    instance: &FriendingInstance<'_>,
+    template: SampleRequest<'_>,
+) -> PoolRepair {
+    let s = instance.initiator_original().index() as u32;
+    let t = instance.target_original().index() as u32;
+    if touched.iter().any(|&v| v == s || v == t) {
+        return PoolRepair::FullResample;
+    }
+    let invalidation = index.invalidated(pool, touched);
+    if invalidation.is_empty() {
+        return PoolRepair::Repaired { pool: pool.clone(), stale_unique: 0, resampled: 0 };
+    }
+    let mini = template.with_walks(invalidation.mass).run(instance);
+    debug_assert_eq!(mini.total_samples(), invalidation.mass);
+    let mut interner = PathInterner::new();
+    let mut stale = invalidation.stale.iter().copied().peekable();
+    for i in 0..pool.unique_count() {
+        if stale.peek() == Some(&(i as u32)) {
+            stale.next();
+            continue;
+        }
+        interner.intern_copy(pool.path(i), pool.multiplicity(i));
+    }
+    for (path, mult) in mini.iter() {
+        interner.intern_copy(path, mult);
+    }
+    // Both inputs are already in original id space; canonicalization
+    // restores the lexicographic arena order over the merged set.
+    let (nodes, offsets, multiplicity) = interner.into_canonical_parts();
+    let repaired = PathPool::from_canonical_parts(
+        nodes,
+        offsets,
+        multiplicity,
+        pool.total_samples(),
+        pool.dangling_count() + mini.dangling_count(),
+        pool.cycle_count() + mini.cycle_count(),
+    );
+    debug_assert_eq!(
+        repaired.type1_count() as u64 + repaired.dangling_count() + repaired.cycle_count(),
+        pool.type1_count() as u64 + pool.dangling_count() + pool.cycle_count(),
+        "repair must conserve the walk tally"
+    );
+    PoolRepair::Repaired {
+        pool: repaired,
+        stale_unique: invalidation.stale.len(),
+        resampled: invalidation.mass,
     }
 }
 
@@ -860,12 +993,150 @@ fn splitmix64(mut x: u64) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use raf_graph::{CsrGraph, GraphBuilder, NodeId, WeightScheme};
+    use crate::walk_index::EdgeWalkIndex;
+    use raf_graph::{CsrGraph, EdgeDelta, GraphBuilder, NodeId, SocialGraph, WeightScheme};
 
     fn path_csr(n: usize) -> CsrGraph {
         let mut b = GraphBuilder::new();
         b.add_edges((0..n - 1).map(|i| (i, i + 1))).unwrap();
         b.build(WeightScheme::UniformByDegree).unwrap().to_csr()
+    }
+
+    /// Two disjoint routes 0-1-2-3-7 and 0-4-5-6-7: seeds {1, 4}, so
+    /// the stored type-1 shapes are [7,3,2] and [7,6,5].
+    fn two_route_social() -> SocialGraph {
+        let mut b = GraphBuilder::new();
+        b.add_edges(vec![(0, 1), (1, 2), (2, 3), (3, 7), (0, 4), (4, 5), (5, 6), (6, 7)]).unwrap();
+        b.build(WeightScheme::UniformByDegree).unwrap()
+    }
+
+    #[test]
+    fn repair_conserves_tallies_and_is_deterministic() {
+        let social = two_route_social();
+        let csr0 = social.to_csr();
+        let inst0 = FriendingInstance::new(&csr0, NodeId::new(0), NodeId::new(7)).unwrap();
+        let pool = SampleRequest::new(8_000).seed(5).run(&inst0);
+        let applied = EdgeDelta::parse("-2:3,+2:6")
+            .unwrap()
+            .apply(&social, WeightScheme::UniformByDegree)
+            .unwrap();
+        let touched = applied.touched_nodes();
+        assert_eq!(touched, vec![2, 3, 6]);
+        let csr1 = applied.graph.to_csr();
+        let inst1 = FriendingInstance::new(&csr1, NodeId::new(0), NodeId::new(7)).unwrap();
+        let index = EdgeWalkIndex::build(&pool, csr0.node_count());
+        let expect_mass = index.invalidated(&pool, &touched).mass;
+        assert!(expect_mass > 0, "fixture delta should invalidate stored walks");
+        let template = SampleRequest::new(0).seed(0xC0FFEE);
+        let repaired = match repair_pool(&pool, &index, &touched, &inst1, template) {
+            PoolRepair::Repaired { pool, stale_unique, resampled } => {
+                assert!(stale_unique > 0);
+                assert_eq!(resampled, expect_mass);
+                pool
+            }
+            PoolRepair::FullResample => panic!("delta avoids s/t; repair must be incremental"),
+        };
+        // Conservation: the walk tally is redistributed, never lost.
+        assert_eq!(repaired.total_samples(), pool.total_samples());
+        assert_eq!(
+            repaired.type1_count() as u64 + repaired.dangling_count() + repaired.cycle_count(),
+            pool.type1_count() as u64 + pool.dangling_count() + pool.cycle_count(),
+        );
+        // Every repaired path walks real edges of the post-delta graph
+        // and ends one hop from a seed.
+        for (path, _) in repaired.iter() {
+            for w in path.windows(2) {
+                let (u, v) = (NodeId::new(w[0] as usize), NodeId::new(w[1] as usize));
+                assert!(applied.graph.has_edge(u, v), "repaired path uses dead edge {w:?}");
+            }
+            let last = NodeId::new(*path.last().unwrap() as usize);
+            assert!(
+                inst1.seeds().iter().any(|&s| applied.graph.has_edge(last, s)),
+                "repaired path cannot terminate into the seed set"
+            );
+        }
+        // Purity: the same inputs repair to the byte-identical pool,
+        // regardless of thread count.
+        for threads in [1usize, 4] {
+            let again =
+                match repair_pool(&pool, &index, &touched, &inst1, template.threads(threads)) {
+                    PoolRepair::Repaired { pool, .. } => pool,
+                    PoolRepair::FullResample => unreachable!(),
+                };
+            assert_eq!(again, repaired, "repair not pure at threads={threads}");
+        }
+    }
+
+    #[test]
+    fn repair_noop_when_no_stored_walk_is_touched() {
+        let social = two_route_social();
+        let csr = social.to_csr();
+        let inst = FriendingInstance::new(&csr, NodeId::new(0), NodeId::new(7)).unwrap();
+        let pool = SampleRequest::new(4_000).seed(2).run(&inst);
+        let index = EdgeWalkIndex::build(&pool, csr.node_count());
+        // Node 1 is a seed: never a draw site, so its bucket is empty.
+        match repair_pool(&pool, &index, &[1], &inst, SampleRequest::new(0).seed(9)) {
+            PoolRepair::Repaired { pool: p, stale_unique, resampled } => {
+                assert_eq!(stale_unique, 0);
+                assert_eq!(resampled, 0);
+                assert_eq!(p, pool);
+            }
+            PoolRepair::FullResample => panic!("untouched pool must not resample"),
+        }
+    }
+
+    #[test]
+    fn repair_demands_full_resample_when_s_or_t_is_touched() {
+        let social = two_route_social();
+        let csr = social.to_csr();
+        let inst = FriendingInstance::new(&csr, NodeId::new(0), NodeId::new(7)).unwrap();
+        let pool = SampleRequest::new(4_000).seed(2).run(&inst);
+        let index = EdgeWalkIndex::build(&pool, csr.node_count());
+        let template = SampleRequest::new(0).seed(9);
+        // Touching the initiator changes the seed set; touching the
+        // target changes every walk's first draw.
+        for touched in [[0u32, 5], [7, 5]] {
+            assert!(matches!(
+                repair_pool(&pool, &index, &touched, &inst, template),
+                PoolRepair::FullResample
+            ));
+        }
+    }
+
+    #[test]
+    fn repair_on_relabeled_snapshot_stays_in_original_space() {
+        let social = two_route_social();
+        let applied = EdgeDelta::parse("-2:3")
+            .unwrap()
+            .apply(&social, WeightScheme::UniformByDegree)
+            .unwrap();
+        let touched = applied.touched_nodes();
+        let plain_csr = social.to_csr();
+        let plain_inst =
+            FriendingInstance::new(&plain_csr, NodeId::new(0), NodeId::new(7)).unwrap();
+        let pool = SampleRequest::new(8_000).seed(5).run(&plain_inst);
+        let index = EdgeWalkIndex::build(&pool, plain_csr.node_count());
+        let template = SampleRequest::new(0).seed(0xC0FFEE);
+        // Post-delta instances on the plain and hub-BFS layouts must
+        // repair to bit-identical pools: paths (and the touched set) are
+        // original-space, and the mini-pool inherits the sampler's
+        // relabel equivariance.
+        let plain1 = applied.graph.to_csr();
+        let inst_plain = FriendingInstance::new(&plain1, NodeId::new(0), NodeId::new(7)).unwrap();
+        let relabeling = std::sync::Arc::new(raf_graph::Relabeling::hub_bfs(&applied.graph));
+        let hub_csr = applied.graph.to_csr_relabeled(&relabeling);
+        let inst_hub =
+            FriendingInstance::relabeled(&hub_csr, NodeId::new(0), NodeId::new(7), relabeling)
+                .unwrap();
+        let a = match repair_pool(&pool, &index, &touched, &inst_plain, template) {
+            PoolRepair::Repaired { pool, .. } => pool,
+            PoolRepair::FullResample => unreachable!(),
+        };
+        let b = match repair_pool(&pool, &index, &touched, &inst_hub, template) {
+            PoolRepair::Repaired { pool, .. } => pool,
+            PoolRepair::FullResample => unreachable!(),
+        };
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! The byte-budgeted LRU pool cache behind [`crate::SessionContext`].
 
 use raf_cover::CoverInstance;
+use raf_model::frontcode::FrontCodedPool;
 use raf_model::sampler::PathPool;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -40,8 +41,8 @@ pub struct PoolKey {
 /// a real corruption bug) is evicted and resampled instead of served.
 #[derive(Debug, Clone)]
 pub struct CachedPool {
-    /// The sampled (deduplicated, canonical-order) pool.
-    pub pool: Arc<PathPool>,
+    /// The pool, as either the flat arena or its front-coded encoding.
+    storage: PoolStorage,
     /// The cover instance over the pool, built once per miss.
     pub cover: Arc<CoverInstance>,
     /// FNV-1a fingerprint of the pool's summary (see
@@ -49,12 +50,64 @@ pub struct CachedPool {
     checksum: u64,
 }
 
+/// How an entry holds its pool. The arena serves hits zero-copy; the
+/// front-coded form charges fewer bytes against the budget and decodes
+/// to a bit-identical arena on access (CPU traded for residency —
+/// opt-in via `ServeConfig::front_coded_cache`).
+#[derive(Debug, Clone)]
+enum PoolStorage {
+    Arena(Arc<PathPool>),
+    FrontCoded {
+        coded: Arc<FrontCodedPool>,
+        /// The walk tallies the coded form does not store, carried so
+        /// decoding reconstitutes the pool exactly.
+        total_samples: u64,
+        dangling: u64,
+        cycles: u64,
+    },
+}
+
 impl CachedPool {
     /// Builds an entry over a freshly sampled pool/cover pair, stamping
     /// its integrity fingerprint.
     pub fn new(pool: Arc<PathPool>, cover: Arc<CoverInstance>) -> Self {
         let checksum = Self::fingerprint(&pool);
-        CachedPool { pool, cover, checksum }
+        CachedPool { storage: PoolStorage::Arena(pool), cover, checksum }
+    }
+
+    /// Builds an entry that stores the pool front-coded: the fingerprint
+    /// is stamped from the arena form, so a later
+    /// [`pool`](Self::pool) materialization that fails to reproduce it
+    /// bit-for-bit fails [`verify`](Self::verify) like any corruption.
+    pub fn new_front_coded(pool: &PathPool, cover: Arc<CoverInstance>) -> Self {
+        let checksum = Self::fingerprint(pool);
+        CachedPool {
+            storage: PoolStorage::FrontCoded {
+                coded: Arc::new(FrontCodedPool::from_pool(pool)),
+                total_samples: pool.total_samples(),
+                dangling: pool.dangling_count(),
+                cycles: pool.cycle_count(),
+            },
+            cover,
+            checksum,
+        }
+    }
+
+    /// The entry's pool in arena form: zero-copy for arena storage, a
+    /// decode for front-coded storage (bit-identical to the pool the
+    /// entry was built from).
+    pub fn pool(&self) -> Arc<PathPool> {
+        match &self.storage {
+            PoolStorage::Arena(pool) => Arc::clone(pool),
+            PoolStorage::FrontCoded { coded, total_samples, dangling, cycles } => {
+                Arc::new(coded.to_pool(*total_samples, *dangling, *cycles))
+            }
+        }
+    }
+
+    /// Whether this entry stores its pool front-coded.
+    pub fn is_front_coded(&self) -> bool {
+        matches!(self.storage, PoolStorage::FrontCoded { .. })
     }
 
     /// FNV-1a over the pool's summary statistics — cheap enough to run
@@ -81,15 +134,22 @@ impl CachedPool {
     }
 
     /// Whether the entry's pool still matches its stamped fingerprint.
+    /// Front-coded entries materialize to check — corruption anywhere in
+    /// the coded form (or a decode that drifts from the original arena)
+    /// surfaces here exactly like arena corruption.
     pub fn verify(&self) -> bool {
-        Self::fingerprint(&self.pool) == self.checksum
+        Self::fingerprint(&self.pool()) == self.checksum
     }
 
     /// Logical bytes this entry charges against the cache budget: the
-    /// pool's arena plus the cover instance's (the two are the same order
-    /// of magnitude — the cover mirrors the pool's flat tables).
+    /// resident pool representation (arena, or the smaller front-coded
+    /// form) plus the cover instance's tables.
     pub fn heap_bytes(&self) -> usize {
-        self.pool.heap_bytes() + self.cover.heap_bytes()
+        let storage = match &self.storage {
+            PoolStorage::Arena(pool) => pool.heap_bytes(),
+            PoolStorage::FrontCoded { coded, .. } => coded.heap_bytes(),
+        };
+        storage + self.cover.heap_bytes()
     }
 }
 
@@ -129,11 +189,23 @@ pub struct CacheStats {
 #[derive(Debug, Default)]
 pub struct PoolCache {
     budget_bytes: usize,
-    entries: HashMap<PoolKey, CachedPool>,
+    entries: HashMap<PoolKey, Resident>,
     /// Keys in recency order, least recent first.
     order: Vec<PoolKey>,
     bytes: usize,
     stats: CacheStats,
+}
+
+/// A resident entry plus the bytes it was last charged at. Storing the
+/// charge per entry (instead of recomputing `heap_bytes()` at eviction)
+/// is what makes in-place mutation safe to account: the cache always
+/// credits back exactly what it debited, and
+/// [`reaccount`](PoolCache::reaccount) reconciles the difference when an
+/// entry's size changes under it.
+#[derive(Debug)]
+struct Resident {
+    entry: CachedPool,
+    charged: usize,
 }
 
 impl PoolCache {
@@ -178,9 +250,9 @@ impl PoolCache {
     /// reported as a miss, so the caller transparently resamples.
     pub fn get(&mut self, key: &PoolKey) -> Option<CachedPool> {
         match self.entries.get(key) {
-            Some(entry) if entry.verify() => {
+            Some(resident) if resident.entry.verify() => {
                 self.stats.hits += 1;
-                let entry = entry.clone();
+                let entry = resident.entry.clone();
                 self.touch(key);
                 Some(entry)
             }
@@ -197,29 +269,79 @@ impl PoolCache {
         }
     }
 
+    /// Reads a resident entry without counting a hit or refreshing
+    /// recency — the maintenance view used by delta repair, which walks
+    /// every resident entry and must not perturb the LRU order or the
+    /// hit/miss telemetry while doing so.
+    pub fn peek(&self, key: &PoolKey) -> Option<&CachedPool> {
+        self.entries.get(key).map(|r| &r.entry)
+    }
+
+    /// Mutable access to a resident entry for in-place repair. The
+    /// borrow deliberately bypasses recency and counters; the caller
+    /// **must** follow the mutation with [`reaccount`](Self::reaccount)
+    /// — until then the cache's tracked bytes still reflect the
+    /// pre-mutation size.
+    pub fn entry_mut(&mut self, key: &PoolKey) -> Option<&mut CachedPool> {
+        self.entries.get_mut(key).map(|r| &mut r.entry)
+    }
+
+    /// Reconciles the tracked byte total after a resident entry was
+    /// mutated in place (via [`entry_mut`](Self::entry_mut)): re-measures
+    /// the entry, adjusts the cache total by the difference, and — if the
+    /// entry grew past the budget — evicts least-recent entries exactly
+    /// as [`insert`](Self::insert) would, including the reaccounted entry
+    /// itself if it alone no longer fits. Returns whether the key is
+    /// still resident afterwards; `false` for absent keys.
+    pub fn reaccount(&mut self, key: &PoolKey) -> bool {
+        let Some(resident) = self.entries.get_mut(key) else {
+            return false;
+        };
+        let fresh = resident.entry.heap_bytes();
+        self.bytes = self.bytes - resident.charged + fresh;
+        resident.charged = fresh;
+        self.debug_check_accounting();
+        while self.bytes > self.budget_bytes && self.order.len() > 1 {
+            let victim = self.order.remove(0);
+            let dropped = self.entries.remove(&victim).expect("order/entries in sync");
+            self.bytes -= dropped.charged;
+            self.stats.evictions += 1;
+        }
+        if self.bytes > self.budget_bytes && self.entries.contains_key(key) {
+            // The mutated entry alone exceeds the budget — the in-place
+            // analogue of insert's oversized rejection.
+            self.evict(key);
+            self.stats.rejected += 1;
+        }
+        self.debug_check_accounting();
+        self.entries.contains_key(key)
+    }
+
     /// Inserts an entry as most-recent and evicts least-recent entries
     /// until the budget holds. Re-inserting a resident key replaces the
     /// entry. An entry that alone exceeds the whole budget is rejected
     /// (resident entries untouched, [`CacheStats::rejected`] bumped) —
     /// the caller already holds the entry and loses nothing but reuse.
     pub fn insert(&mut self, key: PoolKey, entry: CachedPool) {
-        if entry.heap_bytes() > self.budget_bytes {
+        let charged = entry.heap_bytes();
+        if charged > self.budget_bytes {
             self.stats.rejected += 1;
             return;
         }
         if let Some(old) = self.entries.remove(&key) {
-            self.bytes -= old.heap_bytes();
+            self.bytes -= old.charged;
             self.order.retain(|k| k != &key);
         }
-        self.bytes += entry.heap_bytes();
-        self.entries.insert(key, entry);
+        self.bytes += charged;
+        self.entries.insert(key, Resident { entry, charged });
         self.order.push(key);
         while self.bytes > self.budget_bytes && self.order.len() > 1 {
             let victim = self.order.remove(0);
             let dropped = self.entries.remove(&victim).expect("order/entries in sync");
-            self.bytes -= dropped.heap_bytes();
+            self.bytes -= dropped.charged;
             self.stats.evictions += 1;
         }
+        self.debug_check_accounting();
     }
 
     /// Drops a key outright (no counter changes) — the consistency hook
@@ -229,14 +351,28 @@ impl PoolCache {
         self.evict(key)
     }
 
+    /// Integrity eviction from a maintenance walk (delta repair): drops
+    /// an entry whose fingerprint no longer matches, counted in
+    /// [`CacheStats::integrity_evictions`] like a lookup-time detection
+    /// but **without** a miss — no caller is waiting for this entry, so
+    /// there is no lookup to account. Returns whether a key was dropped.
+    pub fn evict_corrupt(&mut self, key: &PoolKey) -> bool {
+        if self.evict(key) {
+            self.stats.integrity_evictions += 1;
+            true
+        } else {
+            false
+        }
+    }
+
     /// Fault-injection hook ([`crate::FaultKind::CorruptCacheEntry`]):
     /// invalidates the resident entry's integrity fingerprint in place,
     /// so the next [`get`](Self::get) detects corruption, evicts, and
     /// forces a resample. Returns whether the key was resident.
     pub fn corrupt_entry(&mut self, key: &PoolKey) -> bool {
         match self.entries.get_mut(key) {
-            Some(entry) => {
-                entry.checksum ^= 1;
+            Some(resident) => {
+                resident.entry.checksum ^= 1;
                 true
             }
             None => false,
@@ -246,12 +382,24 @@ impl PoolCache {
     fn evict(&mut self, key: &PoolKey) -> bool {
         match self.entries.remove(key) {
             Some(dropped) => {
-                self.bytes -= dropped.heap_bytes();
+                self.bytes -= dropped.charged;
                 self.order.retain(|k| k != key);
                 true
             }
             None => false,
         }
+    }
+
+    /// Debug-build invariant: the tracked byte total is exactly the sum
+    /// of per-entry charges. Checked at every accounting boundary
+    /// (insert, reaccount) — a drift here is the in-place-mutation bug
+    /// this accounting scheme exists to prevent.
+    fn debug_check_accounting(&self) {
+        debug_assert_eq!(
+            self.bytes,
+            self.entries.values().map(|r| r.charged).sum::<usize>(),
+            "cache byte total must equal the summed per-entry charges"
+        );
     }
 
     fn touch(&mut self, key: &PoolKey) {
@@ -326,7 +474,7 @@ mod tests {
         let one = e.heap_bytes();
         assert_eq!(
             one,
-            e.pool.heap_bytes() + e.cover.heap_bytes(),
+            e.pool().heap_bytes() + e.cover.heap_bytes(),
             "entry bytes must be the sum of its parts"
         );
         let mut cache = PoolCache::new(10 * one);
@@ -404,6 +552,20 @@ mod tests {
     }
 
     #[test]
+    fn evict_corrupt_counts_integrity_without_a_lookup() {
+        let mut cache = PoolCache::new(usize::MAX);
+        cache.insert(key(1), entry(500));
+        assert!(cache.corrupt_entry(&key(1)));
+        assert!(cache.evict_corrupt(&key(1)));
+        assert!(!cache.evict_corrupt(&key(1)), "a dropped key cannot be evicted again");
+        let stats = cache.stats();
+        assert_eq!(stats.integrity_evictions, 1);
+        assert_eq!((stats.hits, stats.misses), (0, 0), "maintenance evictions are not lookups");
+        assert_eq!(stats.evictions, 0, "integrity evictions are not capacity evictions");
+        assert!(cache.is_empty());
+    }
+
+    #[test]
     fn remove_discards_without_counting() {
         let mut cache = PoolCache::new(usize::MAX);
         cache.insert(key(1), entry(500));
@@ -422,5 +584,125 @@ mod tests {
         assert!(e.verify());
         let clone = e.clone();
         assert!(clone.verify(), "fingerprints survive cloning");
+    }
+
+    /// A bigger entry than `entry(500)` produces, for in-place growth.
+    fn wide_entry(walks: u64) -> CachedPool {
+        let mut b = GraphBuilder::new();
+        b.add_edges((0..12usize).map(|i| (i, i + 1))).unwrap();
+        b.add_edges((2..12usize).map(|i| (i, 13))).unwrap();
+        let g = b.build(WeightScheme::UniformByDegree).unwrap().to_csr();
+        let inst = FriendingInstance::new(&g, NodeId::new(0), NodeId::new(13)).unwrap();
+        let pool = SampleRequest::new(walks).seed(5).run(&inst);
+        let cover = CoverInstance::from_path_pool(g.node_count(), pool.clone()).unwrap();
+        CachedPool::new(Arc::new(pool), Arc::new(cover))
+    }
+
+    #[test]
+    fn reaccount_reconciles_in_place_mutation() {
+        // Regression: bytes were only adjusted at insert/evict, so
+        // mutating a resident entry in place (delta repair) silently
+        // skewed the tracked total — the budget then over- or
+        // under-evicted forever after.
+        let small = entry(500);
+        let big = wide_entry(8_000);
+        let (small_bytes, big_bytes) = (small.heap_bytes(), big.heap_bytes());
+        assert!(big_bytes > small_bytes, "fixture: mutation must change the size");
+        let mut cache = PoolCache::new(10 * big_bytes);
+        cache.insert(key(1), small);
+        cache.insert(key(2), entry(500));
+        assert_eq!(cache.bytes(), small_bytes + entry(500).heap_bytes());
+
+        // Mutate key(1) in place: the tracked total is stale until
+        // reaccount reconciles it.
+        *cache.entry_mut(&key(1)).unwrap() = big.clone();
+        assert!(cache.reaccount(&key(1)), "entry still fits the budget");
+        assert_eq!(cache.bytes(), big_bytes + entry(500).heap_bytes());
+        // Shrink back; the credit is exact, not cumulative.
+        *cache.entry_mut(&key(1)).unwrap() = entry(500);
+        assert!(cache.reaccount(&key(1)));
+        assert_eq!(cache.bytes(), 2 * small_bytes);
+        // Absent keys are reported, not invented.
+        assert!(!cache.reaccount(&key(9)));
+        assert!(cache.entry_mut(&key(9)).is_none());
+    }
+
+    #[test]
+    fn reaccount_enforces_the_budget_after_growth() {
+        let small_bytes = entry(500).heap_bytes();
+        let big = wide_entry(8_000);
+        // Budget: three small entries, or the big one plus one small.
+        let budget = big.heap_bytes() + small_bytes;
+        let mut cache = PoolCache::new(budget);
+        cache.insert(key(1), entry(500));
+        cache.insert(key(2), entry(500));
+        cache.insert(key(3), entry(500));
+        assert_eq!(cache.len(), 3);
+        // Growing key(3) in place forces the LRU victim (key 1) out.
+        *cache.entry_mut(&key(3)).unwrap() = big;
+        assert!(cache.reaccount(&key(3)));
+        assert_eq!(cache.stats().evictions, 1);
+        assert!(cache.peek(&key(1)).is_none(), "LRU victim evicted");
+        assert!(cache.peek(&key(2)).is_some());
+        assert!(cache.bytes() <= budget);
+        // Growing past the whole budget rejects the entry itself.
+        let mut tiny = PoolCache::new(small_bytes);
+        tiny.insert(key(1), entry(500));
+        *tiny.entry_mut(&key(1)).unwrap() = wide_entry(8_000);
+        assert!(!tiny.reaccount(&key(1)), "oversized mutation cannot stay resident");
+        assert!(tiny.is_empty());
+        assert_eq!(tiny.bytes(), 0);
+        assert_eq!(tiny.stats().rejected, 1);
+    }
+
+    #[test]
+    fn peek_reads_without_counting_or_touching() {
+        let mut cache = PoolCache::new(usize::MAX);
+        cache.insert(key(1), entry(500));
+        cache.insert(key(2), entry(500));
+        let stats_before = cache.stats();
+        assert!(cache.peek(&key(1)).is_some());
+        assert!(cache.peek(&key(9)).is_none());
+        assert_eq!(cache.stats(), stats_before, "peek is not a lookup");
+        assert_eq!(cache.lru_keys(), &[key(1), key(2)], "peek must not refresh recency");
+    }
+
+    #[test]
+    fn front_coded_entry_decodes_bit_identical_and_charges_fewer_bytes() {
+        let mut b = GraphBuilder::new();
+        b.add_edges(vec![(0, 2), (2, 3), (3, 1), (0, 4), (4, 1), (2, 4), (3, 5), (5, 1), (5, 4)])
+            .unwrap();
+        let g = b.build(WeightScheme::UniformByDegree).unwrap().to_csr();
+        let inst = FriendingInstance::new(&g, NodeId::new(0), NodeId::new(1)).unwrap();
+        let pool = SampleRequest::new(30_000).seed(7).run(&inst);
+        let cover = Arc::new(CoverInstance::from_path_pool(g.node_count(), pool.clone()).unwrap());
+        let arena = CachedPool::new(Arc::new(pool.clone()), Arc::clone(&cover));
+        let coded = CachedPool::new_front_coded(&pool, cover);
+        assert!(!arena.is_front_coded());
+        assert!(coded.is_front_coded());
+        // The decode is the bit-identical arena — same answers, same
+        // fingerprint, so verify() passes on both forms.
+        assert_eq!(*coded.pool(), pool);
+        assert_eq!(coded.pool().pmax_estimate().to_bits(), pool.pmax_estimate().to_bits());
+        assert!(arena.verify() && coded.verify());
+        // What the budget sees differs: the coded form charges less.
+        assert!(
+            coded.heap_bytes() < arena.heap_bytes(),
+            "front-coded residency must cost fewer bytes ({} vs {})",
+            coded.heap_bytes(),
+            arena.heap_bytes()
+        );
+    }
+
+    #[test]
+    fn corruption_in_front_coded_entries_is_still_detected() {
+        let mut cache = PoolCache::new(usize::MAX);
+        let e = entry(500);
+        let coded = CachedPool::new_front_coded(&e.pool(), Arc::clone(&e.cover));
+        cache.insert(key(1), coded);
+        assert!(cache.get(&key(1)).is_some());
+        assert!(cache.corrupt_entry(&key(1)));
+        assert!(cache.get(&key(1)).is_none(), "corrupt coded entry must not serve");
+        assert_eq!(cache.stats().integrity_evictions, 1);
     }
 }

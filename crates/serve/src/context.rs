@@ -5,8 +5,9 @@ use crate::deadline::{AdmissionPolicy, DeadlinePolicy, ShedReason};
 use crate::fault::{FaultKind, FaultPlan};
 use raf_core::{CoreError, ParameterSet};
 use raf_cover::{ChlamtacPortfolio, CoverError, CoverInstance};
-use raf_graph::{CsrGraph, NodeId, Relabeling};
-use raf_model::sampler::{PathPool, SampleControl, SampleRequest};
+use raf_graph::{CsrGraph, EdgeDelta, GraphError, NodeId, Relabeling, SocialGraph, WeightScheme};
+use raf_model::sampler::{repair_pool, PathPool, PoolRepair, SampleControl, SampleRequest};
+use raf_model::walk_index::EdgeWalkIndex;
 use raf_model::{FriendingInstance, InvitationSet, ModelError};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -42,6 +43,11 @@ pub struct ServeConfig {
     /// [`ServeError::Overloaded`] instead of being allowed to stall the
     /// session.
     pub admission: AdmissionPolicy,
+    /// Store cached pools front-coded (prefix-interned) instead of as
+    /// flat arenas: entries charge fewer bytes against
+    /// [`cache_bytes`](Self::cache_bytes) and decode to a bit-identical
+    /// arena on every hit — answers are unchanged, hits cost a decode.
+    pub front_coded_cache: bool,
 }
 
 impl Default for ServeConfig {
@@ -54,6 +60,7 @@ impl Default for ServeConfig {
             cache_bytes: 256 << 20,
             deadline: DeadlinePolicy::UNLIMITED,
             admission: AdmissionPolicy::OPEN,
+            front_coded_cache: false,
         }
     }
 }
@@ -173,6 +180,10 @@ pub enum ServeError {
         /// The panic message, as far as it could be recovered.
         reason: String,
     },
+    /// An edge delta failed to apply to the resident graph (malformed
+    /// spec, out-of-range endpoint, self-loop). The graph and every
+    /// cached pool are unchanged.
+    Delta(GraphError),
 }
 
 impl ServeError {
@@ -188,6 +199,7 @@ impl ServeError {
             ServeError::Overloaded(_) => "overloaded",
             ServeError::ResourceExhausted { .. } => "resource-exhausted",
             ServeError::Internal { .. } => "internal",
+            ServeError::Delta(_) => "delta",
         }
     }
 
@@ -214,6 +226,7 @@ impl fmt::Display for ServeError {
                 write!(f, "resource exhausted: pool needs {needed} bytes, allocation cap is {cap}")
             }
             ServeError::Internal { reason } => write!(f, "internal: {reason}"),
+            ServeError::Delta(e) => write!(f, "delta rejected: {e}"),
         }
     }
 }
@@ -280,6 +293,53 @@ pub struct SessionContext<'g> {
     /// addressed by it).
     serial: u64,
     session: SessionStats,
+    /// Owned post-churn snapshot; set by the first
+    /// [`apply_delta`](Self::apply_delta) and replaced by each later one.
+    /// While present it shadows the borrowed `csr` everywhere.
+    dynamic: Option<DynamicSnapshot>,
+    /// How many deltas have been applied — mixed into repair seeds so
+    /// each delta's repair walks are fresh yet reproducible.
+    delta_serial: u64,
+}
+
+/// The owned snapshot a session serves from once edge churn begins. The
+/// node set is frozen under churn, so the original relabeling table (if
+/// any) remains a valid permutation and is reused for the rebuilt
+/// layout.
+#[derive(Debug)]
+struct DynamicSnapshot {
+    csr: CsrGraph,
+    relabeling: Option<Arc<Relabeling>>,
+}
+
+/// What one [`SessionContext::apply_delta`] call did: the effective
+/// graph change plus the fate of every pool that was resident when the
+/// delta arrived.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeltaOutcome {
+    /// Edges actually added (absent before the delta).
+    pub added: usize,
+    /// Edges actually removed (present before the delta).
+    pub removed: usize,
+    /// Distinct endpoints of the effective ops.
+    pub touched_nodes: usize,
+    /// Resident entries repaired in place (stale walk mass re-sampled,
+    /// fingerprint re-stamped, bytes re-accounted).
+    pub repaired: usize,
+    /// Resident entries untouched: no stored walk drew a step at a
+    /// touched node.
+    pub untouched: usize,
+    /// Resident entries evicted instead of repaired (the delta touched
+    /// the entry's `s` or `t`, or the pair became invalid): the next
+    /// query resamples from the pure seed on the post-delta graph.
+    pub flushed: usize,
+    /// Total walk mass re-sampled across the repaired entries — the
+    /// quantity repair cost scales with (compare: a flush re-samples the
+    /// entry's full walk count).
+    pub resampled_walks: u64,
+    /// Whether the delta was a no-op (every op already satisfied); the
+    /// graph and all pools are unchanged.
+    pub noop: bool,
 }
 
 impl<'g> SessionContext<'g> {
@@ -294,6 +354,8 @@ impl<'g> SessionContext<'g> {
             faults: FaultPlan::empty(),
             serial: 0,
             session: SessionStats::default(),
+            dynamic: None,
+            delta_serial: 0,
         }
     }
 
@@ -315,7 +377,30 @@ impl<'g> SessionContext<'g> {
             faults: FaultPlan::empty(),
             serial: 0,
             session: SessionStats::default(),
+            dynamic: None,
+            delta_serial: 0,
         }
+    }
+
+    /// The snapshot queries currently run against: the owned post-churn
+    /// snapshot once a delta has been applied, the borrowed one before.
+    fn active_csr(&self) -> &CsrGraph {
+        match &self.dynamic {
+            Some(d) => &d.csr,
+            None => self.csr,
+        }
+    }
+
+    fn active_relabeling(&self) -> Option<&Arc<Relabeling>> {
+        match &self.dynamic {
+            Some(d) => d.relabeling.as_ref(),
+            None => self.relabeling.as_ref(),
+        }
+    }
+
+    /// Number of deltas applied to this session so far.
+    pub fn deltas_applied(&self) -> u64 {
+        self.delta_serial
     }
 
     /// The active configuration.
@@ -368,7 +453,7 @@ impl<'g> SessionContext<'g> {
         if query.s == query.t {
             return Err(ServeError::InvalidQuery(QueryRejection::SourceIsTarget));
         }
-        let node_count = self.csr.node_count();
+        let node_count = self.active_csr().node_count();
         let narrow = |node: NodeId| -> Result<u32, ServeError> {
             let index = node.index();
             if index >= node_count {
@@ -395,11 +480,20 @@ impl<'g> SessionContext<'g> {
         self.config.seed ^ splitmix64((u64::from(key.s) << 32) | u64::from(key.t))
     }
 
-    fn instance(&self, s: NodeId, t: NodeId) -> Result<FriendingInstance<'g>, ServeError> {
-        Ok(match &self.relabeling {
-            None => FriendingInstance::new(self.csr, s, t)?,
-            Some(r) => FriendingInstance::relabeled(self.csr, s, t, Arc::clone(r))?,
+    fn instance(&self, s: NodeId, t: NodeId) -> Result<FriendingInstance<'_>, ServeError> {
+        let csr = self.active_csr();
+        Ok(match self.active_relabeling() {
+            None => FriendingInstance::new(csr, s, t)?,
+            Some(r) => FriendingInstance::relabeled(csr, s, t, Arc::clone(r))?,
         })
+    }
+
+    /// The per-key repair seed for the current delta generation: a pure
+    /// mix of the pool seed and the delta serial, so repairs draw walks
+    /// disjoint from the original pool's yet fully reproducible from
+    /// `(config, query history, delta history)`.
+    fn repair_seed(&self, key: &PoolKey) -> u64 {
+        splitmix64(self.pool_seed(key) ^ splitmix64(self.delta_serial))
     }
 
     fn check_query_cap(&self, key: &PoolKey) -> Result<(), ServeError> {
@@ -465,8 +559,12 @@ impl<'g> SessionContext<'g> {
                 return Err(ServeError::ResourceExhausted { needed, cap });
             }
         }
-        let cover = CoverInstance::from_path_pool(self.csr.node_count(), pool.clone())?;
-        let entry = CachedPool::new(Arc::new(pool), Arc::new(cover));
+        let cover = CoverInstance::from_path_pool(self.active_csr().node_count(), pool.clone())?;
+        let entry = if self.config.front_coded_cache {
+            CachedPool::new_front_coded(&pool, Arc::new(cover))
+        } else {
+            CachedPool::new(Arc::new(pool), Arc::new(cover))
+        };
         self.cache.insert(*key, entry.clone());
         if faults.contains(&FaultKind::CorruptCacheEntry) {
             self.cache.corrupt_entry(key);
@@ -487,7 +585,7 @@ impl<'g> SessionContext<'g> {
         let key = self.key_for(&probe)?;
         self.check_query_cap(&key)?;
         let (entry, _) = self.entry_for(&probe, &key, &[])?;
-        Ok(entry.pool)
+        Ok(entry.pool())
     }
 
     /// Answers one query: pool from the cache (sampling only on a true
@@ -545,24 +643,25 @@ impl<'g> SessionContext<'g> {
         faults: &[FaultKind],
     ) -> Result<QueryAnswer, ServeError> {
         let (entry, cache_hit) = self.entry_for(query, key, faults)?;
-        let degraded = entry.pool.total_samples() < key.walks;
+        let pool = entry.pool();
+        let degraded = pool.total_samples() < key.walks;
         let parameters =
-            ParameterSet::solve(query.alpha, self.config.epsilon, self.csr.node_count())?;
-        let b1 = entry.pool.type1_count();
+            ParameterSet::solve(query.alpha, self.config.epsilon, self.active_csr().node_count())?;
+        let b1 = pool.type1_count();
         if b1 == 0 {
-            return Err(ServeError::TargetUnreachable { samples: entry.pool.total_samples() });
+            return Err(ServeError::TargetUnreachable { samples: pool.total_samples() });
         }
         let p = raf_cover::cover_requirement(parameters.beta, b1);
         let msc = raf_cover::solve_msc(&ChlamtacPortfolio::new(), &entry.cover, p)?;
-        let mut invitations = InvitationSet::empty(self.csr.node_count());
+        let mut invitations = InvitationSet::empty(self.active_csr().node_count());
         for &e in &msc.elements {
             invitations.insert(NodeId::new(e as usize));
         }
         Ok(QueryAnswer {
             invitations,
             parameters,
-            pmax_estimate: entry.pool.pmax_estimate(),
-            walks: entry.pool.total_samples(),
+            pmax_estimate: pool.pmax_estimate(),
+            walks: pool.total_samples(),
             type1_count: b1,
             cover_p: p,
             covered: msc.covered_weight,
@@ -575,6 +674,133 @@ impl<'g> SessionContext<'g> {
     /// the batch — a service keeps serving).
     pub fn query_batch(&mut self, queries: &[Query]) -> Vec<Result<QueryAnswer, ServeError>> {
         queries.iter().map(|q| self.query(q)).collect()
+    }
+
+    /// Applies an edge delta to the session: rebuilds the resident
+    /// snapshot from the post-delta graph (node set frozen; the original
+    /// relabeling, if any, stays in force) and repairs resident cache
+    /// entries **in place** instead of flushing them.
+    ///
+    /// Per entry, the edge→walk index resolves exactly the stored walks
+    /// that drew a step at a touched endpoint; only that multiplicity
+    /// mass is re-sampled (on the post-delta graph, under a repair seed
+    /// mixed from the pool seed and the delta serial), the entry is
+    /// re-fingerprinted, and its bytes re-accounted against the budget.
+    /// Entries whose own `s` or `t` the delta touched — or whose pair is
+    /// no longer a valid instance — are evicted; their next query
+    /// resamples from the pure pool seed like any cold miss. A no-op
+    /// delta (every op already satisfied) changes nothing.
+    ///
+    /// `social` is the caller's canonical edge-list graph — the same one
+    /// the resident snapshot was built from — and is advanced to the
+    /// post-delta graph on success, keeping the two views in lockstep
+    /// across a churn stream.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Delta`] if the delta does not apply (out-of-range
+    /// endpoint, self-loop); the graph and all pools are unchanged.
+    pub fn apply_delta(
+        &mut self,
+        delta: &EdgeDelta,
+        social: &mut SocialGraph,
+        scheme: WeightScheme,
+    ) -> Result<DeltaOutcome, ServeError> {
+        debug_assert_eq!(
+            social.node_count(),
+            self.active_csr().node_count(),
+            "social graph and resident snapshot must describe the same node set"
+        );
+        let applied = delta.apply(social, scheme).map_err(ServeError::Delta)?;
+        let touched = applied.touched_nodes();
+        let mut outcome = DeltaOutcome {
+            added: applied.added.len(),
+            removed: applied.removed.len(),
+            touched_nodes: touched.len(),
+            repaired: 0,
+            untouched: 0,
+            flushed: 0,
+            resampled_walks: 0,
+            noop: applied.is_noop(),
+        };
+        if applied.is_noop() {
+            return Ok(outcome);
+        }
+        let relabeling = self.active_relabeling().cloned();
+        let csr = match &relabeling {
+            None => applied.graph.to_csr(),
+            Some(r) => applied.graph.to_csr_relabeled(r),
+        };
+        *social = applied.graph;
+        self.dynamic = Some(DynamicSnapshot { csr, relabeling });
+        self.delta_serial += 1;
+
+        let keys: Vec<PoolKey> = self.cache.lru_keys().to_vec();
+        for key in keys {
+            let Some(entry) = self.cache.peek(&key) else { continue };
+            // Repairing a corrupted entry would launder it: the repair
+            // rebuilds the entry and restamps a fresh fingerprint, so a
+            // pool that failed integrity would start serving as a valid
+            // hit. Verify first; corruption found here is evicted like
+            // lookup-time corruption and the next query resamples from
+            // the pure per-pair seed on the post-delta graph.
+            if !entry.verify() {
+                self.cache.evict_corrupt(&key);
+                outcome.flushed += 1;
+                continue;
+            }
+            let old_pool = entry.pool();
+            let node_count = self.active_csr().node_count();
+            let index = EdgeWalkIndex::build(&old_pool, node_count);
+            let repair =
+                match self.instance(NodeId::new(key.s as usize), NodeId::new(key.t as usize)) {
+                    Ok(instance) => {
+                        let template = SampleRequest::new(0)
+                            .seed(self.repair_seed(&key))
+                            .threads(self.config.threads);
+                        Some(repair_pool(&old_pool, &index, &touched, &instance, template))
+                    }
+                    // The pair is no longer a valid instance (e.g. the delta
+                    // made s and t adjacent): drop the pool.
+                    Err(_) => None,
+                };
+            match repair {
+                Some(PoolRepair::Repaired { resampled: 0, .. }) => outcome.untouched += 1,
+                Some(PoolRepair::Repaired { pool, resampled, .. }) => {
+                    let rebuilt =
+                        CoverInstance::from_path_pool(node_count, pool.clone()).ok().map(|cover| {
+                            if self.config.front_coded_cache {
+                                CachedPool::new_front_coded(&pool, Arc::new(cover))
+                            } else {
+                                CachedPool::new(Arc::new(pool), Arc::new(cover))
+                            }
+                        });
+                    match rebuilt {
+                        Some(fresh) => {
+                            if let Some(slot) = self.cache.entry_mut(&key) {
+                                *slot = fresh;
+                            }
+                            if self.cache.reaccount(&key) {
+                                outcome.repaired += 1;
+                                outcome.resampled_walks += resampled;
+                            } else {
+                                // Grew past the budget: reaccount evicted it.
+                                outcome.flushed += 1;
+                            }
+                        }
+                        None => {
+                            self.cache.remove(&key);
+                            outcome.flushed += 1;
+                        }
+                    }
+                }
+                Some(PoolRepair::FullResample) | None => {
+                    self.cache.remove(&key);
+                    outcome.flushed += 1;
+                }
+            }
+        }
+        Ok(outcome)
     }
 }
 
@@ -955,6 +1181,212 @@ mod tests {
         let ok = ctx.query(&q(0.4, 6_000)).unwrap();
         assert!(!ok.degraded);
         assert_eq!(ok.walks, 6_000);
+    }
+
+    fn routes_social() -> SocialGraph {
+        let mut b = GraphBuilder::new();
+        b.add_edges(vec![(0, 2), (2, 3), (3, 1), (0, 4), (4, 5), (5, 1), (0, 6), (6, 7), (7, 1)])
+            .unwrap();
+        b.build(WeightScheme::UniformByDegree).unwrap()
+    }
+
+    #[test]
+    fn apply_delta_repairs_resident_pools_in_place() {
+        let mut social = routes_social();
+        let csr = social.to_csr();
+        let cfg = ServeConfig { walks: 10_000, seed: 9, ..Default::default() };
+        let mut ctx = SessionContext::new(&csr, cfg);
+        let before = ctx.query(&q(0.4, 10_000)).unwrap();
+        // Removing (2,3) strands node 3's second route; node 3 is a draw
+        // site of stored walks, but neither s=0 nor t=1 is touched.
+        let outcome = ctx
+            .apply_delta(
+                &EdgeDelta::parse("-2:3").unwrap(),
+                &mut social,
+                WeightScheme::UniformByDegree,
+            )
+            .unwrap();
+        assert_eq!((outcome.added, outcome.removed), (0, 1));
+        assert!(!outcome.noop);
+        assert_eq!(outcome.repaired, 1, "the resident entry must be repaired, not flushed");
+        assert_eq!(outcome.flushed, 0);
+        assert!(outcome.resampled_walks > 0);
+        assert!(
+            outcome.resampled_walks < before.walks,
+            "repair must re-sample a strict subset of the pool"
+        );
+        assert_eq!(social.edge_count(), 8, "the caller's graph advances in lockstep");
+        assert_eq!(ctx.deltas_applied(), 1);
+        // The repaired entry keeps serving as a hit, at full walk count.
+        let after = ctx.query(&q(0.4, 10_000)).unwrap();
+        assert!(after.cache_hit);
+        assert_eq!(after.walks, before.walks);
+        assert!(after.type1_count > 0);
+    }
+
+    #[test]
+    fn churned_sessions_answer_deterministically() {
+        // Two sessions fed the same query/delta history answer
+        // bit-identically: pools stay a pure function of (config, pair,
+        // delta history) through repair.
+        let run = || {
+            let mut social = routes_social();
+            let csr = social.to_csr();
+            let cfg = ServeConfig { walks: 8_000, seed: 21, ..Default::default() };
+            let mut ctx = SessionContext::new(&csr, cfg);
+            ctx.query(&q(0.5, 8_000)).unwrap();
+            ctx.apply_delta(
+                &EdgeDelta::parse("-2:3,+3:6").unwrap(),
+                &mut social,
+                WeightScheme::UniformByDegree,
+            )
+            .unwrap();
+            let a = ctx.query(&q(0.5, 8_000)).unwrap();
+            ctx.apply_delta(
+                &EdgeDelta::parse("-4:5").unwrap(),
+                &mut social,
+                WeightScheme::UniformByDegree,
+            )
+            .unwrap();
+            let b = ctx.query(&q(0.3, 8_000)).unwrap();
+            (a, b)
+        };
+        let (a1, b1) = run();
+        let (a2, b2) = run();
+        assert_equivalent(&a1, &a2);
+        assert_equivalent(&b1, &b2);
+        assert_eq!(a1.invitations, a2.invitations);
+        assert_eq!(b1.invitations, b2.invitations);
+    }
+
+    #[test]
+    fn noop_delta_changes_nothing() {
+        let mut social = routes_social();
+        let csr = social.to_csr();
+        let cfg = ServeConfig { walks: 8_000, seed: 5, ..Default::default() };
+        let mut ctx = SessionContext::new(&csr, cfg);
+        let before = ctx.query(&q(0.4, 8_000)).unwrap();
+        // Adding a present edge and removing an absent one are both
+        // ineffective: the delta collapses to a no-op.
+        let outcome = ctx
+            .apply_delta(
+                &EdgeDelta::parse("+0:2,-3:7").unwrap(),
+                &mut social,
+                WeightScheme::UniformByDegree,
+            )
+            .unwrap();
+        assert!(outcome.noop);
+        assert_eq!(outcome.touched_nodes, 0);
+        assert_eq!(ctx.deltas_applied(), 0, "a no-op consumes no delta generation");
+        let after = ctx.query(&q(0.4, 8_000)).unwrap();
+        assert!(after.cache_hit, "pools survive a no-op untouched");
+        assert_equivalent(&before, &after);
+    }
+
+    #[test]
+    fn delta_touching_the_pair_flushes_to_the_pure_seed() {
+        let mut social = routes_social();
+        let csr = social.to_csr();
+        let cfg = ServeConfig { walks: 10_000, seed: 9, ..Default::default() };
+        let mut ctx = SessionContext::new(&csr, cfg.clone());
+        ctx.query(&q(0.4, 10_000)).unwrap();
+        // (1,6) touches the target t=1: incremental repair cannot fix the
+        // first-draw distribution, so the entry is flushed.
+        let outcome = ctx
+            .apply_delta(
+                &EdgeDelta::parse("+1:6").unwrap(),
+                &mut social,
+                WeightScheme::UniformByDegree,
+            )
+            .unwrap();
+        assert_eq!(outcome.flushed, 1);
+        assert_eq!(outcome.repaired, 0);
+        assert_eq!(ctx.cached_pools(), 0);
+        // The next query cold-misses and must answer exactly like a
+        // fresh session over the post-delta graph: eviction falls back
+        // to the pure (config, pair) seed, never to stale state.
+        let after = ctx.query(&q(0.4, 10_000)).unwrap();
+        assert!(!after.cache_hit);
+        let fresh = one_shot(&social.to_csr(), cfg, &q(0.4, 10_000)).unwrap();
+        assert_equivalent(&after, &fresh);
+    }
+
+    #[test]
+    fn invalid_delta_leaves_the_session_untouched() {
+        let mut social = routes_social();
+        let csr = social.to_csr();
+        let mut ctx =
+            SessionContext::new(&csr, ServeConfig { walks: 8_000, seed: 5, ..Default::default() });
+        let before = ctx.query(&q(0.4, 8_000)).unwrap();
+        let err = ctx
+            .apply_delta(
+                &EdgeDelta::parse("+0:999").unwrap(),
+                &mut social,
+                WeightScheme::UniformByDegree,
+            )
+            .unwrap_err();
+        assert!(matches!(err, ServeError::Delta(_)));
+        assert_eq!(err.code(), "delta");
+        assert_eq!(social.edge_count(), 9, "the caller's graph is unchanged");
+        assert_eq!(ctx.deltas_applied(), 0);
+        let after = ctx.query(&q(0.4, 8_000)).unwrap();
+        assert!(after.cache_hit);
+        assert_equivalent(&before, &after);
+    }
+
+    #[test]
+    fn relabeled_sessions_churn_bit_identically_to_plain() {
+        let mut plain_social = routes_social();
+        let mut relab_social = plain_social.clone();
+        let plain_csr = plain_social.to_csr();
+        let r = Arc::new(Relabeling::hub_bfs(&relab_social));
+        assert!(!r.is_identity());
+        let relab_csr = relab_social.to_csr_relabeled(&r);
+        let cfg = ServeConfig { walks: 10_000, seed: 5, ..Default::default() };
+        let mut plain = SessionContext::new(&plain_csr, cfg.clone());
+        let mut relab = SessionContext::with_relabeling(&relab_csr, r, cfg);
+        plain.query(&q(0.4, 10_000)).unwrap();
+        relab.query(&q(0.4, 10_000)).unwrap();
+        let delta = EdgeDelta::parse("-2:3,+3:6").unwrap();
+        let po =
+            plain.apply_delta(&delta, &mut plain_social, WeightScheme::UniformByDegree).unwrap();
+        let ro =
+            relab.apply_delta(&delta, &mut relab_social, WeightScheme::UniformByDegree).unwrap();
+        assert_eq!(po, ro, "repair outcomes must agree across layouts");
+        for alpha in [0.3, 0.6] {
+            let a = plain.query(&q(alpha, 10_000)).unwrap();
+            let b = relab.query(&q(alpha, 10_000)).unwrap();
+            assert_eq!(a.invitations, b.invitations, "alpha={alpha}");
+            assert_equivalent(&a, &b);
+        }
+    }
+
+    #[test]
+    fn front_coded_cache_answers_bit_identically_to_arena() {
+        // Branching routes with shared tails: stored paths are long
+        // enough that front coding actually compresses (trivially short
+        // paths can cost more coded than flat).
+        let mut b = GraphBuilder::new();
+        b.add_edges(vec![(0, 2), (2, 3), (3, 1), (0, 4), (4, 1), (2, 4), (3, 5), (5, 1), (5, 4)])
+            .unwrap();
+        let csr = b.build(WeightScheme::UniformByDegree).unwrap().to_csr();
+        let arena_cfg = ServeConfig { walks: 10_000, seed: 9, ..Default::default() };
+        let coded_cfg = ServeConfig { front_coded_cache: true, ..arena_cfg.clone() };
+        let mut arena = SessionContext::new(&csr, arena_cfg);
+        let mut coded = SessionContext::new(&csr, coded_cfg);
+        for (alpha, budget) in [(0.4, 10_000), (0.4, 10_000), (0.7, 10_000), (0.3, 4_000)] {
+            let a = arena.query(&q(alpha, budget)).unwrap();
+            let c = coded.query(&q(alpha, budget)).unwrap();
+            assert_eq!(a.cache_hit, c.cache_hit);
+            assert_equivalent(&a, &c);
+        }
+        assert_eq!(arena.stats().hits, coded.stats().hits);
+        assert!(
+            coded.resident_bytes() < arena.resident_bytes(),
+            "front-coded entries must charge fewer bytes ({} vs {})",
+            coded.resident_bytes(),
+            arena.resident_bytes()
+        );
     }
 
     #[test]

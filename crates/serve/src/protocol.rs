@@ -5,7 +5,10 @@
 //!
 //! Request: `s t alpha [budget]` (ids in original space; `budget`
 //! defaults to the context's walk ceiling). Blank lines and `#` comments
-//! are skipped.
+//! are skipped. A session serving a dynamic graph also accepts the
+//! churn verb `delta <spec>`, where `<spec>` is the edge-delta grammar
+//! (`+u:v` add, `-u:v` remove, comma- or whitespace-separated) — parsed
+//! by [`parse_line`], answered with an `ok delta …` summary line.
 //!
 //! Response: `ok s=<s> t=<t> alpha=<α> hit=<0|1> walks=<l> size=<|I*|>
 //! covered=<c> p=<p> pmax=<estimate> inv=<id,id,...>` on success — with
@@ -18,22 +21,31 @@
 //! deterministic error string, never a panic and never a dead session
 //! (fuzzed in `crates/serve/tests/proptest_protocol.rs`).
 
-use crate::context::{Query, QueryAnswer, ServeError};
-use raf_graph::NodeId;
+use crate::context::{DeltaOutcome, Query, QueryAnswer, ServeError};
+use raf_graph::{EdgeDelta, NodeId};
 
 /// Longest field rendering quoted back in a parse error: a hostile
 /// kilobyte-long "number" gets truncated instead of echoed in full, so
 /// error lines stay bounded no matter the input.
 const QUOTE_CAP: usize = 32;
 
-fn snippet(field: &str) -> String {
-    if field.chars().count() <= QUOTE_CAP {
-        field.to_string()
+fn bounded(text: &str, cap: usize) -> String {
+    if text.chars().count() <= cap {
+        text.to_string()
     } else {
-        let head: String = field.chars().take(QUOTE_CAP).collect();
-        format!("{head}… ({} bytes)", field.len())
+        let head: String = text.chars().take(cap).collect();
+        format!("{head}… ({} bytes)", text.len())
     }
 }
+
+fn snippet(field: &str) -> String {
+    bounded(field, QUOTE_CAP)
+}
+
+/// Cap for a whole echoed delta-spec error: the underlying parser quotes
+/// offending tokens verbatim, so the bound sits above the message, not
+/// the field.
+const DELTA_ERR_CAP: usize = 160;
 
 /// Parses one request line. Returns `Ok(None)` for blank lines and `#`
 /// comments (skipped, no response emitted).
@@ -95,6 +107,54 @@ pub fn parse_request_bytes(line: &[u8], default_budget: u64) -> Result<Option<Qu
     parse_request(&String::from_utf8_lossy(line), default_budget)
 }
 
+/// One parsed request line: a friending query, or the churn verb
+/// applying an edge delta to the session's resident graph.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// `s t alpha [budget]` — answer a friending query.
+    Query(Query),
+    /// `delta <spec>` — apply edge churn before serving further queries.
+    Delta(EdgeDelta),
+}
+
+/// Parses one request line of the full (query + churn) protocol.
+/// Query lines parse exactly as [`parse_request`]; lines whose first
+/// field is the verb `delta` parse the rest as an edge-delta spec.
+/// Returns `Ok(None)` for blank lines and `#` comments.
+///
+/// # Errors
+///
+/// Same contract as [`parse_request`]: deterministic, bounded-length
+/// descriptions — hostile kilobyte tokens inside a delta spec are
+/// truncated before they are echoed.
+pub fn parse_line(line: &str, default_budget: u64) -> Result<Option<Request>, String> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return Ok(None);
+    }
+    let mut fields = line.split_whitespace();
+    if fields.next() == Some("delta") {
+        let spec = line["delta".len()..].trim();
+        if spec.is_empty() {
+            return Err("expected `delta <+u:v|-u:v>[,...]`, got no operations".to_string());
+        }
+        let delta = EdgeDelta::parse(spec)
+            .map_err(|e| format!("bad delta: {}", bounded(&e.to_string(), DELTA_ERR_CAP)))?;
+        return Ok(Some(Request::Delta(delta)));
+    }
+    Ok(parse_request(line, default_budget)?.map(Request::Query))
+}
+
+/// Byte-level entry point for [`parse_line`], with the same lossy-UTF-8
+/// tolerance as [`parse_request_bytes`].
+///
+/// # Errors
+///
+/// Same contract as [`parse_line`].
+pub fn parse_line_bytes(line: &[u8], default_budget: u64) -> Result<Option<Request>, String> {
+    parse_line(&String::from_utf8_lossy(line), default_budget)
+}
+
 /// Renders a successful answer as one `ok` response line. Degraded
 /// answers (deadline-truncated pool) carry a trailing ` degraded=1`
 /// marker; full answers render byte-identically to a protocol without
@@ -123,6 +183,33 @@ pub fn format_answer(query: &Query, answer: &QueryAnswer) -> String {
 /// Renders a per-query failure as one `err` response line.
 pub fn format_error(query: &Query, error: &ServeError) -> String {
     format!("err s={} t={}: {error}", query.s.index(), query.t.index())
+}
+
+/// Renders the outcome of an applied delta as one `ok delta` response
+/// line: the effective graph change and the fate of every resident pool
+/// (repaired in place / untouched / flushed), with the re-sampled walk
+/// mass — the number a churn client watches to confirm repair cost
+/// scaled with the touch set and not the graph.
+pub fn format_delta_outcome(outcome: &DeltaOutcome) -> String {
+    let mut line = format!(
+        "ok delta added={} removed={} touched={} repaired={} untouched={} flushed={} resampled={}",
+        outcome.added,
+        outcome.removed,
+        outcome.touched_nodes,
+        outcome.repaired,
+        outcome.untouched,
+        outcome.flushed,
+        outcome.resampled_walks,
+    );
+    if outcome.noop {
+        line.push_str(" noop=1");
+    }
+    line
+}
+
+/// Renders a failed delta application as one `err delta` response line.
+pub fn format_delta_error(error: &ServeError) -> String {
+    format!("err delta: {error}")
 }
 
 #[cfg(test)]
@@ -197,6 +284,83 @@ mod tests {
         assert!(err.contains("(4096 bytes)"), "{err}");
         // Short fields keep the legacy full quoting.
         assert_eq!(parse_request("x 99 0.3", 1).unwrap_err(), "bad source id \"x\"");
+    }
+
+    #[test]
+    fn delta_lines_parse_through_the_full_protocol() {
+        // Query lines come through unchanged.
+        match parse_line("3 99 0.3 20000", 1).unwrap().unwrap() {
+            Request::Query(q) => assert_eq!((q.s.index(), q.t.index()), (3, 99)),
+            other => panic!("expected a query, got {other:?}"),
+        }
+        assert_eq!(parse_line("# comment", 1).unwrap(), None);
+        assert_eq!(parse_line("", 1).unwrap(), None);
+        // The churn verb parses the rest of the line as a delta spec.
+        match parse_line("delta +0:3,-1:2", 1).unwrap().unwrap() {
+            Request::Delta(d) => assert_eq!(d.spec(), "+0:3,-1:2"),
+            other => panic!("expected a delta, got {other:?}"),
+        }
+        // Whitespace-separated ops work too.
+        match parse_line("delta  +0:3  -1:2 ", 1).unwrap().unwrap() {
+            Request::Delta(d) => assert_eq!(d.len(), 2),
+            other => panic!("expected a delta, got {other:?}"),
+        }
+        // Byte-level entry point shares the contract.
+        assert!(matches!(parse_line_bytes(b"delta +0:1", 1).unwrap().unwrap(), Request::Delta(_)));
+    }
+
+    #[test]
+    fn malformed_delta_lines_error_deterministically_and_bounded() {
+        assert!(parse_line("delta", 1).unwrap_err().contains("no operations"));
+        assert!(parse_line("delta  ", 1).unwrap_err().contains("no operations"));
+        let err = parse_line("delta ~0:1", 1).unwrap_err();
+        assert!(err.starts_with("bad delta: "), "{err}");
+        // Self-loops are rejected at parse time, before any application.
+        assert!(parse_line("delta +5:5", 1).unwrap_err().contains("self-loop"));
+        // A field that merely *starts* with the verb is a normal
+        // (malformed) query, not a delta.
+        assert!(parse_line("delta7 1 0.3", 1).unwrap_err().contains("source"));
+        // Hostile long specs stay bounded in the echo.
+        let huge = format!("delta +0:{}", "9".repeat(4_096));
+        let err = parse_line(&huge, 1).unwrap_err();
+        assert!(err.len() < 256, "error must stay bounded, got {} bytes", err.len());
+        // Determinism.
+        assert_eq!(parse_line(&huge, 1).unwrap_err(), err);
+    }
+
+    #[test]
+    fn delta_outcomes_format_one_line_summaries() {
+        let outcome = DeltaOutcome {
+            added: 2,
+            removed: 1,
+            touched_nodes: 5,
+            repaired: 3,
+            untouched: 1,
+            flushed: 1,
+            resampled_walks: 1_234,
+            noop: false,
+        };
+        assert_eq!(
+            format_delta_outcome(&outcome),
+            "ok delta added=2 removed=1 touched=5 repaired=3 untouched=1 flushed=1 resampled=1234"
+        );
+        let noop = DeltaOutcome {
+            added: 0,
+            removed: 0,
+            touched_nodes: 0,
+            repaired: 0,
+            untouched: 0,
+            flushed: 0,
+            resampled_walks: 0,
+            noop: true,
+        };
+        assert!(format_delta_outcome(&noop).ends_with(" noop=1"));
+        let err =
+            ServeError::Delta(raf_graph::GraphError::NodeOutOfRange { node: 999, node_count: 8 });
+        assert_eq!(
+            format_delta_error(&err),
+            "err delta: delta rejected: node 999 out of range for graph with 8 nodes"
+        );
     }
 
     #[test]

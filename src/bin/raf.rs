@@ -33,7 +33,8 @@ use std::path::Path;
 use std::process::ExitCode;
 
 /// Value-less boolean flags (everything else is `--flag value`).
-const SWITCHES: &[&str] = &["quick", "list-scenarios", "check-regression", "no-relabel"];
+const SWITCHES: &[&str] =
+    &["quick", "list-scenarios", "check-regression", "no-relabel", "front-coded-cache"];
 
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
@@ -187,7 +188,7 @@ fn cmd_max(args: &CliArgs) -> Result<(), Box<dyn std::error::Error>> {
 /// standard knobs are recorded under the `custom` profile lineage so
 /// they can never become a `full`/`quick` regression baseline.
 fn cmd_bench_json(args: &CliArgs) -> Result<(), Box<dyn std::error::Error>> {
-    use raf_bench::history::{parse_json, BenchHistory};
+    use raf_bench::history::{machine_factor, parse_json, BenchHistory, MachineFactor};
     use raf_bench::sampling::{
         find_scenario, quick_matrix, run_sampling_bench, scenario_config, scenario_matrix,
         BenchProfile, Scenario, Workload,
@@ -236,6 +237,7 @@ fn cmd_bench_json(args: &CliArgs) -> Result<(), Box<dyn std::error::Error>> {
             threads: args.get_or("threads", threads_from_env())?,
             bakeoff: false,
             serving: false,
+            churn: false,
         }]
     } else if profile == BenchProfile::Quick {
         quick_matrix()
@@ -257,6 +259,13 @@ fn cmd_bench_json(args: &CliArgs) -> Result<(), Box<dyn std::error::Error>> {
             // the pool cache; they have no arena_ns, so the regression
             // gate below never sees them.
             run_serving_cell(args, scenario, profile, &mut history)?;
+            continue;
+        }
+        if scenario.churn {
+            // Churn cells measure incremental pool repair under edge
+            // deltas; like serving cells they carry no arena_ns and skip
+            // the regression gate.
+            run_churn_cell(args, scenario, profile, &mut history)?;
             continue;
         }
         let mut config = scenario_config(scenario, profile);
@@ -335,24 +344,35 @@ fn cmd_bench_json(args: &CliArgs) -> Result<(), Box<dyn std::error::Error>> {
                     // `is_seed` with the live tree — but far more stable
                     // than comparing raw ns across machines. Falls back
                     // to raw ns when the baseline entry predates legacy
-                    // timings.
+                    // timings; a zero/denormal calibration timing skips
+                    // the gate with a warning instead of silently gating
+                    // with factor 1.0 (a vacuous pass).
                     let legacy_sample = report.legacy_sample_ns as f64;
-                    let machine = history
-                        .baseline_legacy_sample_ns(&name, lineage)
-                        .filter(|&b| b > 0.0 && legacy_sample > 0.0)
-                        .map_or(1.0, |b| legacy_sample / b);
-                    let ratio = arena_total as f64 / (base * machine);
-                    if ratio > 1.0 + max_regression {
-                        regressions.push(format!(
-                            "{name}: {arena_total} ns vs baseline {base:.0} ns \
-                             ({:+.1}% machine-normalized)",
-                            (ratio - 1.0) * 100.0
-                        ));
-                    } else {
-                        println!(
-                            "{name}: {:+.1}% vs baseline (machine-normalized) — ok",
-                            (ratio - 1.0) * 100.0
-                        );
+                    let machine = match machine_factor(
+                        history.baseline_legacy_sample_ns(&name, lineage),
+                        legacy_sample,
+                    ) {
+                        MachineFactor::Normalize(m) => Some(m),
+                        MachineFactor::Raw => Some(1.0),
+                        MachineFactor::Skip(reason) => {
+                            eprintln!("{name}: WARNING: skipping regression gate — {reason}");
+                            None
+                        }
+                    };
+                    if let Some(machine) = machine {
+                        let ratio = arena_total as f64 / (base * machine);
+                        if ratio > 1.0 + max_regression {
+                            regressions.push(format!(
+                                "{name}: {arena_total} ns vs baseline {base:.0} ns \
+                                 ({:+.1}% machine-normalized)",
+                                (ratio - 1.0) * 100.0
+                            ));
+                        } else {
+                            println!(
+                                "{name}: {:+.1}% vs baseline (machine-normalized) — ok",
+                                (ratio - 1.0) * 100.0
+                            );
+                        }
                     }
                 }
             }
@@ -365,23 +385,32 @@ fn cmd_bench_json(args: &CliArgs) -> Result<(), Box<dyn std::error::Error>> {
                 let lineage = report.config.profile;
                 if let Some(base) = history.baseline_kernel_ns(&name, lineage, "lockstep") {
                     let scalar = report.kernel_scalar_ns as f64;
-                    let machine = history
-                        .baseline_kernel_ns(&name, lineage, "scalar")
-                        .filter(|&b| b > 0.0 && scalar > 0.0)
-                        .map_or(1.0, |b| scalar / b);
-                    let ratio = report.kernel_lockstep_ns as f64 / (base * machine);
-                    if ratio > 1.0 + max_regression {
-                        regressions.push(format!(
-                            "{name}: lockstep kernel {} ns vs baseline {base:.0} ns \
-                             ({:+.1}% machine-normalized)",
-                            report.kernel_lockstep_ns,
-                            (ratio - 1.0) * 100.0
-                        ));
-                    } else {
-                        println!(
-                            "{name}: lockstep kernel {:+.1}% vs baseline — ok",
-                            (ratio - 1.0) * 100.0
-                        );
+                    let machine = match machine_factor(
+                        history.baseline_kernel_ns(&name, lineage, "scalar"),
+                        scalar,
+                    ) {
+                        MachineFactor::Normalize(m) => Some(m),
+                        MachineFactor::Raw => Some(1.0),
+                        MachineFactor::Skip(reason) => {
+                            eprintln!("{name}: WARNING: skipping kernel gate — {reason}");
+                            None
+                        }
+                    };
+                    if let Some(machine) = machine {
+                        let ratio = report.kernel_lockstep_ns as f64 / (base * machine);
+                        if ratio > 1.0 + max_regression {
+                            regressions.push(format!(
+                                "{name}: lockstep kernel {} ns vs baseline {base:.0} ns \
+                                 ({:+.1}% machine-normalized)",
+                                report.kernel_lockstep_ns,
+                                (ratio - 1.0) * 100.0
+                            ));
+                        } else {
+                            println!(
+                                "{name}: lockstep kernel {:+.1}% vs baseline — ok",
+                                (ratio - 1.0) * 100.0
+                            );
+                        }
                     }
                 }
             }
@@ -447,6 +476,64 @@ fn run_serving_cell(
     Ok(())
 }
 
+/// Runs one `churn_*` scenario cell for `cmd_bench_json`: sustained
+/// edge-delta ingestion against warm resident pools through
+/// [`SessionContext::apply_delta`], timing the incremental repair at
+/// each churn size, appended to the history as a `churn` entry. Knob
+/// overrides (`--walks`/`--seed`/`--threads`; `--reps` maps to rounds
+/// per size) route the entry to the `custom` lineage exactly like
+/// pipeline cells.
+fn run_churn_cell(
+    args: &CliArgs,
+    scenario: raf_bench::sampling::Scenario,
+    profile: raf_bench::sampling::BenchProfile,
+    history: &mut raf_bench::history::BenchHistory,
+) -> Result<(), Box<dyn std::error::Error>> {
+    use raf_bench::churn::{churn_config, run_churn_bench};
+    use raf_bench::history::parse_json;
+
+    let mut config = churn_config(scenario, profile);
+    config.walks = args.get_or("walks", config.walks)?;
+    config.seed = args.get_or("seed", config.seed)?;
+    config.threads = args.get_or("threads", config.threads)?;
+    config.rounds_per_size = args.get_or("reps", config.rounds_per_size)?;
+    let standard = churn_config(scenario, profile);
+    if config != standard {
+        config.profile = "custom";
+    }
+    let name = scenario.name();
+    eprintln!(
+        "benchmarking {name} [{}]: {} nodes, {} walks/pool, {} thread(s), sizes {:?}…",
+        config.profile, config.nodes, config.walks, config.threads, config.churn_sizes
+    );
+    let report = run_churn_bench(config);
+    for stats in &report.sizes {
+        println!(
+            "{name}: {:>2}-edge deltas repair p50 {:.2} ms / p99 {:.2} ms  →  \
+             {} walks resampled over {} deltas ({} repaired, {} untouched, {} flushed)",
+            stats.size,
+            stats.repair_p50_ns as f64 / 1e6,
+            stats.repair_p99_ns as f64 / 1e6,
+            stats.resampled,
+            stats.deltas,
+            stats.repaired,
+            stats.untouched,
+            stats.flushed,
+        );
+    }
+    println!(
+        "{name}: resampled mass scaled {:.1}x from {} to {} edges per delta  \
+         ({}/{} pools answering warm after churn)",
+        report.resampled_scaling(),
+        report.sizes.first().map_or(0, |s| s.size),
+        report.sizes.last().map_or(0, |s| s.size),
+        report.post_churn_hits,
+        report.pools_warmed,
+    );
+    history.push(parse_json(&report.to_json()).map_err(|e| format!("entry JSON: {e}"))?);
+    Ok(())
+}
+
 /// Splits raw request bytes into lines with `str::lines` semantics —
 /// `\n` separators, optional trailing `\r` stripped, no phantom empty
 /// line after a trailing newline — without requiring the file to be
@@ -482,7 +569,7 @@ fn cmd_serve(args: &CliArgs) -> Result<(), Box<dyn std::error::Error>> {
 
     let path = args.require("graph")?;
     let builder = read_edge_list_path(Path::new(path), &EdgeListOptions::default())?;
-    let social = builder.build(WeightScheme::UniformByDegree)?;
+    let mut social = builder.build(WeightScheme::UniformByDegree)?;
     let config = ServeConfig {
         walks: args.get_or("walks", 100_000)?,
         epsilon: args.get_or("epsilon", 0.01)?,
@@ -497,6 +584,7 @@ fn cmd_serve(args: &CliArgs) -> Result<(), Box<dyn std::error::Error>> {
             max_query_walks: args.get_typed("max-query-walks")?,
             max_inflight_walks: args.get_typed("max-inflight-walks")?,
         },
+        front_coded_cache: args.is_set("front-coded-cache"),
     };
     let fault_plan = match args.get("fault-plan") {
         None => FaultPlan::empty(),
@@ -538,6 +626,15 @@ fn cmd_serve(args: &CliArgs) -> Result<(), Box<dyn std::error::Error>> {
             Err(e) => protocol::format_error(query, &e),
         }
     };
+    let run_delta = |ctx: &mut SessionContext<'_>,
+                     social: &mut raf_graph::SocialGraph,
+                     delta: &raf_graph::EdgeDelta|
+     -> String {
+        match ctx.apply_delta(delta, social, WeightScheme::UniformByDegree) {
+            Ok(outcome) => protocol::format_delta_outcome(&outcome),
+            Err(e) => protocol::format_delta_error(&e),
+        }
+    };
     if let Some(requests) = args.get("requests") {
         // Batch mode: parse every line up front, answer in admission
         // rounds, and print responses in request order. A round models
@@ -547,58 +644,82 @@ fn cmd_serve(args: &CliArgs) -> Result<(), Box<dyn std::error::Error>> {
         // (retryable by contract) are deferred to the next round — the
         // deterministic analogue of client backoff-and-retry — for up to
         // --retries extra rounds; per-query-cap sheds are permanent and
-        // fail immediately.
+        // fail immediately. `delta` lines are churn barriers: queries
+        // before one are fully answered (retries included) before the
+        // delta applies, so every query sees exactly the graph its
+        // position in the file implies.
         enum Slot {
             /// Response line ready (answered, failed, or parse error).
             Done(String),
             /// Parsed query still waiting for admission.
             Pending(Query),
+            /// A churn barrier waiting to be applied.
+            Churn(raf_graph::EdgeDelta),
             /// Blank/comment line: no response.
             Skip,
         }
         let bytes = std::fs::read(requests)?;
         let mut slots: Vec<Slot> = byte_lines(&bytes)
-            .map(|line| match protocol::parse_request_bytes(line, default_budget) {
+            .map(|line| match protocol::parse_line_bytes(line, default_budget) {
                 Ok(None) => Slot::Skip,
-                Ok(Some(query)) => Slot::Pending(query),
+                Ok(Some(protocol::Request::Query(query))) => Slot::Pending(query),
+                Ok(Some(protocol::Request::Delta(delta))) => Slot::Churn(delta),
                 Err(message) => Slot::Done(format!("err parse: {message}")),
             })
             .collect();
-        let mut round = 0u32;
-        loop {
-            let mut ledger = AdmissionLedger::new();
-            let mut deferred = 0usize;
-            for slot in &mut slots {
-                let Slot::Pending(query) = slot else { continue };
-                let walks = query.budget.min(default_budget);
-                match ledger.try_reserve(&admission, walks) {
-                    Ok(())
-                    // The context enforces the per-query cap itself (and
-                    // counts the shed in its session stats), so a
-                    // too-large query goes through it for the answer —
-                    // retrying could never admit it anyway.
-                    | Err(ShedReason::QueryTooLarge { .. }) => {
-                        // Admitted reservations are held until the
-                        // window closes: the ledger drains only when the
-                        // round does.
-                        *slot = Slot::Done(run_query(&mut ctx, query));
-                    }
-                    Err(ShedReason::SessionSaturated { .. }) if round < retries => {
-                        deferred += 1;
-                    }
-                    Err(shed) => {
-                        saturated_sheds += 1;
-                        *slot = Slot::Done(protocol::format_error(
-                            query,
-                            &ServeError::Overloaded(shed),
-                        ));
+        let mut start = 0usize;
+        while start < slots.len() {
+            if let Slot::Churn(_) = &slots[start] {
+                let Slot::Churn(delta) = std::mem::replace(&mut slots[start], Slot::Skip) else {
+                    unreachable!("just matched Churn");
+                };
+                slots[start] = Slot::Done(run_delta(&mut ctx, &mut social, &delta));
+                start += 1;
+                continue;
+            }
+            // The query segment up to the next churn barrier (or EOF),
+            // answered in admission rounds exactly as before.
+            let end = slots[start..]
+                .iter()
+                .position(|s| matches!(s, Slot::Churn(_)))
+                .map_or(slots.len(), |p| start + p);
+            let mut round = 0u32;
+            loop {
+                let mut ledger = AdmissionLedger::new();
+                let mut deferred = 0usize;
+                for slot in &mut slots[start..end] {
+                    let Slot::Pending(query) = slot else { continue };
+                    let walks = query.budget.min(default_budget);
+                    match ledger.try_reserve(&admission, walks) {
+                        Ok(())
+                        // The context enforces the per-query cap itself (and
+                        // counts the shed in its session stats), so a
+                        // too-large query goes through it for the answer —
+                        // retrying could never admit it anyway.
+                        | Err(ShedReason::QueryTooLarge { .. }) => {
+                            // Admitted reservations are held until the
+                            // window closes: the ledger drains only when the
+                            // round does.
+                            *slot = Slot::Done(run_query(&mut ctx, query));
+                        }
+                        Err(ShedReason::SessionSaturated { .. }) if round < retries => {
+                            deferred += 1;
+                        }
+                        Err(shed) => {
+                            saturated_sheds += 1;
+                            *slot = Slot::Done(protocol::format_error(
+                                query,
+                                &ServeError::Overloaded(shed),
+                            ));
+                        }
                     }
                 }
+                if deferred == 0 {
+                    break;
+                }
+                round += 1;
             }
-            if deferred == 0 {
-                break;
-            }
-            round += 1;
+            start = end;
         }
         for slot in &slots {
             if let Slot::Done(response) = slot {
@@ -611,7 +732,8 @@ fn cmd_serve(args: &CliArgs) -> Result<(), Box<dyn std::error::Error>> {
         // in flight at a time, so the window cap is moot here; the
         // per-query cap still applies inside the context. Lines are read
         // as raw bytes — a non-UTF-8 line answers `err parse`, it does
-        // not end the session.
+        // not end the session. `delta` lines apply churn at their
+        // position in the stream.
         let stdin = std::io::stdin();
         let mut reader = stdin.lock();
         let mut buf = Vec::new();
@@ -622,10 +744,14 @@ fn cmd_serve(args: &CliArgs) -> Result<(), Box<dyn std::error::Error>> {
             }
             let line = buf.strip_suffix(b"\n").unwrap_or(&buf);
             let line = line.strip_suffix(b"\r").unwrap_or(line);
-            match protocol::parse_request_bytes(line, default_budget) {
+            match protocol::parse_line_bytes(line, default_budget) {
                 Ok(None) => {}
-                Ok(Some(query)) => {
+                Ok(Some(protocol::Request::Query(query))) => {
                     let response = run_query(&mut ctx, &query);
+                    writeln!(out, "{response}")?;
+                }
+                Ok(Some(protocol::Request::Delta(delta))) => {
+                    let response = run_delta(&mut ctx, &mut social, &delta);
                     writeln!(out, "{response}")?;
                 }
                 Err(message) => writeln!(out, "err parse: {message}")?,
@@ -763,7 +889,8 @@ USAGE:
             [--realizations N] [--seed N]
   raf serve --graph <edge-list> [--requests FILE] [--walks N]
             [--seed N] [--threads N] [--cache-mb N] [--epsilon E]
-            [--no-relabel] [--work-budget N] [--deadline-ms N]
+            [--no-relabel] [--front-coded-cache]
+            [--work-budget N] [--deadline-ms N]
             [--max-query-walks N] [--max-inflight-walks N]
             [--retries N] [--fault-plan SPEC]
   raf bench-json [--out FILE] [--scenario NAME] [--list-scenarios]
@@ -794,6 +921,14 @@ answering `err ... overloaded`. --fault-plan injects deterministic
 faults (`panic@Q[:W]`, `alloc@Q:BYTES`, `slow@Q[:MS]`, `corrupt@Q`,
 comma-separated; Q indexes queries in execution order) to exercise the
 recovery paths; an empty plan leaves output bit-identical.
+--front-coded-cache stores cached pools front-coded (fewer resident
+bytes, a decode per access; answers stay bit-identical). A request
+line `delta <+u:v|-u:v>[,...]` mutates the resident graph in place:
+cached pools whose walks never touched a churned endpoint are kept,
+the rest are repaired by resampling exactly the invalidated walk mass
+(`ok delta ... repaired=R resampled=W`); queries after a delta see the
+post-churn graph, and batch mode applies each delta as a barrier at
+its position in the file.
 
 bench-json appends one history entry per scenario to FILE (default
 BENCH_sampling.json). Without --scenario it runs the whole matrix
@@ -811,7 +946,10 @@ layout order — hub_bfs, degree_desc, rcm — on the same graph and
 records them as layout_ns.
 Serving scenarios (serving_wiki_7k_t1, ...) record cold-vs-warm query
 latency through the serve-layer pool cache instead (no regression
-gate).
+gate). Churn scenarios (churn_wiki_7k_t1, churn_youtube_220k_t4)
+record incremental pool-repair latency under sustained edge deltas at
+increasing sizes, showing repair cost scale with the touched-edge
+count (no regression gate either).
 
 experiment runs the Table-I sweep (RAF vs HD/SP over an alpha × budget
 grid per dataset) and writes a schema-versioned CSV (default

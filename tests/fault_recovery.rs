@@ -12,14 +12,19 @@
 use active_friending::prelude::*;
 use active_friending::serve::protocol;
 use proptest::prelude::*;
+use raf_graph::EdgeDelta;
 use raf_serve::FaultPlan;
 
 /// Two disjoint-ish routes 0→1 plus a second source 5, so the stream
 /// below alternates between two pool keys.
-fn fixture_csr() -> CsrGraph {
+fn fixture_social() -> SocialGraph {
     let mut b = GraphBuilder::new();
     b.add_edges(vec![(0, 2), (2, 3), (3, 1), (0, 4), (4, 1), (5, 4), (5, 3)]).unwrap();
-    b.build(WeightScheme::UniformByDegree).unwrap().to_csr()
+    b.build(WeightScheme::UniformByDegree).unwrap()
+}
+
+fn fixture_csr() -> CsrGraph {
+    fixture_social().to_csr()
 }
 
 fn fixture_config() -> ServeConfig {
@@ -177,4 +182,54 @@ fn mid_batch_fault_keeps_suffix_consistent_counters_included() {
     assert_eq!(session.queries, 8);
     assert_eq!(session.internal, 1);
     assert_eq!((session.shed, session.resource, session.degraded), (0, 0, 0));
+}
+
+/// Delta repair must not launder corruption. The repair walk rebuilds
+/// each touched entry and restamps a fresh integrity fingerprint, so if
+/// it blindly repaired a corrupted pool, the corruption would start
+/// serving as a valid cache hit forever after. Instead, a `corrupt@Q`
+/// fault sitting on an entry the next delta would repair is *evicted*
+/// during the repair walk (an integrity eviction, not a repair), and
+/// the following query resamples from the pure per-pair seed on the
+/// post-delta graph — bit-identical to a fresh session that never saw
+/// the fault.
+#[test]
+fn corrupt_entry_met_by_delta_repair_is_evicted_not_repaired() {
+    let mut social = fixture_social();
+    let csr = social.to_csr();
+    let queries = query_stream();
+    let (q01, q51) = (&queries[0], &queries[2]);
+    let mut ctx = SessionContext::new(&csr, fixture_config());
+    // Query 0 inserts the (0,1) pool and corrupts it in place; the
+    // (5,1) pool stays clean.
+    ctx.set_fault_plan(FaultPlan::parse("corrupt@0").unwrap());
+    assert!(ctx.query(q01).is_ok());
+    assert!(ctx.query(q51).is_ok());
+
+    // Interior churn at {2, 3}: touches walks of both pools, touches
+    // neither pair endpoint, so a clean entry takes the repair path.
+    let delta = EdgeDelta::parse("-2:3").unwrap();
+    let outcome = ctx.apply_delta(&delta, &mut social, WeightScheme::UniformByDegree).unwrap();
+    assert_eq!(outcome.flushed, 1, "the corrupted pool must be flushed, not repaired");
+    assert_eq!(
+        outcome.repaired + outcome.untouched,
+        1,
+        "the clean pool must survive the same delta in place"
+    );
+    assert_eq!(ctx.stats().integrity_evictions, 1);
+
+    // The re-query is a cold miss resampled from the pure per-pair seed
+    // on the post-delta graph: bit-identical to a fresh session on that
+    // graph, with no trace of the corrupted pre-delta pool.
+    let recovered = ctx.query(q01).unwrap();
+    assert!(!recovered.cache_hit, "a flushed pool must not serve as a hit");
+    let post_csr = social.to_csr();
+    let mut fresh = SessionContext::new(&post_csr, fixture_config());
+    let fresh_answer = fresh.query(q01).unwrap();
+    assert!(
+        equivalent(&Ok(recovered), &Ok(fresh_answer)),
+        "post-flush resample must match a fresh post-delta session"
+    );
+    // The clean pool still answers warm — the eviction was selective.
+    assert!(ctx.query(q51).unwrap().cache_hit, "the repaired pool must keep serving warm");
 }
