@@ -100,6 +100,7 @@ impl ChurnBenchConfig {
             bakeoff: false,
             serving: false,
             churn: true,
+            campaign: false,
         }
     }
 }

@@ -145,6 +145,75 @@ mod tests {
         let _ = std::fs::remove_file(&path);
     }
 
+    /// A minimal RFC-4180 reader, used only to prove the writer's
+    /// escaping is reversible: rows split on record-ending `\n`,
+    /// quoted cells may contain commas, doubled quotes, and both line
+    /// break characters.
+    fn parse_csv(text: &str) -> Vec<Vec<String>> {
+        let mut rows = Vec::new();
+        let mut row = Vec::new();
+        let mut cell = String::new();
+        let mut quoted = false;
+        let mut chars = text.chars().peekable();
+        while let Some(c) = chars.next() {
+            if quoted {
+                if c == '"' {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        cell.push('"');
+                    } else {
+                        quoted = false;
+                    }
+                } else {
+                    cell.push(c);
+                }
+            } else {
+                match c {
+                    '"' => quoted = true,
+                    ',' => row.push(std::mem::take(&mut cell)),
+                    '\n' => {
+                        row.push(std::mem::take(&mut cell));
+                        rows.push(std::mem::take(&mut row));
+                    }
+                    c => cell.push(c),
+                }
+            }
+        }
+        assert!(!quoted, "unterminated quoted cell");
+        assert!(cell.is_empty() && row.is_empty(), "unterminated final row");
+        rows
+    }
+
+    #[test]
+    fn writer_round_trips_free_text_cells() {
+        // Every free-text shape a dataset name, error string, or source
+        // column could smuggle in: commas, quotes, doubled quotes, all
+        // three line-break conventions, leading/trailing spaces, and
+        // plain unicode.
+        let cells = [
+            "plain",
+            "a,b",
+            "say \"hi\"",
+            "\"\"",
+            "two\nlines",
+            "mac\rclassic",
+            "dos\r\nending",
+            " padded ",
+            "café 🦀",
+            "",
+        ];
+        let mut t = CsvTable::new(["col"]);
+        for c in cells {
+            t.push_row([c]);
+        }
+        let mut out = Vec::new();
+        t.write_to(&mut out).unwrap();
+        let parsed = parse_csv(&String::from_utf8(out).unwrap());
+        assert_eq!(parsed[0], vec!["col".to_string()]);
+        let back: Vec<&str> = parsed[1..].iter().map(|r| r[0].as_str()).collect();
+        assert_eq!(back, cells, "write → parse must recover every cell verbatim");
+    }
+
     #[test]
     fn len_and_empty() {
         let mut t = CsvTable::new(["x"]);

@@ -1,6 +1,7 @@
 //! One module per paper artifact. Each exposes a `run` returning
 //! structured results and a `print` emitting the paper-style rows.
 
+pub mod campaign;
 pub mod common;
 pub mod fig3;
 pub mod fig45;

@@ -30,8 +30,9 @@ pub const V1_SCENARIO: &str = "powerlaw_cluster_10k_t1";
 /// Current history schema version.
 pub const SCHEMA_VERSION: u64 = 2;
 
-/// A parsed JSON value (reader/writer subset: no escape sequences beyond
-/// `\" \\ \/ \n \t \r`, numbers as `f64`).
+/// A parsed JSON value (reader/writer subset: full RFC 8259 string
+/// escaping — `\" \\ \/ \n \t \r \b \f` and `\uXXXX` incl. surrogate
+/// pairs — with numbers as `f64`).
 #[derive(Debug, Clone, PartialEq)]
 pub enum JsonValue {
     /// `null`.
@@ -104,20 +105,7 @@ impl JsonValue {
                     let _ = write!(out, "{n}");
                 }
             }
-            JsonValue::Str(s) => {
-                out.push('"');
-                for c in s.chars() {
-                    match c {
-                        '"' => out.push_str("\\\""),
-                        '\\' => out.push_str("\\\\"),
-                        '\n' => out.push_str("\\n"),
-                        '\t' => out.push_str("\\t"),
-                        '\r' => out.push_str("\\r"),
-                        c => out.push(c),
-                    }
-                }
-                out.push('"');
-            }
+            JsonValue::Str(s) => render_string(s, out),
             JsonValue::Arr(items) => {
                 if items.is_empty() {
                     out.push_str("[]");
@@ -159,7 +147,8 @@ impl JsonValue {
                             out.push(' ');
                         }
                     }
-                    let _ = write!(out, "\"{key}\": ");
+                    render_string(key, out);
+                    out.push_str(": ");
                     value.render_into(out, indent + 2);
                     if i + 1 < fields.len() {
                         out.push(',');
@@ -291,6 +280,29 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
     }
 }
 
+/// Renders a string (value *or* object key) with full RFC 8259 escaping:
+/// quotes, backslashes, and every control character — the common ones as
+/// their two-character escapes, the rest as `\u00XX`. Free-text columns
+/// (dataset names, error strings) pass through writers verbatim, so the
+/// writer must never assume its input is identifier-shaped.
+fn render_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
 fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
     if bytes.get(*pos) != Some(&b'"') {
         return Err(format!("expected string at byte {}", *pos));
@@ -311,6 +323,31 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
                     b'n' => out.push('\n'),
                     b't' => out.push('\t'),
                     b'r' => out.push('\r'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'u' => {
+                        let unit = parse_hex4(bytes, pos)?;
+                        let c = if (0xD800..0xDC00).contains(&unit) {
+                            // High surrogate: a \uXXXX low surrogate must
+                            // follow; combine into one code point.
+                            if bytes.get(*pos) != Some(&b'\\') || bytes.get(*pos + 1) != Some(&b'u')
+                            {
+                                return Err("lone high surrogate".into());
+                            }
+                            *pos += 2;
+                            let low = parse_hex4(bytes, pos)?;
+                            if !(0xDC00..0xE000).contains(&low) {
+                                return Err("invalid low surrogate".into());
+                            }
+                            let cp = 0x10000 + ((unit - 0xD800) << 10) + (low - 0xDC00);
+                            char::from_u32(cp).ok_or("invalid surrogate pair")?
+                        } else if (0xDC00..0xE000).contains(&unit) {
+                            return Err("lone low surrogate".into());
+                        } else {
+                            char::from_u32(unit).ok_or("invalid \\u escape")?
+                        };
+                        out.push(c);
+                    }
                     other => return Err(format!("unsupported escape \\{}", *other as char)),
                 }
             }
@@ -329,6 +366,15 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
         }
     }
     Err("unterminated string".into())
+}
+
+/// Reads exactly four hex digits (the payload of a `\u` escape).
+fn parse_hex4(bytes: &[u8], pos: &mut usize) -> Result<u32, String> {
+    let chunk = bytes.get(*pos..*pos + 4).ok_or("truncated \\u escape")?;
+    let s = std::str::from_utf8(chunk).map_err(|_| "invalid \\u escape")?;
+    let v = u32::from_str_radix(s, 16).map_err(|_| format!("invalid \\u escape \\u{s}"))?;
+    *pos += 4;
+    Ok(v)
 }
 
 /// The benchmark history: an ordered list of per-scenario entries.
@@ -475,6 +521,34 @@ mod tests {
   "cost": { "legacy": 1, "arena": 1 },
   "speedup": 2.257
 }"#;
+
+    #[test]
+    fn free_text_strings_round_trip_through_render_and_parse() {
+        // Free-text content a writer must survive verbatim: quotes,
+        // backslashes, every named control escape, unnamed control
+        // characters, and non-ASCII text (incl. astral-plane code
+        // points, which arrive as \u surrogate pairs from other
+        // writers).
+        let nasty = "say \"hi\"\\path\n\t\r\u{8}\u{c}\u{1}\u{1f} café 🦀";
+        let doc = JsonValue::Obj(vec![
+            ("plain".into(), JsonValue::Str(nasty.into())),
+            // Keys are strings too: a free-text key must escape.
+            (nasty.into(), JsonValue::Num(1.0)),
+        ]);
+        let rendered = doc.render();
+        // The rendered document is valid JSON: no raw control bytes.
+        assert!(rendered.bytes().all(|b| b >= 0x20 || b == b'\n'));
+        assert!(rendered.contains("\\u0001") && rendered.contains("\\u001f"));
+        let back = parse_json(&rendered).unwrap();
+        assert_eq!(back, doc);
+        // Surrogate-pair escapes from external writers parse to the
+        // astral code point, and lone surrogates are rejected.
+        let v = parse_json(r#""\ud83e\udd80 ok \u00e9""#).unwrap();
+        assert_eq!(v.as_str(), Some("🦀 ok é"));
+        assert!(parse_json(r#""\ud83e""#).is_err());
+        assert!(parse_json(r#""\udd80""#).is_err());
+        assert!(parse_json(r#""\u12"#).is_err());
+    }
 
     #[test]
     fn parses_scalars_arrays_objects() {

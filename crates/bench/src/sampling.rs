@@ -105,6 +105,13 @@ pub struct Scenario {
     /// per delta size rather than `arena_ns`, so the regression gate
     /// skips them too.
     pub churn: bool,
+    /// Whether this cell measures the **multi-target campaign**
+    /// lineage: k per-target pools plus the joint greedy budget
+    /// allocation, against k independent single-target pipelines over
+    /// the frozen legacy sampler (see [`crate::campaign`]). Campaign
+    /// entries record `arena_ns`/`legacy_ns` like pipeline cells, so the
+    /// regression gate covers them.
+    pub campaign: bool,
 }
 
 impl Scenario {
@@ -128,6 +135,9 @@ impl Scenario {
             Workload::Dataset(d) if self.churn => {
                 format!("churn_{}_{}_t{}", d.spec().file_stem, scale, self.threads)
             }
+            Workload::Dataset(d) if self.campaign => {
+                format!("campaign_{}_{}_t{}", d.spec().file_stem, scale, self.threads)
+            }
             Workload::Dataset(d) => {
                 format!("dataset_{}_{}_t{}", d.spec().file_stem, scale, self.threads)
             }
@@ -148,7 +158,10 @@ impl Scenario {
 /// the bake-off) reserved for the weekly full matrix — plus the `churn`
 /// lineage: sustained edge-delta ingestion with incremental pool repair
 /// on the Wiki cell and the 220k Youtube cell (the scale where repair
-/// has to beat a genuinely expensive full resample).
+/// has to beat a genuinely expensive full resample) — plus the
+/// `campaign` lineage: k per-target pools with one joint greedy budget
+/// allocation against k independent legacy pipelines, on the Wiki cell
+/// (see [`crate::campaign`]).
 pub fn scenario_matrix() -> Vec<Scenario> {
     let mut matrix = Vec::new();
     for topology in Topology::ALL {
@@ -161,6 +174,7 @@ pub fn scenario_matrix() -> Vec<Scenario> {
                     bakeoff: false,
                     serving: false,
                     churn: false,
+                    campaign: false,
                 });
             }
         }
@@ -174,6 +188,7 @@ pub fn scenario_matrix() -> Vec<Scenario> {
                 bakeoff: false,
                 serving: false,
                 churn: false,
+                campaign: false,
             });
         }
     }
@@ -184,6 +199,7 @@ pub fn scenario_matrix() -> Vec<Scenario> {
         bakeoff: false,
         serving: false,
         churn: false,
+        campaign: false,
     });
     matrix.push(Scenario {
         workload: Workload::Dataset(Dataset::Youtube),
@@ -192,6 +208,7 @@ pub fn scenario_matrix() -> Vec<Scenario> {
         bakeoff: true,
         serving: false,
         churn: false,
+        campaign: false,
     });
     for (dataset, nodes, threads) in [
         (Dataset::Wiki, Dataset::Wiki.spec().nodes, 1usize),
@@ -207,6 +224,7 @@ pub fn scenario_matrix() -> Vec<Scenario> {
             bakeoff: false,
             serving: true,
             churn: false,
+            campaign: false,
         });
     }
     for (dataset, nodes, threads) in
@@ -219,8 +237,18 @@ pub fn scenario_matrix() -> Vec<Scenario> {
             bakeoff: false,
             serving: false,
             churn: true,
+            campaign: false,
         });
     }
+    matrix.push(Scenario {
+        workload: Workload::Dataset(Dataset::Wiki),
+        nodes: Dataset::Wiki.spec().nodes,
+        threads: 1,
+        bakeoff: false,
+        serving: false,
+        churn: false,
+        campaign: true,
+    });
     matrix
 }
 
@@ -356,6 +384,7 @@ impl SamplingBenchConfig {
             // scenario.
             serving: false,
             churn: false,
+            campaign: false,
         }
     }
 }
@@ -986,6 +1015,9 @@ pub fn run_sampling_bench(config: SamplingBenchConfig) -> SamplingBenchReport {
             match kernel {
                 WalkKernel::Scalar => kernel_scalar_ns = best,
                 WalkKernel::Lockstep => kernel_lockstep_ns = best,
+                // `ALL` holds only concrete kernels; `Auto` is a
+                // resolution policy, never timed as its own lane.
+                WalkKernel::Auto => unreachable!("Auto is not in WalkKernel::ALL"),
             }
         }
     }
@@ -1145,9 +1177,9 @@ mod tests {
         let matrix = scenario_matrix();
         // Synthetic lineage (4 × 2 × 2) plus the dataset lineage:
         // {wiki, hepth, hepph} × {1, 4}, the scaled Youtube cell, and
-        // the 1M-node Youtube bake-off cell — plus the 5 serving cells
-        // and the 2 churn cells.
-        assert_eq!(matrix.len(), Topology::ALL.len() * 2 * 2 + 3 * 2 + 2 + 5 + 2);
+        // the 1M-node Youtube bake-off cell — plus the 5 serving cells,
+        // the 2 churn cells, and the 1 campaign cell.
+        assert_eq!(matrix.len(), Topology::ALL.len() * 2 * 2 + 3 * 2 + 2 + 5 + 2 + 1);
         let names: std::collections::HashSet<String> = matrix.iter().map(Scenario::name).collect();
         assert_eq!(names.len(), matrix.len(), "scenario names collide");
         for required in [
@@ -1170,6 +1202,7 @@ mod tests {
             "serving_youtube_1m_t4",
             "churn_wiki_7k_t1",
             "churn_youtube_220k_t4",
+            "campaign_wiki_7k_t1",
         ] {
             assert!(names.contains(required), "matrix lacks {required}");
             assert!(find_scenario(required).is_some());
@@ -1193,17 +1226,27 @@ mod tests {
             Workload::Dataset(_)
         ) && !s.bakeoff
             && !s.serving));
+        // The campaign cell is dataset-only and belongs to no other
+        // lineage.
+        assert_eq!(matrix.iter().filter(|s| s.campaign).count(), 1);
+        assert!(matrix.iter().filter(|s| s.campaign).all(|s| matches!(
+            s.workload,
+            Workload::Dataset(_)
+        ) && !s.bakeoff
+            && !s.serving
+            && !s.churn));
         // Quick keeps the synthetic 10k slice and every non-bake-off
-        // dataset/serving/churn cell below 1M nodes; the 1M graphs
-        // belong to the weekly full matrix.
+        // dataset/serving/churn/campaign cell below 1M nodes; the 1M
+        // graphs belong to the weekly full matrix.
         let quick = quick_matrix();
         assert!(quick
             .iter()
             .all(|s| !matches!(s.workload, Workload::Synthetic(_)) || s.nodes == 10_000));
-        assert_eq!(quick.len(), Topology::ALL.len() * 2 + 3 * 2 + 1 + 4 + 2);
+        assert_eq!(quick.len(), Topology::ALL.len() * 2 + 3 * 2 + 1 + 4 + 2 + 1);
         assert!(quick.iter().any(|s| s.name() == "dataset_youtube_220k_t4"));
         assert!(quick.iter().any(|s| s.name() == "serving_youtube_220k_t4"));
         assert!(quick.iter().any(|s| s.name() == "churn_youtube_220k_t4"));
+        assert!(quick.iter().any(|s| s.name() == "campaign_wiki_7k_t1"));
         assert!(quick.iter().all(|s| !s.bakeoff), "--quick must skip the bake-off cells");
         assert!(
             quick.iter().all(|s| s.name() != "serving_youtube_1m_t4"),

@@ -96,6 +96,7 @@ impl ServingBenchConfig {
             bakeoff: false,
             serving: true,
             churn: false,
+            campaign: false,
         }
     }
 }

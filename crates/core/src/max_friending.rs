@@ -70,46 +70,22 @@ pub fn greedy_max_coverage_paths(
     budget: usize,
 ) -> InvitationSet {
     let n = instance.node_count();
-    let mut chosen = InvitationSet::empty(n);
     if budget == 0 || pool.type1_count() == 0 {
-        return chosen;
+        return InvitationSet::empty(n);
     }
     // The arena pool is already deduplicated with multiplicities and in
-    // canonical (lexicographic) order: covering a path covers all its
-    // sampled copies, and the greedy is deterministic without any
-    // re-sorting here.
-    let mut remaining: Vec<(&[u32], u32)> = pool.iter().collect();
-    loop {
-        let mut best: Option<(f64, usize, usize)> = None; // (density, cost, index)
-        for (i, (path, mult)) in remaining.iter().enumerate() {
-            let cost = path.iter().filter(|&&v| !chosen.contains_index(v as usize)).count();
-            if chosen.len() + cost > budget {
-                continue;
-            }
-            // Covered gain: this path's copies plus — approximated — only
-            // itself; full recount happens after insertion.
-            let density = if cost == 0 { f64::INFINITY } else { *mult as f64 / cost as f64 };
-            let better = match best {
-                None => true,
-                Some((bd, bc, _)) => density > bd || (density == bd && cost < bc),
-            };
-            if better {
-                best = Some((density, cost, i));
-            }
-        }
-        let Some((_, _, idx)) = best else { break };
-        let (path, _) = remaining.swap_remove(idx);
-        for &v in path {
-            chosen.insert(raf_graph::NodeId::new(v as usize));
-        }
-        // Drop every path now fully covered (cost 0 next round would pick
-        // them anyway; pruning keeps the loop linear-ish).
-        remaining.retain(|(p, _)| !p.iter().all(|&v| chosen.contains_index(v as usize)));
-        if remaining.is_empty() {
-            break;
-        }
-    }
-    chosen
+    // canonical (lexicographic) order, which `from_path_pool_ref`
+    // preserves — so the allocator's scan order, density tie-breaks, and
+    // pruning reproduce the original single-target greedy exactly. This
+    // is the `k = 1` case of the campaign allocator: one shared machine
+    // for both pipelines keeps them bit-identical by construction.
+    let cover = raf_cover::CoverInstance::from_path_pool_ref(n, pool)
+        .expect("pool node ids fit the instance's node range");
+    let target =
+        raf_cover::BudgetTarget { sets: &cover, total_samples: pool.total_samples().max(1) };
+    let alloc = raf_cover::allocate_budget(std::slice::from_ref(&target), budget)
+        .expect("a single target can always be allocated");
+    InvitationSet::from_nodes(n, alloc.chosen.iter().map(|&v| raf_graph::NodeId::new(v as usize)))
 }
 
 /// The maximization pipeline (sample pool → path-greedy → report).

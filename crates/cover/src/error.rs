@@ -26,6 +26,16 @@ pub enum CoverError {
         /// Explanation of the limit.
         message: String,
     },
+    /// A budget allocation was requested over an empty target list.
+    NoTargets,
+    /// Per-target cover instances disagree on the ground-set size (they
+    /// must all be built over the same graph's node set).
+    UniverseMismatch {
+        /// Universe of the first target.
+        expected: usize,
+        /// The disagreeing universe.
+        found: usize,
+    },
 }
 
 impl fmt::Display for CoverError {
@@ -38,6 +48,10 @@ impl fmt::Display for CoverError {
                 write!(f, "element {element} outside universe of size {universe}")
             }
             CoverError::TooLarge { message } => write!(f, "instance too large: {message}"),
+            CoverError::NoTargets => write!(f, "budget allocation needs at least one target"),
+            CoverError::UniverseMismatch { expected, found } => {
+                write!(f, "target universes disagree: expected {expected}, found {found}")
+            }
         }
     }
 }

@@ -91,6 +91,36 @@ impl CoverInstance {
         Ok(CoverInstance { universe, elems, offsets, weights: Some(weights), total_weight })
     }
 
+    /// Builds a weighted instance from a *borrowed* [`PathPool`] — the
+    /// same layout as [`CoverInstance::from_path_pool`] (paths in walk
+    /// order, weight = multiplicity, canonical pool order preserved) but
+    /// copying the arena instead of consuming it. Use this when the pool
+    /// must stay available for post-solve evaluation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoverError::ElementOutOfRange`] when a path mentions a
+    /// node `≥ universe`.
+    pub fn from_path_pool_ref(universe: usize, pool: &PathPool) -> Result<Self, CoverError> {
+        let mut elems = Vec::new();
+        let mut offsets = vec![0u32];
+        let mut weights = Vec::new();
+        let mut total_weight = 0usize;
+        for (path, mult) in pool.iter() {
+            if let Some(&max) = path.iter().max() {
+                if max as usize >= universe {
+                    return Err(CoverError::ElementOutOfRange { element: max, universe });
+                }
+            }
+            elems.extend_from_slice(path);
+            assert!(elems.len() <= u32::MAX as usize, "set family overflows u32 offsets");
+            offsets.push(elems.len() as u32);
+            weights.push(mult);
+            total_weight += mult as usize;
+        }
+        Ok(CoverInstance { universe, elems, offsets, weights: Some(weights), total_weight })
+    }
+
     /// Ground-set size.
     #[inline]
     pub fn universe(&self) -> usize {

@@ -35,6 +35,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod allocate;
 mod anchor;
 mod error;
 mod exact;
@@ -46,6 +47,7 @@ mod smallest;
 mod solution;
 mod solver;
 
+pub use allocate::{allocate_budget, Allocation, AllocationArm, BudgetTarget};
 pub use anchor::AnchorSolver;
 pub use error::CoverError;
 pub use exact::ExactSolver;

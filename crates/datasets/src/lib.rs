@@ -29,7 +29,7 @@ mod registry;
 pub use loader::{
     load_dataset, load_dataset_csr, DatasetSource, LoadedDataset, PreparedCsr, RelabelMode,
 };
-pub use pairs::{sample_pairs, PairSamplerConfig, SampledPair};
+pub use pairs::{sample_campaigns, sample_pairs, PairSamplerConfig, SampledCampaign, SampledPair};
 pub use registry::{Dataset, DatasetSpec};
 
 /// Convenience prelude re-exporting the most common types.

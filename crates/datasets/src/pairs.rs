@@ -56,6 +56,79 @@ pub struct SampledPair {
     pub pmax_estimate: f64,
 }
 
+/// A screened multi-target campaign: one source, `k` distinct targets
+/// that each individually pass the `p_max` screen from `s`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SampledCampaign {
+    /// The shared initiator.
+    pub s: u32,
+    /// The screened targets, in ascending node-id order (the campaign
+    /// pipeline's canonical order).
+    pub targets: Vec<u32>,
+    /// Screening-phase `p_max` estimates, aligned with `targets`.
+    pub pmax_estimates: Vec<f64>,
+}
+
+/// Samples multi-target campaigns: each has one source and
+/// `targets_per_campaign` distinct targets drawn from the source's BFS
+/// ball, every one individually passing the usual
+/// `p_max ≥ pmax_threshold` screen. `config.pairs` is the campaign
+/// count. Returns fewer when the attempt budget runs out (sources whose
+/// ball cannot yield enough screened targets are skipped whole).
+pub fn sample_campaigns(
+    graph: &CsrGraph,
+    config: &PairSamplerConfig,
+    targets_per_campaign: usize,
+) -> Vec<SampledCampaign> {
+    use rand::seq::SliceRandom;
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let n = graph.node_count();
+    let mut campaigns = Vec::with_capacity(config.pairs);
+    let mut attempts = 0usize;
+    let mut seen_sources = std::collections::HashSet::new();
+    while campaigns.len() < config.pairs
+        && attempts < config.max_attempts
+        && targets_per_campaign > 0
+    {
+        attempts += 1;
+        let s = NodeId::new(rng.gen_range(0..n));
+        if graph.degree(s) == 0 || !seen_sources.insert(s) {
+            continue;
+        }
+        let mut candidates = ball_candidates(graph, s, config.max_distance);
+        if candidates.len() < targets_per_campaign {
+            continue;
+        }
+        // Screen the ball in a random (but seed-deterministic) order so
+        // distinct campaigns don't all pick the lowest-id targets.
+        candidates.shuffle(&mut rng);
+        let mut picked: Vec<(u32, f64)> = Vec::with_capacity(targets_per_campaign);
+        for t in candidates {
+            if picked.len() == targets_per_campaign {
+                break;
+            }
+            let Ok(instance) = FriendingInstance::new(graph, s, t) else {
+                continue;
+            };
+            let est = estimate_pmax_fixed(&instance, config.screen_samples, &mut rng);
+            if est.pmax >= config.pmax_threshold {
+                picked.push((t.as_u32(), est.pmax));
+            }
+        }
+        if picked.len() < targets_per_campaign {
+            continue;
+        }
+        // Canonical campaign order: ascending target id.
+        picked.sort_by_key(|&(t, _)| t);
+        campaigns.push(SampledCampaign {
+            s: s.as_u32(),
+            targets: picked.iter().map(|&(t, _)| t).collect(),
+            pmax_estimates: picked.iter().map(|&(_, p)| p).collect(),
+        });
+    }
+    campaigns
+}
+
 /// Samples pairs per the paper's protocol. Returns fewer than requested
 /// when the attempt budget is exhausted (e.g. on very sparse graphs).
 pub fn sample_pairs(graph: &CsrGraph, config: &PairSamplerConfig) -> Vec<SampledPair> {
@@ -98,6 +171,17 @@ fn random_node_within<R: Rng>(
     max_distance: u32,
     rng: &mut R,
 ) -> Option<NodeId> {
+    let candidates = ball_candidates(graph, s, max_distance);
+    if candidates.is_empty() {
+        None
+    } else {
+        Some(candidates[rng.gen_range(0..candidates.len())])
+    }
+}
+
+/// Every node at BFS distance `2..=max_distance` from `s`, in BFS
+/// discovery order.
+fn ball_candidates(graph: &CsrGraph, s: NodeId, max_distance: u32) -> Vec<NodeId> {
     use std::collections::VecDeque;
     let n = graph.node_count();
     let mut dist = vec![u32::MAX; n];
@@ -120,11 +204,7 @@ fn random_node_within<R: Rng>(
             }
         }
     }
-    if candidates.is_empty() {
-        None
-    } else {
-        Some(candidates[rng.gen_range(0..candidates.len())])
-    }
+    candidates
 }
 
 #[cfg(test)]
@@ -179,6 +259,46 @@ mod tests {
         let cfg = PairSamplerConfig { pairs: 5, max_attempts: 2_000, ..Default::default() };
         let pairs = sample_pairs(&g, &cfg);
         assert!(pairs.is_empty());
+    }
+
+    #[test]
+    fn campaigns_are_screened_canonical_and_deterministic() {
+        let g = grid_csr();
+        let cfg = PairSamplerConfig {
+            pairs: 4,
+            screen_samples: 400,
+            max_attempts: 100_000,
+            seed: 11,
+            ..Default::default()
+        };
+        let campaigns = sample_campaigns(&g, &cfg, 3);
+        assert_eq!(campaigns.len(), 4, "grid ball has plenty of screened targets");
+        for c in &campaigns {
+            assert_eq!(c.targets.len(), 3);
+            assert_eq!(c.pmax_estimates.len(), 3);
+            // Canonical ascending order doubles as a distinctness check.
+            assert!(c.targets.windows(2).all(|w| w[0] < w[1]));
+            for (&t, &pmax) in c.targets.iter().zip(&c.pmax_estimates) {
+                assert_ne!(t, c.s);
+                assert!(pmax >= cfg.pmax_threshold);
+                assert!(!g.has_edge(NodeId::new(c.s as usize), NodeId::new(t as usize)));
+            }
+        }
+        // Sources are distinct across campaigns, and the whole batch is a
+        // pure function of the seed.
+        let sources: std::collections::HashSet<u32> = campaigns.iter().map(|c| c.s).collect();
+        assert_eq!(sources.len(), campaigns.len());
+        assert_eq!(campaigns, sample_campaigns(&g, &cfg, 3));
+    }
+
+    #[test]
+    fn oversized_campaigns_exhaust_gracefully() {
+        let g = grid_csr();
+        let cfg = PairSamplerConfig { pairs: 2, max_attempts: 2_000, ..Default::default() };
+        // No 6×6 grid ball holds 1000 screened targets; zero-target
+        // campaigns are meaningless and must not loop.
+        assert!(sample_campaigns(&g, &cfg, 1_000).is_empty());
+        assert!(sample_campaigns(&g, &cfg, 0).is_empty());
     }
 
     #[test]

@@ -61,10 +61,8 @@ pub mod prelude {
     pub use crate::pmax::{estimate_pmax_dklr, estimate_pmax_fixed, PmaxEstimate};
     pub use crate::reverse::{sample_target_path, sample_walk_into, TargetPath, WalkOutcome};
     pub use crate::sampler::{
-        repair_pool, threads_from_env, PathPool, PoolRepair, SampleRequest, WalkKernel,
+        pair_seed, repair_pool, threads_from_env, PathPool, PoolRepair, SampleRequest, WalkKernel,
     };
-    #[allow(deprecated)]
-    pub use crate::sampler::{sample_pool, sample_pool_parallel};
     pub use crate::walk_index::EdgeWalkIndex;
     pub use crate::{FriendingInstance, InvitationSet, ModelError};
 }

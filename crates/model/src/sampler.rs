@@ -35,12 +35,24 @@ use raf_graph::NodeId;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-/// Below this many walks, [`sample_pool_parallel`] always runs the
-/// sequential sampler regardless of the requested thread count: thread
-/// startup would dominate the sampling itself, and keeping the fallback
-/// thread-count-independent means small pools are byte-identical for
-/// every `threads` value (only the master seed matters).
+/// Below this many walks, a [`SampleRequest`] without an explicit lane
+/// override always runs the sequential sampler regardless of the
+/// requested thread count: thread startup would dominate the sampling
+/// itself, and keeping the fallback thread-count-independent means small
+/// pools are byte-identical for every `threads` value (only the master
+/// seed matters).
 pub const PARALLEL_THRESHOLD: u64 = 4_096;
+
+/// Node count at which [`WalkKernel::Auto`] switches from the scalar to
+/// the lockstep kernel. Calibrated against the committed bench cells in
+/// `BENCH_sampling.json`: at 10k–50k nodes the per-node walk metadata
+/// sits in L2 and lockstep's round-robin bookkeeping is pure overhead,
+/// while the 1M-node bake-off cell (`dataset_youtube_1m_t4`) shows the
+/// prefetch cohort winning 2.08× (scalar 338.4 ms vs lockstep 162.8 ms)
+/// once the metadata (≥ 2 MiB at ~16 B/node) decisively overflows L2.
+/// `1 << 17` (131 072) nodes ≈ the 2 MiB metadata boundary between
+/// those two regimes.
+pub const AUTO_LOCKSTEP_NODES: usize = 1 << 17;
 
 /// Walks sampled between cooperative-cancellation checks: at every
 /// multiple of this count a worker consults its [`SampleControl`]
@@ -91,8 +103,8 @@ impl std::fmt::Debug for SampleControl<'_> {
 }
 
 impl SampleControl<'_> {
-    /// No limits, no probe: [`sample_pool_controlled`] behaves exactly
-    /// like [`sample_pool_parallel`].
+    /// No limits, no probe: a controlled request behaves exactly like an
+    /// uncontrolled one.
     pub const UNLIMITED: SampleControl<'static> =
         SampleControl { max_steps: None, deadline: None, probe: None };
 
@@ -412,11 +424,18 @@ impl WalkShard {
 /// behavior differs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
 pub enum WalkKernel {
+    /// Pick per instance: scalar below [`AUTO_LOCKSTEP_NODES`] nodes,
+    /// lockstep at or above it — the committed bench cells show the
+    /// prefetch cohort only pays for itself once the per-node walk
+    /// metadata overflows L2 (see the constant's docs). Resolved by
+    /// [`WalkKernel::resolve`] when a request runs; because kernels are
+    /// pool-preserving, the heuristic can never change a result.
+    #[default]
+    Auto,
     /// One walk at a time per lane, to completion — the classic loop.
     /// Each walk step is a serial dependent-load chain (metadata record,
     /// then neighbor slice), so throughput is memory-latency-bound once
     /// the graph overflows the last-level cache.
-    #[default]
     Scalar,
     /// All of a worker's lanes advance together, one step per lane per
     /// round, and each step software-prefetches the *next* node's
@@ -430,13 +449,16 @@ pub enum WalkKernel {
 }
 
 impl WalkKernel {
-    /// Both kernels, in bake-off order (scalar is the reference).
+    /// Both concrete kernels, in bake-off order (scalar is the
+    /// reference). `Auto` is a resolution policy, not a third loop, so
+    /// it is deliberately absent.
     pub const ALL: [WalkKernel; 2] = [WalkKernel::Scalar, WalkKernel::Lockstep];
 
     /// Stable lowercase name, as used by `--walk-kernel` and the bench
     /// history's `kernel_ns` keys.
     pub fn name(self) -> &'static str {
         match self {
+            WalkKernel::Auto => "auto",
             WalkKernel::Scalar => "scalar",
             WalkKernel::Lockstep => "lockstep",
         }
@@ -445,9 +467,21 @@ impl WalkKernel {
     /// Inverse of [`name`](Self::name); `None` for unknown spellings.
     pub fn parse(raw: &str) -> Option<WalkKernel> {
         match raw {
+            "auto" => Some(WalkKernel::Auto),
             "scalar" => Some(WalkKernel::Scalar),
             "lockstep" => Some(WalkKernel::Lockstep),
             _ => None,
+        }
+    }
+
+    /// The concrete kernel a request over a `nodes`-node instance runs:
+    /// `Auto` resolves by the [`AUTO_LOCKSTEP_NODES`] threshold; the
+    /// explicit kernels resolve to themselves.
+    pub fn resolve(self, nodes: usize) -> WalkKernel {
+        match self {
+            WalkKernel::Auto if nodes >= AUTO_LOCKSTEP_NODES => WalkKernel::Lockstep,
+            WalkKernel::Auto => WalkKernel::Scalar,
+            concrete => concrete,
         }
     }
 }
@@ -501,7 +535,8 @@ struct LaneSpec {
 /// result, only how fast it arrives. By default `L` follows the legacy
 /// rule — one lane when `threads == 1` or `walks <`
 /// [`PARALLEL_THRESHOLD`], otherwise `threads` lanes — which keeps every
-/// pool bit-identical to what the deprecated entry points produced.
+/// pool bit-identical to what the original per-thread entry points
+/// produced.
 /// [`lanes`](Self::lanes) overrides `L` explicitly (e.g. to give the
 /// lockstep kernel a wide cohort on a single core, or to pin pools
 /// across machines with different core counts).
@@ -529,14 +564,15 @@ pub struct SampleRequest<'a> {
 
 impl<'a> SampleRequest<'a> {
     /// A request for `walks` backward walks: sequential, master seed 0,
-    /// scalar kernel, no control — refine with the builder methods.
+    /// auto kernel (resolved per instance at [`run`](Self::run) time),
+    /// no control — refine with the builder methods.
     pub fn new(walks: u64) -> SampleRequest<'a> {
         SampleRequest {
             walks,
             seed: 0,
             threads: 1,
             lanes: None,
-            kernel: WalkKernel::Scalar,
+            kernel: WalkKernel::Auto,
             control: None,
         }
     }
@@ -618,7 +654,7 @@ impl<'a> SampleRequest<'a> {
             })
             .collect();
         let threads = self.threads.max(1).min(lanes);
-        let kernel = self.kernel;
+        let kernel = self.kernel.resolve(instance.node_count());
         let groups: Vec<(Vec<WalkShard>, u64)> = if threads == 1 {
             vec![run_lane_group(instance, &specs, control, kernel)]
         } else {
@@ -754,13 +790,15 @@ fn run_lane_group(
     kernel: WalkKernel,
 ) -> (Vec<WalkShard>, u64) {
     match kernel {
-        WalkKernel::Scalar => run_lanes_scalar(instance, specs, control),
+        // `Auto` is resolved against the instance before dispatch; the
+        // scalar loop is the safe identity if one ever slips through.
+        WalkKernel::Auto | WalkKernel::Scalar => run_lanes_scalar(instance, specs, control),
         WalkKernel::Lockstep => run_lanes_lockstep(instance, specs, control),
     }
 }
 
 /// The scalar kernel: each lane runs to completion in turn, exactly the
-/// loop the deprecated entry points ran per thread.
+/// classic per-thread sequential loop.
 fn run_lanes_scalar(
     instance: &FriendingInstance<'_>,
     specs: &[LaneSpec],
@@ -892,55 +930,6 @@ fn run_lanes_lockstep(
     (lanes.into_iter().map(|lane| lane.shard).collect(), sampled)
 }
 
-/// Samples `l` backward walks sequentially, keeping the type-1 paths.
-/// On relabeled instances the pool's node ids are in original space (see
-/// [`FriendingInstance::relabeled`]).
-///
-/// Deprecated: for a seeded one-shot run,
-/// `SampleRequest::new(l).seed(s).run(instance)` draws the identical
-/// walk stream (`StdRng::seed_from_u64(s)`, one lane). Only callers
-/// that genuinely need to sample mid-stream from a shared generic RNG
-/// have no `SampleRequest` equivalent — that use case is going away with
-/// this function.
-#[deprecated(since = "0.1.0", note = "use `SampleRequest::new(l).seed(s).run(instance)`")]
-pub fn sample_pool<R: Rng>(instance: &FriendingInstance<'_>, l: u64, rng: &mut R) -> PathPool {
-    let mut shard = WalkShard::new();
-    for _ in 0..l {
-        shard.sample(instance, rng);
-    }
-    PathPool::assemble(vec![shard], l, instance.original_table())
-}
-
-/// [`sample_pool_parallel`] with cooperative cancellation: walks sample
-/// in [`CANCEL_CHECK_INTERVAL`]-sized batches and the control's limits
-/// are consulted between batches. The returned pool's
-/// [`total_samples`](PathPool::total_samples) reports the walks
-/// *actually* sampled — under an exhausted budget that is less than `l`,
-/// and every multiplicity-weighted estimator on the partial pool is
-/// still exact for the prefix it observed (the anytime property the
-/// degrading server leans on).
-///
-/// Determinism: with `deadline: None`, the sampled walk multiset — and
-/// therefore the pool, bit for bit — is a pure function of
-/// `(instance, l, master_seed, threads, max_steps)`. The step budget is
-/// split across workers exactly like the walk shares, each worker stops
-/// independently at a batch boundary, and the per-thread interner merge
-/// is unchanged. With [`SampleControl::UNLIMITED`] the result is
-/// bit-identical to [`sample_pool_parallel`].
-#[deprecated(
-    since = "0.1.0",
-    note = "use `SampleRequest::new(l).seed(s).threads(t).control(c).run(instance)`"
-)]
-pub fn sample_pool_controlled(
-    instance: &FriendingInstance<'_>,
-    l: u64,
-    master_seed: u64,
-    threads: usize,
-    control: &SampleControl<'_>,
-) -> PathPool {
-    SampleRequest::new(l).seed(master_seed).threads(threads).control(control).run(instance)
-}
-
 /// Worker thread count from the `RAF_THREADS` environment variable
 /// (default 1 when unset or unparsable, minimum 1).
 ///
@@ -954,32 +943,17 @@ pub fn threads_from_env() -> usize {
         .map_or(1, |t| t.max(1))
 }
 
-/// Samples `l` backward walks across `threads` worker threads.
+/// The pure per-pair pool seed: `master ⊕ splitmix64(s ‖ t)` with the
+/// pair packed as `(s << 32) | t`.
 ///
-/// Thread `i` runs with `StdRng::seed_from_u64(master_seed ⊕ splitmix(i))`
-/// and stream-dedups a fixed share of the `l` walks into a private
-/// interner; the interners are merged in thread-index order before pool
-/// assembly, so the result is reproducible for a fixed
-/// `(master_seed, threads)` with no locking and no post-hoc sort of the
-/// sampled walks.
-///
-/// **Fallback boundary:** when `threads == 1` *or*
-/// `l < `[`PARALLEL_THRESHOLD`], the sequential sampler runs with
-/// `master_seed` directly. Below the threshold the pool is therefore
-/// *identical for every thread count* — `threads ∈ {1, 2, 4}` all return
-/// the `threads == 1` pool. At or above the threshold, different thread
-/// counts sample different (equally distributed) walk multisets.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `SampleRequest::new(l).seed(s).threads(t).run(instance)`"
-)]
-pub fn sample_pool_parallel(
-    instance: &FriendingInstance<'_>,
-    l: u64,
-    master_seed: u64,
-    threads: usize,
-) -> PathPool {
-    SampleRequest::new(l).seed(master_seed).threads(threads).run(instance)
+/// This is **the** derivation shared by every layer that samples a
+/// per-pair pool from one master seed — the serve cache's pool seeds and
+/// the campaign sampler both use it — so a campaign pool for `(s, t)`
+/// and a single-target serve query on the same pair draw bit-identical
+/// walk streams and can share one cache entry. Node ids are in the
+/// *instance's* space (post-relabeling when a relabeled layout serves).
+pub fn pair_seed(master: u64, s: u32, t: u32) -> u64 {
+    master ^ splitmix64((u64::from(s) << 32) | u64::from(t))
 }
 
 /// SplitMix64 finalizer — decorrelates per-thread seeds.
@@ -1204,23 +1178,12 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_shims_match_the_request_api() {
-        // The shims forward to SampleRequest; pin that they (and the
-        // still-bodied generic-RNG sampler) draw the identical streams.
-        #![allow(deprecated)]
-        let g = path_csr(5);
-        let inst = FriendingInstance::new(&g, NodeId::new(0), NodeId::new(4)).unwrap();
-        let mut rng = StdRng::seed_from_u64(6);
-        let seq = sample_pool(&inst, 3_000, &mut rng);
-        assert_eq!(seq, SampleRequest::new(3_000).seed(6).run(&inst));
-        let par = sample_pool_parallel(&inst, 20_000, 13, 4);
-        assert_eq!(par, SampleRequest::new(20_000).seed(13).threads(4).run(&inst));
-        let control = SampleControl { max_steps: Some(9_000), ..SampleControl::UNLIMITED };
-        let ctl = sample_pool_controlled(&inst, 20_000, 13, 4, &control);
-        assert_eq!(
-            ctl,
-            SampleRequest::new(20_000).seed(13).threads(4).control(&control).run(&inst)
-        );
+    fn pair_seed_is_pure_and_pair_sensitive() {
+        // The derivation every layer shares: master ⊕ splitmix64(s ‖ t).
+        assert_eq!(pair_seed(7, 3, 9), 7 ^ splitmix64((3u64 << 32) | 9));
+        assert_eq!(pair_seed(7, 3, 9), pair_seed(7, 3, 9));
+        assert_ne!(pair_seed(7, 3, 9), pair_seed(7, 9, 3), "pair order matters");
+        assert_ne!(pair_seed(7, 3, 9), pair_seed(8, 3, 9), "master matters");
     }
 
     #[test]
@@ -1408,8 +1371,46 @@ mod tests {
         for kernel in WalkKernel::ALL {
             assert_eq!(WalkKernel::parse(kernel.name()), Some(kernel));
         }
+        assert_eq!(WalkKernel::parse("auto"), Some(WalkKernel::Auto));
         assert_eq!(WalkKernel::parse("vectorized"), None);
-        assert_eq!(WalkKernel::default(), WalkKernel::Scalar);
+        assert_eq!(WalkKernel::default(), WalkKernel::Auto);
+    }
+
+    #[test]
+    fn auto_kernel_resolves_by_node_count() {
+        assert_eq!(WalkKernel::Auto.resolve(AUTO_LOCKSTEP_NODES - 1), WalkKernel::Scalar);
+        assert_eq!(WalkKernel::Auto.resolve(AUTO_LOCKSTEP_NODES), WalkKernel::Lockstep);
+        // Explicit kernels are fixed points: `--walk-kernel scalar`
+        // still overrides the heuristic at any scale.
+        for kernel in WalkKernel::ALL {
+            assert_eq!(kernel.resolve(1), kernel);
+            assert_eq!(kernel.resolve(usize::MAX), kernel);
+        }
+    }
+
+    #[test]
+    fn auto_switchover_preserves_pools() {
+        // Either side of the Auto threshold, the resolved kernel must
+        // hand back the same pool as both explicit kernels. The large
+        // side uses a star graph (every walk terminates in one hop) so
+        // building a >2^17-node instance stays cheap.
+        let small = path_csr(6);
+        let small_inst = FriendingInstance::new(&small, NodeId::new(0), NodeId::new(5)).unwrap();
+        let mut b = GraphBuilder::new();
+        b.add_edges((2..AUTO_LOCKSTEP_NODES + 8).map(|i| (0, i))).unwrap();
+        b.add_edge(1, 2).unwrap(); // t = 1 hangs one hop off s's neighborhood
+        let star = b.build(WeightScheme::UniformByDegree).unwrap().to_csr();
+        let star_inst = FriendingInstance::new(&star, NodeId::new(0), NodeId::new(1)).unwrap();
+        for (inst, expect) in
+            [(&small_inst, WalkKernel::Scalar), (&star_inst, WalkKernel::Lockstep)]
+        {
+            assert_eq!(WalkKernel::Auto.resolve(inst.node_count()), expect);
+            let auto = SampleRequest::new(6_000).seed(11).run(inst);
+            for kernel in WalkKernel::ALL {
+                let explicit = SampleRequest::new(6_000).seed(11).kernel(kernel).run(inst);
+                assert_eq!(auto, explicit, "auto vs {kernel} at {} nodes", inst.node_count());
+            }
+        }
     }
 
     #[test]

@@ -6,7 +6,9 @@ use crate::fault::{FaultKind, FaultPlan};
 use raf_core::{CoreError, ParameterSet};
 use raf_cover::{ChlamtacPortfolio, CoverError, CoverInstance};
 use raf_graph::{CsrGraph, EdgeDelta, GraphError, NodeId, Relabeling, SocialGraph, WeightScheme};
-use raf_model::sampler::{repair_pool, PathPool, PoolRepair, SampleControl, SampleRequest};
+use raf_model::sampler::{
+    pair_seed, repair_pool, PathPool, PoolRepair, SampleControl, SampleRequest,
+};
 use raf_model::walk_index::EdgeWalkIndex;
 use raf_model::{FriendingInstance, InvitationSet, ModelError};
 use std::fmt;
@@ -81,6 +83,66 @@ pub struct Query {
     pub budget: u64,
 }
 
+/// One multi-target campaign request against the resident graph: a
+/// source, `k` distinct targets, and one shared invitation budget,
+/// allocated greedily across the targets' pools by
+/// [`raf_cover::allocate_budget`]. Each target's pool resolves through
+/// the same [`PoolCache`] keys a single-target [`Query`] for that pair
+/// would use (walk count = the context ceiling), so campaigns warm the
+/// cache for later single queries and vice versa.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignQuery {
+    /// The campaigning source.
+    pub s: NodeId,
+    /// The targets, in any order (answers are order-independent).
+    pub targets: Vec<NodeId>,
+    /// Approximation target `α`, echoed in the response line; the
+    /// budget-driven allocation itself is `α`-independent, exactly as
+    /// pool sampling is.
+    pub alpha: f64,
+    /// Shared invitation budget across all targets.
+    pub budget: usize,
+}
+
+/// One target's slice of a [`CampaignAnswer`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CampaignTargetAnswer {
+    /// The target.
+    pub target: NodeId,
+    /// Sampled walk mass (pool copies) the shared set covers for this
+    /// target.
+    pub covered: usize,
+    /// Walks in this target's pool.
+    pub samples: u64,
+    /// `covered / samples` — the target's acceptance-probability
+    /// estimate under the shared invitation set.
+    pub estimate: f64,
+    /// Whether this target's pool came from the cache.
+    pub cache_hit: bool,
+}
+
+/// The answer to one [`CampaignQuery`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignAnswer {
+    /// The shared invitation set (original-space ids, `≤ budget`).
+    pub invitations: InvitationSet,
+    /// Per-target outcomes, in canonical (ascending node id) order.
+    pub targets: Vec<CampaignTargetAnswer>,
+    /// Σ per-target estimates — the campaign objective.
+    pub objective: f64,
+    /// Which allocation arm won (`joint`, `equal_split`,
+    /// `proportional_split`); ties keep `joint`.
+    pub arm: &'static str,
+    /// Every arm's objective, in `[joint, equal_split,
+    /// proportional_split]` order — what `raf experiment --targets`
+    /// charts as joint-vs-independent-split gain.
+    pub arm_objectives: [f64; 3],
+    /// Walks requested per target pool (the context's walk ceiling).
+    pub walks: u64,
+    /// How many target pools were answered from the cache.
+    pub hits: usize,
+}
+
 /// The answer to one [`Query`], with the intermediate quantities the
 /// paper's analysis talks about plus the cache outcome.
 #[derive(Debug, Clone, PartialEq)]
@@ -128,6 +190,13 @@ pub enum QueryRejection {
         /// Nodes in the resident graph.
         node_count: usize,
     },
+    /// A campaign listed no targets.
+    NoTargets,
+    /// A campaign listed the same target twice.
+    DuplicateTarget {
+        /// The repeated node id.
+        target: usize,
+    },
 }
 
 impl fmt::Display for QueryRejection {
@@ -137,6 +206,10 @@ impl fmt::Display for QueryRejection {
             QueryRejection::SourceIsTarget => write!(f, "source and target coincide"),
             QueryRejection::NodeOutOfRange { node, node_count } => {
                 write!(f, "node {node} out of range (graph has {node_count} nodes)")
+            }
+            QueryRejection::NoTargets => write!(f, "campaign lists no targets"),
+            QueryRejection::DuplicateTarget { target } => {
+                write!(f, "duplicate campaign target {target}")
             }
         }
     }
@@ -159,6 +232,16 @@ pub enum ServeError {
     /// `N(s)` within the sampled walks.
     TargetUnreachable {
         /// Walks sampled before giving up.
+        samples: u64,
+    },
+    /// One campaign target's pool observed no type-1 realization, making
+    /// the campaign as specified infeasible. Any pools sampled for the
+    /// other targets stay cached — retrying without the dead target
+    /// hits them.
+    CampaignUnreachable {
+        /// The unreachable target's node id.
+        target: usize,
+        /// Walks sampled into that target's pool.
         samples: u64,
     },
     /// Admission control shed the query; the payload carries a retry
@@ -196,6 +279,7 @@ impl ServeError {
             ServeError::Parameters(_) => "parameters",
             ServeError::Solver(_) => "solver",
             ServeError::TargetUnreachable { .. } => "unreachable",
+            ServeError::CampaignUnreachable { .. } => "unreachable",
             ServeError::Overloaded(_) => "overloaded",
             ServeError::ResourceExhausted { .. } => "resource-exhausted",
             ServeError::Internal { .. } => "internal",
@@ -220,6 +304,9 @@ impl fmt::Display for ServeError {
             ServeError::Solver(e) => write!(f, "cover solve failed: {e}"),
             ServeError::TargetUnreachable { samples } => {
                 write!(f, "target unreachable within {samples} sampled walks")
+            }
+            ServeError::CampaignUnreachable { target, samples } => {
+                write!(f, "campaign target {target} unreachable within {samples} sampled walks")
             }
             ServeError::Overloaded(reason) => write!(f, "overloaded: {reason}"),
             ServeError::ResourceExhausted { needed, cap } => {
@@ -475,9 +562,13 @@ impl<'g> SessionContext<'g> {
 
     /// The per-key pool seed: a pure mix of the master seed and the
     /// pair, independent of arrival order and of the walk count (the
-    /// walk count differentiates keys, not seeds).
+    /// walk count differentiates keys, not seeds). Delegates to
+    /// [`pair_seed`] — the one derivation shared by every layer that
+    /// samples a per-pair pool — so campaign targets, single-target
+    /// queries, and offline pipelines all land on the same cache keys
+    /// *and* the same pool bytes.
     fn pool_seed(&self, key: &PoolKey) -> u64 {
-        self.config.seed ^ splitmix64((u64::from(key.s) << 32) | u64::from(key.t))
+        pair_seed(self.config.seed, key.s, key.t)
     }
 
     fn instance(&self, s: NodeId, t: NodeId) -> Result<FriendingInstance<'_>, ServeError> {
@@ -674,6 +765,99 @@ impl<'g> SessionContext<'g> {
     /// the batch — a service keeps serving).
     pub fn query_batch(&mut self, queries: &[Query]) -> Vec<Result<QueryAnswer, ServeError>> {
         queries.iter().map(|q| self.query(q)).collect()
+    }
+
+    /// Answers one multi-target campaign: resolve each target's pool
+    /// through the shared [`PoolCache`] (same keys and same pure seeds a
+    /// single-target [`Query`] for that pair uses — warming is
+    /// bidirectional), then allocate the shared invitation budget across
+    /// the targets with [`raf_cover::allocate_budget`].
+    ///
+    /// Targets are canonicalized to ascending node id first, so the
+    /// answer is independent of the order the request listed them in.
+    /// Campaigns count cache hits and misses like queries do, but do not
+    /// consume a query serial (fault sites address [`query`](Self::query)
+    /// calls only).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidQuery`] for an empty or duplicated target
+    /// list (and the usual per-pair rejections),
+    /// [`ServeError::CampaignUnreachable`] when a target's pool has no
+    /// type-1 realization. Pools sampled before the failure stay cached.
+    pub fn campaign(&mut self, query: &CampaignQuery) -> Result<CampaignAnswer, ServeError> {
+        if query.targets.is_empty() {
+            return Err(ServeError::InvalidQuery(QueryRejection::NoTargets));
+        }
+        let mut targets = query.targets.clone();
+        targets.sort_by_key(|t| t.index());
+        for pair in targets.windows(2) {
+            if pair[0] == pair[1] {
+                return Err(ServeError::InvalidQuery(QueryRejection::DuplicateTarget {
+                    target: pair[0].index(),
+                }));
+            }
+        }
+        // Per-target pools at the context's walk ceiling: exactly the key
+        // a default-budget single query for the pair resolves to.
+        let walks = self.config.walks;
+        let mut pools = Vec::with_capacity(targets.len());
+        let mut hit_flags = Vec::with_capacity(targets.len());
+        let mut entries = Vec::with_capacity(targets.len());
+        for &t in &targets {
+            let probe = Query { s: query.s, t, alpha: query.alpha, budget: walks };
+            let key = self.key_for(&probe)?;
+            self.check_query_cap(&key)?;
+            let (entry, hit) = self.entry_for(&probe, &key, &[])?;
+            let pool = entry.pool();
+            if pool.type1_count() == 0 {
+                return Err(ServeError::CampaignUnreachable {
+                    target: t.index(),
+                    samples: pool.total_samples(),
+                });
+            }
+            pools.push(pool);
+            hit_flags.push(hit);
+            entries.push(entry);
+        }
+        let budget_targets: Vec<raf_cover::BudgetTarget<'_>> = entries
+            .iter()
+            .zip(&pools)
+            .map(|(entry, pool)| raf_cover::BudgetTarget {
+                sets: &entry.cover,
+                total_samples: pool.total_samples().max(1),
+            })
+            .collect();
+        let alloc = raf_cover::allocate_budget(&budget_targets, query.budget)?;
+        let node_count = self.active_csr().node_count();
+        let mut invitations = InvitationSet::empty(node_count);
+        for &v in &alloc.chosen {
+            invitations.insert(NodeId::new(v as usize));
+        }
+        let per_target: Vec<CampaignTargetAnswer> = targets
+            .iter()
+            .enumerate()
+            .map(|(i, &target)| {
+                let samples = pools[i].total_samples();
+                let covered = alloc.per_target_covered[i];
+                CampaignTargetAnswer {
+                    target,
+                    covered,
+                    samples,
+                    estimate: covered as f64 / samples.max(1) as f64,
+                    cache_hit: hit_flags[i],
+                }
+            })
+            .collect();
+        Ok(CampaignAnswer {
+            invitations,
+            objective: alloc.objective,
+            arm: alloc.arm.name(),
+            arm_objectives: alloc.arm_objectives,
+            walks,
+            hits: hit_flags.iter().filter(|&&h| h).count(),
+            targets: per_target,
+        })
     }
 
     /// Applies an edge delta to the session: rebuilds the resident
@@ -1387,6 +1571,100 @@ mod tests {
             coded.resident_bytes(),
             arena.resident_bytes()
         );
+    }
+
+    fn campaign(s: usize, targets: &[usize], budget: usize) -> CampaignQuery {
+        CampaignQuery {
+            s: NodeId::new(s),
+            targets: targets.iter().map(|&t| NodeId::new(t)).collect(),
+            alpha: 0.5,
+            budget,
+        }
+    }
+
+    #[test]
+    fn campaign_warms_and_is_warmed_by_single_queries() {
+        // The cache-sharing contract, counter-verified in both
+        // directions: a single query warms its pair's pool for a later
+        // campaign, and a campaign's pools serve later single queries.
+        let csr = routes_csr();
+        let cfg = ServeConfig { walks: 8_000, seed: 11, ..Default::default() };
+        let mut ctx = SessionContext::new(&csr, cfg);
+        // 1) Single query (0,1) at the ceiling: cold miss.
+        let single = ctx.query(&q(0.5, 8_000)).unwrap();
+        assert!(!single.cache_hit);
+        // 2) Campaign over {1, 7}: target 1 hits the query's pool,
+        //    target 7 misses and is sampled.
+        let answer = ctx.campaign(&campaign(0, &[1, 7], 3)).unwrap();
+        assert_eq!(answer.hits, 1);
+        assert!(answer.targets[0].cache_hit && !answer.targets[1].cache_hit);
+        let stats = ctx.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 2));
+        // 3) A later single query on (0,7) hits the campaign's pool.
+        let after = ctx
+            .query(&Query { s: NodeId::new(0), t: NodeId::new(7), alpha: 0.3, budget: 8_000 })
+            .unwrap();
+        assert!(after.cache_hit, "campaign pools must serve single queries");
+    }
+
+    #[test]
+    fn campaign_answers_are_target_order_invariant() {
+        let csr = routes_csr();
+        let cfg = ServeConfig { walks: 8_000, seed: 7, ..Default::default() };
+        let mut forward = SessionContext::new(&csr, cfg.clone());
+        let mut backward = SessionContext::new(&csr, cfg);
+        let a = forward.campaign(&campaign(0, &[1, 7], 4)).unwrap();
+        let b = backward.campaign(&campaign(0, &[7, 1], 4)).unwrap();
+        assert_eq!(a, b);
+        assert!(a.invitations.len() <= 4);
+        assert!((a.objective - a.targets.iter().map(|t| t.estimate).sum::<f64>()).abs() < 1e-12);
+        // The returned allocation is never worse than either
+        // independent-split arm, and the winning arm's objective is the
+        // one reported.
+        assert!(a.objective >= a.arm_objectives[1] && a.objective >= a.arm_objectives[2]);
+        let by_name = match a.arm {
+            "joint" => a.arm_objectives[0],
+            "equal_split" => a.arm_objectives[1],
+            _ => a.arm_objectives[2],
+        };
+        assert_eq!(a.objective, by_name);
+    }
+
+    #[test]
+    fn campaign_rejects_structurally_without_killing_state() {
+        let csr = routes_csr();
+        let mut ctx =
+            SessionContext::new(&csr, ServeConfig { walks: 4_000, seed: 3, ..Default::default() });
+        let err = ctx.campaign(&campaign(0, &[], 3)).unwrap_err();
+        assert!(matches!(err, ServeError::InvalidQuery(QueryRejection::NoTargets)));
+        let err = ctx.campaign(&campaign(0, &[1, 7, 1], 3)).unwrap_err();
+        assert!(matches!(
+            err,
+            ServeError::InvalidQuery(QueryRejection::DuplicateTarget { target: 1 })
+        ));
+        assert_eq!(err.to_string(), "invalid query: duplicate campaign target 1");
+        let err = ctx.campaign(&campaign(0, &[0, 1], 3)).unwrap_err();
+        assert!(matches!(err, ServeError::InvalidQuery(QueryRejection::SourceIsTarget)));
+        assert_eq!(ctx.stats(), CacheStats::default(), "rejections must not touch the cache");
+        // The session keeps serving afterwards.
+        assert!(ctx.campaign(&campaign(0, &[1, 7], 3)).is_ok());
+    }
+
+    #[test]
+    fn campaign_unreachable_target_is_structured_and_keeps_live_pools() {
+        // Island graph: node 3 is unreachable from N(0).
+        let mut b = GraphBuilder::new();
+        b.add_edges(vec![(0, 2), (2, 1), (4, 3)]).unwrap();
+        let csr = b.build(WeightScheme::UniformByDegree).unwrap().to_csr();
+        let mut ctx =
+            SessionContext::new(&csr, ServeConfig { walks: 2_000, seed: 5, ..Default::default() });
+        let err = ctx.campaign(&campaign(0, &[1, 3], 2)).unwrap_err();
+        assert!(matches!(err, ServeError::CampaignUnreachable { target: 3, .. }));
+        assert_eq!(err.code(), "unreachable");
+        // Target 1's pool (sampled before the failure) stays cached and
+        // serves the retry without the dead target.
+        let retry = ctx.campaign(&campaign(0, &[1], 2)).unwrap();
+        assert_eq!(retry.hits, 1);
     }
 
     #[test]

@@ -69,8 +69,8 @@ pub mod protocol;
 
 pub use cache::{CacheStats, CachedPool, PoolCache, PoolKey};
 pub use context::{
-    one_shot, DeltaOutcome, Query, QueryAnswer, QueryRejection, ServeConfig, ServeError,
-    SessionContext, SessionStats,
+    one_shot, CampaignAnswer, CampaignQuery, CampaignTargetAnswer, DeltaOutcome, Query,
+    QueryAnswer, QueryRejection, ServeConfig, ServeError, SessionContext, SessionStats,
 };
 pub use deadline::{AdmissionLedger, AdmissionPolicy, DeadlinePolicy, ShedReason};
 pub use fault::{FaultKind, FaultPlan, FaultSite};

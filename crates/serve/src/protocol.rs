@@ -5,10 +5,14 @@
 //!
 //! Request: `s t alpha [budget]` (ids in original space; `budget`
 //! defaults to the context's walk ceiling). Blank lines and `#` comments
-//! are skipped. A session serving a dynamic graph also accepts the
-//! churn verb `delta <spec>`, where `<spec>` is the edge-delta grammar
-//! (`+u:v` add, `-u:v` remove, comma- or whitespace-separated) — parsed
-//! by [`parse_line`], answered with an `ok delta …` summary line.
+//! are skipped. Two more verbs dispatch on the first field: the
+//! multi-target verb `campaign s t1,t2,... alpha budget` (one shared
+//! invitation budget allocated across up to [`MAX_CAMPAIGN_TARGETS`]
+//! targets, answered with an `ok campaign …` line), and — on a session
+//! serving a dynamic graph — the churn verb `delta <spec>`, where
+//! `<spec>` is the edge-delta grammar (`+u:v` add, `-u:v` remove,
+//! comma- or whitespace-separated) — parsed by [`parse_line`], answered
+//! with an `ok delta …` summary line.
 //!
 //! Response: `ok s=<s> t=<t> alpha=<α> hit=<0|1> walks=<l> size=<|I*|>
 //! covered=<c> p=<p> pmax=<estimate> inv=<id,id,...>` on success — with
@@ -21,7 +25,7 @@
 //! deterministic error string, never a panic and never a dead session
 //! (fuzzed in `crates/serve/tests/proptest_protocol.rs`).
 
-use crate::context::{DeltaOutcome, Query, QueryAnswer, ServeError};
+use crate::context::{CampaignAnswer, CampaignQuery, DeltaOutcome, Query, QueryAnswer, ServeError};
 use raf_graph::{EdgeDelta, NodeId};
 
 /// Longest field rendering quoted back in a parse error: a hostile
@@ -46,6 +50,18 @@ fn snippet(field: &str) -> String {
 /// offending tokens verbatim, so the bound sits above the message, not
 /// the field.
 const DELTA_ERR_CAP: usize = 160;
+
+/// Parses a node id field. Ids must fit the graph layer's u32 id space
+/// *before* `NodeId` construction: `NodeId::new` debug-asserts the
+/// bound, so an oversized id would panic a debug serve session — and
+/// silently truncate (aliasing a small id) in release.
+fn parse_id(raw: &str, what: &str) -> Result<usize, String> {
+    let id: usize = raw.parse().map_err(|_| format!("bad {what} id {:?}", snippet(raw)))?;
+    if id > u32::MAX as usize {
+        return Err(format!("{what} id {id} overflows the 32-bit id space"));
+    }
+    Ok(id)
+}
 
 /// Parses one request line. Returns `Ok(None)` for blank lines and `#`
 /// comments (skipped, no response emitted).
@@ -72,17 +88,6 @@ pub fn parse_request(line: &str, default_budget: u64) -> Result<Option<Query>, S
         let n = line.split_whitespace().count();
         return Err(format!("expected `s t alpha [budget]`, got {n} field(s)"));
     }
-    // Ids must fit the graph layer's u32 id space *before* NodeId
-    // construction: `NodeId::new` debug-asserts the bound, so an
-    // oversized id would panic a debug serve session — and silently
-    // truncate (aliasing a small id) in release.
-    let parse_id = |raw: &str, what: &str| -> Result<usize, String> {
-        let id: usize = raw.parse().map_err(|_| format!("bad {what} id {:?}", snippet(raw)))?;
-        if id > u32::MAX as usize {
-            return Err(format!("{what} id {id} overflows the 32-bit id space"));
-        }
-        Ok(id)
-    };
     let s = parse_id(s_raw, "source")?;
     let t = parse_id(t_raw, "target")?;
     let alpha: f64 =
@@ -107,14 +112,61 @@ pub fn parse_request_bytes(line: &[u8], default_budget: u64) -> Result<Option<Qu
     parse_request(&String::from_utf8_lossy(line), default_budget)
 }
 
-/// One parsed request line: a friending query, or the churn verb
-/// applying an edge delta to the session's resident graph.
+/// One parsed request line: a friending query, a multi-target campaign,
+/// or the churn verb applying an edge delta to the session's resident
+/// graph.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
     /// `s t alpha [budget]` — answer a friending query.
     Query(Query),
+    /// `campaign s t1,t2,... alpha budget` — allocate one shared
+    /// invitation budget across several targets.
+    Campaign(CampaignQuery),
     /// `delta <spec>` — apply edge churn before serving further queries.
     Delta(EdgeDelta),
+}
+
+/// Most targets one `campaign` line may list: keeps a hostile request
+/// from turning one line into an unbounded sampling fan-out (each
+/// uncached target costs a full pool).
+pub const MAX_CAMPAIGN_TARGETS: usize = 16;
+
+/// Parses the `campaign s t1,t2,... alpha budget` verb (the line
+/// starts with the verb itself when this is called).
+fn parse_campaign(line: &str) -> Result<CampaignQuery, String> {
+    let mut fields = line.split_whitespace();
+    fields.next(); // the verb
+    let (s_raw, targets_raw, alpha_raw, budget_raw) =
+        match (fields.next(), fields.next(), fields.next(), fields.next()) {
+            (Some(s), Some(t), Some(a), Some(b)) => (s, t, a, b),
+            _ => {
+                let n = line.split_whitespace().count() - 1;
+                return Err(format!(
+                    "expected `campaign s t1,t2,... alpha budget`, got {n} field(s)"
+                ));
+            }
+        };
+    if fields.next().is_some() {
+        let n = line.split_whitespace().count() - 1;
+        return Err(format!("expected `campaign s t1,t2,... alpha budget`, got {n} field(s)"));
+    }
+    let s = parse_id(s_raw, "source")?;
+    let raw_targets: Vec<&str> = targets_raw.split(',').collect();
+    if raw_targets.len() > MAX_CAMPAIGN_TARGETS {
+        return Err(format!(
+            "campaign lists {} targets, cap is {MAX_CAMPAIGN_TARGETS}",
+            raw_targets.len()
+        ));
+    }
+    let mut targets = Vec::with_capacity(raw_targets.len());
+    for raw in raw_targets {
+        targets.push(NodeId::new(parse_id(raw, "target")?));
+    }
+    let alpha: f64 =
+        alpha_raw.parse().map_err(|_| format!("bad alpha {:?}", snippet(alpha_raw)))?;
+    let budget: usize =
+        budget_raw.parse().map_err(|_| format!("bad budget {:?}", snippet(budget_raw)))?;
+    Ok(CampaignQuery { s: NodeId::new(s), targets, alpha, budget })
 }
 
 /// Parses one request line of the full (query + churn) protocol.
@@ -133,16 +185,19 @@ pub fn parse_line(line: &str, default_budget: u64) -> Result<Option<Request>, St
         return Ok(None);
     }
     let mut fields = line.split_whitespace();
-    if fields.next() == Some("delta") {
-        let spec = line["delta".len()..].trim();
-        if spec.is_empty() {
-            return Err("expected `delta <+u:v|-u:v>[,...]`, got no operations".to_string());
+    match fields.next() {
+        Some("delta") => {
+            let spec = line["delta".len()..].trim();
+            if spec.is_empty() {
+                return Err("expected `delta <+u:v|-u:v>[,...]`, got no operations".to_string());
+            }
+            let delta = EdgeDelta::parse(spec)
+                .map_err(|e| format!("bad delta: {}", bounded(&e.to_string(), DELTA_ERR_CAP)))?;
+            Ok(Some(Request::Delta(delta)))
         }
-        let delta = EdgeDelta::parse(spec)
-            .map_err(|e| format!("bad delta: {}", bounded(&e.to_string(), DELTA_ERR_CAP)))?;
-        return Ok(Some(Request::Delta(delta)));
+        Some("campaign") => Ok(Some(Request::Campaign(parse_campaign(line)?))),
+        _ => Ok(parse_request(line, default_budget)?.map(Request::Query)),
     }
-    Ok(parse_request(line, default_budget)?.map(Request::Query))
 }
 
 /// Byte-level entry point for [`parse_line`], with the same lossy-UTF-8
@@ -183,6 +238,39 @@ pub fn format_answer(query: &Query, answer: &QueryAnswer) -> String {
 /// Renders a per-query failure as one `err` response line.
 pub fn format_error(query: &Query, error: &ServeError) -> String {
     format!("err s={} t={}: {error}", query.s.index(), query.t.index())
+}
+
+/// Renders a successful campaign as one `ok campaign` response line:
+/// the shared invitation set, the winning allocation arm, and a
+/// `per=` list of `target:covered:estimate` triples in canonical
+/// (ascending target id) order.
+pub fn format_campaign_answer(query: &CampaignQuery, answer: &CampaignAnswer) -> String {
+    let per: Vec<String> = answer
+        .targets
+        .iter()
+        .map(|t| format!("{}:{}:{:.6}", t.target.index(), t.covered, t.estimate))
+        .collect();
+    let inv: Vec<String> = answer.invitations.iter().map(|v| v.index().to_string()).collect();
+    format!(
+        "ok campaign s={} k={} alpha={} budget={} hits={} walks={} size={} objective={:.6} \
+         arm={} per={} inv={}",
+        query.s.index(),
+        answer.targets.len(),
+        query.alpha,
+        query.budget,
+        answer.hits,
+        answer.walks,
+        answer.invitations.len(),
+        answer.objective,
+        answer.arm,
+        per.join(","),
+        inv.join(","),
+    )
+}
+
+/// Renders a failed campaign as one `err campaign` response line.
+pub fn format_campaign_error(query: &CampaignQuery, error: &ServeError) -> String {
+    format!("err campaign s={}: {error}", query.s.index())
 }
 
 /// Renders the outcome of an applied delta as one `ok delta` response
@@ -326,6 +414,90 @@ mod tests {
         assert!(err.len() < 256, "error must stay bounded, got {} bytes", err.len());
         // Determinism.
         assert_eq!(parse_line(&huge, 1).unwrap_err(), err);
+    }
+
+    #[test]
+    fn campaign_lines_parse_through_the_full_protocol() {
+        match parse_line("campaign 0 1,7,3 0.5 4", 1).unwrap().unwrap() {
+            Request::Campaign(c) => {
+                assert_eq!(c.s.index(), 0);
+                assert_eq!(c.targets.iter().map(|t| t.index()).collect::<Vec<_>>(), [1, 7, 3]);
+                assert_eq!(c.alpha, 0.5);
+                assert_eq!(c.budget, 4);
+            }
+            other => panic!("expected a campaign, got {other:?}"),
+        }
+        // A single target is legal (the k=1 degenerate case).
+        assert!(matches!(
+            parse_line("campaign 0 1 0.5 4", 1).unwrap().unwrap(),
+            Request::Campaign(c) if c.targets.len() == 1
+        ));
+        // Byte-level entry point shares the contract.
+        assert!(matches!(
+            parse_line_bytes(b"campaign 0 1,7 0.5 4", 1).unwrap().unwrap(),
+            Request::Campaign(_)
+        ));
+        // A field merely *starting* with the verb is a normal query.
+        assert!(parse_line("campaign7 1 0.3", 1).unwrap_err().contains("source"));
+    }
+
+    #[test]
+    fn malformed_campaign_lines_error_deterministically_and_bounded() {
+        assert!(parse_line("campaign", 1).unwrap_err().contains("0 field(s)"));
+        assert!(parse_line("campaign 0 1,2 0.5", 1).unwrap_err().contains("3 field(s)"));
+        assert!(parse_line("campaign 0 1,2 0.5 4 extra", 1).unwrap_err().contains("5 field(s)"));
+        assert!(parse_line("campaign x 1 0.5 4", 1).unwrap_err().contains("source"));
+        assert!(parse_line("campaign 0 1,,2 0.5 4", 1).unwrap_err().contains("target"));
+        assert!(parse_line("campaign 0 1,y 0.5 4", 1).unwrap_err().contains("target"));
+        assert!(parse_line("campaign 0 1,2 zz 4", 1).unwrap_err().contains("alpha"));
+        assert!(parse_line("campaign 0 1,2 0.5 -4", 1).unwrap_err().contains("budget"));
+        // Oversized ids are rejected before NodeId construction.
+        let over = (1u64 << 32).to_string();
+        let err = parse_line(&format!("campaign 0 {over} 0.5 4"), 1).unwrap_err();
+        assert!(err.contains("32-bit"), "{err}");
+        // The target-count cap bounds the sampling fan-out of one line.
+        let many: Vec<String> = (1..=MAX_CAMPAIGN_TARGETS + 1).map(|t| t.to_string()).collect();
+        let err = parse_line(&format!("campaign 0 {} 0.5 4", many.join(",")), 1).unwrap_err();
+        assert!(err.contains("cap is 16"), "{err}");
+        let at_cap: Vec<String> = (1..=MAX_CAMPAIGN_TARGETS).map(|t| t.to_string()).collect();
+        assert!(parse_line(&format!("campaign 0 {} 0.5 4", at_cap.join(",")), 1).is_ok());
+        // Hostile long fields stay bounded in the echo.
+        let huge = format!("campaign 0 {} 0.5 4", "9".repeat(4_096));
+        let err = parse_line(&huge, 1).unwrap_err();
+        assert!(err.len() < 128, "error must stay bounded, got {} bytes", err.len());
+        assert_eq!(parse_line(&huge, 1).unwrap_err(), err);
+    }
+
+    #[test]
+    fn campaign_responses_format_one_line_summaries() {
+        use crate::{ServeConfig, SessionContext};
+        use raf_graph::{GraphBuilder, WeightScheme};
+        let mut b = GraphBuilder::new();
+        b.add_edges(vec![(0, 2), (2, 3), (3, 1), (0, 4), (4, 5), (5, 1), (0, 6), (6, 7), (7, 1)])
+            .unwrap();
+        let csr = b.build(WeightScheme::UniformByDegree).unwrap().to_csr();
+        let cfg = ServeConfig { walks: 4_000, seed: 7, ..Default::default() };
+        let mut ctx = SessionContext::new(&csr, cfg);
+        let request = match parse_line("campaign 0 7,1 0.5 4", 4_000).unwrap().unwrap() {
+            Request::Campaign(c) => c,
+            other => panic!("expected a campaign, got {other:?}"),
+        };
+        let answer = ctx.campaign(&request).unwrap();
+        let line = format_campaign_answer(&request, &answer);
+        assert!(
+            line.starts_with("ok campaign s=0 k=2 alpha=0.5 budget=4 hits=0 walks=4000 "),
+            "{line}"
+        );
+        assert!(line.contains(" arm="), "{line}");
+        // Per-target triples render in canonical ascending-id order even
+        // though the request listed 7 first.
+        let per = line.split("per=").nth(1).unwrap().split(' ').next().unwrap();
+        assert!(per.starts_with("1:"), "{per}");
+        let err = ctx.campaign(&CampaignQuery { targets: vec![], ..request.clone() }).unwrap_err();
+        assert_eq!(
+            format_campaign_error(&request, &err),
+            "err campaign s=0: invalid query: campaign lists no targets"
+        );
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! raf vmax  --graph network.txt --s 3 --t 99
 //! raf run   --graph network.txt --s 3 --t 99 --alpha 0.3
 //!           [--epsilon 0.01] [--budget 50000] [--seed 1] [--threads 1]
-//!           [--walk-kernel scalar|lockstep]
+//!           [--walk-kernel scalar|lockstep|auto]
 //! raf max   --graph network.txt --s 3 --t 99 --k 10
 //!           [--realizations 50000] [--seed 1]
 //! raf serve --graph network.txt [--requests batch.txt] [--walks 100000]
@@ -17,7 +17,9 @@
 //!           [--list-scenarios] [--quick] [--check-regression]
 //!           [--max-regression 0.15] [--topology powerlaw_cluster]
 //!           [--nodes N] [--walks N] [--seed 7] [--threads N] [--reps N]
-//!           [--walk-kernel scalar|lockstep]
+//!           [--walk-kernel scalar|lockstep|auto]
+//! raf experiment [--dataset all] [--quick] [--targets K]
+//!           [--budgets 4,8,16] [--pairs N] [--out-csv FILE]
 //! ```
 //!
 //! The graph file is a SNAP-style edge list (whitespace-separated ids,
@@ -75,13 +77,16 @@ fn dispatch(args: &CliArgs) -> Result<(), Box<dyn std::error::Error>> {
     }
 }
 
-/// Parses `--walk-kernel` (default scalar — see [`WalkKernel`]; the
-/// kernel never changes results, only sampling speed).
+/// Parses `--walk-kernel` (default auto — lockstep at dataset scale,
+/// scalar below it; see [`WalkKernel`]. The kernel never changes
+/// results, only sampling speed).
 fn walk_kernel(args: &CliArgs) -> Result<WalkKernel, Box<dyn std::error::Error>> {
     match args.get("walk-kernel") {
         None => Ok(WalkKernel::default()),
         Some(raw) => WalkKernel::parse(raw)
-            .ok_or_else(|| format!("unknown walk kernel {raw:?} (expected scalar or lockstep)"))
+            .ok_or_else(|| {
+                format!("unknown walk kernel {raw:?} (expected scalar, lockstep, or auto)")
+            })
             .map_err(Into::into),
     }
 }
@@ -238,6 +243,7 @@ fn cmd_bench_json(args: &CliArgs) -> Result<(), Box<dyn std::error::Error>> {
             bakeoff: false,
             serving: false,
             churn: false,
+            campaign: false,
         }]
     } else if profile == BenchProfile::Quick {
         quick_matrix()
@@ -266,6 +272,20 @@ fn cmd_bench_json(args: &CliArgs) -> Result<(), Box<dyn std::error::Error>> {
             // deltas; like serving cells they carry no arena_ns and skip
             // the regression gate.
             run_churn_cell(args, scenario, profile, &mut history)?;
+            continue;
+        }
+        if scenario.campaign {
+            // Campaign cells record arena_ns/legacy_ns in the pipeline
+            // shape and gate exactly like pipeline cells.
+            run_campaign_cell(
+                args,
+                scenario,
+                profile,
+                &mut history,
+                check,
+                max_regression,
+                &mut regressions,
+            )?;
             continue;
         }
         let mut config = scenario_config(scenario, profile);
@@ -534,6 +554,98 @@ fn run_churn_cell(
     Ok(())
 }
 
+/// Runs one `campaign_*` scenario cell for `cmd_bench_json`: k
+/// per-target arena pools feeding one joint [`allocate_budget`] against
+/// k independent legacy pipelines under an equal split, appended to the
+/// history as a `campaign` entry. Campaign entries record
+/// `arena_ns`/`legacy_ns` in the pipeline shape, so the regression gate
+/// applies to them exactly as to pipeline cells (machine-normalized by
+/// the same-run legacy sampling phase). Knob overrides
+/// (`--walks`/`--seed`/`--threads`/`--reps`/`--walk-kernel`) route the
+/// entry to the `custom` lineage exactly like pipeline cells.
+///
+/// [`allocate_budget`]: raf_cover::allocate_budget
+fn run_campaign_cell(
+    args: &CliArgs,
+    scenario: raf_bench::sampling::Scenario,
+    profile: raf_bench::sampling::BenchProfile,
+    history: &mut raf_bench::history::BenchHistory,
+    check: bool,
+    max_regression: f64,
+    regressions: &mut Vec<String>,
+) -> Result<(), Box<dyn std::error::Error>> {
+    use raf_bench::campaign::{campaign_config, run_campaign_bench};
+    use raf_bench::history::{machine_factor, parse_json, MachineFactor};
+
+    let mut config = campaign_config(scenario, profile);
+    config.walks = args.get_or("walks", config.walks)?;
+    config.seed = args.get_or("seed", config.seed)?;
+    config.threads = args.get_or("threads", config.threads)?;
+    config.reps = args.get_or("reps", config.reps)?;
+    config.kernel = walk_kernel(args)?;
+    let standard = campaign_config(scenario, profile);
+    if config != standard {
+        config.profile = "custom";
+    }
+    let name = scenario.name();
+    eprintln!(
+        "benchmarking {name} [{}]: {} nodes, {} targets, budget {}, {} walks/pool, {} thread(s)…",
+        config.profile, config.nodes, config.targets, config.budget, config.walks, config.threads
+    );
+    let report = run_campaign_bench(config);
+    let arena_total = report.arena_sample_ns + report.arena_solve_ns;
+    println!(
+        "{name}: legacy {:.1} ms, arena {:.1} ms  →  speedup {:.2}x  \
+         ({} arm, objective {:.4} vs independent {:.4}, {} invitations)",
+        (report.legacy_sample_ns + report.legacy_solve_ns) as f64 / 1e6,
+        arena_total as f64 / 1e6,
+        report.speedup(),
+        report.allocation.arm.name(),
+        report.allocation.objective,
+        report.legacy_objective,
+        report.allocation.chosen.len(),
+    );
+    if check {
+        let lineage = report.config.profile;
+        match history.baseline_total_ns(&name, lineage) {
+            None => println!("{name}: no committed {lineage} baseline, skipping gate"),
+            Some(base) => {
+                // Same calibration as pipeline cells: the frozen legacy
+                // replica measured in this run cancels the machine-speed
+                // offset against the committed baseline.
+                let machine = match machine_factor(
+                    history.baseline_legacy_sample_ns(&name, lineage),
+                    report.legacy_sample_ns as f64,
+                ) {
+                    MachineFactor::Normalize(m) => Some(m),
+                    MachineFactor::Raw => Some(1.0),
+                    MachineFactor::Skip(reason) => {
+                        eprintln!("{name}: WARNING: skipping regression gate — {reason}");
+                        None
+                    }
+                };
+                if let Some(machine) = machine {
+                    let ratio = arena_total as f64 / (base * machine);
+                    if ratio > 1.0 + max_regression {
+                        regressions.push(format!(
+                            "{name}: {arena_total} ns vs baseline {base:.0} ns \
+                             ({:+.1}% machine-normalized)",
+                            (ratio - 1.0) * 100.0
+                        ));
+                    } else {
+                        println!(
+                            "{name}: {:+.1}% vs baseline (machine-normalized) — ok",
+                            (ratio - 1.0) * 100.0
+                        );
+                    }
+                }
+            }
+        }
+    }
+    history.push(parse_json(&report.to_json()).map_err(|e| format!("entry JSON: {e}"))?);
+    Ok(())
+}
+
 /// Splits raw request bytes into lines with `str::lines` semantics —
 /// `\n` separators, optional trailing `\r` stripped, no phantom empty
 /// line after a trailing newline — without requiring the file to be
@@ -551,8 +663,11 @@ fn byte_lines(bytes: &[u8]) -> impl Iterator<Item = &[u8]> {
 /// keep it resident behind a [`SessionContext`], and answer
 /// `s t alpha [budget]` request lines — from `--requests FILE` in batch
 /// mode, from stdin otherwise — one `ok`/`err` response line each (see
-/// `raf_serve::protocol`). Queries on the same pair share one sampled
-/// pool; the cache summary goes to stderr on exit. The graph serves from
+/// `raf_serve::protocol`). A `campaign s t1,t2,... alpha budget` line
+/// allocates one shared invitation budget across several targets,
+/// answering from (and populating) the same pool cache single-target
+/// queries use. Queries on the same pair share one sampled pool; the
+/// cache summary goes to stderr on exit. The graph serves from
 /// the hub-BFS relabeled layout (the production layout; ids stay
 /// original-space) unless `--no-relabel` keeps the file order.
 ///
@@ -608,7 +723,8 @@ fn cmd_serve(args: &CliArgs) -> Result<(), Box<dyn std::error::Error>> {
     };
     ctx.set_fault_plan(fault_plan);
     eprintln!(
-        "serving {} ({} nodes, {} edges); requests: s t alpha [budget]",
+        "serving {} ({} nodes, {} edges); requests: s t alpha [budget] | campaign s t1,t2,... \
+         alpha budget",
         path,
         csr.node_count(),
         csr.edge_count()
@@ -635,6 +751,12 @@ fn cmd_serve(args: &CliArgs) -> Result<(), Box<dyn std::error::Error>> {
             Err(e) => protocol::format_delta_error(&e),
         }
     };
+    let run_campaign = |ctx: &mut SessionContext<'_>, campaign: &CampaignQuery| -> String {
+        match ctx.campaign(campaign) {
+            Ok(answer) => protocol::format_campaign_answer(campaign, &answer),
+            Err(e) => protocol::format_campaign_error(campaign, &e),
+        }
+    };
     if let Some(requests) = args.get("requests") {
         // Batch mode: parse every line up front, answer in admission
         // rounds, and print responses in request order. A round models
@@ -653,6 +775,9 @@ fn cmd_serve(args: &CliArgs) -> Result<(), Box<dyn std::error::Error>> {
             Done(String),
             /// Parsed query still waiting for admission.
             Pending(Query),
+            /// A multi-target campaign waiting for its segment's first
+            /// round.
+            Campaign(CampaignQuery),
             /// A churn barrier waiting to be applied.
             Churn(raf_graph::EdgeDelta),
             /// Blank/comment line: no response.
@@ -663,6 +788,7 @@ fn cmd_serve(args: &CliArgs) -> Result<(), Box<dyn std::error::Error>> {
             .map(|line| match protocol::parse_line_bytes(line, default_budget) {
                 Ok(None) => Slot::Skip,
                 Ok(Some(protocol::Request::Query(query))) => Slot::Pending(query),
+                Ok(Some(protocol::Request::Campaign(campaign))) => Slot::Campaign(campaign),
                 Ok(Some(protocol::Request::Delta(delta))) => Slot::Churn(delta),
                 Err(message) => Slot::Done(format!("err parse: {message}")),
             })
@@ -688,6 +814,19 @@ fn cmd_serve(args: &CliArgs) -> Result<(), Box<dyn std::error::Error>> {
                 let mut ledger = AdmissionLedger::new();
                 let mut deferred = 0usize;
                 for slot in &mut slots[start..end] {
+                    if let Slot::Campaign(campaign) = slot {
+                        // Campaigns bypass the admission ledger: their
+                        // fan-out is bounded at parse time
+                        // (MAX_CAMPAIGN_TARGETS) and the per-query walk
+                        // cap still applies to every per-target pool
+                        // inside the context, so a campaign can never
+                        // admit more work than the same targets issued
+                        // as individual query lines.
+                        if round == 0 {
+                            *slot = Slot::Done(run_campaign(&mut ctx, campaign));
+                        }
+                        continue;
+                    }
                     let Slot::Pending(query) = slot else { continue };
                     let walks = query.budget.min(default_budget);
                     match ledger.try_reserve(&admission, walks) {
@@ -750,6 +889,10 @@ fn cmd_serve(args: &CliArgs) -> Result<(), Box<dyn std::error::Error>> {
                     let response = run_query(&mut ctx, &query);
                     writeln!(out, "{response}")?;
                 }
+                Ok(Some(protocol::Request::Campaign(campaign))) => {
+                    let response = run_campaign(&mut ctx, &campaign);
+                    writeln!(out, "{response}")?;
+                }
                 Ok(Some(protocol::Request::Delta(delta))) => {
                     let response = run_delta(&mut ctx, &mut social, &delta);
                     writeln!(out, "{response}")?;
@@ -793,26 +936,14 @@ fn cmd_serve(args: &CliArgs) -> Result<(), Box<dyn std::error::Error>> {
 /// fixed `(flags, --seed, --threads)`.
 fn cmd_experiment(args: &CliArgs) -> Result<(), Box<dyn std::error::Error>> {
     use raf_bench::experiments::sweep::{self, SweepConfig};
-    use raf_datasets::{Dataset, RelabelMode};
 
+    if args.get("targets").is_some() {
+        return cmd_experiment_campaign(args);
+    }
     let mut config =
         if args.is_set("quick") { SweepConfig::quick() } else { SweepConfig::default() };
-    if let Some(name) = args.get("dataset") {
-        if name != "all" {
-            let dataset = match name.to_ascii_lowercase().as_str() {
-                "wiki" => Dataset::Wiki,
-                "hepth" => Dataset::HepTh,
-                "hepph" => Dataset::HepPh,
-                "youtube" => Dataset::Youtube,
-                other => {
-                    return Err(format!(
-                        "unknown dataset {other:?} (expected wiki, hepth, hepph, youtube, or all)"
-                    )
-                    .into())
-                }
-            };
-            config.datasets = vec![dataset];
-        }
+    if let Some(datasets) = parse_datasets(args)? {
+        config.datasets = datasets;
     }
     if let Some(raw) = args.get("alphas") {
         config.alphas = parse_grid::<f64>("alphas", raw)?;
@@ -828,22 +959,7 @@ fn cmd_experiment(args: &CliArgs) -> Result<(), Box<dyn std::error::Error>> {
     if let Some(dir) = args.get("data-dir") {
         config.data_dir = std::path::PathBuf::from(dir);
     }
-    if let Some(raw) = args.get("relabel") {
-        config.relabel = RelabelMode::parse(raw).ok_or_else(|| {
-            // Derived from the order registry so a future layout shows up
-            // here without touching this file.
-            let names: Vec<&str> = std::iter::once(RelabelMode::Plain.name())
-                .chain(raf_graph::RelabelOrder::ALL.iter().map(|o| o.name()))
-                .collect();
-            format!("unknown relabel layout {raw:?} (expected one of: {})", names.join(", "))
-        })?;
-        if args.is_set("no-relabel") && config.relabel != RelabelMode::Plain {
-            return Err("--no-relabel conflicts with --relabel (drop one)".into());
-        }
-    }
-    if args.is_set("no-relabel") {
-        config.relabel = RelabelMode::Plain;
-    }
+    config.relabel = parse_relabel(args, config.relabel)?;
     config.validate()?;
 
     let report = sweep::run(&config);
@@ -860,6 +976,119 @@ fn cmd_experiment(args: &CliArgs) -> Result<(), Box<dyn std::error::Error>> {
         println!("wrote {json_path} (schema_version {})", report.schema_version);
     }
     Ok(())
+}
+
+/// The `raf experiment --targets k` flavour: the multi-target campaign
+/// sweep — screened campaigns (one source, `k` targets) × a shared
+/// invitation-budget grid per dataset, the joint greedy allocation
+/// against the independent equal/proportional splits. `--budgets` is the
+/// *invitation*-budget grid here (small integers, not realization
+/// counts), `--pairs` is the campaign count, and `--eval-samples` is the
+/// per-target pool walk count; `--alphas` has no effect on allocation
+/// (the campaign objective is α-independent) and is rejected to avoid
+/// silently ignoring it.
+fn cmd_experiment_campaign(args: &CliArgs) -> Result<(), Box<dyn std::error::Error>> {
+    use raf_bench::experiments::campaign::{self, CampaignSweepConfig};
+
+    if args.get("alphas").is_some() {
+        return Err(
+            "--alphas has no effect on campaign allocation (drop it, or drop --targets)".into()
+        );
+    }
+    let mut config = if args.is_set("quick") {
+        CampaignSweepConfig::quick()
+    } else {
+        CampaignSweepConfig::default()
+    };
+    config.targets = args.require_typed("targets")?;
+    if let Some(datasets) = parse_datasets(args)? {
+        config.datasets = datasets;
+    }
+    if let Some(raw) = args.get("budgets") {
+        config.budgets = parse_grid::<usize>("budgets", raw)?;
+    }
+    config.campaigns = args.get_or("pairs", config.campaigns)?;
+    config.scale = args.get_or("scale", config.scale)?;
+    config.walks = args.get_or("eval-samples", config.walks)?;
+    config.seed = args.get_or("seed", config.seed)?;
+    config.threads = args.get_or("threads", threads_from_env())?;
+    if let Some(dir) = args.get("data-dir") {
+        config.data_dir = std::path::PathBuf::from(dir);
+    }
+    config.relabel = parse_relabel(args, config.relabel)?;
+    config.validate()?;
+
+    let report = campaign::run(&config);
+    for &dataset in &config.datasets {
+        campaign::print(dataset, &report.rows);
+    }
+    let csv_path = args.get("out-csv").unwrap_or("EXPERIMENT_campaign.csv");
+    report.to_csv().write_to_path(Path::new(csv_path))?;
+    println!(
+        "wrote {csv_path} ({} rows, schema {})",
+        report.rows.len(),
+        campaign::CAMPAIGN_CSV_SCHEMA
+    );
+    if let Some(json_path) = args.get("out-json") {
+        let mut text = report.to_json().render();
+        text.push('\n');
+        std::fs::write(json_path, text)?;
+        println!("wrote {json_path} (schema_version {})", report.schema_version);
+    }
+    Ok(())
+}
+
+/// Parses `--dataset` into a dataset list (`None` means "keep the
+/// config's default"; `all` selects every Table-I dataset).
+fn parse_datasets(
+    args: &CliArgs,
+) -> Result<Option<Vec<raf_datasets::Dataset>>, Box<dyn std::error::Error>> {
+    use raf_datasets::Dataset;
+    let Some(name) = args.get("dataset") else {
+        return Ok(None);
+    };
+    if name == "all" {
+        return Ok(None);
+    }
+    let dataset = match name.to_ascii_lowercase().as_str() {
+        "wiki" => Dataset::Wiki,
+        "hepth" => Dataset::HepTh,
+        "hepph" => Dataset::HepPh,
+        "youtube" => Dataset::Youtube,
+        other => {
+            return Err(format!(
+                "unknown dataset {other:?} (expected wiki, hepth, hepph, youtube, or all)"
+            )
+            .into())
+        }
+    };
+    Ok(Some(vec![dataset]))
+}
+
+/// Parses `--relabel`/`--no-relabel` against a config default.
+fn parse_relabel(
+    args: &CliArgs,
+    default: raf_datasets::RelabelMode,
+) -> Result<raf_datasets::RelabelMode, Box<dyn std::error::Error>> {
+    use raf_datasets::RelabelMode;
+    let mut relabel = default;
+    if let Some(raw) = args.get("relabel") {
+        relabel = RelabelMode::parse(raw).ok_or_else(|| {
+            // Derived from the order registry so a future layout shows up
+            // here without touching this file.
+            let names: Vec<&str> = std::iter::once(RelabelMode::Plain.name())
+                .chain(raf_graph::RelabelOrder::ALL.iter().map(|o| o.name()))
+                .collect();
+            format!("unknown relabel layout {raw:?} (expected one of: {})", names.join(", "))
+        })?;
+        if args.is_set("no-relabel") && relabel != RelabelMode::Plain {
+            return Err("--no-relabel conflicts with --relabel (drop one)".into());
+        }
+    }
+    if args.is_set("no-relabel") {
+        relabel = RelabelMode::Plain;
+    }
+    Ok(relabel)
 }
 
 /// Parses a comma-separated grid flag (e.g. `--alphas 0.1,0.2,0.3`).
@@ -884,7 +1113,7 @@ USAGE:
   raf vmax  --graph <edge-list> --s <id> --t <id>
   raf run   --graph <edge-list> --s <id> --t <id> --alpha A
             [--epsilon E] [--budget N] [--seed N] [--threads N]
-            [--walk-kernel scalar|lockstep]
+            [--walk-kernel scalar|lockstep|auto]
   raf max   --graph <edge-list> --s <id> --t <id> --k BUDGET
             [--realizations N] [--seed N]
   raf serve --graph <edge-list> [--requests FILE] [--walks N]
@@ -897,12 +1126,13 @@ USAGE:
             [--quick] [--check-regression] [--max-regression R]
             [--topology NAME] [--nodes N] [--walks N] [--seed N]
             [--threads N] [--reps N] [--beta B]
-            [--walk-kernel scalar|lockstep]
+            [--walk-kernel scalar|lockstep|auto]
   raf experiment [--dataset wiki|hepth|hepph|youtube|all] [--quick]
             [--alphas A,B,...] [--budgets N,M,...] [--pairs N]
             [--scale F] [--eval-samples N] [--seed N] [--threads N]
             [--data-dir DIR] [--relabel plain|hub_bfs|degree_desc|rcm]
             [--no-relabel] [--out-csv FILE] [--out-json FILE]
+            [--targets K]
 
 serve keeps the graph resident and answers `s t alpha [budget]` request
 lines — one per line from --requests FILE (batch) or stdin
@@ -910,7 +1140,12 @@ lines — one per line from --requests FILE (batch) or stdin
 same (s, t) pair share one sampled realization pool through an LRU
 cache (--cache-mb, default 256), so repeat queries that differ only in
 alpha or budget skip sampling entirely; the hit/miss summary prints to
-stderr on exit. --work-budget caps the walk steps a query may spend
+stderr on exit. A request line `campaign s t1,t2,... alpha budget`
+allocates one shared invitation budget across up to 16 targets by
+greedy marginal gain over the targets' pools — the same per-target
+pools single queries cache, so campaigns warm queries and vice versa —
+answering `ok campaign ... arm=... objective=...` (structured `err` on
+duplicate/unreachable targets, never killing the session). --work-budget caps the walk steps a query may spend
 (exhaustion returns a partial-pool answer tagged ` degraded=1`, still
 deterministic in the seed); --deadline-ms adds a wall-clock cap
 (answers then depend on timing). --max-query-walks sheds any query
@@ -949,12 +1184,20 @@ latency through the serve-layer pool cache instead (no regression
 gate). Churn scenarios (churn_wiki_7k_t1, churn_youtube_220k_t4)
 record incremental pool-repair latency under sustained edge deltas at
 increasing sizes, showing repair cost scale with the touched-edge
-count (no regression gate either).
+count (no regression gate either). The campaign scenario
+(campaign_wiki_7k_t1) times k per-target pools plus one joint budget
+allocation against k independent legacy pipelines; it records
+arena_ns/legacy_ns like pipeline cells, so the regression gate covers
+it.
 
 experiment runs the Table-I sweep (RAF vs HD/SP over an alpha × budget
 grid per dataset) and writes a schema-versioned CSV (default
-EXPERIMENT_table1.csv; --out-json adds the JSON flavour). Real SNAP
-files in --data-dir (default data/) override the synthetic stand-ins.
---threads defaults to the RAF_THREADS environment variable."
+EXPERIMENT_table1.csv; --out-json adds the JSON flavour). With
+--targets K it instead sweeps multi-target campaigns (K targets per
+screened source, joint vs equal vs proportional budget splits over a
+--budgets grid; --alphas does not apply) and writes
+EXPERIMENT_campaign.csv. Real SNAP files in --data-dir (default data/)
+override the synthetic stand-ins. --threads defaults to the
+RAF_THREADS environment variable."
     );
 }

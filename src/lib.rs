@@ -78,8 +78,8 @@ pub mod prelude {
     pub use raf_core::baselines::{Baseline, HighDegree, RandomInvite, ShortestPath};
     pub use raf_core::evaluator::{evaluate, grow_until_match};
     pub use raf_core::{
-        vmax_exact, CoreError, ParameterSet, RafAlgorithm, RafConfig, RafResult, RealizationBudget,
-        SolverKind,
+        vmax_exact, Campaign, CampaignConfig, CampaignInstance, CampaignResult, CoreError,
+        ParameterSet, RafAlgorithm, RafConfig, RafResult, RealizationBudget, SolverKind,
     };
     pub use raf_cover::{ChlamtacPortfolio, CoverInstance, GreedyMarginal, MpuSolver};
     pub use raf_datasets::{load_dataset, sample_pairs, Dataset, PairSamplerConfig};
@@ -91,7 +91,7 @@ pub mod prelude {
     pub use raf_model::sampler::{threads_from_env, SampleRequest, WalkKernel};
     pub use raf_model::{FriendingInstance, InvitationSet, ModelError};
     pub use raf_serve::{
-        one_shot, AdmissionLedger, AdmissionPolicy, DeadlinePolicy, FaultPlan, Query, QueryAnswer,
-        ServeConfig, ServeError, SessionContext, ShedReason,
+        one_shot, AdmissionLedger, AdmissionPolicy, CampaignAnswer, CampaignQuery, DeadlinePolicy,
+        FaultPlan, Query, QueryAnswer, ServeConfig, ServeError, SessionContext, ShedReason,
     };
 }
